@@ -1,0 +1,227 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! Measured quantity: total bootstrap mean runtime of the whole
+//! Perfect-Club workload under `N(2,5)` (lower is better). Criterion
+//! reports the *time to compute* each variant too, but the interesting
+//! output is the `eprintln!` quality summary each bench emits once —
+//! ablations are about schedule quality, not harness speed.
+//!
+//! 1. exact `Chances` vs the paper's level approximation;
+//! 2. per-load balanced weights vs the §3 block-average variant;
+//! 3. FIFO spill pool vs the original fixed pool;
+//! 4. Fortran aliasing vs conservative C (paper Fig. 8);
+//! 5. weight rounding mode;
+//! 6. one vs two scheduling passes (§4.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bsched_core::{Direction, Ratio, Rounding};
+use bsched_cpusim::ProcessorModel;
+use bsched_dag::{AliasModel, ChancesMethod};
+use bsched_memsim::NetworkModel;
+use bsched_pipeline::{evaluate, EvalConfig, Pipeline, SchedulerChoice};
+use bsched_regalloc::{AllocatorConfig, PoolPolicy};
+use bsched_workload::perfect_club;
+
+/// Total workload runtime (frequency-weighted bootstrap mean) for one
+/// pipeline + scheduler configuration.
+fn workload_runtime(pipeline: &Pipeline, choice: &SchedulerChoice) -> f64 {
+    let mem = NetworkModel::new(2.0, 5.0);
+    let cfg = EvalConfig {
+        runs: 10,
+        processor: ProcessorModel::Unlimited,
+        ..EvalConfig::default()
+    };
+    perfect_club()
+        .iter()
+        .map(|b| {
+            let prog = pipeline.compile(b.function(), choice).expect("compile");
+            evaluate(&prog, &mem, &cfg).mean_runtime
+        })
+        .sum()
+}
+
+fn ablation(c: &mut Criterion, name: &str, pipeline: Pipeline, choice: SchedulerChoice) {
+    let runtime = workload_runtime(&pipeline, &choice);
+    eprintln!("[ablation] {name}: workload runtime {runtime:.0} cycles");
+    c.bench_function(name, |b| {
+        // Benchmark only the compile step (quality already reported).
+        let suite = perfect_club();
+        b.iter(|| {
+            for bench in &suite {
+                black_box(
+                    pipeline
+                        .compile(bench.function(), &choice)
+                        .expect("compile"),
+                );
+            }
+        });
+    });
+}
+
+fn ablations(c: &mut Criterion) {
+    let base = Pipeline::default();
+
+    ablation(
+        c,
+        "ablation/balanced-exact",
+        base,
+        SchedulerChoice::balanced(),
+    );
+    ablation(
+        c,
+        "ablation/balanced-level-approx",
+        base,
+        SchedulerChoice::Balanced {
+            method: ChancesMethod::LevelApprox,
+        },
+    );
+    ablation(
+        c,
+        "ablation/average-weights",
+        base,
+        SchedulerChoice::Average,
+    );
+    ablation(
+        c,
+        "ablation/traditional-w2",
+        base,
+        SchedulerChoice::traditional(Ratio::from_int(2)),
+    );
+
+    ablation(
+        c,
+        "ablation/fixed-spill-pool",
+        Pipeline {
+            allocator: AllocatorConfig::gcc_original(),
+            ..base
+        },
+        SchedulerChoice::balanced(),
+    );
+    ablation(
+        c,
+        "ablation/fifo-spill-pool",
+        Pipeline {
+            allocator: AllocatorConfig {
+                policy: PoolPolicy::Fifo,
+                ..AllocatorConfig::gcc_original()
+            },
+            ..base
+        },
+        SchedulerChoice::balanced(),
+    );
+
+    ablation(
+        c,
+        "ablation/c-conservative-alias",
+        Pipeline {
+            alias: AliasModel::CConservative,
+            ..base
+        },
+        SchedulerChoice::balanced(),
+    );
+
+    ablation(
+        c,
+        "ablation/rounding-floor",
+        Pipeline {
+            rounding: Rounding::Floor,
+            ..base
+        },
+        SchedulerChoice::balanced(),
+    );
+    ablation(
+        c,
+        "ablation/rounding-ceil",
+        Pipeline {
+            rounding: Rounding::Ceil,
+            ..base
+        },
+        SchedulerChoice::balanced(),
+    );
+
+    ablation(
+        c,
+        "ablation/single-pass",
+        Pipeline {
+            second_pass: false,
+            ..base
+        },
+        SchedulerChoice::balanced(),
+    );
+    ablation(
+        c,
+        "ablation/rename-after-alloc",
+        Pipeline {
+            rename_after_alloc: true,
+            ..base
+        },
+        SchedulerChoice::balanced(),
+    );
+    ablation(
+        c,
+        "ablation/rename-with-fixed-pool",
+        Pipeline {
+            rename_after_alloc: true,
+            allocator: AllocatorConfig::gcc_original(),
+            ..base
+        },
+        SchedulerChoice::balanced(),
+    );
+    ablation(
+        c,
+        "ablation/top-down",
+        Pipeline {
+            direction: Direction::TopDown,
+            ..base
+        },
+        SchedulerChoice::balanced(),
+    );
+    ablation(
+        c,
+        "ablation/usage-count-alloc",
+        Pipeline {
+            allocation: bsched_pipeline::AllocationStrategy::UsageCount,
+            ..base
+        },
+        SchedulerChoice::balanced(),
+    );
+
+    // §6 superblocks: fuse each benchmark's blocks pairwise and rerun the
+    // balanced-vs-traditional comparison on the enlarged blocks.
+    {
+        use bsched_ir::Function;
+        use bsched_workload::superblocks_of;
+        let mem = NetworkModel::new(2.0, 5.0);
+        let cfg = EvalConfig {
+            runs: 10,
+            processor: ProcessorModel::Unlimited,
+            ..EvalConfig::default()
+        };
+        let runtime_of = |choice: &SchedulerChoice| -> f64 {
+            perfect_club()
+                .iter()
+                .map(|b| {
+                    let fused = Function::new(b.name(), superblocks_of(b.function(), 2));
+                    let prog = base.compile(&fused, choice).expect("compile");
+                    evaluate(&prog, &mem, &cfg).mean_runtime
+                })
+                .sum()
+        };
+        let bal = runtime_of(&SchedulerChoice::balanced());
+        let trad = runtime_of(&SchedulerChoice::traditional(Ratio::from_int(2)));
+        eprintln!(
+            "[ablation] ablation/superblock-2: balanced {bal:.0} vs traditional {trad:.0} cycles \
+             ({:+.1}%)",
+            (trad - bal) / trad * 100.0
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Complexity scaling of the schedulers (§3 of the paper).
+//!
+//! The paper bounds balanced weight computation at `O(n²·α(n))` against
+//! `O(n²)` for plain list scheduling and calls it "nearly as efficient".
+//! This bench measures both over random blocks of growing size so the
+//! growth curves (and the balanced/traditional constant-factor gap) can
+//! be read straight off the Criterion report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bsched_core::{BalancedWeights, ListScheduler, Ratio, TraditionalWeights, WeightAssigner};
+use bsched_dag::{build_dag, AliasModel};
+use bsched_stats::Pcg32;
+use bsched_workload::{random_block, GeneratorConfig};
+
+fn blocks_of(size: usize) -> bsched_ir::BasicBlock {
+    let cfg = GeneratorConfig {
+        size,
+        load_fraction: 0.3,
+        chain_fraction: 0.15,
+        store_fraction: 0.1,
+    };
+    random_block(&cfg, &mut Pcg32::seed_from_u64(size as u64))
+}
+
+fn bench_weight_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weights");
+    for size in [25usize, 50, 100, 200, 400] {
+        let block = blocks_of(size);
+        let dag = build_dag(&block, AliasModel::Fortran);
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::new("balanced", size), &dag, |b, dag| {
+            let assigner = BalancedWeights::new();
+            b.iter(|| black_box(assigner.assign(black_box(dag))));
+        });
+        group.bench_with_input(BenchmarkId::new("balanced-approx", size), &dag, |b, dag| {
+            let assigner =
+                BalancedWeights::new().with_method(bsched_dag::ChancesMethod::LevelApprox);
+            b.iter(|| black_box(assigner.assign(black_box(dag))));
+        });
+        group.bench_with_input(BenchmarkId::new("traditional", size), &dag, |b, dag| {
+            let assigner = TraditionalWeights::new(Ratio::from_int(2));
+            b.iter(|| black_box(assigner.assign(black_box(dag))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_list_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list-scheduler");
+    for size in [50usize, 200, 400] {
+        let block = blocks_of(size);
+        let dag = build_dag(&block, AliasModel::Fortran);
+        let scheduler = ListScheduler::new();
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::new("balanced", size), &dag, |b, dag| {
+            b.iter(|| black_box(scheduler.run(black_box(dag), &BalancedWeights::new())));
+        });
+        group.bench_with_input(BenchmarkId::new("traditional", size), &dag, |b, dag| {
+            b.iter(|| {
+                black_box(
+                    scheduler.run(black_box(dag), &TraditionalWeights::new(Ratio::from_int(2))),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dag_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag-build");
+    for size in [100usize, 400] {
+        let block = blocks_of(size);
+        group.throughput(Throughput::Elements(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &block, |b, block| {
+            b.iter(|| black_box(build_dag(black_box(block), AliasModel::Fortran)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_weight_assignment,
+    bench_list_scheduling,
+    bench_dag_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Table 2: percentage improvement in execution time of balanced over
+//! traditional scheduling, processor model UNLIMITED, for every memory
+//! system and benchmark.
+//!
+//! Usage: `cargo run --release -p bsched-bench --bin table2`
+//! (`BSCHED_RUNS=5` for a quick pass).
+
+use bsched_bench::{print_table, run_cell, table2_rows};
+use bsched_cpusim::ProcessorModel;
+use bsched_memsim::LatencyModel;
+use bsched_workload::perfect_club;
+
+fn main() {
+    // The paper's Table 2 uses UNLIMITED; it reports that MAX-8 and
+    // LEN-8 behave similarly (means 10.0% and 8.7% vs 9.9%). Set
+    // BSCHED_PROCESSOR=max8|len8 to regenerate the table for those.
+    let processor = match std::env::var("BSCHED_PROCESSOR").as_deref() {
+        Ok("max8") => ProcessorModel::max_8(),
+        Ok("len8") => ProcessorModel::len_8(),
+        _ => ProcessorModel::Unlimited,
+    };
+    // BSCHED_CI=1 prints each cell as mean±halfwidth of its 95%
+    // bootstrap confidence interval (§4.3).
+    let with_ci = std::env::var("BSCHED_CI").as_deref() == Ok("1");
+    let benchmarks = perfect_club();
+    let mut header: Vec<String> = vec!["System".to_owned(), "OptLat".to_owned()];
+    header.extend(benchmarks.iter().map(|b| b.name().to_owned()));
+    header.push("Mean".to_owned());
+
+    let mut rows = Vec::new();
+    for row in table2_rows() {
+        let mut cells = vec![row.system.name(), row.optimistic.to_string()];
+        let mut sum = 0.0;
+        for bench in &benchmarks {
+            let cell = run_cell(bench, &row, processor);
+            sum += cell.improvement.mean_percent;
+            if with_ci {
+                let half = cell.improvement.interval.width() / 2.0;
+                cells.push(format!("{:.1}±{half:.1}", cell.improvement.mean_percent));
+            } else {
+                cells.push(format!("{:.1}", cell.improvement.mean_percent));
+            }
+        }
+        cells.push(format!("{:.1}", sum / benchmarks.len() as f64));
+        rows.push(cells);
+        eprint!(".");
+    }
+    eprintln!();
+    print_table(
+        &format!(
+            "Table 2: % improvement from balanced scheduling (processor model {})",
+            processor.paper_name()
+        ),
+        &header,
+        &rows,
+    );
+}

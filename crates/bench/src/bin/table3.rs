@@ -1,0 +1,57 @@
+//! Table 3: detailed analysis of MDG — improvement, instruction counts
+//! and interlock percentages under all three processor models and every
+//! memory system.
+//!
+//! Usage: `cargo run --release -p bsched-bench --bin table3`
+
+use bsched_bench::{print_table, run_cell, table2_rows};
+use bsched_cpusim::ProcessorModel;
+use bsched_memsim::LatencyModel;
+use bsched_workload::perfect_club;
+
+fn main() {
+    // The paper details MDG; BSCHED_BENCH=<name> details any stand-in.
+    let wanted = std::env::var("BSCHED_BENCH").unwrap_or_else(|_| "MDG".to_owned());
+    let mdg = perfect_club()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(&wanted))
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark {wanted:?}; defaulting to MDG");
+            bsched_workload::perfect::mdg()
+        });
+    let header: Vec<String> = [
+        "System", "OptLat", "TIns", "BIns", "U:Imp%", "U:TI%", "U:BI%", "M8:Imp%", "M8:TI%",
+        "M8:BI%", "L8:Imp%", "L8:TI%", "L8:BI%",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect();
+
+    let mut rows = Vec::new();
+    for row in table2_rows() {
+        let mut cells = vec![row.system.name(), row.optimistic.to_string()];
+        let mut first = true;
+        for processor in ProcessorModel::paper_models() {
+            let cell = run_cell(&mdg, &row, processor);
+            if first {
+                cells.push(format!("{:.0}", cell.traditional.dynamic_instructions));
+                cells.push(format!("{:.0}", cell.balanced.dynamic_instructions));
+                first = false;
+            }
+            cells.push(format!("{:.1}", cell.improvement.mean_percent));
+            cells.push(format!("{:.1}", cell.traditional.interlock_percent()));
+            cells.push(format!("{:.1}", cell.balanced.interlock_percent()));
+        }
+        rows.push(cells);
+        eprint!(".");
+    }
+    eprintln!();
+    print_table(
+        &format!(
+            "Table 3: detailed analysis of {} (U = UNLIMITED, M8 = MAX-8, L8 = LEN-8)",
+            mdg.name()
+        ),
+        &header,
+        &rows,
+    );
+}

@@ -1,0 +1,50 @@
+//! Table 5: analysis of the unbalanced N(30,5) configuration — the case
+//! where mean latency far exceeds the available load-level parallelism,
+//! so balanced scheduling loses its guarantee (§5).
+//!
+//! Usage: `cargo run --release -p bsched-bench --bin table5`
+
+use bsched_bench::{print_table, run_cell, SystemRow};
+use bsched_core::Ratio;
+use bsched_cpusim::ProcessorModel;
+use bsched_memsim::NetworkModel;
+use bsched_workload::perfect_club;
+
+fn main() {
+    let row = SystemRow {
+        system: NetworkModel::new(30.0, 5.0).into(),
+        optimistic: Ratio::from_int(30),
+    };
+    let header: Vec<String> = [
+        "Program", "TIns", "BIns", "U:Imp%", "U:TI%", "U:BI%", "M8:Imp%", "M8:TI%", "M8:BI%",
+        "L8:Imp%", "L8:TI%", "L8:BI%",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect();
+
+    let mut rows = Vec::new();
+    for bench in perfect_club() {
+        let mut cells = vec![bench.name().to_owned()];
+        let mut first = true;
+        for processor in ProcessorModel::paper_models() {
+            let cell = run_cell(&bench, &row, processor);
+            if first {
+                cells.push(format!("{:.0}", cell.traditional.dynamic_instructions));
+                cells.push(format!("{:.0}", cell.balanced.dynamic_instructions));
+                first = false;
+            }
+            cells.push(format!("{:.1}", cell.improvement.mean_percent));
+            cells.push(format!("{:.1}", cell.traditional.interlock_percent()));
+            cells.push(format!("{:.1}", cell.balanced.interlock_percent()));
+        }
+        rows.push(cells);
+        eprint!(".");
+    }
+    eprintln!();
+    print_table(
+        "Table 5: N(30,5) analysis — the effect of spill code under extreme latency",
+        &header,
+        &rows,
+    );
+}

@@ -1,0 +1,264 @@
+//! Experiment harness shared by the table/figure binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper:
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1`  | Table 1 / Fig. 7 — balanced weight contributions |
+//! | `table2`  | Table 2 — % improvement, UNLIMITED, all systems × benchmarks |
+//! | `table3`  | Table 3 — MDG detail across processor models |
+//! | `table4`  | Table 4 — spill-instruction percentages |
+//! | `table5`  | Table 5 — the N(30,5) pathology |
+//! | `figure2` | Fig. 2 — the three example schedules |
+//! | `figure3` | Fig. 3 — interlocks vs actual latency for those schedules |
+//!
+//! Run them with `cargo run --release -p bsched-bench --bin table2`.
+//! Every binary honours `BSCHED_RUNS` (simulation runs per block,
+//! default 30) and `BSCHED_SEED` (master seed, default matches
+//! `EvalConfig::default`), so results are reproducible and a quick smoke
+//! run is one environment variable away.
+
+#![warn(missing_docs)]
+
+use bsched_core::Ratio;
+use bsched_cpusim::ProcessorModel;
+use bsched_memsim::{CacheModel, LatencyModel, MemorySystem, MixedModel, NetworkModel};
+use bsched_pipeline::{compare, evaluate, EvalConfig, Pipeline, ProgramEval, SchedulerChoice};
+use bsched_stats::Improvement;
+use bsched_workload::Benchmark;
+
+/// One Table 2 row: a memory system plus the optimistic latency the
+/// traditional baseline assumes for it.
+#[derive(Debug, Clone)]
+pub struct SystemRow {
+    /// The memory system simulated.
+    pub system: MemorySystem,
+    /// The traditional scheduler's assumed load latency.
+    pub optimistic: Ratio,
+}
+
+impl SystemRow {
+    /// Display label, e.g. `L80(2,5) @ 2 3/5`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{} @ {}", self.system.name(), self.optimistic)
+    }
+}
+
+/// The 17 rows of Table 2, in paper order: each cache system at its hit
+/// latency and at its effective access time, the seven networks at their
+/// means, and the mixed system at hit latency and effective latency.
+#[must_use]
+pub fn table2_rows() -> Vec<SystemRow> {
+    let mut rows = Vec::new();
+    let caches = [
+        (CacheModel::l80_5(), Ratio::new(13, 5)),  // 2.6
+        (CacheModel::l80_10(), Ratio::new(18, 5)), // 3.6
+        (CacheModel::l95_5(), Ratio::new(43, 20)), // 2.15
+        (CacheModel::l95_10(), Ratio::new(12, 5)), // 2.4
+    ];
+    for (cache, effective) in caches {
+        rows.push(SystemRow {
+            system: cache.into(),
+            optimistic: Ratio::from_int(2),
+        });
+        rows.push(SystemRow {
+            system: cache.into(),
+            optimistic: effective,
+        });
+    }
+    for net in NetworkModel::paper_configs() {
+        let mean = Ratio::from_int(net.optimistic_latency() as i64);
+        rows.push(SystemRow {
+            system: net.into(),
+            optimistic: mean,
+        });
+    }
+    let mixed = MixedModel::l80_n30_5();
+    rows.push(SystemRow {
+        system: mixed.into(),
+        optimistic: Ratio::from_int(2),
+    });
+    rows.push(SystemRow {
+        system: mixed.into(),
+        optimistic: Ratio::new(38, 5),
+    }); // 7.6
+    rows
+}
+
+/// Evaluation configuration from the environment (`BSCHED_RUNS`,
+/// `BSCHED_SEED`), defaulting to the paper's protocol.
+#[must_use]
+pub fn eval_config(processor: ProcessorModel) -> EvalConfig {
+    let mut cfg = EvalConfig {
+        processor,
+        ..EvalConfig::default()
+    };
+    if let Ok(runs) = std::env::var("BSCHED_RUNS") {
+        if let Ok(runs) = runs.parse::<u32>() {
+            cfg.runs = runs.max(2);
+        }
+    }
+    if let Ok(seed) = std::env::var("BSCHED_SEED") {
+        if let Ok(seed) = seed.parse::<u64>() {
+            cfg.seed = seed;
+        }
+    }
+    cfg
+}
+
+/// Result of one (benchmark, system, processor) comparison cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Paired percentage improvement of balanced over traditional.
+    pub improvement: Improvement,
+    /// Traditional evaluation (runtime, interlocks, instructions).
+    pub traditional: ProgramEval,
+    /// Balanced evaluation.
+    pub balanced: ProgramEval,
+    /// Traditional spill percentage.
+    pub traditional_spill_percent: f64,
+    /// Balanced spill percentage.
+    pub balanced_spill_percent: f64,
+}
+
+/// Compiles and evaluates one benchmark under one system row and
+/// processor model, returning the full comparison cell.
+#[must_use]
+pub fn run_cell(bench: &Benchmark, row: &SystemRow, processor: ProcessorModel) -> Cell {
+    let pipeline = Pipeline::default();
+    let balanced = pipeline
+        .compile(bench.function(), &SchedulerChoice::balanced())
+        .expect("compile balanced");
+    let traditional = pipeline
+        .compile(
+            bench.function(),
+            &SchedulerChoice::traditional(row.optimistic),
+        )
+        .expect("compile traditional");
+    let cfg = eval_config(processor);
+    let b_eval = evaluate(&balanced, &row.system, &cfg);
+    let t_eval = evaluate(&traditional, &row.system, &cfg);
+    Cell {
+        improvement: compare(&t_eval, &b_eval),
+        traditional_spill_percent: traditional.spill_percent(),
+        balanced_spill_percent: balanced.spill_percent(),
+        traditional: t_eval,
+        balanced: b_eval,
+    }
+}
+
+/// Serialises a table as a JSON object (`{"title", "header", "rows"}`)
+/// for external plotting tools. Strings are escaped per RFC 8259.
+#[must_use]
+pub fn table_to_json(title: &str, header: &[String], rows: &[Vec<String>]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+    let list = |cells: &[String]| {
+        format!(
+            "[{}]",
+            cells.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        )
+    };
+    format!(
+        "{{\"title\":{},\"header\":{},\"rows\":[{}]}}",
+        esc(title),
+        list(header),
+        rows.iter().map(|r| list(r)).collect::<Vec<_>>().join(",")
+    )
+}
+
+/// Pretty-prints a header followed by aligned rows — or, when
+/// `BSCHED_JSON=1`, one machine-readable JSON object per table.
+pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
+    if std::env::var("BSCHED_JSON").as_deref() == Ok("1") {
+        println!("{}", table_to_json(title, header, rows));
+        return;
+    }
+    println!("\n{title}");
+    println!("{}", "=".repeat(title.len()));
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(header));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_workload::perfect;
+
+    #[test]
+    fn table2_has_seventeen_rows_in_paper_order() {
+        let rows = table2_rows();
+        assert_eq!(rows.len(), 17);
+        assert_eq!(rows[0].label(), "L80(2,5) @ 2");
+        assert_eq!(rows[1].label(), "L80(2,5) @ 2 3/5");
+        assert_eq!(rows[8].label(), "N(2,2) @ 2");
+        assert_eq!(rows[15].label(), "L80-N(30,5) @ 2");
+        assert_eq!(rows[16].label(), "L80-N(30,5) @ 7 3/5");
+    }
+
+    #[test]
+    fn run_cell_produces_consistent_results() {
+        std::env::remove_var("BSCHED_RUNS");
+        let bench = perfect::track();
+        let row = &table2_rows()[8]; // N(2,2)
+        let cell = run_cell(&bench, row, ProcessorModel::Unlimited);
+        assert!(cell.improvement.mean_percent.is_finite());
+        assert!(cell.traditional.mean_runtime > 0.0);
+        assert!(cell.balanced.mean_runtime > 0.0);
+        assert!(cell.traditional_spill_percent >= 0.0);
+    }
+
+    #[test]
+    fn json_output_is_wellformed() {
+        let json = table_to_json(
+            "T \"quoted\"",
+            &["a".to_owned(), "b\n".to_owned()],
+            &[vec!["1".to_owned(), "x\\y".to_owned()]],
+        );
+        assert_eq!(
+            json,
+            "{\"title\":\"T \\\"quoted\\\"\",\"header\":[\"a\",\"b\\n\"],\"rows\":[[\"1\",\"x\\\\y\"]]}"
+        );
+    }
+
+    #[test]
+    fn eval_config_defaults() {
+        std::env::remove_var("BSCHED_RUNS");
+        std::env::remove_var("BSCHED_SEED");
+        let cfg = eval_config(ProcessorModel::max_8());
+        assert_eq!(cfg.runs, 30);
+        assert_eq!(cfg.processor, ProcessorModel::MaxOutstanding(8));
+    }
+}

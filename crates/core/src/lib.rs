@@ -1,0 +1,62 @@
+//! Balanced scheduling — the paper's primary contribution.
+//!
+//! This crate implements the instruction scheduling algorithm of
+//! *"Balanced Scheduling: Instruction Scheduling When Memory Latency is
+//! Uncertain"* (Kerns & Eggers, PLDI 1993) together with the traditional
+//! baseline it is evaluated against:
+//!
+//! * [`BalancedWeights`] — per-load weights derived from **load-level
+//!   parallelism** (Fig. 6): each instruction donates its issue slot to
+//!   the loads it can execute in parallel with; serial loads in one
+//!   connected component split the donation by `Chances`, the maximum
+//!   number of loads on any path.
+//! * [`TraditionalWeights`] — one implementation-defined optimistic
+//!   latency for every load.
+//! * [`AverageParallelismWeights`] — the §3 alternative the paper
+//!   dismisses (block-average parallelism), kept for ablation.
+//! * [`ListScheduler`] — the shared list scheduler (§4.1): bottom-up,
+//!   delayed ready insertion with virtual no-ops, priority = weight +
+//!   max successor priority, the paper's three tie-break heuristics. A
+//!   top-down mode reproduces the §2 illustrations exactly.
+//! * [`Ratio`] — exact rational weights (Table 1 reports `2 5/12`-style
+//!   fractions; floating point would make tie-breaks order-dependent).
+//!
+//! # Quick start
+//!
+//! ```
+//! use bsched_core::{BalancedWeights, ListScheduler, TraditionalWeights, Ratio, WeightAssigner};
+//! use bsched_dag::{build_dag, AliasModel};
+//! use bsched_ir::BlockBuilder;
+//!
+//! // A block with two independent loads and some arithmetic.
+//! let mut b = BlockBuilder::new("kernel");
+//! let region = b.fresh_region();
+//! let base = b.def_int("base");
+//! let x = b.load_region("x", region, base, Some(0));
+//! let y = b.load_region("y", region, base, Some(8));
+//! let s = b.fadd("s", x, y);
+//! b.store_region(region, s, base, Some(16));
+//! let block = b.finish();
+//!
+//! let dag = build_dag(&block, AliasModel::Fortran);
+//! let balanced = ListScheduler::new().run(&dag, &BalancedWeights::new());
+//! let traditional = ListScheduler::new().run(&dag, &TraditionalWeights::new(Ratio::from_int(2)));
+//! assert!(balanced.verify(&dag).is_ok());
+//! assert!(traditional.verify(&dag).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod balanced;
+pub mod list;
+pub mod ratio;
+pub mod schedule;
+pub mod traditional;
+pub mod weights;
+
+pub use balanced::BalancedWeights;
+pub use list::{compute_priorities, Direction, ListScheduler};
+pub use ratio::{ParseRatioError, Ratio};
+pub use schedule::{Schedule, ScheduleError};
+pub use traditional::{AverageParallelismWeights, TraditionalWeights};
+pub use weights::{Rounding, WeightAssigner, Weights};

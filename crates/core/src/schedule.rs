@@ -1,0 +1,277 @@
+//! Schedules: the output of list scheduling.
+
+use std::fmt;
+
+use bsched_dag::CodeDag;
+use bsched_ir::{BasicBlock, InstId};
+
+/// A completed schedule of one basic block.
+///
+/// Stores the new instruction order plus the issue slot the scheduler
+/// assumed for each instruction. Slots may have gaps: those are the
+/// *virtual no-ops* the scheduler inserted when the ready list starved
+/// (§4.1); they are removed before code generation, so [`Schedule::apply`]
+/// emits only real instructions — on the hardware-interlock machines the
+/// paper models, the interlock hardware recreates any needed stalls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    order: Vec<InstId>,
+    slots: Vec<u32>,
+    vnops: u32,
+}
+
+impl Schedule {
+    /// Creates a schedule from parallel `order`/`slots` vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length or slots are not strictly
+    /// increasing.
+    #[must_use]
+    pub fn new(order: Vec<InstId>, slots: Vec<u32>, vnops: u32) -> Self {
+        assert_eq!(order.len(), slots.len(), "one slot per instruction");
+        assert!(
+            slots.windows(2).all(|w| w[0] < w[1]),
+            "slots must strictly increase"
+        );
+        Self {
+            order,
+            slots,
+            vnops,
+        }
+    }
+
+    /// The instructions in their scheduled (forward) order.
+    #[must_use]
+    pub fn order(&self) -> &[InstId] {
+        &self.order
+    }
+
+    /// The issue slot the scheduler assumed for each ordered instruction.
+    #[must_use]
+    pub fn slots(&self) -> &[u32] {
+        &self.slots
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` for an empty schedule.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Virtual no-ops the scheduler inserted (ready-list starvation).
+    #[must_use]
+    pub fn vnop_count(&self) -> u32 {
+        self.vnops
+    }
+
+    /// Total schedule length in issue slots, including virtual no-ops.
+    #[must_use]
+    pub fn slot_count(&self) -> u32 {
+        self.slots.last().map_or(0, |s| s + 1)
+    }
+
+    /// Position of instruction `id` in the scheduled order.
+    #[must_use]
+    pub fn position(&self, id: InstId) -> Option<usize> {
+        self.order.iter().position(|&x| x == id)
+    }
+
+    /// Materialises the schedule: returns `block` with its instructions
+    /// permuted into scheduled order (virtual no-ops dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule does not cover exactly `block`'s
+    /// instructions.
+    #[must_use]
+    pub fn apply(&self, block: &BasicBlock) -> BasicBlock {
+        block.reordered(&self.order)
+    }
+
+    /// Checks that this schedule is a valid topological order of `dag`:
+    /// a permutation of its nodes in which every dependence points
+    /// forward.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn verify(&self, dag: &CodeDag) -> Result<(), ScheduleError> {
+        if self.order.len() != dag.len() {
+            return Err(ScheduleError::WrongLength {
+                expected: dag.len(),
+                got: self.order.len(),
+            });
+        }
+        let mut pos = vec![usize::MAX; dag.len()];
+        for (p, id) in self.order.iter().enumerate() {
+            if id.index() >= dag.len() || pos[id.index()] != usize::MAX {
+                return Err(ScheduleError::NotAPermutation { id: *id });
+            }
+            pos[id.index()] = p;
+        }
+        for e in dag.edges() {
+            if pos[e.from.index()] >= pos[e.to.index()] {
+                return Err(ScheduleError::DependenceViolated {
+                    from: e.from,
+                    to: e.to,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut next = 0;
+        for (&id, &slot) in self.order.iter().zip(&self.slots) {
+            while next < slot {
+                writeln!(f, "{next:>4}: <vnop>")?;
+                next += 1;
+            }
+            writeln!(f, "{slot:>4}: {id}")?;
+            next = slot + 1;
+        }
+        Ok(())
+    }
+}
+
+/// Reasons a schedule fails verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The schedule does not contain one entry per DAG node.
+    WrongLength {
+        /// Node count of the DAG.
+        expected: usize,
+        /// Entry count of the schedule.
+        got: usize,
+    },
+    /// An instruction is missing, duplicated or out of range.
+    NotAPermutation {
+        /// The offending id.
+        id: InstId,
+    },
+    /// A dependence edge points backward in the schedule.
+    DependenceViolated {
+        /// The predecessor that was scheduled too late.
+        from: InstId,
+        /// The successor that was scheduled too early.
+        to: InstId,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::WrongLength { expected, got } => {
+                write!(f, "schedule covers {got} instructions, dag has {expected}")
+            }
+            ScheduleError::NotAPermutation { id } => {
+                write!(f, "instruction {id} is missing, duplicated or out of range")
+            }
+            ScheduleError::DependenceViolated { from, to } => {
+                write!(f, "dependence {from} -> {to} violated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_dag::{build_dag, AliasModel};
+    use bsched_ir::BlockBuilder;
+
+    fn id(i: u32) -> InstId {
+        InstId::new(i)
+    }
+
+    fn chain_block() -> BasicBlock {
+        let mut b = BlockBuilder::new("c");
+        let base = b.def_int("base");
+        let x = b.load("x", base, 0);
+        let _ = b.fadd("y", x, x);
+        b.finish()
+    }
+
+    #[test]
+    fn accessors() {
+        let s = Schedule::new(vec![id(0), id(1), id(2)], vec![0, 1, 5], 3);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.vnop_count(), 3);
+        assert_eq!(s.slot_count(), 6);
+        assert_eq!(s.position(id(2)), Some(2));
+        assert_eq!(s.position(id(7)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn non_increasing_slots_panic() {
+        let _ = Schedule::new(vec![id(0), id(1)], vec![1, 1], 0);
+    }
+
+    #[test]
+    fn verify_accepts_valid_order() {
+        let block = chain_block();
+        let dag = build_dag(&block, AliasModel::Fortran);
+        let s = Schedule::new(vec![id(0), id(1), id(2)], vec![0, 1, 2], 0);
+        assert_eq!(s.verify(&dag), Ok(()));
+    }
+
+    #[test]
+    fn verify_rejects_violation() {
+        let block = chain_block();
+        let dag = build_dag(&block, AliasModel::Fortran);
+        let s = Schedule::new(vec![id(1), id(0), id(2)], vec![0, 1, 2], 0);
+        assert_eq!(
+            s.verify(&dag),
+            Err(ScheduleError::DependenceViolated {
+                from: id(0),
+                to: id(1)
+            })
+        );
+    }
+
+    #[test]
+    fn verify_rejects_wrong_length_and_duplicates() {
+        let block = chain_block();
+        let dag = build_dag(&block, AliasModel::Fortran);
+        let short = Schedule::new(vec![id(0)], vec![0], 0);
+        assert!(matches!(
+            short.verify(&dag),
+            Err(ScheduleError::WrongLength { .. })
+        ));
+        let dup = Schedule::new(vec![id(0), id(0), id(2)], vec![0, 1, 2], 0);
+        assert!(matches!(
+            dup.verify(&dag),
+            Err(ScheduleError::NotAPermutation { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_reorders_block() {
+        let block = chain_block();
+        let s = Schedule::new(vec![id(0), id(1), id(2)], vec![0, 1, 2], 0);
+        let out = s.apply(&block);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.insts()[0], block.insts()[0]);
+    }
+
+    #[test]
+    fn display_shows_vnops() {
+        let s = Schedule::new(vec![id(0), id(1)], vec![0, 3], 2);
+        let text = s.to_string();
+        assert!(text.contains("<vnop>"));
+        assert!(text.contains("3: i1"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Baseline weight assigners: the traditional fixed-latency scheduler and
+//! the §3 "average parallelism" alternative.
+
+use bsched_dag::CodeDag;
+use bsched_ir::OpLatencies;
+
+use crate::balanced::BalancedWeights;
+use crate::ratio::Ratio;
+use crate::weights::{WeightAssigner, Weights};
+
+/// The traditional list scheduler's weights: one implementation-defined
+/// optimistic latency for **every** load (§2), nominal latency 1 for
+/// everything else.
+///
+/// The paper runs this baseline at the cache-hit time (2), the effective
+/// access time of each memory system (2.15, 2.4, 2.6, 3.6, 7.6, …) and
+/// the network means (2, 3, 5, 30) — see Table 2's "Optimistic Latency"
+/// column. Fractional latencies are represented exactly.
+///
+/// # Example
+///
+/// ```
+/// use bsched_core::{Ratio, TraditionalWeights, WeightAssigner};
+/// use bsched_dag::{build_dag, AliasModel};
+/// use bsched_ir::{BlockBuilder, InstId};
+///
+/// let mut b = BlockBuilder::new("t");
+/// let base = b.def_int("base");
+/// let x = b.load("x", base, 0);
+/// let _ = b.fadd("y", x, x);
+/// let dag = build_dag(&b.finish(), AliasModel::Fortran);
+/// let w = TraditionalWeights::new(Ratio::from_int(5)).assign(&dag);
+/// assert_eq!(w.weight(InstId::new(1)), Ratio::from_int(5)); // the load
+/// assert_eq!(w.weight(InstId::new(2)), Ratio::ONE);         // the add
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraditionalWeights {
+    load_latency: Ratio,
+    op_latencies: OpLatencies,
+}
+
+impl TraditionalWeights {
+    /// Traditional weights with the given optimistic load latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latency is not positive.
+    #[must_use]
+    pub fn new(load_latency: Ratio) -> Self {
+        assert!(load_latency > Ratio::ZERO, "load latency must be positive");
+        Self {
+            load_latency,
+            op_latencies: OpLatencies::unit(),
+        }
+    }
+
+    /// Uses fixed multi-cycle latencies for non-load opcodes (the §6
+    /// asynchronous-FP-unit extension); loads keep the optimistic value.
+    #[must_use]
+    pub fn with_op_latencies(mut self, op_latencies: OpLatencies) -> Self {
+        self.op_latencies = op_latencies;
+        self
+    }
+
+    /// The configured optimistic latency.
+    #[must_use]
+    pub fn load_latency(&self) -> Ratio {
+        self.load_latency
+    }
+}
+
+impl WeightAssigner for TraditionalWeights {
+    fn name(&self) -> &'static str {
+        "traditional"
+    }
+
+    fn assign(&self, dag: &CodeDag) -> Weights {
+        let mut w = Weights::unit(dag.len());
+        for id in dag.node_ids() {
+            *w.weight_mut(id) = if dag.is_load(id) {
+                self.load_latency
+            } else {
+                Ratio::from_int(i64::from(self.op_latencies.latency(dag.opcode(id))))
+            };
+        }
+        w
+    }
+}
+
+/// The alternative §3 explicitly rejects: every load in the block gets the
+/// block's **average** load-level parallelism as its weight.
+///
+/// "since load level parallelism typically varies within a basic block,
+/// this method does not consider those imbalances … this alternative
+/// produced schedules that executed no faster than schedules from the
+/// traditional scheduler." Included so the ablation bench can retest that
+/// claim.
+#[derive(Debug, Clone, Default)]
+pub struct AverageParallelismWeights {
+    inner: BalancedWeights,
+}
+
+impl AverageParallelismWeights {
+    /// Creates the averaging assigner.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl WeightAssigner for AverageParallelismWeights {
+    fn name(&self) -> &'static str {
+        "average"
+    }
+
+    fn assign(&self, dag: &CodeDag) -> Weights {
+        let per_load = self.inner.assign(dag);
+        let loads = dag.load_ids();
+        if loads.is_empty() {
+            return per_load;
+        }
+        let total: Ratio = loads.iter().map(|&l| per_load.weight(l)).sum();
+        let avg = total / Ratio::from_int(loads.len() as i64);
+        let mut w = Weights::unit(dag.len());
+        for l in loads {
+            *w.weight_mut(l) = avg;
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_dag::DepKind;
+    use bsched_ir::{BasicBlock, Inst, InstId, MemAccess, MemLoc, Opcode, RegionId};
+
+    fn id(i: u32) -> InstId {
+        InstId::new(i)
+    }
+
+    fn dag_of(loads: &[bool], edges: &[(u32, u32)]) -> CodeDag {
+        let insts = loads
+            .iter()
+            .map(|&is_load| {
+                if is_load {
+                    Inst::new(
+                        Opcode::Ldc1,
+                        vec![],
+                        vec![],
+                        Some(MemAccess::read(MemLoc::known(RegionId::new(0), 0))),
+                    )
+                } else {
+                    Inst::new(Opcode::FMove, vec![], vec![], None)
+                }
+            })
+            .collect();
+        let block = BasicBlock::new("t", insts);
+        let mut dag = CodeDag::new(&block);
+        for &(a, b) in edges {
+            dag.add_edge(id(a), id(b), DepKind::True);
+        }
+        dag
+    }
+
+    #[test]
+    fn traditional_is_uniform_on_loads() {
+        let dag = dag_of(&[true, false, true], &[(0, 1)]);
+        let w = TraditionalWeights::new(Ratio::new(13, 5)).assign(&dag); // 2.6
+        assert_eq!(w.weight(id(0)), Ratio::new(13, 5));
+        assert_eq!(w.weight(id(2)), Ratio::new(13, 5));
+        assert_eq!(w.weight(id(1)), Ratio::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "load latency must be positive")]
+    fn nonpositive_latency_panics() {
+        let _ = TraditionalWeights::new(Ratio::ZERO);
+    }
+
+    #[test]
+    fn average_smooths_imbalance() {
+        // L0 isolated (high parallelism), L1→L2 chain feeding nothing:
+        // balanced would give them different weights; average gives all
+        // loads the same weight.
+        let dag = dag_of(&[true, true, true, false, false], &[(1, 2)]);
+        let avg = AverageParallelismWeights::new().assign(&dag);
+        let w0 = avg.weight(id(0));
+        assert_eq!(avg.weight(id(1)), w0);
+        assert_eq!(avg.weight(id(2)), w0);
+        assert_eq!(avg.weight(id(3)), Ratio::ONE, "non-load untouched");
+
+        let balanced = BalancedWeights::new().assign(&dag);
+        assert_ne!(
+            balanced.weight(id(0)),
+            balanced.weight(id(1)),
+            "balanced differentiates"
+        );
+        // The average preserves total load weight.
+        let bal_total: Ratio = [0, 1, 2].iter().map(|&i| balanced.weight(id(i))).sum();
+        let avg_total: Ratio = [0, 1, 2].iter().map(|&i| avg.weight(id(i))).sum();
+        assert_eq!(bal_total, avg_total);
+    }
+
+    #[test]
+    fn average_on_loadless_dag_is_unit() {
+        let dag = dag_of(&[false, false], &[(0, 1)]);
+        let w = AverageParallelismWeights::new().assign(&dag);
+        assert_eq!(w.weight(id(0)), Ratio::ONE);
+        assert_eq!(w.weight(id(1)), Ratio::ONE);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(TraditionalWeights::new(Ratio::ONE).name(), "traditional");
+        assert_eq!(AverageParallelismWeights::new().name(), "average");
+    }
+}

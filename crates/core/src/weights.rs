@@ -1,0 +1,155 @@
+//! Scheduling weights and the weight-assignment interface.
+//!
+//! A list scheduler is parameterised by the weight it gives each node of
+//! the code DAG (§2). Non-load instructions always weigh their nominal
+//! single-cycle latency; what distinguishes the *traditional* scheduler
+//! from the *balanced* scheduler is solely how **load** weights are
+//! chosen. That choice is abstracted as [`WeightAssigner`]; the list
+//! scheduler in [`crate::list`] works with any implementation.
+
+use bsched_dag::CodeDag;
+use bsched_ir::InstId;
+
+use crate::ratio::Ratio;
+
+/// How a fractional weight becomes an integer latency for the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Rounding {
+    /// Round to nearest, halves up (default — matches the intuition that
+    /// under-scheduling a load risks interlocks while over-scheduling only
+    /// risks register pressure).
+    #[default]
+    Nearest,
+    /// Always round down.
+    Floor,
+    /// Always round up.
+    Ceil,
+}
+
+impl Rounding {
+    /// Applies the rounding mode, clamping at a minimum latency of 1
+    /// (every instruction occupies its issue slot).
+    #[must_use]
+    pub fn apply(self, w: Ratio) -> u32 {
+        let v = match self {
+            Rounding::Nearest => w.round(),
+            Rounding::Floor => w.floor(),
+            Rounding::Ceil => w.ceil(),
+        };
+        u32::try_from(v.max(1)).expect("weight exceeds u32")
+    }
+}
+
+/// Exact per-instruction scheduling weights for one code DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Weights {
+    weights: Vec<Ratio>,
+}
+
+impl Weights {
+    /// Wraps a weight vector; one entry per DAG node.
+    #[must_use]
+    pub fn new(weights: Vec<Ratio>) -> Self {
+        Self { weights }
+    }
+
+    /// Uniform weights of 1 for `n` nodes.
+    #[must_use]
+    pub fn unit(n: usize) -> Self {
+        Self {
+            weights: vec![Ratio::ONE; n],
+        }
+    }
+
+    /// Number of nodes covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// The exact weight of instruction `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn weight(&self, id: InstId) -> Ratio {
+        self.weights[id.index()]
+    }
+
+    /// Mutable access for accumulation.
+    pub fn weight_mut(&mut self, id: InstId) -> &mut Ratio {
+        &mut self.weights[id.index()]
+    }
+
+    /// The integer latency of `id` under `rounding`.
+    #[must_use]
+    pub fn latency(&self, id: InstId, rounding: Rounding) -> u32 {
+        rounding.apply(self.weights[id.index()])
+    }
+
+    /// All weights as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Ratio] {
+        &self.weights
+    }
+}
+
+/// Strategy for computing scheduling weights from a code DAG.
+///
+/// Implementations in this crate:
+///
+/// * [`crate::balanced::BalancedWeights`] — the paper's contribution;
+/// * [`crate::traditional::TraditionalWeights`] — fixed optimistic latency;
+/// * [`crate::traditional::AverageParallelismWeights`] — the §3 rejected
+///   alternative (per-block average load-level parallelism).
+pub trait WeightAssigner {
+    /// Short human-readable name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Computes a weight for every instruction of `dag`.
+    ///
+    /// Non-load instructions must receive their nominal latency (1);
+    /// only load weights may vary between strategies.
+    fn assign(&self, dag: &CodeDag) -> Weights;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounding_modes() {
+        let half = Ratio::new(5, 2);
+        assert_eq!(Rounding::Nearest.apply(half), 3);
+        assert_eq!(Rounding::Floor.apply(half), 2);
+        assert_eq!(Rounding::Ceil.apply(half), 3);
+        let third = Ratio::new(7, 3);
+        assert_eq!(Rounding::Nearest.apply(third), 2);
+        assert_eq!(Rounding::Ceil.apply(third), 3);
+    }
+
+    #[test]
+    fn rounding_clamps_to_one() {
+        assert_eq!(Rounding::Floor.apply(Ratio::new(1, 3)), 1);
+        assert_eq!(Rounding::Nearest.apply(Ratio::ZERO), 1);
+    }
+
+    #[test]
+    fn weights_accessors() {
+        let mut w = Weights::unit(3);
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+        *w.weight_mut(InstId::new(1)) += Ratio::new(1, 2);
+        assert_eq!(w.weight(InstId::new(1)), Ratio::new(3, 2));
+        assert_eq!(w.latency(InstId::new(1), Rounding::Nearest), 2);
+        assert_eq!(w.latency(InstId::new(0), Rounding::Nearest), 1);
+        assert_eq!(w.as_slice().len(), 3);
+    }
+}

@@ -1,0 +1,53 @@
+//! Instruction-level processor simulator (paper §4.3–4.4).
+//!
+//! Simulates the execution of one scheduled basic block on a single-issue
+//! processor with **non-blocking loads** and **hardware interlocks**:
+//! every instruction executes in one cycle except loads, whose latency is
+//! drawn from a [`bsched_memsim::LatencyModel`]; an instruction whose
+//! operands are not ready stalls the processor, and each stall cycle is
+//! counted as an *interlock*. A program's runtime is therefore exactly
+//! `instructions + interlocks`, the decomposition Tables 3 and 5 report.
+//!
+//! Three processor models control how much load-level parallelism the
+//! hardware can exploit (§4.4):
+//!
+//! * [`ProcessorModel::Unlimited`] — unbounded outstanding loads
+//!   (dataflow-like upper bound);
+//! * [`ProcessorModel::MaxOutstanding`]`(8)` — MAX-8: at most eight loads
+//!   in flight; issuing a ninth blocks until one completes;
+//! * [`ProcessorModel::MaxLength`]`(8)` — LEN-8: a load outstanding for
+//!   eight cycles blocks the processor until its data returns (Tera-style).
+//!
+//! # Example
+//!
+//! ```
+//! use bsched_cpusim::{simulate_block, ProcessorModel};
+//! use bsched_ir::BlockBuilder;
+//! use bsched_memsim::FixedLatency;
+//! use bsched_stats::Pcg32;
+//!
+//! let mut b = BlockBuilder::new("ex");
+//! let base = b.def_int("base");
+//! let x = b.load("x", base, 0);
+//! let _ = b.fadd("y", x, x); // consumes the load immediately
+//! let block = b.finish();
+//! let mut rng = Pcg32::seed_from_u64(0);
+//! let r = simulate_block(&block, &FixedLatency::new(4), ProcessorModel::Unlimited, &mut rng);
+//! assert_eq!(r.instructions, 3);
+//! assert_eq!(r.interlocks, 3, "the add waits out the 4-cycle load");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod processor;
+pub mod result;
+pub mod sim;
+pub mod timeline;
+
+pub use processor::ProcessorModel;
+pub use result::{InterlockBreakdown, SimResult};
+pub use sim::{
+    simulate_block, simulate_block_custom, simulate_block_traced, simulate_block_wide,
+    simulate_runs, simulate_runs_wide, IssueEvent,
+};
+pub use timeline::render_timeline;

@@ -1,0 +1,158 @@
+//! Simulation results.
+
+use std::fmt;
+use std::ops::Add;
+
+/// Why the processor stalled, cycle by cycle.
+///
+/// The paper reports only the total interlock percentage (TI%/BI% in
+/// Tables 3 and 5); the breakdown is extra instrumentation useful when
+/// analysing why a schedule under a restricted processor model loses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InterlockBreakdown {
+    /// Stalls waiting for a source operand (the common case).
+    pub operand: u64,
+    /// Stalls because the MAX-k outstanding-load limit was hit.
+    pub max_outstanding: u64,
+    /// Stalls because a load exceeded the LEN-k age limit.
+    pub max_length: u64,
+}
+
+impl InterlockBreakdown {
+    /// Total stall cycles.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.operand + self.max_outstanding + self.max_length
+    }
+}
+
+impl Add for InterlockBreakdown {
+    type Output = InterlockBreakdown;
+
+    fn add(self, rhs: InterlockBreakdown) -> InterlockBreakdown {
+        InterlockBreakdown {
+            operand: self.operand + rhs.operand,
+            max_outstanding: self.max_outstanding + rhs.max_outstanding,
+            max_length: self.max_length + rhs.max_length,
+        }
+    }
+}
+
+/// The outcome of simulating one basic block once.
+///
+/// §5: "All of our instructions execute in a single cycle; therefore the
+/// runtime of a program is the sum of the number of instructions executed
+/// and the number of interlocks incurred."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimResult {
+    /// Instructions issued.
+    pub instructions: u64,
+    /// Interlock (stall) cycles.
+    pub interlocks: u64,
+    /// Stall attribution.
+    pub breakdown: InterlockBreakdown,
+}
+
+impl SimResult {
+    /// Total execution time in cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.instructions + self.interlocks
+    }
+
+    /// Fraction of cycles that were interlocks (the TI%/BI% statistic of
+    /// Tables 3 and 5). Zero for an empty block.
+    #[must_use]
+    pub fn interlock_fraction(&self) -> f64 {
+        if self.cycles() == 0 {
+            0.0
+        } else {
+            self.interlocks as f64 / self.cycles() as f64
+        }
+    }
+}
+
+impl Add for SimResult {
+    type Output = SimResult;
+
+    fn add(self, rhs: SimResult) -> SimResult {
+        SimResult {
+            instructions: self.instructions + rhs.instructions,
+            interlocks: self.interlocks + rhs.interlocks,
+            breakdown: self.breakdown + rhs.breakdown,
+        }
+    }
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles ({} instructions + {} interlocks, {:.1}% interlock)",
+            self.cycles(),
+            self.instructions,
+            self.interlocks,
+            self.interlock_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_is_sum() {
+        let r = SimResult {
+            instructions: 10,
+            interlocks: 3,
+            breakdown: InterlockBreakdown::default(),
+        };
+        assert_eq!(r.cycles(), 13);
+        assert!((r.interlock_fraction() - 3.0 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_result_has_zero_fraction() {
+        assert_eq!(SimResult::default().interlock_fraction(), 0.0);
+    }
+
+    #[test]
+    fn addition_accumulates() {
+        let a = SimResult {
+            instructions: 5,
+            interlocks: 2,
+            breakdown: InterlockBreakdown {
+                operand: 2,
+                ..Default::default()
+            },
+        };
+        let b = SimResult {
+            instructions: 7,
+            interlocks: 4,
+            breakdown: InterlockBreakdown {
+                operand: 1,
+                max_outstanding: 3,
+                ..Default::default()
+            },
+        };
+        let c = a + b;
+        assert_eq!(c.instructions, 12);
+        assert_eq!(c.interlocks, 6);
+        assert_eq!(c.breakdown.operand, 3);
+        assert_eq!(c.breakdown.max_outstanding, 3);
+        assert_eq!(c.breakdown.total(), 6);
+    }
+
+    #[test]
+    fn display_mentions_components() {
+        let r = SimResult {
+            instructions: 4,
+            interlocks: 1,
+            breakdown: InterlockBreakdown::default(),
+        };
+        let s = r.to_string();
+        assert!(s.contains("5 cycles"));
+        assert!(s.contains("4 instructions"));
+    }
+}

@@ -1,0 +1,687 @@
+//! The cycle-level simulation loop.
+
+use std::collections::HashMap;
+
+use bsched_ir::{BasicBlock, InstId, OpLatencies, Reg};
+use bsched_memsim::LatencyModel;
+use bsched_stats::Pcg32;
+
+use crate::processor::ProcessorModel;
+use crate::result::{InterlockBreakdown, SimResult};
+
+/// One issued instruction in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueEvent {
+    /// The instruction.
+    pub id: InstId,
+    /// Cycle at which it issued.
+    pub issue_cycle: u64,
+    /// For loads, the sampled completion cycle; for others, issue + 1.
+    pub complete_cycle: u64,
+    /// Interlock cycles charged immediately before this issue.
+    pub stall_cycles: u64,
+}
+
+/// An in-flight load.
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    issued: u64,
+    completes: u64,
+}
+
+/// Simulates one execution of `block` in its current instruction order.
+///
+/// The model (§4.3): single-issue, in-order, one instruction per cycle;
+/// non-load results are available the cycle after issue; loads complete
+/// `latency` cycles after issue, where the latency of every dynamic load
+/// is an independent draw from `mem`. An instruction whose source
+/// operands are not yet available stalls the processor (hardware
+/// interlock); the processor-model constraints add further stalls.
+///
+/// Store/load consistency (§4.4) holds structurally: the scheduler never
+/// reorders conflicting memory accesses, stores retire into an ideal
+/// write buffer at issue, and a later load to the same address forwards
+/// from that buffer — so no extra stall cycles arise from consistency.
+///
+/// Virtual no-ops, if any survived scheduling, are skipped: "the virtual
+/// no-ops are removed before actual code generation" (§4.1).
+#[must_use]
+pub fn simulate_block(
+    block: &BasicBlock,
+    mem: &dyn LatencyModel,
+    model: ProcessorModel,
+    rng: &mut Pcg32,
+) -> SimResult {
+    simulate_inner(block, mem, model, 1, rng, None).0
+}
+
+/// Like [`simulate_block`], also returning the per-instruction trace.
+#[must_use]
+pub fn simulate_block_traced(
+    block: &BasicBlock,
+    mem: &dyn LatencyModel,
+    model: ProcessorModel,
+    rng: &mut Pcg32,
+) -> (SimResult, Vec<IssueEvent>) {
+    let mut trace = Vec::with_capacity(block.len());
+    let (result, _) = simulate_inner(block, mem, model, 1, rng, Some(&mut trace));
+    (result, trace)
+}
+
+/// §6 extension: an in-order superscalar that issues up to `width`
+/// instructions per cycle. Results still appear one cycle after issue
+/// (loads: after their sampled latency), so same-cycle dependent pairs
+/// split across cycles exactly as on real in-order multi-issue machines.
+///
+/// Returns the per-instruction accounting plus the **elapsed** cycle
+/// count — with `width > 1`, elapsed time is less than
+/// `instructions + interlocks` because slots overlap. With `width = 1`
+/// the elapsed count equals [`SimResult::cycles`].
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+#[must_use]
+pub fn simulate_block_wide(
+    block: &BasicBlock,
+    mem: &dyn LatencyModel,
+    model: ProcessorModel,
+    width: u32,
+    rng: &mut Pcg32,
+) -> (SimResult, u64) {
+    simulate_block_custom(block, mem, model, width, OpLatencies::unit(), rng)
+}
+
+/// The fully configurable simulation entry point: issue `width`, plus
+/// fixed multi-cycle latencies for non-load opcodes (§6's asynchronous
+/// FP units — an `fdiv`'s result becomes available `op_latencies`
+/// cycles after issue instead of 1).
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+#[must_use]
+pub fn simulate_block_custom(
+    block: &BasicBlock,
+    mem: &dyn LatencyModel,
+    model: ProcessorModel,
+    width: u32,
+    op_latencies: OpLatencies,
+    rng: &mut Pcg32,
+) -> (SimResult, u64) {
+    assert!(width >= 1, "issue width must be at least 1");
+    simulate_inner_custom(block, mem, model, width, op_latencies, rng, None)
+}
+
+/// Runs `runs` independent simulations (fresh latency draws each run,
+/// split deterministically from `rng`) and returns each run's total
+/// cycle count — the raw samples the §4.3 bootstrap consumes.
+#[must_use]
+pub fn simulate_runs(
+    block: &BasicBlock,
+    mem: &dyn LatencyModel,
+    model: ProcessorModel,
+    runs: u32,
+    rng: &Pcg32,
+) -> Vec<f64> {
+    simulate_runs_wide(block, mem, model, 1, runs, rng)
+}
+
+/// [`simulate_runs`] on a `width`-issue processor; samples are the
+/// **elapsed** cycle counts.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+#[must_use]
+pub fn simulate_runs_wide(
+    block: &BasicBlock,
+    mem: &dyn LatencyModel,
+    model: ProcessorModel,
+    width: u32,
+    runs: u32,
+    rng: &Pcg32,
+) -> Vec<f64> {
+    assert!(width >= 1, "issue width must be at least 1");
+    (0..runs)
+        .map(|r| {
+            let mut run_rng = rng.split(u64::from(r));
+            simulate_block_wide(block, mem, model, width, &mut run_rng).1 as f64
+        })
+        .collect()
+}
+
+/// Maps a symbolic memory location to a flat simulated address: each
+/// region gets a 16 GiB band, offsets (possibly negative, e.g. `a[-1]`)
+/// land inside it. Unknown offsets map to `None` so address-aware models
+/// treat them as unpredictable.
+fn address_of(inst: &bsched_ir::Inst) -> Option<u64> {
+    let access = inst.mem()?;
+    let offset = access.loc().offset()?;
+    let base = (u64::from(access.loc().region().raw()) + 1) << 34;
+    Some(base.wrapping_add_signed(offset))
+}
+
+fn simulate_inner(
+    block: &BasicBlock,
+    mem: &dyn LatencyModel,
+    model: ProcessorModel,
+    width: u32,
+    rng: &mut Pcg32,
+    trace: Option<&mut Vec<IssueEvent>>,
+) -> (SimResult, u64) {
+    simulate_inner_custom(block, mem, model, width, OpLatencies::unit(), rng, trace)
+}
+
+fn simulate_inner_custom(
+    block: &BasicBlock,
+    mem: &dyn LatencyModel,
+    model: ProcessorModel,
+    width: u32,
+    op_latencies: OpLatencies,
+    rng: &mut Pcg32,
+    mut trace: Option<&mut Vec<IssueEvent>>,
+) -> (SimResult, u64) {
+    mem.begin_run();
+    let mut reg_ready: HashMap<Reg, u64> = HashMap::new();
+    let mut outstanding: Vec<Outstanding> = Vec::new();
+    let mut breakdown = InterlockBreakdown::default();
+    let mut cycle: u64 = 0;
+    let mut slots_used: u32 = 0;
+    let mut instructions: u64 = 0;
+
+    for (id, inst) in block.iter_ids() {
+        if inst.opcode().is_vnop() {
+            continue;
+        }
+        let earliest = cycle;
+
+        // Operand readiness (register scoreboard).
+        let operand_ready = inst
+            .uses()
+            .iter()
+            .map(|u| reg_ready.get(u).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        let mut issue = earliest.max(operand_ready);
+        breakdown.operand += issue - earliest;
+
+        // Processor-model constraints.
+        match model {
+            ProcessorModel::Unlimited => {}
+            ProcessorModel::MaxOutstanding(k) => {
+                if inst.is_load() {
+                    outstanding.retain(|o| o.completes > issue);
+                    if outstanding.len() >= k as usize {
+                        // Block until enough outstanding loads complete.
+                        let mut completions: Vec<u64> =
+                            outstanding.iter().map(|o| o.completes).collect();
+                        completions.sort_unstable();
+                        let free_at = completions[outstanding.len() - k as usize];
+                        if free_at > issue {
+                            breakdown.max_outstanding += free_at - issue;
+                            issue = free_at;
+                        }
+                        outstanding.retain(|o| o.completes > issue);
+                    }
+                }
+            }
+            ProcessorModel::MaxLength(k) => {
+                // The processor cannot execute past `issued + k` while a
+                // load is still outstanding: each such load creates a
+                // blocked interval [issued + k, completes).
+                loop {
+                    let barrier = outstanding
+                        .iter()
+                        .filter(|o| issue >= o.issued + u64::from(k) && issue < o.completes)
+                        .map(|o| o.completes)
+                        .max();
+                    match barrier {
+                        Some(c) if c > issue => {
+                            breakdown.max_length += c - issue;
+                            issue = c;
+                        }
+                        _ => break,
+                    }
+                }
+                outstanding.retain(|o| o.completes > issue);
+            }
+        }
+
+        // Issue.
+        let complete = if inst.is_load() {
+            let latency = mem.sample_at(address_of(inst), rng).max(1);
+            let complete = issue + latency;
+            outstanding.push(Outstanding {
+                issued: issue,
+                completes: complete,
+            });
+            complete
+        } else {
+            issue + u64::from(op_latencies.latency(inst.opcode()))
+        };
+        for &d in inst.defs() {
+            reg_ready.insert(d, complete);
+        }
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(IssueEvent {
+                id,
+                issue_cycle: issue,
+                complete_cycle: complete,
+                stall_cycles: issue - earliest,
+            });
+        }
+        instructions += 1;
+        // Advance the issue clock: `width` slots per cycle.
+        if issue > cycle {
+            cycle = issue;
+            slots_used = 0;
+        }
+        slots_used += 1;
+        if slots_used >= width {
+            cycle += 1;
+            slots_used = 0;
+        }
+    }
+
+    let elapsed = cycle + u64::from(slots_used > 0);
+    (
+        SimResult {
+            instructions,
+            interlocks: breakdown.total(),
+            breakdown,
+        },
+        elapsed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_ir::BlockBuilder;
+    use bsched_memsim::{FixedLatency, MemorySystem, NetworkModel};
+
+    /// base; k independent loads; an add consuming the last load.
+    fn block_with_loads(k: usize) -> BasicBlock {
+        let mut b = BlockBuilder::new("t");
+        let region = b.fresh_region();
+        let base = b.def_int("base");
+        let mut last = None;
+        for i in 0..k {
+            last = Some(b.load_region("l", region, base, Some(8 * i as i64)));
+        }
+        if let Some(v) = last {
+            let _ = b.fadd("use", v, v);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn alu_only_block_has_no_interlocks() {
+        let mut b = BlockBuilder::new("alu");
+        let c = b.fconst("c", 1.0);
+        let d = b.fadd("d", c, c);
+        let _ = b.fmul("e", d, d);
+        let block = b.finish();
+        let mut rng = Pcg32::seed_from_u64(0);
+        let r = simulate_block(
+            &block,
+            &FixedLatency::new(9),
+            ProcessorModel::Unlimited,
+            &mut rng,
+        );
+        assert_eq!(r.instructions, 3);
+        assert_eq!(r.interlocks, 0, "single-cycle chain never stalls");
+        assert_eq!(r.cycles(), 3);
+    }
+
+    #[test]
+    fn immediate_use_stalls_for_latency() {
+        // load at cycle 1 (after base at 0); use at cycle 2 nominally but
+        // data arrives at 1 + λ: stall λ − 1.
+        let block = block_with_loads(1);
+        for lambda in 1..8u64 {
+            let mut rng = Pcg32::seed_from_u64(0);
+            let r = simulate_block(
+                &block,
+                &FixedLatency::new(lambda),
+                ProcessorModel::Unlimited,
+                &mut rng,
+            );
+            assert_eq!(r.interlocks, lambda - 1, "λ={lambda}");
+            assert_eq!(r.breakdown.operand, lambda - 1);
+        }
+    }
+
+    #[test]
+    fn independent_loads_overlap_under_unlimited() {
+        // 16 independent loads of latency 10, then one use of the last:
+        // loads pipeline one per cycle; only the final use stalls.
+        let block = block_with_loads(16);
+        let mut rng = Pcg32::seed_from_u64(0);
+        let r = simulate_block(
+            &block,
+            &FixedLatency::new(10),
+            ProcessorModel::Unlimited,
+            &mut rng,
+        );
+        // base@0, loads @1..=16, last completes at 16+10=26, use stalls
+        // from 17 to 26: 9 interlocks.
+        assert_eq!(r.instructions, 18);
+        assert_eq!(r.interlocks, 9);
+    }
+
+    #[test]
+    fn max_outstanding_blocks_extra_loads() {
+        // With MAX-2 and latency 10, the third load must wait for the
+        // first to complete.
+        let block = block_with_loads(4);
+        let mut rng = Pcg32::seed_from_u64(0);
+        let unlimited = simulate_block(
+            &block,
+            &FixedLatency::new(10),
+            ProcessorModel::Unlimited,
+            &mut rng,
+        );
+        let mut rng = Pcg32::seed_from_u64(0);
+        let max2 = simulate_block(
+            &block,
+            &FixedLatency::new(10),
+            ProcessorModel::MaxOutstanding(2),
+            &mut rng,
+        );
+        assert!(max2.cycles() > unlimited.cycles());
+        assert!(max2.breakdown.max_outstanding > 0);
+        // Exact accounting: base@0; l1@1 completes 11; l2@2 completes 12;
+        // l3 wants cycle 3 but both slots are busy → blocked until 11
+        // (8 stall cycles), completes 21; l4 wants 12, one slot free →
+        // issues immediately; the final use waits on l4 (operand stall).
+        assert_eq!(max2.breakdown.max_outstanding, 8);
+        assert_eq!(max2.breakdown.operand, 22 - 13);
+    }
+
+    #[test]
+    fn max_length_blocks_old_loads() {
+        // LEN-2 with latency 10: after a load is 2 cycles old the CPU
+        // stalls until its data returns.
+        let block = block_with_loads(3);
+        let mut rng = Pcg32::seed_from_u64(0);
+        let r = simulate_block(
+            &block,
+            &FixedLatency::new(10),
+            ProcessorModel::MaxLength(2),
+            &mut rng,
+        );
+        assert!(r.breakdown.max_length > 0);
+        // base@0; l1@1 (completes 11); l2@2; l3 would issue at 3 = l1.issued+2
+        // → blocked until 11. l3@11 completes 21; l2 completed 12 < 11? no:
+        // l2 issued 2, completes 12; at cycle 11 l2 is 9 ≥ 2 cycles old…
+        // after unblocking at 11, l2 still outstanding and 11 ≥ 2+2 → block
+        // to 12. l3@12, completes 22; use at 13 ≥ 12+2? l3 outstanding, age
+        // 1 < 2 → operand stall until 22.
+        let mut rng = Pcg32::seed_from_u64(0);
+        let unlimited = simulate_block(
+            &block,
+            &FixedLatency::new(10),
+            ProcessorModel::Unlimited,
+            &mut rng,
+        );
+        assert!(r.cycles() > unlimited.cycles());
+    }
+
+    #[test]
+    fn len_model_with_short_latency_never_blocks() {
+        let block = block_with_loads(6);
+        let mut rng = Pcg32::seed_from_u64(0);
+        let r = simulate_block(
+            &block,
+            &FixedLatency::new(2),
+            ProcessorModel::MaxLength(8),
+            &mut rng,
+        );
+        assert_eq!(r.breakdown.max_length, 0);
+    }
+
+    #[test]
+    fn vnops_are_skipped() {
+        use bsched_ir::{Inst, Opcode};
+        let mut b = BlockBuilder::new("v");
+        let _ = b.def_int("x");
+        b.push(Inst::new(Opcode::VNop, vec![], vec![], None));
+        let block = b.finish();
+        let mut rng = Pcg32::seed_from_u64(0);
+        let r = simulate_block(
+            &block,
+            &FixedLatency::new(1),
+            ProcessorModel::Unlimited,
+            &mut rng,
+        );
+        assert_eq!(r.instructions, 1, "vnop not counted");
+    }
+
+    #[test]
+    fn traced_simulation_matches_untr() {
+        let block = block_with_loads(4);
+        let mut rng = Pcg32::seed_from_u64(5);
+        let plain = simulate_block(
+            &block,
+            &FixedLatency::new(5),
+            ProcessorModel::Unlimited,
+            &mut rng,
+        );
+        let mut rng = Pcg32::seed_from_u64(5);
+        let (traced, events) = simulate_block_traced(
+            &block,
+            &FixedLatency::new(5),
+            ProcessorModel::Unlimited,
+            &mut rng,
+        );
+        assert_eq!(plain, traced);
+        assert_eq!(events.len(), 6);
+        assert!(events
+            .windows(2)
+            .all(|w| w[0].issue_cycle < w[1].issue_cycle));
+        assert_eq!(
+            events.iter().map(|e| e.stall_cycles).sum::<u64>(),
+            traced.interlocks
+        );
+    }
+
+    #[test]
+    fn simulate_runs_is_deterministic_per_seed() {
+        let block = block_with_loads(8);
+        let mem: MemorySystem = NetworkModel::new(3.0, 2.0).into();
+        let rng = Pcg32::seed_from_u64(100);
+        let a = simulate_runs(&block, &mem, ProcessorModel::Unlimited, 30, &rng);
+        let b = simulate_runs(&block, &mem, ProcessorModel::Unlimited, 30, &rng);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 30);
+        // Stochastic latencies: runs should not all coincide.
+        assert!(a.iter().any(|&x| x != a[0]));
+    }
+
+    #[test]
+    fn stochastic_runs_average_near_expectation() {
+        // A single load immediately used: expected stalls = E[λ] − 1.
+        let block = block_with_loads(1);
+        let mem: MemorySystem = NetworkModel::new(5.0, 2.0).into();
+        let rng = Pcg32::seed_from_u64(7);
+        let runs = simulate_runs(&block, &mem, ProcessorModel::Unlimited, 2000, &rng);
+        let mean_cycles = runs.iter().sum::<f64>() / runs.len() as f64;
+        // 3 instructions + (E[λ]−1) stalls.
+        let expected = 3.0
+            + (bsched_memsim::LatencyModel::effective_latency(&NetworkModel::new(5.0, 2.0)) - 1.0);
+        assert!(
+            (mean_cycles - expected).abs() < 0.15,
+            "{mean_cycles} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn empty_block() {
+        let block = BasicBlock::new("e", vec![]);
+        let mut rng = Pcg32::seed_from_u64(0);
+        let r = simulate_block(
+            &block,
+            &FixedLatency::new(3),
+            ProcessorModel::Unlimited,
+            &mut rng,
+        );
+        assert_eq!(r.cycles(), 0);
+    }
+
+    #[test]
+    fn dual_issue_halves_alu_runtime() {
+        // Six independent FP constants: width 1 → 6 cycles, width 2 → 3.
+        let mut b = BlockBuilder::new("wide");
+        for k in 0..6 {
+            let _ = b.fconst(&format!("c{k}"), f64::from(k));
+        }
+        let block = b.finish();
+        let mut rng = Pcg32::seed_from_u64(0);
+        let (w1, e1) = simulate_block_wide(
+            &block,
+            &FixedLatency::new(1),
+            ProcessorModel::Unlimited,
+            1,
+            &mut rng,
+        );
+        let (w2, e2) = simulate_block_wide(
+            &block,
+            &FixedLatency::new(1),
+            ProcessorModel::Unlimited,
+            2,
+            &mut rng,
+        );
+        let (_, e6) = simulate_block_wide(
+            &block,
+            &FixedLatency::new(1),
+            ProcessorModel::Unlimited,
+            6,
+            &mut rng,
+        );
+        assert_eq!(e1, 6);
+        assert_eq!(e2, 3);
+        assert_eq!(e6, 1, "fully parallel block issues in one cycle at width 6");
+        assert_eq!(w2.interlocks, 0);
+        assert_eq!(
+            w1,
+            simulate_block(
+                &block,
+                &FixedLatency::new(1),
+                ProcessorModel::Unlimited,
+                &mut rng
+            ),
+            "width 1 ≡ single issue"
+        );
+        assert_eq!(
+            e1,
+            w1.cycles(),
+            "width-1 elapsed matches the paper's accounting"
+        );
+    }
+
+    #[test]
+    fn dual_issue_respects_data_dependences() {
+        // A dependent chain cannot dual-issue: each result is available
+        // the cycle after issue, so three chained adds take three cycles
+        // even at width 4.
+        let mut b = BlockBuilder::new("chain");
+        let c = b.fconst("c", 1.0);
+        let d = b.fadd("d", c, c);
+        let _ = b.fadd("e", d, d);
+        let block = b.finish();
+        let mut rng = Pcg32::seed_from_u64(0);
+        let (r, elapsed) = simulate_block_wide(
+            &block,
+            &FixedLatency::new(1),
+            ProcessorModel::Unlimited,
+            4,
+            &mut rng,
+        );
+        assert_eq!(elapsed, 3);
+        assert_eq!(r.breakdown.operand, 2, "two one-cycle waits on the chain");
+    }
+
+    #[test]
+    #[should_panic(expected = "issue width must be at least 1")]
+    fn zero_width_panics() {
+        let block = BasicBlock::new("e", vec![]);
+        let mut rng = Pcg32::seed_from_u64(0);
+        let _ = simulate_block_wide(
+            &block,
+            &FixedLatency::new(1),
+            ProcessorModel::Unlimited,
+            0,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn line_cache_sees_spatial_locality() {
+        use bsched_memsim::LineCache;
+        // Eight consecutive 8-byte loads in one region: 32-byte lines ⇒
+        // 2 misses + 6 hits, deterministically.
+        let mut b = BlockBuilder::new("stream");
+        let region = b.fresh_region();
+        let base = b.def_int("base");
+        for k in 0..8 {
+            let _ = b.load_region("l", region, base, Some(8 * k));
+        }
+        let block = b.finish();
+        let cache = LineCache::new(32, 64, 2, 2, 10);
+        let mut rng = Pcg32::seed_from_u64(0);
+        let (_, events) =
+            simulate_block_traced(&block, &cache, ProcessorModel::Unlimited, &mut rng);
+        let latencies: Vec<u64> = events
+            .iter()
+            .skip(1)
+            .map(|e| e.complete_cycle - e.issue_cycle)
+            .collect();
+        assert_eq!(latencies, vec![10, 2, 2, 2, 10, 2, 2, 2]);
+    }
+
+    #[test]
+    fn line_cache_state_resets_between_runs() {
+        use bsched_memsim::LineCache;
+        let mut b = BlockBuilder::new("one");
+        let region = b.fresh_region();
+        let base = b.def_int("base");
+        let _ = b.load_region("l", region, base, Some(0));
+        let block = b.finish();
+        let cache = LineCache::new(32, 4, 1, 2, 10);
+        let rng = Pcg32::seed_from_u64(1);
+        let runs = simulate_runs(&block, &cache, ProcessorModel::Unlimited, 5, &rng);
+        // Every run starts cold: identical cycle counts.
+        assert!(runs.iter().all(|&c| c == runs[0]), "{runs:?}");
+    }
+
+    #[test]
+    fn distinct_regions_use_distinct_addresses() {
+        use bsched_memsim::LineCache;
+        // Loads at offset 0 of two different regions must not alias in
+        // the cache line space.
+        let mut b = BlockBuilder::new("two");
+        let r1 = b.fresh_region();
+        let r2 = b.fresh_region();
+        let base = b.def_int("base");
+        let _ = b.load_region("a", r1, base, Some(0));
+        let _ = b.load_region("b", r2, base, Some(0));
+        let _ = b.load_region("a2", r1, base, Some(0));
+        let block = b.finish();
+        let cache = LineCache::new(32, 64, 4, 2, 10);
+        let mut rng = Pcg32::seed_from_u64(0);
+        let (_, events) =
+            simulate_block_traced(&block, &cache, ProcessorModel::Unlimited, &mut rng);
+        let lat: Vec<u64> = events
+            .iter()
+            .skip(1)
+            .map(|e| e.complete_cycle - e.issue_cycle)
+            .collect();
+        assert_eq!(
+            lat,
+            vec![10, 10, 2],
+            "miss, miss (different region), hit (revisit)"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! ASCII timeline rendering of simulation traces.
+//!
+//! Turns the per-instruction [`IssueEvent`] trace
+//! into a Gantt-style chart — the quickest way to *see* where a schedule
+//! interlocks and how load latencies overlap:
+//!
+//! ```text
+//!  id  name        0         1
+//!                  0123456789012345
+//!  i0  base        #
+//!  i1  L0          =========>
+//!  i2  L1           ....=========>
+//!  i3  X4               ....#
+//! ```
+//!
+//! `#` is a single-cycle instruction, `=`/`>` spans a load's time in the
+//! memory system, and `.` marks interlock (stall) cycles charged before
+//! the instruction issued.
+
+use std::fmt::Write as _;
+
+use bsched_ir::BasicBlock;
+
+use crate::sim::IssueEvent;
+
+/// Renders `events` (from [`crate::simulate_block_traced`]) against the
+/// instruction names of `block`.
+///
+/// Events must be in issue order, as the simulator produces them.
+#[must_use]
+pub fn render_timeline(block: &BasicBlock, events: &[IssueEvent]) -> String {
+    let mut out = String::new();
+    let end = events.iter().map(|e| e.complete_cycle).max().unwrap_or(0) as usize;
+    let name_width = block
+        .insts()
+        .iter()
+        .map(|i| i.name().map_or(4, str::len))
+        .max()
+        .unwrap_or(4)
+        .max(4);
+
+    // Header ruler: tens line then units line.
+    let _ = write!(out, "{:>4}  {:<name_width$}  ", "id", "name");
+    for c in 0..=end {
+        let _ = write!(
+            out,
+            "{}",
+            if c % 10 == 0 {
+                ((c / 10) % 10).to_string()
+            } else {
+                " ".into()
+            }
+        );
+    }
+    out.push('\n');
+    let _ = write!(out, "{:>4}  {:<name_width$}  ", "", "");
+    for c in 0..=end {
+        let _ = write!(out, "{}", c % 10);
+    }
+    out.push('\n');
+
+    for e in events {
+        let inst = block.inst(e.id);
+        let name = inst.name().unwrap_or("");
+        let _ = write!(out, "{:>4}  {:<name_width$}  ", e.id.to_string(), name);
+        let stall_start = e.issue_cycle - e.stall_cycles;
+        for c in 0..=end as u64 {
+            let ch = if c >= stall_start && c < e.issue_cycle {
+                '.'
+            } else if c == e.issue_cycle && e.complete_cycle == e.issue_cycle + 1 {
+                '#'
+            } else if c >= e.issue_cycle && c + 1 < e.complete_cycle {
+                '='
+            } else if c + 1 == e.complete_cycle && c > e.issue_cycle {
+                '>'
+            } else {
+                ' '
+            };
+            out.push(ch);
+        }
+        // Trim trailing spaces for tidy output.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processor::ProcessorModel;
+    use crate::sim::simulate_block_traced;
+    use bsched_ir::BlockBuilder;
+    use bsched_memsim::FixedLatency;
+    use bsched_stats::Pcg32;
+
+    fn traced(latency: u64) -> (BasicBlock, Vec<IssueEvent>) {
+        let mut b = BlockBuilder::new("t");
+        let base = b.def_int("base");
+        let x = b.load("L0", base, 0);
+        let _ = b.fadd("X0", x, x);
+        let block = b.finish();
+        let mut rng = Pcg32::seed_from_u64(0);
+        let (_, events) = simulate_block_traced(
+            &block,
+            &FixedLatency::new(latency),
+            ProcessorModel::Unlimited,
+            &mut rng,
+        );
+        (block, events)
+    }
+
+    #[test]
+    fn renders_all_instructions() {
+        let (block, events) = traced(4);
+        let chart = render_timeline(&block, &events);
+        assert!(chart.contains("base"));
+        assert!(chart.contains("L0"));
+        assert!(chart.contains("X0"));
+        // The load spans 4 cycles: '=' run ending in '>'.
+        assert!(chart.contains("===>"), "{chart}");
+        // The add stalled: dots present.
+        assert!(chart.contains('.'), "{chart}");
+        assert!(chart.lines().count() >= 5);
+    }
+
+    #[test]
+    fn single_cycle_ops_render_hash() {
+        let (block, events) = traced(1);
+        let chart = render_timeline(&block, &events);
+        assert!(chart.contains('#'), "{chart}");
+        assert!(!chart.contains('.'), "no stalls at latency 1: {chart}");
+    }
+
+    #[test]
+    fn empty_trace_renders_header_only() {
+        let block = BasicBlock::new("e", vec![]);
+        let chart = render_timeline(&block, &[]);
+        assert_eq!(chart.lines().count(), 2, "{chart}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Structural analyses of code DAGs: critical paths, ASAP/ALAP times,
+//! slack, and block-level parallelism statistics.
+//!
+//! These are diagnostic tools around the scheduling core: the paper
+//! reasons about schedules in terms of the "amount of load level
+//! parallelism that a program can support" (§1), and these functions
+//! quantify that per block — the `workload_stats` binary uses them to
+//! document the benchmark stand-ins' profiles.
+
+use bsched_ir::InstId;
+
+use crate::dag::CodeDag;
+
+/// ASAP (as-soon-as-possible) issue slots under unit latencies: the
+/// earliest slot each instruction could occupy given unlimited issue
+/// width. `asap[i]` = longest path (in edges) from any root to `i`.
+#[must_use]
+pub fn asap_levels(dag: &CodeDag) -> Vec<u32> {
+    let n = dag.len();
+    let mut asap = vec![0u32; n];
+    for v in 0..n {
+        let id = InstId::from_usize(v);
+        asap[v] = dag
+            .preds(id)
+            .iter()
+            .map(|&(p, _)| asap[p.index()] + 1)
+            .max()
+            .unwrap_or(0);
+    }
+    asap
+}
+
+/// ALAP (as-late-as-possible) issue slots under unit latencies, aligned
+/// so the latest instruction sits at `critical_path_length(dag) - 1`.
+#[must_use]
+pub fn alap_levels(dag: &CodeDag) -> Vec<u32> {
+    let n = dag.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let depth = critical_path_length(dag);
+    let mut alap = vec![depth - 1; n];
+    for v in (0..n).rev() {
+        let id = InstId::from_usize(v);
+        if let Some(min_succ) = dag.succs(id).iter().map(|&(s, _)| alap[s.index()]).min() {
+            alap[v] = min_succ - 1;
+        }
+    }
+    alap
+}
+
+/// Length (in nodes) of the longest dependence chain — the minimum
+/// schedule length on an infinitely wide machine with unit latencies.
+#[must_use]
+pub fn critical_path_length(dag: &CodeDag) -> u32 {
+    asap_levels(dag).iter().map(|&l| l + 1).max().unwrap_or(0)
+}
+
+/// Per-instruction slack: `alap − asap`. Zero-slack instructions are on
+/// a critical path; large slack is exactly the freedom balanced
+/// scheduling redistributes toward loads.
+#[must_use]
+pub fn slack(dag: &CodeDag) -> Vec<u32> {
+    asap_levels(dag)
+        .iter()
+        .zip(alap_levels(dag))
+        .map(|(a, l)| l - a)
+        .collect()
+}
+
+/// Summary statistics of one block's parallelism profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DagProfile {
+    /// Node count.
+    pub instructions: usize,
+    /// Load count.
+    pub loads: usize,
+    /// Edge count (collapsed).
+    pub edges: usize,
+    /// Longest dependence chain, in nodes.
+    pub critical_path: u32,
+    /// `instructions / critical_path` — average width available.
+    pub parallelism: f64,
+    /// Maximum number of loads on any single path (whole-DAG `Chances`).
+    pub max_serial_loads: u32,
+}
+
+impl DagProfile {
+    /// Computes the profile of `dag`.
+    #[must_use]
+    pub fn of(dag: &CodeDag) -> Self {
+        let critical_path = critical_path_length(dag);
+        let all: Vec<InstId> = dag.node_ids().collect();
+        Self {
+            instructions: dag.len(),
+            loads: dag.load_ids().len(),
+            edges: dag.edge_count(),
+            critical_path,
+            parallelism: if critical_path == 0 {
+                0.0
+            } else {
+                dag.len() as f64 / f64::from(critical_path)
+            },
+            max_serial_loads: crate::paths::chances_exact(dag, &all),
+        }
+    }
+}
+
+impl std::fmt::Display for DagProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} instrs ({} loads, {} edges), depth {}, width {:.2}, {} serial loads",
+            self.instructions,
+            self.loads,
+            self.edges,
+            self.critical_path,
+            self.parallelism,
+            self.max_serial_loads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::DepKind;
+    use bsched_ir::{BasicBlock, Inst, Opcode};
+
+    fn id(i: u32) -> InstId {
+        InstId::new(i)
+    }
+
+    fn dag_with_edges(n: usize, edges: &[(u32, u32)]) -> CodeDag {
+        let insts = (0..n)
+            .map(|_| Inst::new(Opcode::FMove, vec![], vec![], None))
+            .collect();
+        let block = BasicBlock::new("t", insts);
+        let mut dag = CodeDag::new(&block);
+        for &(a, b) in edges {
+            dag.add_edge(id(a), id(b), DepKind::True);
+        }
+        dag
+    }
+
+    #[test]
+    fn chain_levels() {
+        let dag = dag_with_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(asap_levels(&dag), vec![0, 1, 2, 3]);
+        assert_eq!(alap_levels(&dag), vec![0, 1, 2, 3]);
+        assert_eq!(critical_path_length(&dag), 4);
+        assert_eq!(slack(&dag), vec![0; 4], "a chain has no slack");
+    }
+
+    #[test]
+    fn diamond_slack() {
+        // 0 -> {1, 2} -> 3, plus a free node 4.
+        let dag = dag_with_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(critical_path_length(&dag), 3);
+        assert_eq!(asap_levels(&dag), vec![0, 1, 1, 2, 0]);
+        assert_eq!(alap_levels(&dag), vec![0, 1, 1, 2, 2]);
+        assert_eq!(
+            slack(&dag),
+            vec![0, 0, 0, 0, 2],
+            "only the free node has slack"
+        );
+    }
+
+    #[test]
+    fn empty_dag() {
+        let dag = dag_with_edges(0, &[]);
+        assert_eq!(critical_path_length(&dag), 0);
+        assert!(asap_levels(&dag).is_empty());
+        assert!(alap_levels(&dag).is_empty());
+    }
+
+    #[test]
+    fn asap_is_at_most_alap() {
+        let dag = dag_with_edges(7, &[(0, 2), (1, 2), (2, 5), (3, 5), (4, 6)]);
+        for (a, l) in asap_levels(&dag).iter().zip(alap_levels(&dag)) {
+            assert!(*a <= l);
+        }
+    }
+
+    #[test]
+    fn profile_of_parallel_block() {
+        let dag = dag_with_edges(6, &[(0, 5), (1, 5)]);
+        let p = DagProfile::of(&dag);
+        assert_eq!(p.instructions, 6);
+        assert_eq!(p.loads, 0);
+        assert_eq!(p.edges, 2);
+        assert_eq!(p.critical_path, 2);
+        assert_eq!(p.parallelism, 3.0);
+        assert_eq!(p.max_serial_loads, 0);
+        assert!(p.to_string().contains("6 instrs"));
+    }
+}

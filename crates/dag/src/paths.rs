@@ -1,0 +1,316 @@
+//! `Chances`: the maximum number of loads on any path of a component.
+//!
+//! Fig. 6 line 5 finds, within each connected component of the
+//! independence subgraph, "the path with the maximum number of load
+//! instructions"; the sum of loads along that path (`Chances`) divides the
+//! issue slots that instruction `i` contributes to each load's weight.
+//!
+//! Two implementations are provided:
+//!
+//! * [`chances_exact`] — a longest-load-path dynamic program restricted to
+//!   the component's node set. Linear in the component size, always exact.
+//! * [`chances_level_approx`] — the paper's §3 fast method: nodes carry a
+//!   precomputed *load level* (loads from the farthest leaf in the full
+//!   DAG); a component's path length is estimated as
+//!   `max_level − min_level + 1` via union–find interval merging. The
+//!   estimate is exact on the paper's examples but can overestimate when
+//!   the extreme levels lie on different paths; the ablation bench
+//!   (`cargo bench -p bsched-bench`) quantifies the difference.
+
+use std::collections::HashMap;
+
+use bsched_ir::InstId;
+
+use crate::bitset::BitSet;
+use crate::dag::CodeDag;
+use crate::unionfind::UnionFind;
+
+/// Which `Chances` computation the balanced scheduler uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChancesMethod {
+    /// Exact longest-load-path dynamic programming (default).
+    #[default]
+    Exact,
+    /// The paper's min/max load-level union–find approximation.
+    LevelApprox,
+}
+
+/// Exact maximum number of loads on any directed path whose nodes all lie
+/// in `component`.
+///
+/// The component is a subset of a DAG whose node ids increase along every
+/// edge, so a single pass in decreasing id order computes
+/// `best(v) = is_load(v) + max over kept successors best(s)`.
+///
+/// Returns 0 for a component containing no loads.
+#[must_use]
+pub fn chances_exact(dag: &CodeDag, component: &[InstId]) -> u32 {
+    if component.is_empty() {
+        return 0;
+    }
+    let mut member = BitSet::new(dag.len());
+    for id in component {
+        member.insert(id.index());
+    }
+    let mut best: HashMap<usize, u32> = HashMap::with_capacity(component.len());
+    let mut sorted: Vec<InstId> = component.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a)); // decreasing id = reverse topological
+    let mut overall = 0;
+    for &v in &sorted {
+        let succ_best = dag
+            .succs(v)
+            .iter()
+            .filter(|(s, _)| member.contains(s.index()))
+            .map(|(s, _)| best[&s.index()])
+            .max()
+            .unwrap_or(0);
+        let mine = u32::from(dag.is_load(v)) + succ_best;
+        overall = overall.max(mine);
+        best.insert(v.index(), mine);
+    }
+    overall
+}
+
+/// Global *load levels*: for each node, the maximum number of loads on any
+/// path from the node toward the leaves of the **full** DAG, counting the
+/// node itself.
+///
+/// This is the labelling the paper's fast method precomputes once ("each
+/// node in G_ind is labeled with its level from the farthest leaf").
+#[must_use]
+pub fn load_levels(dag: &CodeDag) -> Vec<u32> {
+    let n = dag.len();
+    let mut level = vec![0u32; n];
+    for v in (0..n).rev() {
+        let id = InstId::from_usize(v);
+        let succ_best = dag
+            .succs(id)
+            .iter()
+            .map(|(s, _)| level[s.index()])
+            .max()
+            .unwrap_or(0);
+        level[v] = u32::from(dag.is_load(id)) + succ_best;
+    }
+    level
+}
+
+/// The paper's approximation of `Chances` for every component at once.
+///
+/// `levels` must come from [`load_levels`] on the same DAG. Components are
+/// formed with union–find over the edges whose endpoints are both kept,
+/// merging `(min, max)` level intervals; each component's estimate is
+/// `max − min + 1` clamped to the number of loads it contains (a component
+/// with no loads estimates 0).
+///
+/// Returns, for each component in [`crate::connected_components`] order
+/// (smallest member first), the pair `(component, estimated_chances)`.
+#[must_use]
+pub fn chances_level_approx(
+    dag: &CodeDag,
+    keep: &BitSet,
+    levels: &[u32],
+) -> Vec<(Vec<InstId>, u32)> {
+    let mut uf = UnionFind::with_levels(levels);
+    for e in dag.edges() {
+        if keep.contains(e.from.index()) && keep.contains(e.to.index()) {
+            uf.union(e.from.index(), e.to.index());
+        }
+    }
+    // Group kept nodes by representative.
+    let mut groups: HashMap<usize, Vec<InstId>> = HashMap::new();
+    for v in keep.iter() {
+        groups
+            .entry(uf.find(v))
+            .or_default()
+            .push(InstId::from_usize(v));
+    }
+    let mut result: Vec<(Vec<InstId>, u32)> = groups
+        .into_iter()
+        .map(|(root, mut members)| {
+            members.sort_unstable();
+            let loads = members.iter().filter(|m| dag.is_load(**m)).count() as u32;
+            let est = if loads == 0 {
+                0
+            } else {
+                // Interval over the load levels of the component's *load*
+                // members: on a load-path of length k the deepest load has
+                // level `lo + k - 1`, so `hi − lo + 1` recovers k exactly
+                // whenever the extreme-level loads share a path.
+                let lo = members
+                    .iter()
+                    .filter(|m| dag.is_load(**m))
+                    .map(|m| levels[m.index()])
+                    .min()
+                    .unwrap_or(0);
+                let hi = members
+                    .iter()
+                    .filter(|m| dag.is_load(**m))
+                    .map(|m| levels[m.index()])
+                    .max()
+                    .unwrap_or(0);
+                let _ = root;
+                (hi - lo + 1).min(loads)
+            };
+            (members, est)
+        })
+        .collect();
+    result.sort_unstable_by_key(|(members, _)| members[0]);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::DepKind;
+    use bsched_ir::{BasicBlock, Inst, MemAccess, MemLoc, Opcode, RegionId};
+
+    fn id(i: u32) -> InstId {
+        InstId::new(i)
+    }
+
+    /// Builds a DAG where `loads` marks which nodes are loads.
+    fn dag_of(loads: &[bool], edges: &[(u32, u32)]) -> CodeDag {
+        let insts = loads
+            .iter()
+            .map(|&is_load| {
+                if is_load {
+                    Inst::new(
+                        Opcode::Ldc1,
+                        vec![],
+                        vec![],
+                        Some(MemAccess::read(MemLoc::known(RegionId::new(0), 0))),
+                    )
+                } else {
+                    Inst::new(Opcode::FMove, vec![], vec![], None)
+                }
+            })
+            .collect();
+        let block = BasicBlock::new("t", insts);
+        let mut dag = CodeDag::new(&block);
+        for &(a, b) in edges {
+            dag.add_edge(id(a), id(b), DepKind::True);
+        }
+        dag
+    }
+
+    fn all_ids(n: u32) -> Vec<InstId> {
+        (0..n).map(InstId::new).collect()
+    }
+
+    #[test]
+    fn empty_component_has_zero_chances() {
+        let dag = dag_of(&[true], &[]);
+        assert_eq!(chances_exact(&dag, &[]), 0);
+    }
+
+    #[test]
+    fn single_load_is_one_chance() {
+        let dag = dag_of(&[true], &[]);
+        assert_eq!(chances_exact(&dag, &all_ids(1)), 1);
+    }
+
+    #[test]
+    fn loads_in_series_accumulate() {
+        // L -> L -> L chain.
+        let dag = dag_of(&[true, true, true], &[(0, 1), (1, 2)]);
+        assert_eq!(chances_exact(&dag, &all_ids(3)), 3);
+    }
+
+    #[test]
+    fn parallel_loads_do_not_accumulate() {
+        // Two independent loads: longest load path = 1.
+        let dag = dag_of(&[true, true], &[]);
+        assert_eq!(chances_exact(&dag, &all_ids(2)), 1);
+    }
+
+    #[test]
+    fn non_loads_on_path_are_not_counted() {
+        // L -> X -> L: two loads on the path.
+        let dag = dag_of(&[true, false, true], &[(0, 1), (1, 2)]);
+        assert_eq!(chances_exact(&dag, &all_ids(3)), 2);
+    }
+
+    #[test]
+    fn restriction_to_component_matters() {
+        // L0 -> L1 -> L2, but the component only keeps L0 and L2: paths
+        // through the removed L1 don't exist.
+        let dag = dag_of(&[true, true, true], &[(0, 1), (1, 2)]);
+        assert_eq!(chances_exact(&dag, &[id(0), id(2)]), 1);
+    }
+
+    #[test]
+    fn branching_picks_heavier_path() {
+        //      0(L)
+        //     /    \
+        //   1(X)   2(L)
+        //    |      |
+        //   3(X)   4(L)
+        let dag = dag_of(
+            &[true, false, true, false, true],
+            &[(0, 1), (0, 2), (1, 3), (2, 4)],
+        );
+        assert_eq!(chances_exact(&dag, &all_ids(5)), 3, "L0->L2->L4");
+    }
+
+    #[test]
+    fn load_levels_count_from_leaves() {
+        // L0 -> X1 -> L2; levels: L2=1, X1=1, L0=2.
+        let dag = dag_of(&[true, false, true], &[(0, 1), (1, 2)]);
+        assert_eq!(load_levels(&dag), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn level_approx_matches_exact_on_chain() {
+        let dag = dag_of(&[true, true, true, false], &[(0, 1), (1, 2), (2, 3)]);
+        let levels = load_levels(&dag);
+        let mut keep = BitSet::new(4);
+        keep.fill();
+        let approx = chances_level_approx(&dag, &keep, &levels);
+        assert_eq!(approx.len(), 1);
+        assert_eq!(approx[0].1, 3);
+        assert_eq!(chances_exact(&dag, &approx[0].0), 3);
+    }
+
+    #[test]
+    fn level_approx_zero_for_loadless_component() {
+        let dag = dag_of(&[false, false], &[(0, 1)]);
+        let levels = load_levels(&dag);
+        let mut keep = BitSet::new(2);
+        keep.fill();
+        let approx = chances_level_approx(&dag, &keep, &levels);
+        assert_eq!(approx[0].1, 0);
+    }
+
+    #[test]
+    fn level_approx_respects_keep_set() {
+        // Chain L0 -> L1 -> L2; removing L1 separates the loads.
+        let dag = dag_of(&[true, true, true], &[(0, 1), (1, 2)]);
+        let levels = load_levels(&dag);
+        let mut keep = BitSet::new(3);
+        keep.insert(0);
+        keep.insert(2);
+        let approx = chances_level_approx(&dag, &keep, &levels);
+        assert_eq!(approx.len(), 2);
+        // Each singleton component has one load; estimate clamps to 1.
+        assert!(approx.iter().all(|(_, c)| *c == 1));
+    }
+
+    #[test]
+    fn level_approx_is_clamped_by_load_count() {
+        // Diamond where extreme levels could overestimate: the clamp keeps
+        // the estimate within the number of loads present.
+        let dag = dag_of(&[true, true, false, true], &[(0, 2), (1, 2), (2, 3)]);
+        let levels = load_levels(&dag);
+        let mut keep = BitSet::new(4);
+        keep.fill();
+        for (comp, est) in chances_level_approx(&dag, &keep, &levels) {
+            let loads = comp.iter().filter(|m| dag.is_load(**m)).count() as u32;
+            assert!(est <= loads);
+        }
+    }
+
+    #[test]
+    fn chances_methods_default() {
+        assert_eq!(ChancesMethod::default(), ChancesMethod::Exact);
+    }
+}

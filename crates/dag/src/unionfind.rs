@@ -1,0 +1,169 @@
+//! Disjoint-set union with the min/max level payload from §3.
+//!
+//! The paper sketches an `O(n·α(n))` implementation of steps 4–5 of the
+//! algorithm: label every node with its level from the farthest leaf,
+//! union nodes into connected components, and let each set carry the
+//! minimum and maximum level seen, so the largest path length of a
+//! component is `max − min + 1`. This module provides that structure
+//! (path compression + union by rank, plus the level interval payload).
+
+/// Union–find over `0..n` carrying a `(min_level, max_level)` interval.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    min_level: Vec<u32>,
+    max_level: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets, each with level interval `[level[i], level[i]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len() != n`... the levels slice defines `n`.
+    #[must_use]
+    pub fn with_levels(levels: &[u32]) -> Self {
+        let n = levels.len();
+        Self {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            min_level: levels.to_vec(),
+            max_level: levels.to_vec(),
+        }
+    }
+
+    /// Creates `n` singleton sets with all-zero levels.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self::with_levels(&vec![0; n])
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when there are no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Finds the representative of `x`, compressing paths.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Unions the sets containing `a` and `b`, merging level intervals.
+    /// Returns the new representative.
+    pub fn union(&mut self, a: usize, b: usize) -> usize {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let (big, small) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        if self.rank[big] == self.rank[small] {
+            self.rank[big] += 1;
+        }
+        self.min_level[big] = self.min_level[big].min(self.min_level[small]);
+        self.max_level[big] = self.max_level[big].max(self.max_level[small]);
+        big
+    }
+
+    /// `true` when `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// The merged `(min, max)` level interval of the set containing `x`.
+    pub fn level_interval(&mut self, x: usize) -> (u32, u32) {
+        let r = self.find(x);
+        (self.min_level[r], self.max_level[r])
+    }
+
+    /// The paper's path-length estimate for the set containing `x`:
+    /// `max_level − min_level + 1`.
+    pub fn interval_length(&mut self, x: usize) -> u32 {
+        let (lo, hi) = self.level_interval(x);
+        hi - lo + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_distinct() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.len(), 4);
+        assert!(!uf.is_empty());
+        for i in 0..4 {
+            assert_eq!(uf.find(i), i);
+        }
+        assert!(!uf.same_set(0, 1));
+    }
+
+    #[test]
+    fn union_merges_transitively() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert!(uf.same_set(0, 2));
+        assert!(!uf.same_set(0, 3));
+        uf.union(3, 4);
+        uf.union(2, 4);
+        assert!(uf.same_set(0, 3));
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut uf = UnionFind::new(3);
+        let r1 = uf.union(0, 1);
+        let r2 = uf.union(0, 1);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn level_intervals_merge() {
+        let mut uf = UnionFind::with_levels(&[5, 2, 9, 7]);
+        assert_eq!(uf.level_interval(0), (5, 5));
+        uf.union(0, 1);
+        assert_eq!(uf.level_interval(0), (2, 5));
+        assert_eq!(uf.level_interval(1), (2, 5));
+        uf.union(1, 2);
+        assert_eq!(uf.level_interval(2), (2, 9));
+        assert_eq!(uf.interval_length(0), 8);
+        assert_eq!(uf.interval_length(3), 1);
+    }
+
+    #[test]
+    fn path_compression_preserves_answers() {
+        let mut uf = UnionFind::new(64);
+        for i in 0..63 {
+            uf.union(i, i + 1);
+        }
+        let root = uf.find(0);
+        for i in 0..64 {
+            assert_eq!(uf.find(i), root);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests of the DAG analyses over randomly generated blocks.
+
+use bsched_dag::{
+    build_dag, chances_exact, chances_level_approx, connected_components, load_levels, AliasModel,
+    BitSet, Closures, DagProfile,
+};
+use bsched_ir::InstId;
+use bsched_stats::Pcg32;
+use bsched_workload::{random_block, GeneratorConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (5usize..60, 0.05f64..0.6, 0.0f64..0.5, 0.0f64..0.3).prop_map(
+        |(size, load_fraction, chain_fraction, store_fraction)| GeneratorConfig {
+            size,
+            load_fraction,
+            chain_fraction,
+            store_fraction,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Transitive closures are consistent with direct edges and with each
+    /// other: `b ∈ Succ(a)` ⇔ `a ∈ Pred(b)`, and closures are transitive.
+    #[test]
+    fn closures_are_transitive_and_dual(cfg in arb_config(), seed in 0u64..500) {
+        let block = random_block(&cfg, &mut Pcg32::seed_from_u64(seed));
+        let dag = build_dag(&block, AliasModel::Fortran);
+        let closures = Closures::compute(&dag);
+        for a in dag.node_ids() {
+            for b_idx in closures.succs(a).iter() {
+                let b = InstId::from_usize(b_idx);
+                prop_assert!(closures.preds(b).contains(a.index()), "duality {a} {b}");
+                // Transitivity: Succ(b) ⊆ Succ(a).
+                for c_idx in closures.succs(b).iter() {
+                    prop_assert!(closures.succs(a).contains(c_idx));
+                }
+            }
+        }
+        // Direct edges are in the closure.
+        for e in dag.edges() {
+            prop_assert!(closures.succs(e.from).contains(e.to.index()));
+        }
+    }
+
+    /// The independence subgraph's components partition the keep set, and
+    /// all members really are pairwise independent of `i`.
+    #[test]
+    fn components_partition_the_keep_set(cfg in arb_config(), seed in 0u64..500) {
+        let block = random_block(&cfg, &mut Pcg32::seed_from_u64(seed));
+        let dag = build_dag(&block, AliasModel::Fortran);
+        let closures = Closures::compute(&dag);
+        for i in dag.node_ids().step_by(7) {
+            let keep = closures.independent_of(i);
+            let comps = connected_components(&dag, &keep);
+            let mut seen = BitSet::new(dag.len());
+            for comp in &comps {
+                for &m in comp {
+                    prop_assert!(keep.contains(m.index()), "member outside keep");
+                    prop_assert!(seen.insert(m.index()), "component overlap at {m}");
+                    prop_assert!(closures.independent(i, m), "{m} not independent of {i}");
+                }
+            }
+            prop_assert_eq!(seen.len(), keep.len(), "components must cover keep");
+        }
+    }
+
+    /// `Chances` bounds: exact ≤ level approximation ≤ component load
+    /// count, and the approximation is never below 1 when loads exist.
+    #[test]
+    fn chances_bounds(cfg in arb_config(), seed in 0u64..500) {
+        let block = random_block(&cfg, &mut Pcg32::seed_from_u64(seed));
+        let dag = build_dag(&block, AliasModel::Fortran);
+        let closures = Closures::compute(&dag);
+        let levels = load_levels(&dag);
+        for i in dag.node_ids().step_by(5) {
+            let keep = closures.independent_of(i);
+            for (comp, approx) in chances_level_approx(&dag, &keep, &levels) {
+                let exact = chances_exact(&dag, &comp);
+                let loads = comp.iter().filter(|m| dag.is_load(**m)).count() as u32;
+                prop_assert!(exact <= loads);
+                prop_assert!(approx <= loads, "clamp");
+                if loads > 0 {
+                    prop_assert!(exact >= 1);
+                    prop_assert!(approx >= 1);
+                }
+            }
+        }
+    }
+
+    /// Whole-DAG profile sanity: depth ≤ n, serial loads ≤ loads,
+    /// parallelism ≥ 1 for nonempty DAGs.
+    #[test]
+    fn profile_invariants(cfg in arb_config(), seed in 0u64..500) {
+        let block = random_block(&cfg, &mut Pcg32::seed_from_u64(seed));
+        let dag = build_dag(&block, AliasModel::Fortran);
+        let p = DagProfile::of(&dag);
+        prop_assert_eq!(p.instructions, dag.len());
+        prop_assert!(p.critical_path as usize <= p.instructions);
+        prop_assert!(p.max_serial_loads as usize <= p.loads);
+        prop_assert!(p.parallelism >= 1.0);
+    }
+
+    /// The conservative C alias model only ever *adds* edges relative to
+    /// Fortran.
+    #[test]
+    fn c_model_is_a_superset(cfg in arb_config(), seed in 0u64..500) {
+        let block = random_block(&cfg, &mut Pcg32::seed_from_u64(seed));
+        let fortran = build_dag(&block, AliasModel::Fortran);
+        let c = build_dag(&block, AliasModel::CConservative);
+        prop_assert!(c.edge_count() >= fortran.edge_count());
+        for e in fortran.edges() {
+            prop_assert!(c.has_edge(e.from, e.to), "C model lost {e:?}");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! A MIPS-like RISC intermediate representation.
+//!
+//! The paper (§4.1) extracts GCC's RTL after optimisation, lowers it to a
+//! RISC-like form, and schedules it for the MIPS R3000. This crate plays
+//! that role: a small, explicit, register-based IR that the rest of the
+//! repository builds dependence DAGs over, schedules, register-allocates and
+//! simulates.
+//!
+//! Design points that matter for reproducing the paper:
+//!
+//! * **Virtual vs physical registers** ([`Reg`]): the first scheduling pass
+//!   runs on virtual registers (unbounded, no false dependences); register
+//!   allocation then maps them onto a finite physical file, inserting spill
+//!   code; the second pass schedules the result. See [`reg`].
+//! * **Memory references** ([`MemAccess`]): loads and stores carry a
+//!   symbolic location ([`MemLoc`]) — a region (array/stack slot) plus an
+//!   optionally-known constant offset — which is what the DAG builder uses
+//!   to decide whether two references may alias under the Fortran or
+//!   conservative C model (paper Fig. 8).
+//! * **Single-cycle non-loads** (§4.3): every opcode reports a nominal
+//!   latency of 1 except loads, whose latency is precisely the uncertain
+//!   quantity the paper studies. FP opcodes can be given multi-cycle
+//!   latencies to exercise the §6 extension.
+//!
+//! # Example
+//!
+//! ```
+//! use bsched_ir::{BlockBuilder, RegClass};
+//!
+//! let mut b = BlockBuilder::new("body");
+//! let addr_a = b.def_int("addr_a");
+//! let x = b.load("x", addr_a, 0);       // x := mem[addr_a + 0]
+//! let y = b.load("y", addr_a, 8);
+//! let sum = b.fadd("sum", x, y);
+//! b.store(sum, addr_a, 16);
+//! let block = b.finish();
+//! assert_eq!(block.len(), 5);
+//! assert_eq!(block.insts()[1].mem().unwrap().loc().offset(), Some(0));
+//! assert_eq!(x.class(), RegClass::Float);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod builder;
+pub mod func;
+pub mod inst;
+pub mod mem;
+pub mod opcode;
+pub mod reg;
+
+pub use block::BasicBlock;
+pub use builder::BlockBuilder;
+pub use func::Function;
+pub use inst::{Inst, InstId};
+pub use mem::{AccessKind, MemAccess, MemLoc, RegionId};
+pub use opcode::{OpLatencies, Opcode};
+pub use reg::{PhysReg, Reg, RegClass, VirtReg};

@@ -1,0 +1,282 @@
+//! Symbolic memory locations and accesses.
+//!
+//! Memory dependence precision is central to the paper: Fig. 8 shows how
+//! the Fortran-to-C translation destroys the Fortran guarantee that
+//! distinct dummy arrays never alias, and describes the transformation
+//! that restores it. We model the same distinction symbolically: every
+//! load/store names a **region** (an array, a stack slot, a spill slot)
+//! and, when known, a constant byte **offset** within it. The DAG builder
+//! then applies an alias model (Fortran vs conservative C) to decide which
+//! pairs of accesses must be ordered.
+
+use std::fmt;
+
+/// Identifier of a memory region: one Fortran array, stack frame area or
+/// spill slot class.
+///
+/// Regions are allocated by the front end / workload generator; equality is
+/// identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(u32);
+
+impl RegionId {
+    /// Creates a region id from a raw number.
+    #[must_use]
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// The raw number.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// A symbolic memory location: region plus optionally-known offset.
+///
+/// * `offset = Some(k)` — the access touches exactly byte `k` of the
+///   region (e.g. `a[3]` after constant folding, or unrolled-loop
+///   references `a[i]`, `a[i+1]` with distinct known offsets from a
+///   symbolic base).
+/// * `offset = None` — the offset is unknown at compile time (e.g. an
+///   indirection `a[idx[i]]`); such an access may overlap any access to
+///   the same region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemLoc {
+    region: RegionId,
+    offset: Option<i64>,
+}
+
+impl MemLoc {
+    /// Location with a compile-time-known offset.
+    #[must_use]
+    pub fn known(region: RegionId, offset: i64) -> Self {
+        Self {
+            region,
+            offset: Some(offset),
+        }
+    }
+
+    /// Location with an unknown offset within the region.
+    #[must_use]
+    pub fn unknown(region: RegionId) -> Self {
+        Self {
+            region,
+            offset: None,
+        }
+    }
+
+    /// The region accessed.
+    #[must_use]
+    pub fn region(self) -> RegionId {
+        self.region
+    }
+
+    /// The byte offset, when known.
+    #[must_use]
+    pub fn offset(self) -> Option<i64> {
+        self.offset
+    }
+
+    /// Whether two locations **within the same region** may overlap,
+    /// assuming each access covers `width` bytes.
+    ///
+    /// Cross-region aliasing is a policy decision (Fortran vs C) and is
+    /// made by the DAG builder, not here; calling this on different
+    /// regions returns `false`.
+    #[must_use]
+    pub fn overlaps_within_region(self, other: MemLoc, width: i64) -> bool {
+        if self.region != other.region {
+            return false;
+        }
+        match (self.offset, other.offset) {
+            (Some(a), Some(b)) => (a - b).abs() < width,
+            // Any unknown offset may touch anything in the region.
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for MemLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(k) => write!(f, "{}[{}]", self.region, k),
+            None => write!(f, "{}[?]", self.region),
+        }
+    }
+}
+
+/// Direction of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// The access reads memory.
+    Read,
+    /// The access writes memory.
+    Write,
+}
+
+/// A memory access attached to a load or store instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    loc: MemLoc,
+    kind: AccessKind,
+    width: u32,
+}
+
+impl MemAccess {
+    /// Default access width in bytes (double-precision word).
+    pub const DEFAULT_WIDTH: u32 = 8;
+
+    /// Creates an access of `kind` to `loc`, `width` bytes wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn new(loc: MemLoc, kind: AccessKind, width: u32) -> Self {
+        assert!(width > 0, "access width must be positive");
+        Self { loc, kind, width }
+    }
+
+    /// A `width`-default read of `loc`.
+    #[must_use]
+    pub fn read(loc: MemLoc) -> Self {
+        Self::new(loc, AccessKind::Read, Self::DEFAULT_WIDTH)
+    }
+
+    /// A `width`-default write of `loc`.
+    #[must_use]
+    pub fn write(loc: MemLoc) -> Self {
+        Self::new(loc, AccessKind::Write, Self::DEFAULT_WIDTH)
+    }
+
+    /// The location accessed.
+    #[must_use]
+    pub fn loc(self) -> MemLoc {
+        self.loc
+    }
+
+    /// Read or write.
+    #[must_use]
+    pub fn kind(self) -> AccessKind {
+        self.kind
+    }
+
+    /// Access width in bytes.
+    #[must_use]
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// `true` if this access writes.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        self.kind == AccessKind::Write
+    }
+
+    /// Whether this access and `other` conflict **assuming their regions
+    /// may overlap** — i.e. at least one writes and their byte ranges may
+    /// intersect within a shared region.
+    ///
+    /// Two reads never conflict. Accesses to different regions do not
+    /// conflict *at this level*; whether distinct regions can overlap at
+    /// all is the DAG builder's alias-model decision.
+    #[must_use]
+    pub fn conflicts_same_region(self, other: MemAccess) -> bool {
+        if !self.is_write() && !other.is_write() {
+            return false;
+        }
+        let width = i64::from(self.width.max(other.width));
+        self.loc.overlaps_within_region(other.loc, width)
+    }
+}
+
+impl fmt::Display for MemAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let arrow = match self.kind {
+            AccessKind::Read => "r",
+            AccessKind::Write => "w",
+        };
+        write!(f, "{}:{}", arrow, self.loc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(n: u32) -> RegionId {
+        RegionId::new(n)
+    }
+
+    #[test]
+    fn known_offsets_disambiguate() {
+        let a0 = MemLoc::known(region(1), 0);
+        let a8 = MemLoc::known(region(1), 8);
+        assert!(!a0.overlaps_within_region(a8, 8), "disjoint doubles");
+        assert!(a0.overlaps_within_region(a8, 16), "wider accesses overlap");
+        assert!(a0.overlaps_within_region(a0, 8), "same location overlaps");
+    }
+
+    #[test]
+    fn unknown_offset_overlaps_everything_in_region() {
+        let unk = MemLoc::unknown(region(1));
+        let k = MemLoc::known(region(1), 1000);
+        assert!(unk.overlaps_within_region(k, 8));
+        assert!(k.overlaps_within_region(unk, 8));
+        assert!(unk.overlaps_within_region(unk, 8));
+    }
+
+    #[test]
+    fn different_regions_never_overlap_here() {
+        let a = MemLoc::known(region(1), 0);
+        let b = MemLoc::known(region(2), 0);
+        assert!(!a.overlaps_within_region(b, 8));
+        let u = MemLoc::unknown(region(2));
+        assert!(!a.overlaps_within_region(u, 8));
+    }
+
+    #[test]
+    fn read_read_never_conflicts() {
+        let a = MemAccess::read(MemLoc::known(region(1), 0));
+        let b = MemAccess::read(MemLoc::known(region(1), 0));
+        assert!(!a.conflicts_same_region(b));
+    }
+
+    #[test]
+    fn write_conflicts_when_ranges_touch() {
+        let w = MemAccess::write(MemLoc::known(region(1), 0));
+        let r = MemAccess::read(MemLoc::known(region(1), 4));
+        assert!(
+            w.conflicts_same_region(r),
+            "4-byte-apart 8-byte accesses overlap"
+        );
+        let r_far = MemAccess::read(MemLoc::known(region(1), 8));
+        assert!(!w.conflicts_same_region(r_far));
+        let w2 = MemAccess::write(MemLoc::known(region(1), 0));
+        assert!(w.conflicts_same_region(w2), "write-write same loc");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _ = MemAccess::new(MemLoc::known(region(1), 0), AccessKind::Read, 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(MemLoc::known(region(3), 16).to_string(), "@3[16]");
+        assert_eq!(MemLoc::unknown(region(3)).to_string(), "@3[?]");
+        assert_eq!(
+            MemAccess::write(MemLoc::known(region(3), 0)).to_string(),
+            "w:@3[0]"
+        );
+    }
+}

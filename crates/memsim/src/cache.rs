@@ -1,0 +1,175 @@
+//! The lockup-free cache model `Lhr(hl,ml)`.
+
+use bsched_stats::Pcg32;
+
+use crate::LatencyModel;
+
+/// A data cache with Bernoulli hits: latency `hit_latency` with
+/// probability `hit_rate`, else `miss_latency` (§4.5, first system model —
+/// "a typical workstation-class RISC processor that implements
+/// non-blocking load instructions, such as the Motorola 88000").
+///
+/// The paper simulates hit rates of 80% and 95% (4K and 32K first-level
+/// caches per Hill's thesis) with miss penalties of 5 and 10 cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheModel {
+    hit_rate: f64,
+    hit_latency: u64,
+    miss_latency: u64,
+}
+
+impl CacheModel {
+    /// Creates `Lhr(hl,ml)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ hit_rate ≤ 1`, latencies are ≥ 1 and the miss
+    /// latency is no smaller than the hit latency.
+    #[must_use]
+    pub fn new(hit_rate: f64, hit_latency: u64, miss_latency: u64) -> Self {
+        assert!((0.0..=1.0).contains(&hit_rate), "hit rate must be in [0,1]");
+        assert!(hit_latency >= 1, "hit latency must be at least 1");
+        assert!(
+            miss_latency >= hit_latency,
+            "miss must not be faster than hit"
+        );
+        Self {
+            hit_rate,
+            hit_latency,
+            miss_latency,
+        }
+    }
+
+    /// Paper configuration `L80(2,5)`.
+    #[must_use]
+    pub fn l80_5() -> Self {
+        Self::new(0.80, 2, 5)
+    }
+
+    /// Paper configuration `L80(2,10)`.
+    #[must_use]
+    pub fn l80_10() -> Self {
+        Self::new(0.80, 2, 10)
+    }
+
+    /// Paper configuration `L95(2,5)`.
+    #[must_use]
+    pub fn l95_5() -> Self {
+        Self::new(0.95, 2, 5)
+    }
+
+    /// Paper configuration `L95(2,10)`.
+    #[must_use]
+    pub fn l95_10() -> Self {
+        Self::new(0.95, 2, 10)
+    }
+
+    /// The hit probability.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        self.hit_rate
+    }
+
+    /// Cycles on a hit.
+    #[must_use]
+    pub fn hit_latency(&self) -> u64 {
+        self.hit_latency
+    }
+
+    /// Cycles on a miss.
+    #[must_use]
+    pub fn miss_latency(&self) -> u64 {
+        self.miss_latency
+    }
+}
+
+impl LatencyModel for CacheModel {
+    fn name(&self) -> String {
+        format!(
+            "L{}({},{})",
+            (self.hit_rate * 100.0).round() as u64,
+            self.hit_latency,
+            self.miss_latency
+        )
+    }
+
+    fn sample(&self, rng: &mut Pcg32) -> u64 {
+        if rng.bernoulli(self.hit_rate) {
+            self.hit_latency
+        } else {
+            self.miss_latency
+        }
+    }
+
+    fn optimistic_latency(&self) -> f64 {
+        self.hit_latency as f64
+    }
+
+    fn effective_latency(&self) -> f64 {
+        self.hit_rate * self.hit_latency as f64 + (1.0 - self.hit_rate) * self.miss_latency as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_effective_latencies() {
+        // These are exactly the second "Optimistic Latency" values of
+        // Table 2: 2.6, 3.6, 2.15, 2.4.
+        assert!((CacheModel::l80_5().effective_latency() - 2.6).abs() < 1e-12);
+        assert!((CacheModel::l80_10().effective_latency() - 3.6).abs() < 1e-12);
+        assert!((CacheModel::l95_5().effective_latency() - 2.15).abs() < 1e-12);
+        assert!((CacheModel::l95_10().effective_latency() - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(CacheModel::l80_5().name(), "L80(2,5)");
+        assert_eq!(CacheModel::l95_10().name(), "L95(2,10)");
+    }
+
+    #[test]
+    fn samples_are_hit_or_miss() {
+        let m = CacheModel::l80_5();
+        let mut rng = Pcg32::seed_from_u64(2);
+        let mut hits = 0u32;
+        let n = 100_000;
+        for _ in 0..n {
+            match m.sample(&mut rng) {
+                2 => hits += 1,
+                5 => {}
+                other => panic!("unexpected latency {other}"),
+            }
+        }
+        let rate = f64::from(hits) / f64::from(n);
+        assert!((rate - 0.8).abs() < 0.01, "hit rate {rate}");
+    }
+
+    #[test]
+    fn optimistic_is_hit_time() {
+        assert_eq!(CacheModel::l80_10().optimistic_latency(), 2.0);
+    }
+
+    #[test]
+    fn degenerate_rates() {
+        let always = CacheModel::new(1.0, 2, 5);
+        let mut rng = Pcg32::seed_from_u64(1);
+        assert!((0..100).all(|_| always.sample(&mut rng) == 2));
+        let never = CacheModel::new(0.0, 2, 5);
+        assert!((0..100).all(|_| never.sample(&mut rng) == 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "miss must not be faster than hit")]
+    fn inverted_latencies_panic() {
+        let _ = CacheModel::new(0.5, 5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "hit rate must be in")]
+    fn bad_rate_panics() {
+        let _ = CacheModel::new(1.5, 2, 5);
+    }
+}

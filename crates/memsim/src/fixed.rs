@@ -1,0 +1,71 @@
+//! Deterministic latency.
+
+use bsched_stats::Pcg32;
+
+use crate::LatencyModel;
+
+/// A fixed, certain load latency.
+///
+/// Used by the Figure 3 reproduction (interlocks as a function of actual
+/// latency 1–6) and wherever tests need deterministic memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FixedLatency(u64);
+
+impl FixedLatency {
+    /// A model that always returns `cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    #[must_use]
+    pub fn new(cycles: u64) -> Self {
+        assert!(cycles >= 1, "latency must be at least 1");
+        Self(cycles)
+    }
+
+    /// The constant latency.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.0
+    }
+}
+
+impl LatencyModel for FixedLatency {
+    fn name(&self) -> String {
+        format!("Fixed({})", self.0)
+    }
+
+    fn sample(&self, _rng: &mut Pcg32) -> u64 {
+        self.0
+    }
+
+    fn optimistic_latency(&self) -> f64 {
+        self.0 as f64
+    }
+
+    fn effective_latency(&self) -> f64 {
+        self.0 as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_samples() {
+        let m = FixedLatency::new(4);
+        let mut rng = Pcg32::seed_from_u64(0);
+        assert!((0..100).all(|_| m.sample(&mut rng) == 4));
+        assert_eq!(m.name(), "Fixed(4)");
+        assert_eq!(m.optimistic_latency(), 4.0);
+        assert_eq!(m.effective_latency(), 4.0);
+        assert_eq!(m.cycles(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be at least 1")]
+    fn zero_panics() {
+        let _ = FixedLatency::new(0);
+    }
+}

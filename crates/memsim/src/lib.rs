@@ -1,0 +1,94 @@
+//! Memory-system latency models (paper §4.5).
+//!
+//! The paper evaluates scheduling under three stochastic memory systems,
+//! all reproduced here behind the [`LatencyModel`] trait:
+//!
+//! * [`CacheModel`] — `Lhr(hl,ml)`: a lockup-free data cache that hits
+//!   with probability `hr` (latency `hl`) and misses otherwise (latency
+//!   `ml`). Paper configurations: `L80(2,5)`, `L80(2,10)`, `L95(2,5)`,
+//!   `L95(2,10)`, modelling 4K and 32K first-level caches.
+//! * [`NetworkModel`] — `N(μ,σ)`: a multipath interconnect with no cache;
+//!   latency follows a zero-based discretised normal distribution.
+//!   Paper configurations: `N(2,2)`, `N(3,2)`, `N(5,2)`, `N(2,5)`,
+//!   `N(3,5)`, `N(5,5)` and the deliberately unbalanced `N(30,5)`.
+//! * [`MixedModel`] — `L80-N(30,5)`: a cache in front of a Tera-style
+//!   network (Alewife-like); hits cost 2 cycles, misses sample `N(30,5)`.
+//! * [`FixedLatency`] — deterministic latency, used for the Figure 3
+//!   interlock study and for testing.
+//!
+//! Each model also reports the latencies a *traditional* scheduler would
+//! assume for it: the optimistic latency (cache-hit time or network mean)
+//! and the effective (expected) access time — the two "Optimistic
+//! Latency" rows per system in Table 2.
+//!
+//! # Example
+//!
+//! ```
+//! use bsched_memsim::{CacheModel, LatencyModel};
+//! use bsched_stats::Pcg32;
+//!
+//! let l80 = CacheModel::new(0.80, 2, 5);
+//! assert_eq!(l80.name(), "L80(2,5)");
+//! assert!((l80.effective_latency() - 2.6).abs() < 1e-12);
+//! let mut rng = Pcg32::seed_from_u64(1);
+//! let lat = l80.sample(&mut rng);
+//! assert!(lat == 2 || lat == 5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod fixed;
+pub mod linecache;
+pub mod markov;
+pub mod mixed;
+pub mod network;
+pub mod normal;
+pub mod system;
+
+pub use cache::CacheModel;
+pub use fixed::FixedLatency;
+pub use linecache::LineCache;
+pub use markov::MarkovNetworkModel;
+pub use mixed::MixedModel;
+pub use network::NetworkModel;
+pub use system::{MemorySystem, ParseSystemError};
+
+use bsched_stats::Pcg32;
+
+/// A stochastic model of load-instruction latency.
+///
+/// Implementations must be deterministic given the RNG state: the
+/// experiment harness replays seeds to make every table reproducible.
+///
+/// The paper's models (§4.5) are address-blind — every load draws from
+/// the same distribution — so the core method is [`sample`](Self::sample).
+/// Address-aware models (the [`LineCache`] extension) override
+/// [`sample_at`](Self::sample_at) and [`begin_run`](Self::begin_run)
+/// to track cache state per simulated address.
+pub trait LatencyModel {
+    /// The paper's name for the configuration (e.g. `L80(2,10)`).
+    fn name(&self) -> String;
+
+    /// Draws one load latency in cycles. Always at least 1.
+    fn sample(&self, rng: &mut Pcg32) -> u64;
+
+    /// Draws a latency for a load of `addr` (`None` when the address is
+    /// not statically known). Address-blind models ignore the address.
+    fn sample_at(&self, addr: Option<u64>, rng: &mut Pcg32) -> u64 {
+        let _ = addr;
+        self.sample(rng)
+    }
+
+    /// Resets any per-run state (cache tags). Called by the simulator at
+    /// the start of each independent run; stateless models ignore it.
+    fn begin_run(&self) {}
+
+    /// The most optimistic single latency a traditional scheduler would
+    /// assume: cache-hit time for cache systems, the mean for networks.
+    fn optimistic_latency(&self) -> f64;
+
+    /// The expected access time (the second "Optimistic Latency" row the
+    /// paper evaluates traditional scheduling at, e.g. 2.6 for L80(2,5)).
+    fn effective_latency(&self) -> f64;
+}

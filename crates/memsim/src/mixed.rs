@@ -1,0 +1,127 @@
+//! The mixed cache-plus-network model `Lhr-N(μ,σ)`.
+
+use bsched_stats::Pcg32;
+
+use crate::normal::DiscretizedNormal;
+use crate::LatencyModel;
+
+/// A data cache backed by a Tera-style interconnection network (§4.5,
+/// third system model — "representative of Alewife-like systems, where a
+/// commodity processor might be incorporated into a shared memory
+/// machine").
+///
+/// A hit (probability `hit_rate`) costs `hit_latency` cycles; a miss
+/// samples the network distribution. The paper's configuration
+/// `L80-N(30,5)` has a mean latency of 7.6 cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixedModel {
+    hit_rate: f64,
+    hit_latency: u64,
+    miss: DiscretizedNormal,
+}
+
+impl MixedModel {
+    /// Creates `Lhr-N(mean,std_dev)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ hit_rate ≤ 1`, `hit_latency ≥ 1`, and the
+    /// network parameters are valid.
+    #[must_use]
+    pub fn new(hit_rate: f64, hit_latency: u64, mean: f64, std_dev: f64) -> Self {
+        assert!((0.0..=1.0).contains(&hit_rate), "hit rate must be in [0,1]");
+        assert!(hit_latency >= 1, "hit latency must be at least 1");
+        Self {
+            hit_rate,
+            hit_latency,
+            miss: DiscretizedNormal::new(mean, std_dev),
+        }
+    }
+
+    /// The paper's configuration `L80-N(30,5)`.
+    #[must_use]
+    pub fn l80_n30_5() -> Self {
+        Self::new(0.80, 2, 30.0, 5.0)
+    }
+
+    /// The hit probability.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        self.hit_rate
+    }
+}
+
+impl LatencyModel for MixedModel {
+    fn name(&self) -> String {
+        format!(
+            "L{}-N({},{})",
+            (self.hit_rate * 100.0).round() as u64,
+            self.miss.mean(),
+            self.miss.std_dev()
+        )
+    }
+
+    fn sample(&self, rng: &mut Pcg32) -> u64 {
+        if rng.bernoulli(self.hit_rate) {
+            self.hit_latency
+        } else {
+            self.miss.sample(rng)
+        }
+    }
+
+    fn optimistic_latency(&self) -> f64 {
+        self.hit_latency as f64
+    }
+
+    fn effective_latency(&self) -> f64 {
+        self.hit_rate * self.hit_latency as f64 + (1.0 - self.hit_rate) * self.miss.discrete_mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_matches_paper() {
+        assert_eq!(MixedModel::l80_n30_5().name(), "L80-N(30,5)");
+    }
+
+    #[test]
+    fn paper_mean_is_7_6() {
+        // §4.5: "This configuration is referred to as L80-N(30,5) and has
+        // a mean latency of 7.6."
+        let eff = MixedModel::l80_n30_5().effective_latency();
+        assert!((eff - 7.6).abs() < 0.02, "effective {eff}");
+    }
+
+    #[test]
+    fn optimistic_is_hit_time() {
+        assert_eq!(MixedModel::l80_n30_5().optimistic_latency(), 2.0);
+    }
+
+    #[test]
+    fn sample_mix() {
+        let m = MixedModel::l80_n30_5();
+        let mut rng = Pcg32::seed_from_u64(11);
+        let n = 50_000;
+        let mut hits = 0u32;
+        let mut miss_sum = 0.0;
+        let mut misses = 0u32;
+        for _ in 0..n {
+            let lat = m.sample(&mut rng);
+            if lat == 2 {
+                hits += 1;
+            } else {
+                misses += 1;
+                miss_sum += lat as f64;
+            }
+        }
+        let hit_rate = f64::from(hits) / f64::from(n);
+        // A miss can also draw latency 2 from N(30,5) with vanishing
+        // probability, so the empirical rate is ≈ 0.8.
+        assert!((hit_rate - 0.8).abs() < 0.01, "hit rate {hit_rate}");
+        let miss_mean = miss_sum / f64::from(misses);
+        assert!((miss_mean - 30.0).abs() < 0.2, "miss mean {miss_mean}");
+    }
+}

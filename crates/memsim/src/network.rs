@@ -1,0 +1,121 @@
+//! The cacheless interconnection-network model `N(μ,σ)`.
+
+use bsched_stats::Pcg32;
+
+use crate::normal::DiscretizedNormal;
+use crate::LatencyModel;
+
+/// A multipath memory interconnect with hashed address distribution and no
+/// cache (§4.5, second system model): every load's latency is a draw from
+/// a zero-based discretised normal `N(μ,σ)`.
+///
+/// σ = 2 models "a machine in a relatively stable state"; σ = 5 one with
+/// "unpredictable memory latencies". Means of 2, 3 and 5 model different
+/// base load levels (in a Tera-style multithreaded machine, more active
+/// threads ⇒ lower mean access time). `N(30,5)` is the deliberately
+/// unbalanced configuration of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    dist: DiscretizedNormal,
+}
+
+impl NetworkModel {
+    /// Creates `N(mean, std_dev)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean > 0` and `std_dev ≥ 0`.
+    #[must_use]
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        Self {
+            dist: DiscretizedNormal::new(mean, std_dev),
+        }
+    }
+
+    /// All seven network configurations of the paper, in Table 2 order.
+    #[must_use]
+    pub fn paper_configs() -> Vec<NetworkModel> {
+        [
+            (2.0, 2.0),
+            (3.0, 2.0),
+            (5.0, 2.0),
+            (2.0, 5.0),
+            (3.0, 5.0),
+            (5.0, 5.0),
+            (30.0, 5.0),
+        ]
+        .into_iter()
+        .map(|(m, s)| NetworkModel::new(m, s))
+        .collect()
+    }
+
+    /// The underlying discretised distribution.
+    #[must_use]
+    pub fn distribution(&self) -> DiscretizedNormal {
+        self.dist
+    }
+}
+
+impl LatencyModel for NetworkModel {
+    fn name(&self) -> String {
+        format!("N({},{})", self.dist.mean(), self.dist.std_dev())
+    }
+
+    fn sample(&self, rng: &mut Pcg32) -> u64 {
+        self.dist.sample(rng)
+    }
+
+    fn optimistic_latency(&self) -> f64 {
+        self.dist.mean()
+    }
+
+    fn effective_latency(&self) -> f64 {
+        self.dist.discrete_mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(NetworkModel::new(2.0, 2.0).name(), "N(2,2)");
+        assert_eq!(NetworkModel::new(30.0, 5.0).name(), "N(30,5)");
+    }
+
+    #[test]
+    fn paper_configs_are_seven() {
+        let configs = NetworkModel::paper_configs();
+        assert_eq!(configs.len(), 7);
+        assert_eq!(configs[0].name(), "N(2,2)");
+        assert_eq!(configs[6].name(), "N(30,5)");
+    }
+
+    #[test]
+    fn optimistic_is_mean() {
+        assert_eq!(NetworkModel::new(5.0, 2.0).optimistic_latency(), 5.0);
+    }
+
+    #[test]
+    fn high_sigma_spreads_samples() {
+        let tight = NetworkModel::new(5.0, 2.0);
+        let wide = NetworkModel::new(5.0, 5.0);
+        let mut rng = Pcg32::seed_from_u64(9);
+        let spread = |m: &NetworkModel, rng: &mut Pcg32| {
+            let xs: Vec<f64> = (0..20_000).map(|_| m.sample(rng) as f64).collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            (xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64).sqrt()
+        };
+        let s_tight = spread(&tight, &mut rng);
+        let s_wide = spread(&wide, &mut rng);
+        assert!(s_wide > s_tight + 0.5, "{s_wide} vs {s_tight}");
+    }
+
+    #[test]
+    fn samples_never_below_one() {
+        let m = NetworkModel::new(2.0, 5.0);
+        let mut rng = Pcg32::seed_from_u64(4);
+        assert!((0..50_000).all(|_| m.sample(&mut rng) >= 1));
+    }
+}

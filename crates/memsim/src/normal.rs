@@ -1,0 +1,183 @@
+//! Discretised, floor-clamped normal distributions.
+//!
+//! The network models (§4.5) draw latencies from "zero-based probability
+//! mass functions, depicting normal distributions". We realise that as:
+//! draw a continuous normal `N(μ,σ)`, round to the nearest integer, and
+//! clamp below at 1 cycle (a load cannot complete before the cycle it
+//! issues). The corresponding pmf and its exact mean are computed through
+//! the normal CDF so experiments can report effective latencies without
+//! Monte Carlo.
+
+use bsched_stats::Pcg32;
+
+/// Error function via the Abramowitz & Stegun 7.1.26 approximation
+/// (|error| ≤ 1.5·10⁻⁷ — far below the experiment noise floor).
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal CDF.
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// A normal distribution discretised to integer cycles ≥ 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscretizedNormal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl DiscretizedNormal {
+    /// Creates `N(mean, std_dev)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean > 0` and `std_dev >= 0`.
+    #[must_use]
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        assert!(std_dev >= 0.0, "standard deviation must be nonnegative");
+        Self { mean, std_dev }
+    }
+
+    /// The continuous mean μ.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The continuous standard deviation σ.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Draws one discretised sample: `max(1, round(N(μ,σ)))`.
+    #[must_use]
+    pub fn sample(&self, rng: &mut Pcg32) -> u64 {
+        let x = self.mean + self.std_dev * rng.next_standard_normal();
+        let rounded = x.round();
+        if rounded < 1.0 {
+            1
+        } else {
+            rounded as u64
+        }
+    }
+
+    /// Probability that a sample equals `k` (for `k ≥ 1`).
+    #[must_use]
+    pub fn pmf(&self, k: u64) -> f64 {
+        if self.std_dev == 0.0 {
+            let point = (self.mean.round().max(1.0)) as u64;
+            return if k == point { 1.0 } else { 0.0 };
+        }
+        let z = |x: f64| (x - self.mean) / self.std_dev;
+        match k {
+            0 => 0.0,
+            1 => normal_cdf(z(1.5)),
+            _ => normal_cdf(z(k as f64 + 0.5)) - normal_cdf(z(k as f64 - 0.5)),
+        }
+    }
+
+    /// Exact mean of the discretised distribution.
+    ///
+    /// Because of clamping at 1 and rounding, this differs slightly from
+    /// μ for distributions with substantial mass below 1 (e.g. `N(2,5)`).
+    #[must_use]
+    pub fn discrete_mean(&self) -> f64 {
+        if self.std_dev == 0.0 {
+            return self.mean.round().max(1.0);
+        }
+        // Sum until the upper tail is negligible.
+        let hi = (self.mean + 10.0 * self.std_dev).ceil() as u64 + 2;
+        (1..=hi).map(|k| k as f64 * self.pmf(k)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1.5e-7, "approximation error bound");
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_symmetry() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        for x in [0.3, 1.0, 2.5] {
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for (mu, sd) in [(2.0, 2.0), (3.0, 5.0), (30.0, 5.0), (5.0, 2.0)] {
+            let d = DiscretizedNormal::new(mu, sd);
+            let total: f64 = (1..=((mu + 12.0 * sd) as u64)).map(|k| d.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-6, "N({mu},{sd}) sums to {total}");
+        }
+    }
+
+    #[test]
+    fn samples_match_pmf_mean() {
+        let d = DiscretizedNormal::new(5.0, 2.0);
+        let mut rng = Pcg32::seed_from_u64(7);
+        let n = 200_000;
+        let empirical: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / f64::from(n);
+        assert!(
+            (empirical - d.discrete_mean()).abs() < 0.02,
+            "{empirical} vs {}",
+            d.discrete_mean()
+        );
+    }
+
+    #[test]
+    fn samples_are_at_least_one() {
+        // N(2,5) has huge mass below 1; clamping must hold.
+        let d = DiscretizedNormal::new(2.0, 5.0);
+        let mut rng = Pcg32::seed_from_u64(3);
+        assert!((0..10_000).all(|_| d.sample(&mut rng) >= 1));
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let d = DiscretizedNormal::new(4.0, 0.0);
+        let mut rng = Pcg32::seed_from_u64(1);
+        assert!((0..100).all(|_| d.sample(&mut rng) == 4));
+        assert_eq!(d.pmf(4), 1.0);
+        assert_eq!(d.pmf(5), 0.0);
+        assert_eq!(d.discrete_mean(), 4.0);
+    }
+
+    #[test]
+    fn clamping_raises_small_means() {
+        // For N(2,5) the discretised mean exceeds 2 because negative draws
+        // clamp to 1.
+        let d = DiscretizedNormal::new(2.0, 5.0);
+        assert!(d.discrete_mean() > 2.0);
+        // For a tight distribution the discretised mean is close to μ.
+        let tight = DiscretizedNormal::new(30.0, 5.0);
+        assert!((tight.discrete_mean() - 30.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be positive")]
+    fn nonpositive_mean_panics() {
+        let _ = DiscretizedNormal::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! A closed enumeration over the paper's memory systems.
+
+use bsched_stats::Pcg32;
+
+use crate::{CacheModel, FixedLatency, LatencyModel, MixedModel, NetworkModel};
+
+/// Any of the paper's memory-system models, as one cloneable value type.
+///
+/// The experiment harness iterates over heterogeneous system
+/// configurations; this enum avoids boxing while still implementing
+/// [`LatencyModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MemorySystem {
+    /// Deterministic latency.
+    Fixed(FixedLatency),
+    /// Lockup-free cache `Lhr(hl,ml)`.
+    Cache(CacheModel),
+    /// Interconnection network `N(μ,σ)`.
+    Network(NetworkModel),
+    /// Cache + network `Lhr-N(μ,σ)`.
+    Mixed(MixedModel),
+}
+
+impl MemorySystem {
+    /// The 12 stochastic system configurations of Table 2, in table order:
+    /// four caches, seven networks, one mixed.
+    #[must_use]
+    pub fn paper_systems() -> Vec<MemorySystem> {
+        let mut v = vec![
+            MemorySystem::Cache(CacheModel::l80_5()),
+            MemorySystem::Cache(CacheModel::l80_10()),
+            MemorySystem::Cache(CacheModel::l95_5()),
+            MemorySystem::Cache(CacheModel::l95_10()),
+        ];
+        v.extend(
+            NetworkModel::paper_configs()
+                .into_iter()
+                .map(MemorySystem::Network),
+        );
+        v.push(MemorySystem::Mixed(MixedModel::l80_n30_5()));
+        v
+    }
+}
+
+impl LatencyModel for MemorySystem {
+    fn name(&self) -> String {
+        match self {
+            MemorySystem::Fixed(m) => m.name(),
+            MemorySystem::Cache(m) => m.name(),
+            MemorySystem::Network(m) => m.name(),
+            MemorySystem::Mixed(m) => m.name(),
+        }
+    }
+
+    fn sample(&self, rng: &mut Pcg32) -> u64 {
+        match self {
+            MemorySystem::Fixed(m) => m.sample(rng),
+            MemorySystem::Cache(m) => m.sample(rng),
+            MemorySystem::Network(m) => m.sample(rng),
+            MemorySystem::Mixed(m) => m.sample(rng),
+        }
+    }
+
+    fn optimistic_latency(&self) -> f64 {
+        match self {
+            MemorySystem::Fixed(m) => m.optimistic_latency(),
+            MemorySystem::Cache(m) => m.optimistic_latency(),
+            MemorySystem::Network(m) => m.optimistic_latency(),
+            MemorySystem::Mixed(m) => m.optimistic_latency(),
+        }
+    }
+
+    fn effective_latency(&self) -> f64 {
+        match self {
+            MemorySystem::Fixed(m) => m.effective_latency(),
+            MemorySystem::Cache(m) => m.effective_latency(),
+            MemorySystem::Network(m) => m.effective_latency(),
+            MemorySystem::Mixed(m) => m.effective_latency(),
+        }
+    }
+}
+
+impl From<FixedLatency> for MemorySystem {
+    fn from(m: FixedLatency) -> Self {
+        MemorySystem::Fixed(m)
+    }
+}
+
+impl From<CacheModel> for MemorySystem {
+    fn from(m: CacheModel) -> Self {
+        MemorySystem::Cache(m)
+    }
+}
+
+impl From<NetworkModel> for MemorySystem {
+    fn from(m: NetworkModel) -> Self {
+        MemorySystem::Network(m)
+    }
+}
+
+impl From<MixedModel> for MemorySystem {
+    fn from(m: MixedModel) -> Self {
+        MemorySystem::Mixed(m)
+    }
+}
+
+/// Error parsing a [`MemorySystem`] from its paper-style name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSystemError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseSystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid memory system {:?} (expected e.g. L80(2,5), N(3,5), L80-N(30,5), fixed(4))",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseSystemError {}
+
+/// Splits `"f(a,b)"`-shaped text into `(f, [a, b])`.
+fn split_call(s: &str) -> Option<(&str, Vec<&str>)> {
+    let open = s.find('(')?;
+    let close = s.strip_suffix(')')?;
+    let name = &s[..open];
+    let args = close.get(open + 1..)?;
+    Some((name, args.split(',').map(str::trim).collect()))
+}
+
+impl std::str::FromStr for MemorySystem {
+    type Err = ParseSystemError;
+
+    /// Parses the paper's configuration names, case-insensitively on the
+    /// letters: `L<hr>(<hit>,<miss>)`, `N(<mean>,<sigma>)`,
+    /// `L<hr>-N(<mean>,<sigma>)`, and `fixed(<cycles>)`.
+    fn from_str(s: &str) -> Result<MemorySystem, ParseSystemError> {
+        let err = || ParseSystemError {
+            input: s.to_owned(),
+        };
+        let s = s.trim();
+        let (name, args) = split_call(s).ok_or_else(err)?;
+        let name = name.trim();
+        let floats: Option<Vec<f64>> = args.iter().map(|a| a.parse().ok()).collect();
+        let floats = floats.ok_or_else(err)?;
+
+        if name.eq_ignore_ascii_case("fixed") && floats.len() == 1 && floats[0] >= 1.0 {
+            return Ok(FixedLatency::new(floats[0] as u64).into());
+        }
+        if name.eq_ignore_ascii_case("n") && floats.len() == 2 {
+            if floats[0] <= 0.0 || floats[1] < 0.0 {
+                return Err(err());
+            }
+            return Ok(NetworkModel::new(floats[0], floats[1]).into());
+        }
+        // "L80" or "L80-N".
+        if let Some(rest) = name.strip_prefix(['L', 'l']) {
+            if let Some(hr_text) = rest.strip_suffix("-N").or_else(|| rest.strip_suffix("-n")) {
+                let hr: f64 = hr_text.parse().map_err(|_| err())?;
+                if !(0.0..=100.0).contains(&hr) || floats.len() != 2 || floats[0] <= 0.0 {
+                    return Err(err());
+                }
+                return Ok(MixedModel::new(hr / 100.0, 2, floats[0], floats[1]).into());
+            }
+            let hr: f64 = rest.parse().map_err(|_| err())?;
+            if !(0.0..=100.0).contains(&hr) || floats.len() != 2 {
+                return Err(err());
+            }
+            let (hit, miss) = (floats[0], floats[1]);
+            if hit < 1.0 || miss < hit {
+                return Err(err());
+            }
+            return Ok(CacheModel::new(hr / 100.0, hit as u64, miss as u64).into());
+        }
+        Err(err())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_systems_match_table2_rows() {
+        let systems = MemorySystem::paper_systems();
+        let names: Vec<String> = systems.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "L80(2,5)",
+                "L80(2,10)",
+                "L95(2,5)",
+                "L95(2,10)",
+                "N(2,2)",
+                "N(3,2)",
+                "N(5,2)",
+                "N(2,5)",
+                "N(3,5)",
+                "N(5,5)",
+                "N(30,5)",
+                "L80-N(30,5)",
+            ]
+        );
+    }
+
+    #[test]
+    fn delegation_is_consistent() {
+        let sys: MemorySystem = CacheModel::l80_5().into();
+        assert_eq!(sys.name(), "L80(2,5)");
+        assert_eq!(sys.optimistic_latency(), 2.0);
+        assert!((sys.effective_latency() - 2.6).abs() < 1e-12);
+        let mut rng = Pcg32::seed_from_u64(1);
+        let v = sys.sample(&mut rng);
+        assert!(v == 2 || v == 5);
+    }
+
+    #[test]
+    fn from_impls() {
+        let _: MemorySystem = FixedLatency::new(3).into();
+        let _: MemorySystem = NetworkModel::new(2.0, 2.0).into();
+        let _: MemorySystem = MixedModel::l80_n30_5().into();
+    }
+
+    #[test]
+    fn parse_every_paper_system_roundtrip() {
+        for system in MemorySystem::paper_systems() {
+            let parsed: MemorySystem = system.name().parse().unwrap();
+            assert_eq!(parsed, system, "{}", system.name());
+        }
+    }
+
+    #[test]
+    fn parse_fixed_and_case_insensitive() {
+        let f: MemorySystem = "fixed(4)".parse().unwrap();
+        assert_eq!(f, FixedLatency::new(4).into());
+        let n: MemorySystem = "n(3,5)".parse().unwrap();
+        assert_eq!(n, NetworkModel::new(3.0, 5.0).into());
+        let c: MemorySystem = "l95(2,10)".parse().unwrap();
+        assert_eq!(c, CacheModel::l95_10().into());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "",
+            "L80",
+            "L80()",
+            "L80(2)",
+            "L80(5,2)", // miss < hit
+            "N(0,5)",
+            "N(2,-1)",
+            "fixed(0)",
+            "Q(1,2)",
+            "L200(2,5)",
+            "L80(2,5",
+            "N(a,b)",
+        ] {
+            assert!(bad.parse::<MemorySystem>().is_err(), "{bad:?} should fail");
+        }
+    }
+}

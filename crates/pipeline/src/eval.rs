@@ -1,0 +1,230 @@
+//! Measurement: the §4.3 simulation and bootstrap protocol.
+
+use bsched_cpusim::{simulate_block, simulate_runs_wide, ProcessorModel, SimResult};
+use bsched_memsim::LatencyModel;
+use bsched_stats::{bootstrap_means, paired_improvement, Improvement, Pcg32};
+
+use crate::pipeline::CompiledProgram;
+
+/// Measurement protocol parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalConfig {
+    /// Full simulations per block ("30 times with new random numbers").
+    pub runs: u32,
+    /// Bootstrap resampled means per block ("until we have 100 sample
+    /// means").
+    pub resamples: usize,
+    /// Processor model (UNLIMITED / MAX-8 / LEN-8).
+    pub processor: ProcessorModel,
+    /// Instructions issued per cycle (§6 superscalar extension; the
+    /// paper's machines are single-issue).
+    pub issue_width: u32,
+    /// Master seed; every block/run derives its stream from it.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self {
+            runs: 30,
+            resamples: 100,
+            processor: ProcessorModel::Unlimited,
+            issue_width: 1,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A program's measured behaviour under one memory system and processor.
+#[derive(Debug, Clone)]
+pub struct ProgramEval {
+    /// 100 (or `resamples`) bootstrap program runtimes: each is the
+    /// frequency-weighted sum of per-block resampled mean runtimes.
+    pub bootstrap_runtimes: Vec<f64>,
+    /// Mean of the bootstrap runtimes (the runtime the tables report).
+    pub mean_runtime: f64,
+    /// Frequency-weighted dynamic instruction count.
+    pub dynamic_instructions: f64,
+    /// Frequency-weighted mean interlock cycles.
+    pub mean_interlocks: f64,
+}
+
+impl ProgramEval {
+    /// Percentage of execution cycles that are interlocks (TI%/BI% in
+    /// Tables 3 and 5).
+    #[must_use]
+    pub fn interlock_percent(&self) -> f64 {
+        let cycles = self.dynamic_instructions + self.mean_interlocks;
+        if cycles == 0.0 {
+            0.0
+        } else {
+            self.mean_interlocks / cycles * 100.0
+        }
+    }
+}
+
+/// Runs the full measurement protocol on a compiled program.
+///
+/// Per block: `runs` independent simulations (independent latency draws,
+/// deterministically derived from `config.seed`), bootstrap-resampled
+/// into `resamples` means; block means are scaled by profiled frequency
+/// and summed into program-level bootstrap runtimes, exactly as §4.3
+/// describes.
+#[must_use]
+pub fn evaluate(
+    program: &CompiledProgram,
+    mem: &dyn LatencyModel,
+    config: &EvalConfig,
+) -> ProgramEval {
+    let sim_root = Pcg32::seed_from_u64(config.seed);
+    let boot_root = Pcg32::seed_from_u64(config.seed ^ 0xB007_5742_u64);
+
+    let mut bootstrap_runtimes = vec![0.0; config.resamples];
+    let mut mean_interlocks = 0.0;
+
+    for (i, cb) in program.blocks.iter().enumerate() {
+        let block_rng = sim_root.split(i as u64);
+        let samples = simulate_runs_wide(
+            &cb.block,
+            mem,
+            config.processor,
+            config.issue_width,
+            config.runs,
+            &block_rng,
+        );
+        let mut boot_rng = boot_root.split(i as u64);
+        let means = bootstrap_means(&samples, config.resamples, &mut boot_rng);
+        let freq = cb.block.frequency();
+        for (total, m) in bootstrap_runtimes.iter_mut().zip(&means) {
+            *total += m * freq;
+        }
+        // Interlock accounting: mean over the same runs.
+        let mut interlocks = 0.0;
+        for r in 0..config.runs {
+            let mut rng = block_rng.split(u64::from(r));
+            let result: SimResult = simulate_block(&cb.block, mem, config.processor, &mut rng);
+            interlocks += result.interlocks as f64;
+        }
+        mean_interlocks += interlocks / f64::from(config.runs) * freq;
+    }
+
+    let mean_runtime =
+        bootstrap_runtimes.iter().sum::<f64>() / bootstrap_runtimes.len().max(1) as f64;
+    ProgramEval {
+        bootstrap_runtimes,
+        mean_runtime,
+        dynamic_instructions: program.dynamic_instructions(),
+        mean_interlocks,
+    }
+}
+
+/// Pairs a traditional-scheduler evaluation with a balanced one and
+/// returns the percentage improvement with its 95% confidence interval
+/// (§4.3: "the 100 sample means from the balanced scheduler are paired
+/// with an equal number from the traditional scheduler").
+#[must_use]
+pub fn compare(traditional: &ProgramEval, balanced: &ProgramEval) -> Improvement {
+    paired_improvement(
+        &traditional.bootstrap_runtimes,
+        &balanced.bootstrap_runtimes,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, SchedulerChoice};
+    use bsched_core::Ratio;
+    use bsched_ir::{BlockBuilder, Function};
+    use bsched_memsim::{CacheModel, FixedLatency, NetworkModel};
+
+    fn demo_program() -> Function {
+        let mut blocks = Vec::new();
+        for (n, freq) in [(8usize, 100.0), (16, 40.0)] {
+            let mut b = BlockBuilder::new(format!("b{n}"));
+            b.set_frequency(freq);
+            let region = b.fresh_region();
+            let base = b.def_int("base");
+            let vals: Vec<_> = (0..n)
+                .map(|k| b.load_region("l", region, base, Some(8 * k as i64)))
+                .collect();
+            let mut acc = vals[0];
+            for &v in &vals[1..] {
+                acc = b.fadd("a", acc, v);
+            }
+            b.store_region(region, acc, base, Some(9_000));
+            blocks.push(b.finish());
+        }
+        Function::new("demo", blocks)
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let prog = Pipeline::default()
+            .compile(&demo_program(), &SchedulerChoice::balanced())
+            .unwrap();
+        let cfg = EvalConfig::default();
+        let mem = CacheModel::l80_5();
+        let a = evaluate(&prog, &mem, &cfg);
+        let b = evaluate(&prog, &mem, &cfg);
+        assert_eq!(a.bootstrap_runtimes, b.bootstrap_runtimes);
+        assert_eq!(a.mean_interlocks, b.mean_interlocks);
+    }
+
+    #[test]
+    fn fixed_latency_one_gives_zero_interlocks_everywhere() {
+        // With actual latency 1 every schedule is perfect.
+        let prog = Pipeline::default()
+            .compile(&demo_program(), &SchedulerChoice::balanced())
+            .unwrap();
+        let eval = evaluate(&prog, &FixedLatency::new(1), &EvalConfig::default());
+        assert_eq!(eval.mean_interlocks, 0.0);
+        assert_eq!(eval.interlock_percent(), 0.0);
+        // Runtime equals dynamic instructions exactly.
+        assert!((eval.mean_runtime - eval.dynamic_instructions).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_beats_traditional_under_uncertainty() {
+        // The paper's headline claim on a high-variance network.
+        let pipeline = Pipeline::default();
+        let func = demo_program();
+        let balanced = pipeline
+            .compile(&func, &SchedulerChoice::balanced())
+            .unwrap();
+        let traditional = pipeline
+            .compile(&func, &SchedulerChoice::traditional(Ratio::from_int(2)))
+            .unwrap();
+        let mem = NetworkModel::new(2.0, 5.0);
+        let cfg = EvalConfig::default();
+        let b = evaluate(&balanced, &mem, &cfg);
+        let t = evaluate(&traditional, &mem, &cfg);
+        let imp = compare(&t, &b);
+        assert!(
+            imp.mean_percent > 0.0,
+            "balanced should win under N(2,5): {imp}"
+        );
+    }
+
+    #[test]
+    fn identical_programs_improve_zero() {
+        let prog = Pipeline::default()
+            .compile(&demo_program(), &SchedulerChoice::balanced())
+            .unwrap();
+        let eval = evaluate(&prog, &CacheModel::l80_5(), &EvalConfig::default());
+        let imp = compare(&eval, &eval);
+        assert_eq!(imp.mean_percent, 0.0);
+    }
+
+    #[test]
+    fn interlock_percent_bounds() {
+        let prog = Pipeline::default()
+            .compile(&demo_program(), &SchedulerChoice::balanced())
+            .unwrap();
+        let eval = evaluate(&prog, &NetworkModel::new(30.0, 5.0), &EvalConfig::default());
+        let pct = eval.interlock_percent();
+        assert!(pct > 0.0 && pct < 100.0, "{pct}");
+        // At mean latency 30 on these small blocks, interlocks dominate.
+        assert!(pct > 30.0, "{pct}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Register-file and spill-pool configuration.
+
+use bsched_ir::RegClass;
+
+/// How reload target registers are recycled from the spill pool (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PoolPolicy {
+    /// FIFO queue ordering — the paper's improvement: pool registers are
+    /// reused in rotation, maximising the distance between writes to the
+    /// same register so the second scheduling pass sees fewer anti- and
+    /// output dependences among reloads.
+    #[default]
+    Fifo,
+    /// GCC's original behaviour: always take the lowest-numbered free
+    /// pool register, so consecutive reloads hammer the same register and
+    /// serialise under second-pass scheduling. Kept as an ablation.
+    Fixed,
+}
+
+/// Register-file sizes and spill-pool shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocatorConfig {
+    /// Integer registers available to the allocator (bases, addresses).
+    pub int_regs: u32,
+    /// Floating-point registers available to the allocator.
+    pub fp_regs: u32,
+    /// Registers per class reserved as the spill/reload pool. GCC used a
+    /// small pool; the paper grows it by two.
+    pub pool_size: u32,
+    /// Reload-register recycling policy.
+    pub policy: PoolPolicy,
+}
+
+impl AllocatorConfig {
+    /// A MIPS-flavoured default: 12 integer and 16 FP allocatable
+    /// registers (the rest of the architectural 32 are reserved for the
+    /// ABI, constants and addressing, as in the paper's GCC setup), with
+    /// a 4-register FIFO spill pool per class.
+    #[must_use]
+    pub fn mips_default() -> Self {
+        Self {
+            int_regs: 12,
+            fp_regs: 16,
+            pool_size: 4,
+            policy: PoolPolicy::Fifo,
+        }
+    }
+
+    /// Same file sizes with the original small fixed pool (pool grown
+    /// back down by the paper's two and recycled lowest-first) — the
+    /// unimproved GCC baseline for the ablation bench.
+    #[must_use]
+    pub fn gcc_original() -> Self {
+        Self {
+            int_regs: 12,
+            fp_regs: 16,
+            pool_size: 2,
+            policy: PoolPolicy::Fixed,
+        }
+    }
+
+    /// Total registers of `class`.
+    #[must_use]
+    pub fn regs_of(&self, class: RegClass) -> u32 {
+        match class {
+            RegClass::Int => self.int_regs,
+            RegClass::Float => self.fp_regs,
+        }
+    }
+
+    /// Registers of `class` usable for ordinary allocation (file minus
+    /// the reserved spill pool).
+    #[must_use]
+    pub fn general_regs_of(&self, class: RegClass) -> u32 {
+        self.regs_of(class).saturating_sub(self.pool_size)
+    }
+
+    /// Validates that the configuration can allocate at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any class has no general registers or the pool is
+    /// smaller than 2 (an instruction may need two reloaded operands).
+    pub fn validate(&self) {
+        for class in RegClass::ALL {
+            assert!(
+                self.general_regs_of(class) >= 2,
+                "class {class} needs at least two general registers"
+            );
+        }
+        assert!(
+            self.pool_size >= 2,
+            "spill pool must hold at least two registers"
+        );
+    }
+}
+
+impl Default for AllocatorConfig {
+    fn default() -> Self {
+        Self::mips_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        AllocatorConfig::mips_default().validate();
+        AllocatorConfig::gcc_original().validate();
+    }
+
+    #[test]
+    fn general_excludes_pool() {
+        let c = AllocatorConfig::mips_default();
+        assert_eq!(c.general_regs_of(RegClass::Float), 16 - 4);
+        assert_eq!(c.general_regs_of(RegClass::Int), 12 - 4);
+        assert_eq!(c.regs_of(RegClass::Int), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two general registers")]
+    fn tiny_file_is_invalid() {
+        AllocatorConfig {
+            int_regs: 3,
+            fp_regs: 16,
+            pool_size: 2,
+            policy: PoolPolicy::Fifo,
+        }
+        .validate();
+    }
+
+    #[test]
+    fn default_policy_is_fifo() {
+        assert_eq!(PoolPolicy::default(), PoolPolicy::Fifo);
+        assert_eq!(AllocatorConfig::default(), AllocatorConfig::mips_default());
+    }
+}

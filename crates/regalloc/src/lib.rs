@@ -1,0 +1,56 @@
+//! Register allocation with spill insertion (paper §4.1).
+//!
+//! GCC in the paper schedules twice: once before register allocation
+//! (virtual registers, maximal freedom) and once after (to integrate the
+//! allocator's spill code). This crate is the middle stage: a
+//! linear-scan allocator over the first-pass schedule order, with
+//! Belady-style eviction and — crucially for the paper's spill results —
+//! a configurable **spill register pool**:
+//!
+//! * the paper enlarges GCC's pool by two and recycles registers in a
+//!   **FIFO queue** ([`PoolPolicy::Fifo`]), so that consecutive reloads
+//!   target different registers and the second scheduling pass is not
+//!   serialised by anti-dependences between them;
+//! * the unimproved baseline ([`PoolPolicy::Fixed`]) reuses the lowest
+//!   pool register, reproducing the behaviour the paper fixes.
+//!
+//! Spill instructions are tagged with dedicated opcodes
+//! ([`bsched_ir::Opcode::SpillLoad`]/[`SpillStore`]) so the experiment
+//! harness can compute Table 4's spill percentages by inspection, using
+//! the paper's definition: "a spill instruction is any instruction that
+//! is inserted by the register allocator".
+//!
+//! [`SpillStore`]: bsched_ir::Opcode::SpillStore
+//!
+//! # Example
+//!
+//! ```
+//! use bsched_regalloc::{allocate, AllocatorConfig};
+//! use bsched_ir::BlockBuilder;
+//!
+//! # fn main() -> Result<(), bsched_regalloc::AllocError> {
+//! let mut b = BlockBuilder::new("k");
+//! let region = b.fresh_region();
+//! let base = b.def_int("base");
+//! let x = b.load_region("x", region, base, Some(0));
+//! let y = b.fadd("y", x, x);
+//! b.store_region(region, y, base, Some(8));
+//! let result = allocate(&b.finish(), &AllocatorConfig::mips_default())?;
+//! assert_eq!(result.spill_count(), 0); // plenty of registers here
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod config;
+pub mod liveness;
+pub mod rename;
+pub mod usage_count;
+
+pub use alloc::{allocate, AllocError, AllocResult, SPILL_REGION};
+pub use config::{AllocatorConfig, PoolPolicy};
+pub use liveness::UsePositions;
+pub use rename::rename_registers;
+pub use usage_count::allocate_usage_count;

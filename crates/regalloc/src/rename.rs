@@ -1,0 +1,352 @@
+//! Post-allocation software register renaming (§4.1).
+//!
+//! The paper's fix for GCC's spill-register serialisation is the FIFO
+//! pool; it also notes "an alternative approach would use software
+//! register renaming after register allocation to better integrate spill
+//! instructions". This pass implements that alternative: it walks the
+//! allocated block and gives every definition a register drawn from a
+//! FIFO queue of free registers — the whole-file generalisation of the
+//! paper's FIFO spill pool — maximising the distance before any physical
+//! name is reused and thereby breaking anti- and output dependences the
+//! allocator introduced.
+//!
+//! Renaming is semantics-preserving on straight-line code: a definition
+//! only takes a register whose previous value is dead (or whose final
+//! read happens in the same instruction — reads precede writes), and all
+//! uses up to the original register's next redefinition are rewritten.
+
+use std::collections::{HashMap, VecDeque};
+
+use bsched_ir::{BasicBlock, PhysReg, Reg, RegClass};
+
+use crate::config::AllocatorConfig;
+
+/// Computes, for each (instruction index, def register) pair, the last
+/// instruction index that reads the defined value (the def index itself
+/// when the value is never read).
+fn def_range_ends(block: &BasicBlock) -> HashMap<(usize, Reg), usize> {
+    let mut defs_of: HashMap<Reg, Vec<usize>> = HashMap::new();
+    let mut uses_of: HashMap<Reg, Vec<usize>> = HashMap::new();
+    for (idx, inst) in block.insts().iter().enumerate() {
+        for &u in inst.uses() {
+            uses_of.entry(u).or_default().push(idx);
+        }
+        for &d in inst.defs() {
+            defs_of.entry(d).or_default().push(idx);
+        }
+    }
+    let mut ends = HashMap::new();
+    for (reg, defs) in &defs_of {
+        let empty = Vec::new();
+        let uses = uses_of.get(reg).unwrap_or(&empty);
+        for (k, &def_idx) in defs.iter().enumerate() {
+            let next_def = defs.get(k + 1).copied().unwrap_or(usize::MAX);
+            let end = uses
+                .iter()
+                .copied()
+                .filter(|&u| u > def_idx && u < next_def)
+                .max()
+                .unwrap_or(def_idx);
+            ends.insert((def_idx, *reg), end);
+        }
+    }
+    ends
+}
+
+/// Per-class renaming state: a FIFO of free registers plus the active
+/// (renamed, last-use) ranges.
+struct ClassRenamer {
+    free: VecDeque<PhysReg>,
+    active: Vec<(PhysReg, usize)>,
+}
+
+impl ClassRenamer {
+    fn release_dead(&mut self, idx: usize) {
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].1 < idx {
+                let (reg, _) = self.active.swap_remove(i);
+                self.free.push_back(reg);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Takes the longest-free register; if none is free, steals an active
+    /// register whose final use is the current instruction (safe: reads
+    /// precede writes).
+    fn take(&mut self, idx: usize, end: usize) -> PhysReg {
+        let chosen = self.free.pop_front().unwrap_or_else(|| {
+            let pos = self
+                .active
+                .iter()
+                .position(|&(_, e)| e == idx)
+                .expect("allocation guaranteed a free register at every def");
+            self.active.swap_remove(pos).0
+        });
+        self.active.push((chosen, end));
+        chosen
+    }
+}
+
+/// Renames physical registers to minimise false dependences.
+///
+/// `config` bounds the register file: renaming only uses registers below
+/// `config.regs_of(class)`. Registers live into the block (read before
+/// any definition — e.g. incoming arguments) keep their names and are
+/// never reused for other values.
+///
+/// # Panics
+///
+/// Panics if the block still contains virtual registers (renaming runs
+/// after allocation).
+#[must_use]
+pub fn rename_registers(block: &BasicBlock, config: &AllocatorConfig) -> BasicBlock {
+    let ends = def_range_ends(block);
+
+    // Registers read before any def keep their identity.
+    let mut seen_def: std::collections::HashSet<Reg> = std::collections::HashSet::new();
+    let mut live_in: std::collections::HashSet<PhysReg> = std::collections::HashSet::new();
+    for inst in block.insts() {
+        for &u in inst.uses() {
+            if !seen_def.contains(&u) {
+                match u {
+                    Reg::Phys(p) => {
+                        live_in.insert(p);
+                    }
+                    Reg::Virt(_) => panic!("renaming runs after register allocation"),
+                }
+            }
+        }
+        for &d in inst.defs() {
+            seen_def.insert(d);
+        }
+    }
+
+    let mut states: HashMap<RegClass, ClassRenamer> = RegClass::ALL
+        .into_iter()
+        .map(|class| {
+            let free: VecDeque<PhysReg> = (0..config.regs_of(class))
+                .map(|i| PhysReg::new(class, i))
+                .filter(|p| !live_in.contains(p))
+                .collect();
+            (
+                class,
+                ClassRenamer {
+                    free,
+                    active: Vec::new(),
+                },
+            )
+        })
+        .collect();
+
+    let mut current: HashMap<Reg, PhysReg> = HashMap::new();
+    let mut out = Vec::with_capacity(block.len());
+
+    for (idx, inst) in block.insts().iter().enumerate() {
+        for state in states.values_mut() {
+            state.release_dead(idx);
+        }
+        // Rewrite uses through the active map.
+        let uses: Vec<Reg> = inst
+            .uses()
+            .iter()
+            .map(|&u| current.get(&u).map_or(u, |p| Reg::Phys(*p)))
+            .collect();
+        // Fresh FIFO names for the defs.
+        let defs: Vec<Reg> = inst
+            .defs()
+            .iter()
+            .map(|&d| {
+                let Reg::Phys(original) = d else {
+                    panic!("renaming runs after register allocation")
+                };
+                let end = ends[&(idx, d)];
+                let state = states.get_mut(&original.class()).expect("state per class");
+                let fresh = state.take(idx, end);
+                current.insert(d, fresh);
+                Reg::Phys(fresh)
+            })
+            .collect();
+        let mut rebuilt = bsched_ir::Inst::new(inst.opcode(), defs, uses, inst.mem());
+        if let Some(n) = inst.name() {
+            rebuilt = rebuilt.with_name(n);
+        }
+        out.push(rebuilt);
+    }
+    BasicBlock::new(block.name().to_owned(), out).with_frequency(block.frequency())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::allocate;
+    use crate::config::PoolPolicy;
+    use bsched_dag::{build_dag, AliasModel, DepKind};
+    use bsched_ir::{BlockBuilder, Inst, Opcode};
+
+    fn small_config() -> AllocatorConfig {
+        AllocatorConfig {
+            int_regs: 6,
+            fp_regs: 6,
+            pool_size: 2,
+            policy: PoolPolicy::Fixed,
+        }
+    }
+
+    fn pressure_block(n: usize) -> BasicBlock {
+        let mut b = BlockBuilder::new("p");
+        let region = b.fresh_region();
+        let base = b.def_int("base");
+        let vals: Vec<_> = (0..n)
+            .map(|k| b.load_region("l", region, base, Some(8 * k as i64)))
+            .collect();
+        let mut acc = vals[0];
+        for &v in vals.iter().rev() {
+            acc = b.fadd("a", acc, v);
+        }
+        b.store_region(region, acc, base, Some(10_000));
+        b.finish()
+    }
+
+    #[test]
+    fn renaming_preserves_dataflow() {
+        let allocated = allocate(&pressure_block(14), &small_config())
+            .unwrap()
+            .block;
+        let renamed = rename_registers(&allocated, &small_config());
+        assert_eq!(renamed.len(), allocated.len());
+        let mut defined = std::collections::HashSet::new();
+        for inst in renamed.insts() {
+            for u in inst.uses() {
+                assert!(defined.contains(u), "{u} used before def");
+            }
+            for d in inst.defs() {
+                defined.insert(*d);
+            }
+        }
+        assert_eq!(renamed.frequency(), allocated.frequency());
+    }
+
+    #[test]
+    fn renaming_breaks_targeted_false_dependence() {
+        // r0 = li ; store r0 ; r0 = li ; store r0 — the second pair is
+        // serialised behind the first by anti/output deps on r0. With a
+        // second register available, renaming must break the serialisation.
+        use bsched_ir::{AccessKind, MemAccess, MemLoc, PhysReg, RegionId};
+        let r0: Reg = PhysReg::new(RegClass::Int, 0).into();
+        let store = |off: i64, src: Reg| {
+            Inst::new(
+                Opcode::Sw,
+                vec![],
+                vec![src],
+                Some(MemAccess::new(
+                    MemLoc::known(RegionId::new(0), off),
+                    AccessKind::Write,
+                    8,
+                )),
+            )
+        };
+        let block = BasicBlock::new(
+            "t",
+            vec![
+                Inst::new(Opcode::Li, vec![r0], vec![], None),
+                store(0, r0),
+                Inst::new(Opcode::Li, vec![r0], vec![], None),
+                store(64, r0),
+            ],
+        );
+        let before = build_dag(&block, AliasModel::Fortran);
+        assert!(before
+            .edges()
+            .any(|e| matches!(e.kind, DepKind::Anti | DepKind::Output)));
+
+        let renamed = rename_registers(&block, &small_config());
+        let after = build_dag(&renamed, AliasModel::Fortran);
+        assert!(
+            after.edges().all(|e| e.kind == DepKind::True),
+            "renaming should leave only true dependences"
+        );
+        // The two li/store pairs are now fully parallel.
+        let closures = bsched_dag::Closures::compute(&after);
+        assert!(closures.independent(bsched_ir::InstId::new(1), bsched_ir::InstId::new(2)));
+    }
+
+    #[test]
+    fn renaming_spreads_reload_registers() {
+        // Under the Fixed pool, reloads hammer the lowest pool register;
+        // after renaming, the reload destinations are spread across the
+        // file.
+        let allocated = allocate(&pressure_block(16), &small_config())
+            .unwrap()
+            .block;
+        let renamed = rename_registers(&allocated, &small_config());
+        let distinct_reload_targets = |b: &BasicBlock| {
+            b.insts()
+                .iter()
+                .filter(|i| i.opcode() == Opcode::SpillLoad)
+                .map(|i| i.defs()[0])
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        let before = distinct_reload_targets(&allocated);
+        let after = distinct_reload_targets(&renamed);
+        assert!(before >= 1);
+        assert!(after > before, "reloads should spread: {before} -> {after}");
+    }
+
+    #[test]
+    fn renaming_respects_register_file_bound() {
+        let cfg = small_config();
+        let allocated = allocate(&pressure_block(16), &cfg).unwrap().block;
+        let renamed = rename_registers(&allocated, &cfg);
+        for inst in renamed.insts() {
+            for r in inst.defs().iter().chain(inst.uses()) {
+                let p = r.as_phys().expect("physical");
+                assert!(p.index() < cfg.regs_of(p.class()), "{p} out of file");
+            }
+        }
+    }
+
+    #[test]
+    fn renaming_preserves_true_dependence_structure() {
+        let cfg = small_config();
+        let allocated = allocate(&pressure_block(12), &cfg).unwrap().block;
+        let once = rename_registers(&allocated, &cfg);
+        let twice = rename_registers(&once, &cfg);
+        let true_edges = |b: &BasicBlock| {
+            build_dag(b, AliasModel::Fortran)
+                .edges()
+                .filter(|e| e.kind == DepKind::True)
+                .map(|e| (e.from, e.to))
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        assert_eq!(true_edges(&allocated), true_edges(&once));
+        assert_eq!(true_edges(&once), true_edges(&twice));
+    }
+
+    #[test]
+    fn live_in_registers_are_preserved() {
+        use bsched_ir::PhysReg;
+        // r3 is live-in (used before any def); it must keep its name and
+        // never be clobbered by renaming.
+        let r3: Reg = PhysReg::new(RegClass::Int, 3).into();
+        let r0: Reg = PhysReg::new(RegClass::Int, 0).into();
+        let block = BasicBlock::new(
+            "t",
+            vec![
+                Inst::new(Opcode::Move, vec![r0], vec![r3], None),
+                Inst::new(Opcode::Add, vec![r0], vec![r0, r3], None),
+            ],
+        );
+        let renamed = rename_registers(&block, &small_config());
+        assert_eq!(renamed.insts()[0].uses(), &[r3]);
+        assert_eq!(renamed.insts()[1].uses()[1], r3);
+        // No def targets r3.
+        assert!(renamed
+            .insts()
+            .iter()
+            .all(|i| i.defs().iter().all(|&d| d != r3)));
+    }
+}

@@ -1,0 +1,206 @@
+//! Efron bootstrap resampling (§4.3 of the paper).
+//!
+//! The paper reduces simulation cost by running each basic block 30 times
+//! and then *bootstrapping*: repeatedly drawing 30 samples with replacement
+//! from those runtimes and averaging, until 100 resampled means exist.
+//! Confidence intervals are read off the sorted resampled statistics.
+
+use crate::rng::Pcg32;
+
+/// A two-sided percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound of the interval.
+    pub low: f64,
+    /// Upper bound of the interval.
+    pub high: f64,
+    /// Confidence level in `(0, 1)`, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Returns `true` if `x` lies inside the closed interval.
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.low && x <= self.high
+    }
+
+    /// Width of the interval.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.high - self.low
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:.3}, {:.3}] @ {:.0}%",
+            self.low,
+            self.high,
+            self.level * 100.0
+        )
+    }
+}
+
+/// Draws `resamples` bootstrap means from `samples`.
+///
+/// Each resampled mean averages `samples.len()` draws *with replacement*,
+/// exactly as described in §4.3 (30 runtimes → 100 resampled means in the
+/// paper's configuration).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+#[must_use]
+pub fn bootstrap_means(samples: &[f64], resamples: usize, rng: &mut Pcg32) -> Vec<f64> {
+    assert!(!samples.is_empty(), "cannot bootstrap an empty sample set");
+    let n = samples.len();
+    (0..resamples)
+        .map(|_| {
+            let sum: f64 = (0..n).map(|_| samples[rng.next_index(n)]).sum();
+            sum / n as f64
+        })
+        .collect()
+}
+
+/// Extracts a two-sided percentile interval from bootstrap statistics.
+///
+/// Sorts a copy of `stats` and returns the empirical `(1-level)/2` and
+/// `(1+level)/2` quantiles — the paper's "after sorting, a 95% confidence
+/// interval is directly extracted".
+///
+/// # Panics
+///
+/// Panics if `stats` is empty or `level` is outside `(0, 1)`.
+#[must_use]
+pub fn percentile_interval(stats: &[f64], level: f64) -> ConfidenceInterval {
+    assert!(!stats.is_empty(), "cannot take percentiles of an empty set");
+    assert!(level > 0.0 && level < 1.0, "level must be in (0, 1)");
+    let mut sorted: Vec<f64> = stats.to_vec();
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("bootstrap statistics must not be NaN")
+    });
+    let lo_q = (1.0 - level) / 2.0;
+    let hi_q = 1.0 - lo_q;
+    ConfidenceInterval {
+        low: quantile_sorted(&sorted, lo_q),
+        high: quantile_sorted(&sorted, hi_q),
+        level,
+    }
+}
+
+/// Linear-interpolation quantile of an already-sorted slice.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let idx = pos.floor() as usize;
+    let frac = pos - idx as f64;
+    if idx + 1 < n {
+        sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac
+    } else {
+        sorted[n - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_means_of_constant_are_constant() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let means = bootstrap_means(&[5.0; 30], 100, &mut rng);
+        assert_eq!(means.len(), 100);
+        assert!(means.iter().all(|&m| (m - 5.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn bootstrap_means_stay_in_hull() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let samples = [1.0, 2.0, 3.0, 10.0];
+        let means = bootstrap_means(&samples, 500, &mut rng);
+        assert!(means.iter().all(|&m| (1.0..=10.0).contains(&m)));
+    }
+
+    #[test]
+    fn bootstrap_mean_of_means_close_to_sample_mean() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let samples: Vec<f64> = (0..30).map(|i| 100.0 + f64::from(i)).collect();
+        let sample_mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let means = bootstrap_means(&samples, 2000, &mut rng);
+        let grand = means.iter().sum::<f64>() / means.len() as f64;
+        assert!(
+            (grand - sample_mean).abs() < 0.5,
+            "grand {grand} vs {sample_mean}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn bootstrap_empty_panics() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        let _ = bootstrap_means(&[], 10, &mut rng);
+    }
+
+    #[test]
+    fn percentile_interval_orders_bounds() {
+        let stats: Vec<f64> = (0..100).map(f64::from).collect();
+        let ci = percentile_interval(&stats, 0.95);
+        assert!(ci.low < ci.high);
+        assert!(ci.contains(50.0));
+        assert!(!ci.contains(-1.0));
+        assert!((ci.low - 2.475).abs() < 1e-9);
+        assert!((ci.high - 96.525).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_interval_single_value() {
+        let ci = percentile_interval(&[7.0], 0.95);
+        assert_eq!(ci.low, 7.0);
+        assert_eq!(ci.high, 7.0);
+        assert_eq!(ci.width(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "level must be in (0, 1)")]
+    fn percentile_bad_level_panics() {
+        let _ = percentile_interval(&[1.0, 2.0], 1.0);
+    }
+
+    #[test]
+    fn interval_covers_true_mean_usually() {
+        // Coverage sanity check: with normal-ish data the 95% interval for
+        // the mean should contain the true mean in the large majority of
+        // trials.
+        let mut rng = Pcg32::seed_from_u64(42);
+        let mut covered = 0;
+        let trials = 200;
+        for t in 0..trials {
+            let mut run_rng = rng.split(t);
+            let samples: Vec<f64> = (0..30)
+                .map(|_| 10.0 + run_rng.next_standard_normal())
+                .collect();
+            let means = bootstrap_means(&samples, 200, &mut rng);
+            if percentile_interval(&means, 0.95).contains(10.0) {
+                covered += 1;
+            }
+        }
+        assert!(covered > trials * 8 / 10, "coverage {covered}/{trials}");
+    }
+
+    #[test]
+    fn display_formats() {
+        let ci = ConfidenceInterval {
+            low: 1.0,
+            high: 2.0,
+            level: 0.95,
+        };
+        assert_eq!(ci.to_string(), "[1.000, 2.000] @ 95%");
+    }
+}

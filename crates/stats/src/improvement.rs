@@ -1,0 +1,116 @@
+//! Paired percentage-improvement statistics.
+//!
+//! Every results table in the paper reports the percentage improvement in
+//! execution time of the balanced scheduler over the traditional scheduler.
+//! Improvements are computed on *paired* bootstrap means (§4.3): the i-th
+//! balanced resampled runtime is paired with the i-th traditional resampled
+//! runtime, the percentage is computed per pair, and the 95% interval is
+//! extracted from the sorted percentages.
+
+use crate::bootstrap::{percentile_interval, ConfidenceInterval};
+
+/// Result of a paired improvement computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Improvement {
+    /// Mean percentage improvement (positive ⇒ balanced is faster).
+    pub mean_percent: f64,
+    /// 95% confidence interval of the percentage improvement.
+    pub interval: ConfidenceInterval,
+}
+
+impl std::fmt::Display for Improvement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:+.1}% {}", self.mean_percent, self.interval)
+    }
+}
+
+/// Percentage improvement of `new` over `old` execution time.
+///
+/// Positive when `new` is faster. Follows the paper's convention:
+/// `(old - new) / old * 100`.
+///
+/// # Panics
+///
+/// Panics if `old` is not strictly positive — runtimes are cycle counts.
+#[must_use]
+pub fn percent_improvement(old: f64, new: f64) -> f64 {
+    assert!(old > 0.0, "baseline runtime must be positive");
+    (old - new) / old * 100.0
+}
+
+/// Pairs two equal-length vectors of bootstrap mean runtimes and returns the
+/// mean percentage improvement plus its 95% confidence interval.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+#[must_use]
+pub fn paired_improvement(traditional: &[f64], balanced: &[f64]) -> Improvement {
+    assert_eq!(
+        traditional.len(),
+        balanced.len(),
+        "paired improvement requires equally many resampled means"
+    );
+    assert!(
+        !traditional.is_empty(),
+        "cannot compute improvement of empty samples"
+    );
+    let percents: Vec<f64> = traditional
+        .iter()
+        .zip(balanced)
+        .map(|(&t, &b)| percent_improvement(t, b))
+        .collect();
+    let mean = percents.iter().sum::<f64>() / percents.len() as f64;
+    Improvement {
+        mean_percent: mean,
+        interval: percentile_interval(&percents, 0.95),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_improvement_signs() {
+        assert_eq!(percent_improvement(100.0, 90.0), 10.0);
+        assert_eq!(percent_improvement(100.0, 110.0), -10.0);
+        assert_eq!(percent_improvement(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline runtime must be positive")]
+    fn zero_baseline_panics() {
+        let _ = percent_improvement(0.0, 1.0);
+    }
+
+    #[test]
+    fn paired_improvement_mean() {
+        let t = vec![100.0, 200.0, 100.0];
+        let b = vec![90.0, 180.0, 95.0];
+        let imp = paired_improvement(&t, &b);
+        assert!((imp.mean_percent - (10.0 + 10.0 + 5.0) / 3.0).abs() < 1e-12);
+        assert!(imp.interval.low <= imp.mean_percent);
+        assert!(imp.interval.high >= imp.mean_percent);
+    }
+
+    #[test]
+    fn identical_schedulers_are_zero() {
+        let t = vec![100.0; 50];
+        let imp = paired_improvement(&t, &t);
+        assert_eq!(imp.mean_percent, 0.0);
+        assert_eq!(imp.interval.width(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equally many")]
+    fn mismatched_lengths_panic() {
+        let _ = paired_improvement(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn display_formats() {
+        let imp = paired_improvement(&[100.0], &[90.0]);
+        assert!(imp.to_string().starts_with("+10.0%"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Statistics substrate for the balanced-scheduling experiments.
+//!
+//! The paper (§4.3) evaluates schedules by running each basic block through
+//! an instruction-level simulator **30 times** with fresh random latency
+//! samples, then derives confidence intervals for the percentage improvement
+//! with an Efron **bootstrap**: from the 30 sample runtimes it draws 30
+//! samples with replacement to form one resampled mean, repeats this until
+//! **100 sample means** exist, scales by profiled block frequency, sums over
+//! blocks, pairs the balanced means with the traditional means and extracts a
+//! 95% confidence interval after sorting.
+//!
+//! This crate provides exactly that machinery:
+//!
+//! * [`rng`] — a small, fully deterministic, splittable random number
+//!   generator ([`Pcg32`]) so every experiment in the repository is
+//!   bit-reproducible without an external dependency;
+//! * [`summary`] — mean / variance / min / max accumulators;
+//! * [`bootstrap`] — resampled means and percentile confidence intervals;
+//! * [`improvement`] — paired percentage-improvement computation used by
+//!   every results table.
+//!
+//! # Example
+//!
+//! ```
+//! use bsched_stats::{Pcg32, bootstrap::bootstrap_means, improvement::paired_improvement};
+//!
+//! let mut rng = Pcg32::seed_from_u64(42);
+//! let traditional = vec![110.0, 112.0, 108.0, 111.0, 109.0];
+//! let balanced = vec![100.0, 101.0, 99.0, 100.5, 99.5];
+//! let t_means = bootstrap_means(&traditional, 100, &mut rng);
+//! let b_means = bootstrap_means(&balanced, 100, &mut rng);
+//! let imp = paired_improvement(&t_means, &b_means);
+//! assert!(imp.mean_percent > 0.0); // balanced is faster
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod improvement;
+pub mod rng;
+pub mod summary;
+
+pub use bootstrap::{bootstrap_means, percentile_interval, ConfidenceInterval};
+pub use improvement::{paired_improvement, percent_improvement, Improvement};
+pub use rng::{Pcg32, SplitMix64};
+pub use summary::Summary;

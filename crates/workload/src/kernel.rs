@@ -1,0 +1,250 @@
+//! A tiny numeric-kernel language.
+//!
+//! The paper's workload is the Perfect Club suite — Fortran numeric codes
+//! whose hot basic blocks are unrolled array loops. This module models
+//! exactly that shape: a [`Kernel`] is a set of array declarations plus a
+//! straight-line body of array assignments over FP expressions, optionally
+//! unrolled (the paper unrolled loops manually, §4.1). Lowering to IR
+//! lives in [`crate::lower`].
+
+/// Binary floating-point operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+/// A reference to a declared array by position in [`Kernel::arrays`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayRef(pub usize);
+
+/// An array subscript within the current (unrolled) iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Index {
+    /// A known element offset relative to the iteration's base element
+    /// (e.g. `a[i+2]` is `Elem(2)`); unrolled copies shift it by the
+    /// kernel's stride.
+    Elem(i64),
+    /// A data-dependent subscript (e.g. `x[idx[i]]`): the compiler cannot
+    /// disambiguate it against any other access to the same array.
+    Unknown,
+}
+
+/// A floating-point expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Load an array element.
+    Load(ArrayRef, Index),
+    /// A literal constant.
+    Const(f64),
+    /// A loop-carried scalar (e.g. a running sum); reads the value the
+    /// previous statement/iteration wrote with [`Stmt::SetAcc`].
+    Acc(usize),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    #[must_use]
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// `a + b`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // static constructors, not operators
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Add, a, b)
+    }
+
+    /// `a - b`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, a, b)
+    }
+
+    /// `a * b`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, a, b)
+    }
+
+    /// `a / b`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Div, a, b)
+    }
+
+    /// Number of loads in the expression tree.
+    #[must_use]
+    pub fn load_count(&self) -> usize {
+        match self {
+            Expr::Load(..) => 1,
+            Expr::Const(_) | Expr::Acc(_) => 0,
+            Expr::Bin(_, a, b) => a.load_count() + b.load_count(),
+            Expr::Neg(a) => a.load_count(),
+        }
+    }
+}
+
+/// One statement of a kernel body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `array[index] = expr` — evaluates and stores.
+    Store(ArrayRef, Index, Expr),
+    /// `acc_k = expr` — updates a loop-carried scalar accumulator,
+    /// creating a serial dependence across unrolled iterations (dot
+    /// products, recurrences).
+    SetAcc(usize, Expr),
+}
+
+/// A declared array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Display name (`x`, `y`, `force`, …).
+    pub name: String,
+}
+
+/// A numeric kernel: the body describes *one* loop iteration; lowering
+/// replicates it `unroll` times, shifting every [`Index::Elem`] by
+/// `stride` elements per copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// Kernel name, used for block naming.
+    pub name: String,
+    /// Declared arrays; each becomes its own memory region (Fortran
+    /// semantics — the paper's Fig. 8 transformation).
+    pub arrays: Vec<ArrayDecl>,
+    /// Number of loop-carried scalar accumulators.
+    pub accumulators: usize,
+    /// One iteration's statements.
+    pub body: Vec<Stmt>,
+    /// Elements each iteration advances by.
+    pub stride: i64,
+    /// Unroll factor (≥ 1).
+    pub unroll: u32,
+}
+
+impl Kernel {
+    /// Creates a kernel with the given arrays and body, stride 1 and no
+    /// unrolling.
+    #[must_use]
+    pub fn new(name: impl Into<String>, arrays: Vec<&str>, body: Vec<Stmt>) -> Self {
+        Self {
+            name: name.into(),
+            arrays: arrays
+                .into_iter()
+                .map(|n| ArrayDecl { name: n.to_owned() })
+                .collect(),
+            accumulators: 0,
+            body,
+            stride: 1,
+            unroll: 1,
+        }
+    }
+
+    /// Sets the unroll factor (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unroll` is zero.
+    #[must_use]
+    pub fn with_unroll(mut self, unroll: u32) -> Self {
+        assert!(unroll >= 1, "unroll factor must be at least 1");
+        self.unroll = unroll;
+        self
+    }
+
+    /// Sets the per-iteration element stride (builder-style).
+    #[must_use]
+    pub fn with_stride(mut self, stride: i64) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Declares `n` loop-carried accumulators (builder-style).
+    #[must_use]
+    pub fn with_accumulators(mut self, n: usize) -> Self {
+        self.accumulators = n;
+        self
+    }
+
+    /// Loads per iteration of the body.
+    #[must_use]
+    pub fn loads_per_iteration(&self) -> usize {
+        self.body
+            .iter()
+            .map(|s| match s {
+                Stmt::Store(_, _, e) | Stmt::SetAcc(_, e) => e.load_count(),
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> ArrayRef {
+        ArrayRef(0)
+    }
+
+    #[test]
+    fn expr_builders_and_load_count() {
+        let e = Expr::add(
+            Expr::mul(Expr::Const(2.0), Expr::Load(x(), Index::Elem(0))),
+            Expr::Load(x(), Index::Elem(1)),
+        );
+        assert_eq!(e.load_count(), 2);
+        assert_eq!(Expr::Neg(Box::new(e.clone())).load_count(), 2);
+        assert_eq!(Expr::Acc(0).load_count(), 0);
+    }
+
+    #[test]
+    fn kernel_counts_loads() {
+        let k = Kernel::new(
+            "daxpy",
+            vec!["x", "y"],
+            vec![Stmt::Store(
+                ArrayRef(1),
+                Index::Elem(0),
+                Expr::add(
+                    Expr::mul(Expr::Const(3.0), Expr::Load(ArrayRef(0), Index::Elem(0))),
+                    Expr::Load(ArrayRef(1), Index::Elem(0)),
+                ),
+            )],
+        );
+        assert_eq!(k.loads_per_iteration(), 2);
+        assert_eq!(k.unroll, 1);
+        assert_eq!(k.stride, 1);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let k = Kernel::new("k", vec!["a"], vec![])
+            .with_unroll(8)
+            .with_stride(2)
+            .with_accumulators(1);
+        assert_eq!(k.unroll, 8);
+        assert_eq!(k.stride, 2);
+        assert_eq!(k.accumulators, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unroll factor must be at least 1")]
+    fn zero_unroll_panics() {
+        let _ = Kernel::new("k", vec![], vec![]).with_unroll(0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Workload generation: the paper's Fortran benchmarks, rebuilt.
+//!
+//! The paper evaluates on the Perfect Club suite compiled by a modified
+//! GCC (§4.1–4.2). This crate supplies the equivalent inputs for the
+//! reproduction:
+//!
+//! * [`kernel`] — a mini-language of numeric loop bodies (arrays, FP
+//!   arithmetic, loop-carried accumulators, manual unrolling);
+//! * [`lower`] — a tiny compiler from kernels to the RISC IR, applying
+//!   the paper's Fig. 8 Fortran-aliasing discipline (one region per
+//!   array);
+//! * [`kernels`] — a library of loop bodies (daxpy, dot, stencils,
+//!   MD force pairs, FFT butterflies, recurrences, gathers);
+//! * [`perfect`] — eight benchmark stand-ins (`ADM` … `TRACK`) whose
+//!   block profiles target each Perfect Club program's qualitative
+//!   behaviour in the paper's tables;
+//! * [`generator`] — seeded random block generation for property tests
+//!   and complexity-scaling benches.
+//!
+//! # Example
+//!
+//! ```
+//! use bsched_workload::{kernels, lower::lower_kernel, perfect};
+//!
+//! // A hand-picked kernel…
+//! let block = lower_kernel(&kernels::daxpy().with_unroll(4), 250.0);
+//! assert_eq!(block.load_ids().len(), 8);
+//!
+//! // …or the whole workload.
+//! let suite = perfect::perfect_club();
+//! assert_eq!(suite.len(), 8);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod kernel;
+pub mod kernels;
+pub mod lower;
+pub mod parse;
+pub mod perfect;
+pub mod superblock;
+
+pub use generator::{random_block, GeneratorConfig};
+pub use kernel::{ArrayDecl, ArrayRef, BinOp, Expr, Index, Kernel, Stmt};
+pub use lower::{lower_kernel, ELEM_BYTES};
+pub use parse::{parse_kernel, parse_program, ParseError, ParsedKernel};
+pub use perfect::{perfect_club, Benchmark};
+pub use superblock::{fuse_blocks, superblocks_of};

@@ -1,0 +1,259 @@
+//! Lowering kernels to the RISC IR.
+//!
+//! Mirrors the paper's compilation setup (§4.1–4.2): each declared array
+//! becomes its own memory region (the Fig. 8 Fortran-semantics
+//! transformation — distinct arrays never alias), loop bodies are unrolled
+//! into one straight-line basic block over virtual registers, and every
+//! `Index::Elem` becomes a known byte offset so the DAG builder can
+//! disambiguate unrolled references.
+
+use bsched_ir::{BasicBlock, BlockBuilder, Reg, RegionId};
+
+use crate::kernel::{BinOp, Expr, Index, Kernel, Stmt};
+
+/// Element size in bytes (double precision, as the Fortran codes use).
+pub const ELEM_BYTES: i64 = 8;
+
+/// Lowers `kernel` into a single basic block with execution frequency
+/// `frequency`.
+///
+/// The block layout per unrolled copy follows the source order of the
+/// statements; instruction scheduling is the next pipeline stage's job,
+/// so no reordering happens here.
+///
+/// # Panics
+///
+/// Panics if the kernel references an undeclared array or accumulator.
+#[must_use]
+pub fn lower_kernel(kernel: &Kernel, frequency: f64) -> BasicBlock {
+    let mut b = BlockBuilder::new(kernel.name.clone());
+    b.set_frequency(frequency);
+
+    // One region and one base register per array.
+    let regions: Vec<RegionId> = kernel.arrays.iter().map(|_| b.fresh_region()).collect();
+    let bases: Vec<Reg> = kernel
+        .arrays
+        .iter()
+        .map(|a| b.def_int(&format!("&{}", a.name)))
+        .collect();
+
+    // Loop-carried accumulators start as constants and are threaded
+    // through the unrolled copies, creating the serial chains real dot
+    // products and recurrences have.
+    let mut accs: Vec<Reg> = (0..kernel.accumulators)
+        .map(|k| b.fconst(&format!("acc{k}"), 0.0))
+        .collect();
+
+    for copy in 0..kernel.unroll {
+        let shift = i64::from(copy) * kernel.stride;
+        for stmt in &kernel.body {
+            match stmt {
+                Stmt::Store(arr, idx, expr) => {
+                    let v = lower_expr(&mut b, kernel, &regions, &bases, &accs, expr, shift);
+                    let (region, base) = (regions[arr.0], bases[arr.0]);
+                    match shifted(*idx, shift) {
+                        Some(elem) => {
+                            b.store_region(region, v, base, Some(elem * ELEM_BYTES));
+                        }
+                        None => {
+                            b.store_region(region, v, base, None);
+                        }
+                    }
+                }
+                Stmt::SetAcc(k, expr) => {
+                    let v = lower_expr(&mut b, kernel, &regions, &bases, &accs, expr, shift);
+                    accs[*k] = v;
+                }
+            }
+        }
+    }
+    b.finish()
+}
+
+fn shifted(idx: Index, shift: i64) -> Option<i64> {
+    match idx {
+        Index::Elem(e) => Some(e + shift),
+        Index::Unknown => None,
+    }
+}
+
+fn lower_expr(
+    b: &mut BlockBuilder,
+    kernel: &Kernel,
+    regions: &[RegionId],
+    bases: &[Reg],
+    accs: &[Reg],
+    expr: &Expr,
+    shift: i64,
+) -> Reg {
+    match expr {
+        Expr::Load(arr, idx) => {
+            let name = format!("{}[]", kernel.arrays[arr.0].name);
+            b.load_region(
+                &name,
+                regions[arr.0],
+                bases[arr.0],
+                shifted(*idx, shift).map(|e| e * ELEM_BYTES),
+            )
+        }
+        Expr::Const(v) => b.fconst("c", *v),
+        Expr::Acc(k) => accs[*k],
+        Expr::Bin(op, lhs, rhs) => {
+            let l = lower_expr(b, kernel, regions, bases, accs, lhs, shift);
+            let r = lower_expr(b, kernel, regions, bases, accs, rhs, shift);
+            match op {
+                BinOp::Add => b.fadd("t", l, r),
+                BinOp::Sub => b.fsub("t", l, r),
+                BinOp::Mul => b.fmul("t", l, r),
+                BinOp::Div => b.fdiv("t", l, r),
+            }
+        }
+        Expr::Neg(inner) => {
+            let v = lower_expr(b, kernel, regions, bases, accs, inner, shift);
+            // Negation as 0 - v keeps the opcode set minimal.
+            let zero = b.fconst("c0", 0.0);
+            b.fsub("neg", zero, v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::ArrayRef;
+    use bsched_dag::{build_dag, AliasModel, DepKind};
+    use bsched_ir::InstId;
+
+    fn daxpy() -> Kernel {
+        Kernel::new(
+            "daxpy",
+            vec!["x", "y"],
+            vec![Stmt::Store(
+                ArrayRef(1),
+                Index::Elem(0),
+                Expr::add(
+                    Expr::mul(Expr::Const(3.0), Expr::Load(ArrayRef(0), Index::Elem(0))),
+                    Expr::Load(ArrayRef(1), Index::Elem(0)),
+                ),
+            )],
+        )
+    }
+
+    #[test]
+    fn daxpy_block_shape() {
+        let block = lower_kernel(&daxpy(), 100.0);
+        // 2 bases + const + 2 loads + mul + add + store = 8.
+        assert_eq!(block.len(), 8);
+        assert_eq!(block.frequency(), 100.0);
+        assert_eq!(block.load_ids().len(), 2);
+        assert_eq!(block.insts().iter().filter(|i| i.is_store()).count(), 1);
+    }
+
+    #[test]
+    fn unrolling_replicates_and_shifts() {
+        let k = daxpy().with_unroll(4);
+        let block = lower_kernel(&k, 1.0);
+        // Bases/consts replicated per copy except the two array bases.
+        assert_eq!(block.load_ids().len(), 8);
+        let offsets: Vec<Option<i64>> = block
+            .insts()
+            .iter()
+            .filter(|i| i.is_store())
+            .map(|i| i.mem().unwrap().loc().offset())
+            .collect();
+        assert_eq!(offsets, vec![Some(0), Some(8), Some(16), Some(24)]);
+    }
+
+    #[test]
+    fn unrolled_copies_are_independent_under_fortran() {
+        // Each copy's `load y[i] → store y[i]` anti-dependence is real,
+        // but no memory edge may cross between unrolled copies: distinct
+        // known offsets disambiguate them (the point of Fig. 8).
+        let k = daxpy().with_unroll(2);
+        let block = lower_kernel(&k, 1.0);
+        let dag = build_dag(&block, AliasModel::Fortran);
+        for e in dag.edges().filter(|e| e.kind == DepKind::Memory) {
+            let from = block.inst(e.from).mem().unwrap().loc();
+            let to = block.inst(e.to).mem().unwrap().loc();
+            assert_eq!(
+                from.offset(),
+                to.offset(),
+                "only same-element accesses are ordered: {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulators_create_serial_chains() {
+        // s = s + x[i] unrolled: each copy's add depends on the previous.
+        let k = Kernel::new(
+            "sum",
+            vec!["x"],
+            vec![Stmt::SetAcc(
+                0,
+                Expr::add(Expr::Acc(0), Expr::Load(ArrayRef(0), Index::Elem(0))),
+            )],
+        )
+        .with_accumulators(1)
+        .with_unroll(3);
+        let block = lower_kernel(&k, 1.0);
+        let dag = build_dag(&block, AliasModel::Fortran);
+        // Find the three adds; each later add must transitively depend on
+        // the earlier one.
+        let adds: Vec<InstId> = block
+            .iter_ids()
+            .filter(|(_, i)| i.opcode() == bsched_ir::Opcode::FAdd)
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(adds.len(), 3);
+        let closures = bsched_dag::Closures::compute(&dag);
+        assert!(closures.succs(adds[0]).contains(adds[1].index()));
+        assert!(closures.succs(adds[1]).contains(adds[2].index()));
+    }
+
+    #[test]
+    fn unknown_index_blocks_disambiguation() {
+        let k = Kernel::new(
+            "gather",
+            vec!["x", "y"],
+            vec![
+                Stmt::Store(
+                    ArrayRef(1),
+                    Index::Elem(0),
+                    Expr::Load(ArrayRef(0), Index::Unknown),
+                ),
+                Stmt::Store(ArrayRef(0), Index::Elem(5), Expr::Const(1.0)),
+            ],
+        );
+        let block = lower_kernel(&k, 1.0);
+        let dag = build_dag(&block, AliasModel::Fortran);
+        // The unknown-offset load of x and the store to x[5] must be
+        // ordered even under Fortran rules (same region).
+        let load = block.load_ids()[0];
+        let store_x = block
+            .iter_ids()
+            .filter(|(_, i)| i.is_store())
+            .map(|(id, _)| id)
+            .nth(1)
+            .unwrap();
+        assert_eq!(dag.edge_kind(load, store_x), Some(DepKind::Memory));
+    }
+
+    #[test]
+    fn negation_lowerse_to_sub() {
+        let k = Kernel::new(
+            "neg",
+            vec!["x"],
+            vec![Stmt::Store(
+                ArrayRef(0),
+                Index::Elem(1),
+                Expr::Neg(Box::new(Expr::Load(ArrayRef(0), Index::Elem(0)))),
+            )],
+        );
+        let block = lower_kernel(&k, 1.0);
+        assert!(block
+            .insts()
+            .iter()
+            .any(|i| i.opcode() == bsched_ir::Opcode::FSub));
+    }
+}

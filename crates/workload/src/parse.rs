@@ -1,0 +1,734 @@
+//! A text format for kernels, so experiments can be driven from files.
+//!
+//! The grammar mirrors the in-memory [`Kernel`]
+//! one-to-one:
+//!
+//! ```text
+//! kernel daxpy {
+//!     arrays x, y;
+//!     unroll 4;            // optional, default 1
+//!     stride 1;            // optional, default 1
+//!     frequency 1000;      // optional, default 1
+//!     acc s;               // loop-carried scalars, optional
+//!
+//!     y[0] = 3.0 * x[0] + y[0];
+//!     s    = s + x[0] * y[0];
+//! }
+//! ```
+//!
+//! Array subscripts are element offsets relative to the current
+//! iteration (`x[-1]`, `x[0]`, `x[1]`, shifted by `stride` per unrolled
+//! copy) or `?` for a data-dependent subscript the compiler cannot
+//! disambiguate. `//` comments run to end of line. Expressions support
+//! `+ - * /`, unary minus, parentheses, numeric literals, array loads
+//! and accumulator reads with ordinary precedence.
+
+use std::fmt;
+
+use crate::kernel::{ArrayRef, BinOp, Expr, Index, Kernel, Stmt};
+
+/// A parse error with 1-based line/column location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub column: u32,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>, pos: Pos) -> Self {
+        Self {
+            message: message.into(),
+            line: pos.line,
+            column: pos.column,
+        }
+    }
+
+    /// The error message without location.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pos {
+    line: u32,
+    column: u32,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Punct(char),
+    Question,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier {s:?}"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::Float(v) => write!(f, "number {v}"),
+            Tok::Punct(c) => write!(f, "{c:?}"),
+            Tok::Question => write!(f, "'?'"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    at: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            at: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.src.get(self.at).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek_byte()?;
+        self.at += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek_byte() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.src.get(self.at + 1) == Some(&b'/') => {
+                    while let Some(b) = self.peek_byte() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<(Tok, Pos), ParseError> {
+        self.skip_trivia();
+        let pos = Pos {
+            line: self.line,
+            column: self.column,
+        };
+        let Some(b) = self.peek_byte() else {
+            return Ok((Tok::Eof, pos));
+        };
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = self.at;
+            while matches!(self.peek_byte(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[start..self.at]).expect("ascii");
+            return Ok((Tok::Ident(text.to_owned()), pos));
+        }
+        if b.is_ascii_digit() {
+            let start = self.at;
+            let mut is_float = false;
+            while let Some(c) = self.peek_byte() {
+                if c.is_ascii_digit() {
+                    self.bump();
+                } else if c == b'.'
+                    && !is_float
+                    && matches!(self.src.get(self.at + 1), Some(d) if d.is_ascii_digit())
+                {
+                    is_float = true;
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = std::str::from_utf8(&self.src[start..self.at]).expect("ascii");
+            return if is_float {
+                text.parse::<f64>()
+                    .map(|v| (Tok::Float(v), pos))
+                    .map_err(|_| ParseError::new(format!("invalid number {text:?}"), pos))
+            } else {
+                text.parse::<i64>()
+                    .map(|v| (Tok::Int(v), pos))
+                    .map_err(|_| ParseError::new(format!("integer out of range {text:?}"), pos))
+            };
+        }
+        self.bump();
+        match b {
+            b'?' => Ok((Tok::Question, pos)),
+            b'{' | b'}' | b'[' | b']' | b'(' | b')' | b';' | b',' | b'=' | b'+' | b'-' | b'*'
+            | b'/' => Ok((Tok::Punct(b as char), pos)),
+            other => Err(ParseError::new(
+                format!("unexpected character {:?}", other as char),
+                pos,
+            )),
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Tok, Pos)>,
+    at: usize,
+    arrays: Vec<String>,
+    accs: Vec<String>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.at].0
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.at].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.at].0.clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        if *self.peek() == Tok::Punct(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                format!("expected {c:?}, found {}", self.peek()),
+                self.pos(),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        if let Tok::Ident(name) = self.peek().clone() {
+            self.bump();
+            Ok(name)
+        } else {
+            Err(ParseError::new(
+                format!("expected identifier, found {}", self.peek()),
+                self.pos(),
+            ))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let pos = self.pos();
+        let name = self.expect_ident()?;
+        if name == kw {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                format!("expected {kw:?}, found {name:?}"),
+                pos,
+            ))
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, ParseError> {
+        match *self.peek() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(v)
+            }
+            _ => Err(ParseError::new(
+                format!("expected integer, found {}", self.peek()),
+                self.pos(),
+            )),
+        }
+    }
+
+    fn array_ref(&self, name: &str, pos: Pos) -> Result<ArrayRef, ParseError> {
+        self.arrays
+            .iter()
+            .position(|a| a == name)
+            .map(ArrayRef)
+            .ok_or_else(|| ParseError::new(format!("unknown array {name:?}"), pos))
+    }
+
+    fn acc_ref(&self, name: &str, pos: Pos) -> Result<usize, ParseError> {
+        self.accs
+            .iter()
+            .position(|a| a == name)
+            .ok_or_else(|| ParseError::new(format!("unknown accumulator {name:?}"), pos))
+    }
+
+    fn index(&mut self) -> Result<Index, ParseError> {
+        self.expect_punct('[')?;
+        let idx = if *self.peek() == Tok::Question {
+            self.bump();
+            Index::Unknown
+        } else {
+            let negative = if *self.peek() == Tok::Punct('-') {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            let v = self.expect_int()?;
+            Index::Elem(if negative { -v } else { v })
+        };
+        self.expect_punct(']')?;
+        Ok(idx)
+    }
+
+    // expr := term (('+'|'-') term)*
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct('+') => BinOp::Add,
+                Tok::Punct('-') => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    // term := factor (('*'|'/') factor)*
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct('*') => BinOp::Mul,
+                Tok::Punct('/') => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.factor()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Punct('-') => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.factor()?)))
+            }
+            Tok::Punct('(') => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect_punct(')')?;
+                Ok(inner)
+            }
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Const(v as f64))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr::Const(v))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if *self.peek() == Tok::Punct('[') {
+                    let arr = self.array_ref(&name, pos)?;
+                    let idx = self.index()?;
+                    Ok(Expr::Load(arr, idx))
+                } else {
+                    Ok(Expr::Acc(self.acc_ref(&name, pos)?))
+                }
+            }
+            other => Err(ParseError::new(
+                format!("expected expression, found {other}"),
+                pos,
+            )),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.pos();
+        let name = self.expect_ident()?;
+        let stmt = if *self.peek() == Tok::Punct('[') {
+            let arr = self.array_ref(&name, pos)?;
+            let idx = self.index()?;
+            self.expect_punct('=')?;
+            Stmt::Store(arr, idx, self.expr()?)
+        } else {
+            let acc = self.acc_ref(&name, pos)?;
+            self.expect_punct('=')?;
+            Stmt::SetAcc(acc, self.expr()?)
+        };
+        self.expect_punct(';')?;
+        Ok(stmt)
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut names = vec![self.expect_ident()?];
+        while *self.peek() == Tok::Punct(',') {
+            self.bump();
+            names.push(self.expect_ident()?);
+        }
+        self.expect_punct(';')?;
+        Ok(names)
+    }
+}
+
+/// A parsed kernel plus its profiled block frequency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedKernel {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Execution frequency (`frequency` declaration, default 1.0).
+    pub frequency: f64,
+}
+
+/// Parses one kernel definition.
+///
+/// # Errors
+///
+/// Returns a located [`ParseError`] on malformed input, unknown array or
+/// accumulator names, duplicate declarations, or trailing garbage.
+pub fn parse_kernel(src: &str) -> Result<ParsedKernel, ParseError> {
+    let kernels = parse_program(src)?;
+    match <[ParsedKernel; 1]>::try_from(kernels) {
+        Ok([kernel]) => Ok(kernel),
+        Err(kernels) => Err(ParseError {
+            message: format!("expected exactly one kernel, found {}", kernels.len()),
+            line: 1,
+            column: 1,
+        }),
+    }
+}
+
+/// Parses a whole program: one or more kernel definitions, each becoming
+/// one basic block of the eventual [`Function`](bsched_ir::Function).
+///
+/// # Errors
+///
+/// Returns a located [`ParseError`]; an input with no kernels is an error.
+pub fn parse_program(src: &str) -> Result<Vec<ParsedKernel>, ParseError> {
+    let mut lexer = Lexer::new(src);
+    let mut tokens = Vec::new();
+    loop {
+        let (tok, pos) = lexer.next_token()?;
+        let done = tok == Tok::Eof;
+        tokens.push((tok, pos));
+        if done {
+            break;
+        }
+    }
+    let mut p = Parser {
+        tokens,
+        at: 0,
+        arrays: Vec::new(),
+        accs: Vec::new(),
+    };
+    let mut kernels = Vec::new();
+    while *p.peek() != Tok::Eof {
+        kernels.push(parse_one(&mut p)?);
+    }
+    if kernels.is_empty() {
+        return Err(ParseError::new(
+            "input contains no kernel definitions",
+            p.pos(),
+        ));
+    }
+    Ok(kernels)
+}
+
+fn parse_one(p: &mut Parser) -> Result<ParsedKernel, ParseError> {
+    p.arrays.clear();
+    p.accs.clear();
+    p.expect_keyword("kernel")?;
+    let name = p.expect_ident()?;
+    p.expect_punct('{')?;
+
+    let mut unroll: u32 = 1;
+    let mut stride: i64 = 1;
+    let mut frequency: f64 = 1.0;
+    let mut body = Vec::new();
+
+    while *p.peek() != Tok::Punct('}') {
+        let pos = p.pos();
+        match p.peek().clone() {
+            Tok::Ident(kw) if kw == "arrays" => {
+                p.bump();
+                for a in p.ident_list()? {
+                    if p.arrays.contains(&a) {
+                        return Err(ParseError::new(format!("duplicate array {a:?}"), pos));
+                    }
+                    p.arrays.push(a);
+                }
+            }
+            Tok::Ident(kw) if kw == "acc" => {
+                p.bump();
+                for a in p.ident_list()? {
+                    if p.accs.contains(&a) {
+                        return Err(ParseError::new(format!("duplicate accumulator {a:?}"), pos));
+                    }
+                    p.accs.push(a);
+                }
+            }
+            Tok::Ident(kw) if kw == "unroll" => {
+                p.bump();
+                let v = p.expect_int()?;
+                p.expect_punct(';')?;
+                if v < 1 {
+                    return Err(ParseError::new("unroll must be at least 1", pos));
+                }
+                unroll = v as u32;
+            }
+            Tok::Ident(kw) if kw == "stride" => {
+                p.bump();
+                stride = p.expect_int()?;
+                p.expect_punct(';')?;
+            }
+            Tok::Ident(kw) if kw == "frequency" => {
+                p.bump();
+                let v = match *p.peek() {
+                    Tok::Int(v) => v as f64,
+                    Tok::Float(v) => v,
+                    _ => {
+                        return Err(ParseError::new(
+                            format!("expected number, found {}", p.peek()),
+                            p.pos(),
+                        ))
+                    }
+                };
+                p.bump();
+                p.expect_punct(';')?;
+                if v <= 0.0 {
+                    return Err(ParseError::new("frequency must be positive", pos));
+                }
+                frequency = v;
+            }
+            Tok::Eof => {
+                return Err(ParseError::new(
+                    "unexpected end of input (missing '}')",
+                    pos,
+                ));
+            }
+            _ => body.push(p.stmt()?),
+        }
+    }
+    p.expect_punct('}')?;
+
+    let arrays: Vec<&str> = p.arrays.iter().map(String::as_str).collect();
+    let accs = p.accs.len();
+    let kernel = Kernel::new(name, arrays, body)
+        .with_unroll(unroll)
+        .with_stride(stride)
+        .with_accumulators(accs);
+    Ok(ParsedKernel { kernel, frequency })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+    use crate::lower::lower_kernel;
+
+    const DAXPY: &str = r"
+        kernel daxpy {
+            arrays x, y;       // two streams
+            unroll 4;
+            frequency 1000;
+            y[0] = 3.0 * x[0] + y[0];
+        }
+    ";
+
+    #[test]
+    fn parses_daxpy_equivalent_to_library_kernel() {
+        let parsed = parse_kernel(DAXPY).unwrap();
+        assert_eq!(parsed.frequency, 1000.0);
+        let library = kernels::daxpy().with_unroll(4);
+        // Same block structure after lowering.
+        let a = lower_kernel(&parsed.kernel, 1.0);
+        let b = lower_kernel(&library, 1.0);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.load_ids().len(), b.load_ids().len());
+    }
+
+    #[test]
+    fn parses_accumulators_and_unknown_indices() {
+        let src = r"
+            kernel gather_dot {
+                arrays x, idx, y;
+                acc s;
+                stride 2;
+                s = s + x[?] * y[1];
+                y[-1] = s;
+            }
+        ";
+        let k = parse_kernel(src).unwrap().kernel;
+        assert_eq!(k.accumulators, 1);
+        assert_eq!(k.stride, 2);
+        assert_eq!(k.body.len(), 2);
+        assert_eq!(k.loads_per_iteration(), 2);
+        match &k.body[0] {
+            Stmt::SetAcc(0, expr) => assert_eq!(expr.load_count(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &k.body[1] {
+            Stmt::Store(ArrayRef(2), Index::Elem(-1), _) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_and_parentheses() {
+        let src = r"
+            kernel p {
+                arrays a;
+                a[0] = 1 + 2 * 3;
+                a[1] = (1 + 2) * 3;
+                a[2] = -a[0] / 2;
+            }
+        ";
+        let k = parse_kernel(src).unwrap().kernel;
+        match &k.body[0] {
+            Stmt::Store(_, _, Expr::Bin(BinOp::Add, _, rhs)) => {
+                assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("precedence broken: {other:?}"),
+        }
+        match &k.body[1] {
+            Stmt::Store(_, _, Expr::Bin(BinOp::Mul, lhs, _)) => {
+                assert!(matches!(**lhs, Expr::Bin(BinOp::Add, _, _)));
+            }
+            other => panic!("parens broken: {other:?}"),
+        }
+        match &k.body[2] {
+            Stmt::Store(_, _, Expr::Bin(BinOp::Div, lhs, _)) => {
+                assert!(matches!(**lhs, Expr::Neg(_)));
+            }
+            other => panic!("unary minus broken: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_locations_are_reported() {
+        let err = parse_kernel("kernel k {\n  arrays a;\n  b[0] = 1;\n}").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message().contains("unknown array"));
+
+        let err = parse_kernel("kernel k { arrays a; a[0] = ; }").unwrap_err();
+        assert!(err.message().contains("expected expression"));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_bad_directives() {
+        assert!(parse_kernel("kernel k { arrays a, a; }")
+            .unwrap_err()
+            .message()
+            .contains("duplicate"));
+        assert!(parse_kernel("kernel k { unroll 0; }")
+            .unwrap_err()
+            .message()
+            .contains("at least 1"));
+        assert!(parse_kernel("kernel k { frequency 0; }")
+            .unwrap_err()
+            .message()
+            .contains("positive"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_unclosed() {
+        assert!(parse_kernel("kernel k { } extra")
+            .unwrap_err()
+            .message()
+            .contains("expected \"kernel\""));
+        assert!(parse_kernel("kernel k { arrays a;")
+            .unwrap_err()
+            .message()
+            .contains("end of input"));
+        assert!(
+            parse_kernel("kernel k { arrays a; a[0] = 1 }").is_err(),
+            "missing semicolon"
+        );
+    }
+
+    #[test]
+    fn parses_multi_kernel_programs() {
+        let src = r"
+            kernel a { arrays x; frequency 10; x[0] = 1; }
+            kernel b { arrays y; acc s; s = s + y[0]; }
+        ";
+        let kernels = parse_program(src).unwrap();
+        assert_eq!(kernels.len(), 2);
+        assert_eq!(kernels[0].kernel.name, "a");
+        assert_eq!(kernels[0].frequency, 10.0);
+        assert_eq!(kernels[1].kernel.name, "b");
+        assert_eq!(kernels[1].kernel.accumulators, 1);
+        // Name scopes reset between kernels.
+        assert_eq!(kernels[1].kernel.arrays.len(), 1);
+        // parse_kernel rejects multi-kernel input.
+        assert!(parse_kernel(src)
+            .unwrap_err()
+            .message()
+            .contains("exactly one"));
+        // Empty programs are rejected.
+        assert!(parse_program("  // nothing\n")
+            .unwrap_err()
+            .message()
+            .contains("no kernel"));
+        // Scope reset: kernel b cannot see kernel a's arrays.
+        let bad = "kernel a { arrays x; x[0] = 1; } kernel b { arrays y; x[0] = 2; }";
+        assert!(parse_program(bad)
+            .unwrap_err()
+            .message()
+            .contains("unknown array"));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let src = "// leading\nkernel k { // inline\n arrays a; // more\n a[0] = 1; }";
+        assert!(parse_kernel(src).is_ok());
+    }
+
+    #[test]
+    fn parsed_kernels_lower_and_schedule() {
+        use bsched_dag::{build_dag, AliasModel};
+        let parsed = parse_kernel(DAXPY).unwrap();
+        let block = lower_kernel(&parsed.kernel, parsed.frequency);
+        assert_eq!(block.frequency(), 1000.0);
+        let dag = build_dag(&block, AliasModel::Fortran);
+        assert_eq!(dag.len(), block.len());
+    }
+
+    #[test]
+    fn unexpected_character_is_rejected() {
+        let err = parse_kernel("kernel k { arrays a; a[0] = 1 # 2; }").unwrap_err();
+        assert!(err.message().contains("unexpected character"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Evaluate the schedulers on a machine you define: pick a memory
+//! system, a processor model and a register file, then sweep latency
+//! uncertainty to find where balanced scheduling pays off.
+//!
+//! Run with: `cargo run --release --example custom_machine`
+
+use balanced_scheduling::prelude::*;
+use balanced_scheduling::workload::perfect;
+
+fn main() {
+    // A custom machine: a small 70%-hit-rate cache in front of slow DRAM,
+    // a processor that allows four outstanding loads, and a cramped
+    // register file.
+    let mem = CacheModel::new(0.70, 2, 12);
+    let processor = ProcessorModel::MaxOutstanding(4);
+    let pipeline = Pipeline {
+        allocator: AllocatorConfig {
+            int_regs: 10,
+            fp_regs: 14,
+            pool_size: 3,
+            policy: PoolPolicy::Fifo,
+        },
+        ..Pipeline::default()
+    };
+
+    println!(
+        "Machine: {} cache, {processor}, 14 FP registers\n",
+        LatencyModel::name(&mem)
+    );
+
+    let bench = perfect::mdg();
+    let cfg = EvalConfig {
+        processor,
+        ..EvalConfig::default()
+    };
+    let balanced = pipeline
+        .compile(bench.function(), &SchedulerChoice::balanced())
+        .expect("compile");
+
+    // Sweep the traditional scheduler's assumed latency: whatever it
+    // assumes, it commits to; balanced commits only to the code's own
+    // parallelism.
+    println!(
+        "{:>24} {:>12} {:>22}",
+        "traditional assumes", "improvement", "95% CI"
+    );
+    for assumed in [2i64, 3, 4, 6, 12] {
+        let traditional = pipeline
+            .compile(
+                bench.function(),
+                &SchedulerChoice::traditional(Ratio::from_int(assumed)),
+            )
+            .expect("compile");
+        let imp = compare(
+            &evaluate(&traditional, &mem, &cfg),
+            &evaluate(&balanced, &mem, &cfg),
+        );
+        println!(
+            "{:>22}cy {:>11.1}% [{:>6.1}%, {:>6.1}%]",
+            assumed, imp.mean_percent, imp.interval.low, imp.interval.high
+        );
+    }
+
+    // Now vary the *machine's* uncertainty at a fixed traditional
+    // assumption (the cache-hit time, as the paper does).
+    println!("\nUncertainty sweep (traditional assumes 2 cycles):");
+    println!(
+        "{:>16} {:>12} {:>10} {:>10}",
+        "memory system", "improvement", "TI%", "BI%"
+    );
+    let traditional = pipeline
+        .compile(
+            bench.function(),
+            &SchedulerChoice::traditional(Ratio::from_int(2)),
+        )
+        .expect("compile");
+    for miss in [4u64, 8, 16, 32] {
+        let mem = CacheModel::new(0.70, 2, miss);
+        let t = evaluate(&traditional, &mem, &cfg);
+        let b = evaluate(&balanced, &mem, &cfg);
+        let imp = compare(&t, &b);
+        println!(
+            "{:>16} {:>11.1}% {:>9.1}% {:>9.1}%",
+            LatencyModel::name(&mem),
+            imp.mean_percent,
+            t.interlock_percent(),
+            b.interlock_percent()
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! §6 superblocks: enlarging the scheduling scope — and the register-
+//! pressure trade-off that comes with it.
+//!
+//! Fusing blocks exposes more load-level parallelism per load, so the
+//! balanced weights grow; whether that *helps* depends on whether the
+//! register file can hold the extra in-flight values. This example
+//! measures both sides of the trade.
+//!
+//! Run with: `cargo run --release --example superblocks`
+
+use balanced_scheduling::prelude::*;
+use balanced_scheduling::sched::BalancedWeights;
+use balanced_scheduling::workload::{kernels, lower_kernel, superblocks_of};
+
+fn max_load_weight(block: &BasicBlock) -> Ratio {
+    let dag = build_dag(block, AliasModel::Fortran);
+    let w = BalancedWeights::new().assign(&dag);
+    dag.load_ids()
+        .iter()
+        .map(|&l| w.weight(l))
+        .max()
+        .unwrap_or(Ratio::ONE)
+}
+
+fn improvement(func: &Function, pipeline: &Pipeline) -> (f64, f64) {
+    let mem = NetworkModel::new(2.0, 5.0);
+    let cfg = EvalConfig::default();
+    let bal = pipeline
+        .compile(func, &SchedulerChoice::balanced())
+        .expect("compile");
+    let trad = pipeline
+        .compile(func, &SchedulerChoice::traditional(Ratio::from_int(2)))
+        .expect("compile");
+    let imp = compare(&evaluate(&trad, &mem, &cfg), &evaluate(&bal, &mem, &cfg));
+    (imp.mean_percent, bal.spill_percent())
+}
+
+fn main() {
+    let base = Function::new(
+        "loops",
+        vec![
+            lower_kernel(&kernels::daxpy().with_unroll(2), 100.0),
+            lower_kernel(&kernels::stencil3().with_unroll(2), 100.0),
+            lower_kernel(&kernels::dot().with_unroll(3), 100.0),
+            lower_kernel(&kernels::matvec_row(), 100.0),
+        ],
+    );
+
+    println!("Per-load balanced weight grows as blocks are fused:");
+    for group in [1usize, 2, 4] {
+        let fused = Function::new("fused", superblocks_of(&base, group));
+        let max_w = fused.blocks().iter().map(max_load_weight).max().unwrap();
+        let sizes: Vec<usize> = fused.blocks().iter().map(BasicBlock::len).collect();
+        println!("  group {group}: block sizes {sizes:?}, max load weight {max_w}");
+    }
+
+    println!("\n…and the improvement depends on the register file:");
+    println!(
+        "{:>8} {:>10} {:>14} {:>12}",
+        "group", "FP regs", "improvement", "bal spill%"
+    );
+    for fp_regs in [16u32, 32] {
+        let pipeline = Pipeline {
+            allocator: AllocatorConfig {
+                fp_regs,
+                ..AllocatorConfig::mips_default()
+            },
+            ..Pipeline::default()
+        };
+        for group in [1usize, 2, 4] {
+            let fused = Function::new("fused", superblocks_of(&base, group));
+            let (imp, spill) = improvement(&fused, &pipeline);
+            println!("{group:>8} {fp_regs:>10} {imp:>13.1}% {spill:>11.2}%");
+        }
+    }
+    println!(
+        "\nWith a small file, fusion turns exposed parallelism into spills \
+         (the §5 pressure effect); with a large file, fusion widens the win."
+    );
+}

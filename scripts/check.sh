@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full verification pass: build, lint, test, doc, regenerate experiments.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --all-targets
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace
+cargo doc --workspace --no-deps
+
+# Smoke the experiment binaries at reduced run counts.
+export BSCHED_RUNS=5
+for bin in table1 table2 table3 table4 table5 figure2 figure3 workload_stats; do
+    cargo run --release -q -p bsched-bench --bin "$bin" > /dev/null
+done
+echo "all checks passed"

@@ -1,0 +1,352 @@
+//! `bsched` — drive the balanced-scheduling pipeline from the command
+//! line on kernels written in the text format (see
+//! `bsched_workload::parse`).
+//!
+//! ```console
+//! $ bsched schedule kernel.bsk [--scheduler balanced|average|traditional=<lat>] [--alias fortran|c]
+//! $ bsched compare  kernel.bsk --system "L80(2,10)" [--optimistic 2] [--processor unlimited|max8|len8] [--runs 30]
+//! $ bsched simulate kernel.bsk --system "N(3,5)" [--scheduler …] [--seed 7]
+//! $ bsched dot      kernel.bsk            # Graphviz of the code DAG
+//! ```
+
+use std::process::ExitCode;
+
+use balanced_scheduling::cpusim::{render_timeline, simulate_block_traced};
+use balanced_scheduling::dag::to_dot;
+use balanced_scheduling::prelude::*;
+use balanced_scheduling::workload::{lower_kernel, parse_program};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bsched: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  bsched schedule <kernel.bsk> [--scheduler S] [--alias fortran|c]
+  bsched stats    <kernel.bsk> [--alias fortran|c]
+  bsched compare  <kernel.bsk> --system SYS [--optimistic LAT] [--processor P] [--runs N] [--seed N]
+  bsched simulate <kernel.bsk> --system SYS [--scheduler S] [--processor P] [--seed N]
+  bsched dot      <kernel.bsk> [--alias fortran|c]
+
+  S   = balanced | balanced-approx | average | traditional=<latency>
+  SYS = L80(2,5) | N(3,5) | L80-N(30,5) | fixed(4) | …
+  P   = unlimited | max8 | len8
+  LAT = 2 | 2.6 | 13/5 | …";
+
+/// Minimal `--flag value` argument scanner.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("missing value for --{name}\n{USAGE}"))?;
+                flags.push((name.to_owned(), value.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        return Err(USAGE.to_owned());
+    };
+    let args = Args::parse(rest)?;
+    let file = args
+        .positional
+        .first()
+        .ok_or_else(|| format!("missing kernel file\n{USAGE}"))?;
+    let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let kernels = parse_program(&src).map_err(|e| format!("{file}:{e}"))?;
+    let blocks: Vec<BasicBlock> = kernels
+        .iter()
+        .map(|k| lower_kernel(&k.kernel, k.frequency))
+        .collect();
+
+    match command.as_str() {
+        "schedule" => {
+            for block in &blocks {
+                schedule_cmd(&args, block)?;
+            }
+            Ok(())
+        }
+        "compare" => compare_cmd(&args, blocks),
+        "simulate" => {
+            for block in &blocks {
+                simulate_cmd(&args, block)?;
+            }
+            Ok(())
+        }
+        "dot" => {
+            for block in &blocks {
+                let dag = build_dag(block, alias_of(&args)?);
+                print!("{}", to_dot(&dag, block.name()));
+            }
+            Ok(())
+        }
+        "stats" => {
+            use balanced_scheduling::dag::DagProfile;
+            use balanced_scheduling::sched::BalancedWeights;
+            for block in &blocks {
+                let dag = build_dag(block, alias_of(&args)?);
+                let profile = DagProfile::of(&dag);
+                let weights = BalancedWeights::new().assign(&dag);
+                println!("{}: {profile}", block.name());
+                for id in dag.load_ids() {
+                    println!("  {:10} weight {}", dag.name(id), weights.weight(id));
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn alias_of(args: &Args) -> Result<AliasModel, String> {
+    match args.flag("alias").unwrap_or("fortran") {
+        "fortran" => Ok(AliasModel::Fortran),
+        "c" => Ok(AliasModel::CConservative),
+        other => Err(format!("unknown alias model {other:?} (fortran|c)")),
+    }
+}
+
+fn scheduler_of(args: &Args) -> Result<SchedulerChoice, String> {
+    let spec = args.flag("scheduler").unwrap_or("balanced");
+    match spec {
+        "balanced" => Ok(SchedulerChoice::balanced()),
+        "balanced-approx" => Ok(SchedulerChoice::Balanced {
+            method: ChancesMethod::LevelApprox,
+        }),
+        "average" => Ok(SchedulerChoice::Average),
+        other => {
+            if let Some(lat) = other.strip_prefix("traditional=") {
+                let latency: Ratio = lat
+                    .parse()
+                    .map_err(|e| format!("bad latency {lat:?}: {e}"))?;
+                Ok(SchedulerChoice::traditional(latency))
+            } else {
+                Err(format!("unknown scheduler {other:?}"))
+            }
+        }
+    }
+}
+
+fn processor_of(args: &Args) -> Result<ProcessorModel, String> {
+    match args.flag("processor").unwrap_or("unlimited") {
+        "unlimited" => Ok(ProcessorModel::Unlimited),
+        "max8" => Ok(ProcessorModel::max_8()),
+        "len8" => Ok(ProcessorModel::len_8()),
+        other => Err(format!("unknown processor {other:?} (unlimited|max8|len8)")),
+    }
+}
+
+fn system_of(args: &Args) -> Result<MemorySystem, String> {
+    let spec = args.flag("system").ok_or("missing --system")?;
+    spec.parse().map_err(|e| format!("{e}"))
+}
+
+fn seed_of(args: &Args) -> Result<u64, String> {
+    match args.flag("seed") {
+        None => Ok(EvalConfig::default().seed),
+        Some(s) => s.parse().map_err(|_| format!("bad seed {s:?}")),
+    }
+}
+
+fn pipeline_of(args: &Args) -> Result<Pipeline, String> {
+    Ok(Pipeline {
+        alias: alias_of(args)?,
+        ..Pipeline::default()
+    })
+}
+
+fn schedule_cmd(args: &Args, block: &BasicBlock) -> Result<(), String> {
+    let choice = scheduler_of(args)?;
+    let pipeline = pipeline_of(args)?;
+    println!("Input ({} instructions):\n{block}", block.len());
+    let compiled = pipeline
+        .compile_block(block, &choice)
+        .map_err(|e| format!("register allocation failed: {e}"))?;
+    println!(
+        "{} schedule ({} instructions, {} spill):\n{}",
+        choice.name(),
+        compiled.block.len(),
+        compiled.spill_count,
+        compiled.block
+    );
+    Ok(())
+}
+
+fn compare_cmd(args: &Args, blocks: Vec<BasicBlock>) -> Result<(), String> {
+    let system = system_of(args)?;
+    let optimistic: Ratio = match args.flag("optimistic") {
+        Some(lat) => lat
+            .parse()
+            .map_err(|e| format!("bad latency {lat:?}: {e}"))?,
+        None => Ratio::from_int(system.optimistic_latency().round().max(1.0) as i64),
+    };
+    let runs: u32 = match args.flag("runs") {
+        Some(r) => r.parse().map_err(|_| format!("bad runs {r:?}"))?,
+        None => 30,
+    };
+    let pipeline = pipeline_of(args)?;
+    let name = blocks
+        .first()
+        .map_or_else(|| "program".to_owned(), |b| b.name().to_owned());
+    let func = Function::new(name, blocks);
+    let balanced = pipeline
+        .compile(&func, &SchedulerChoice::balanced())
+        .map_err(|e| format!("register allocation failed: {e}"))?;
+    let traditional = pipeline
+        .compile(&func, &SchedulerChoice::traditional(optimistic))
+        .map_err(|e| format!("register allocation failed: {e}"))?;
+    let cfg = EvalConfig {
+        runs,
+        processor: processor_of(args)?,
+        seed: seed_of(args)?,
+        ..EvalConfig::default()
+    };
+    let t = evaluate(&traditional, &system, &cfg);
+    let b = evaluate(&balanced, &system, &cfg);
+    let imp = compare(&t, &b);
+    println!("system            {}", system.name());
+    println!("processor         {}", cfg.processor);
+    println!("optimistic        {optimistic}");
+    println!(
+        "traditional       {:.1} cycles  ({:.1}% interlock, {:.2}% spill)",
+        t.mean_runtime,
+        t.interlock_percent(),
+        traditional.spill_percent()
+    );
+    println!(
+        "balanced          {:.1} cycles  ({:.1}% interlock, {:.2}% spill)",
+        b.mean_runtime,
+        b.interlock_percent(),
+        balanced.spill_percent()
+    );
+    println!("improvement       {imp}");
+    Ok(())
+}
+
+fn simulate_cmd(args: &Args, block: &BasicBlock) -> Result<(), String> {
+    let system = system_of(args)?;
+    let choice = scheduler_of(args)?;
+    let pipeline = pipeline_of(args)?;
+    let compiled = pipeline
+        .compile_block(block, &choice)
+        .map_err(|e| format!("register allocation failed: {e}"))?;
+    let mut rng = Pcg32::seed_from_u64(seed_of(args)?);
+    let (result, events) =
+        simulate_block_traced(&compiled.block, &system, processor_of(args)?, &mut rng);
+    println!("{}", render_timeline(&compiled.block, &events));
+    println!("{result}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args_of(argv: &[&str]) -> Args {
+        Args::parse(&argv.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn args_split_positional_and_flags() {
+        let args = args_of(&["file.bsk", "--system", "N(3,5)", "--runs", "10"]);
+        assert_eq!(args.positional, vec!["file.bsk"]);
+        assert_eq!(args.flag("system"), Some("N(3,5)"));
+        assert_eq!(args.flag("runs"), Some("10"));
+        assert_eq!(args.flag("missing"), None);
+    }
+
+    #[test]
+    fn later_flags_win() {
+        let args = args_of(&["f", "--seed", "1", "--seed", "2"]);
+        assert_eq!(args.flag("seed"), Some("2"));
+    }
+
+    #[test]
+    fn missing_flag_value_is_an_error() {
+        let argv = vec!["f".to_owned(), "--system".to_owned()];
+        assert!(Args::parse(&argv).is_err());
+    }
+
+    #[test]
+    fn scheduler_specs() {
+        assert_eq!(
+            scheduler_of(&args_of(&[])).unwrap(),
+            SchedulerChoice::balanced()
+        );
+        assert_eq!(
+            scheduler_of(&args_of(&["--scheduler", "traditional=2.6"])).unwrap(),
+            SchedulerChoice::traditional(Ratio::new(13, 5))
+        );
+        assert_eq!(
+            scheduler_of(&args_of(&["--scheduler", "average"])).unwrap(),
+            SchedulerChoice::Average
+        );
+        assert!(scheduler_of(&args_of(&["--scheduler", "bogus"])).is_err());
+        assert!(scheduler_of(&args_of(&["--scheduler", "traditional=zero"])).is_err());
+    }
+
+    #[test]
+    fn processor_specs() {
+        assert_eq!(
+            processor_of(&args_of(&[])).unwrap(),
+            ProcessorModel::Unlimited
+        );
+        assert_eq!(
+            processor_of(&args_of(&["--processor", "max8"])).unwrap(),
+            ProcessorModel::max_8()
+        );
+        assert_eq!(
+            processor_of(&args_of(&["--processor", "len8"])).unwrap(),
+            ProcessorModel::len_8()
+        );
+        assert!(processor_of(&args_of(&["--processor", "quantum"])).is_err());
+    }
+
+    #[test]
+    fn alias_specs() {
+        assert_eq!(alias_of(&args_of(&[])).unwrap(), AliasModel::Fortran);
+        assert_eq!(
+            alias_of(&args_of(&["--alias", "c"])).unwrap(),
+            AliasModel::CConservative
+        );
+        assert!(alias_of(&args_of(&["--alias", "ada"])).is_err());
+    }
+
+    #[test]
+    fn system_and_seed() {
+        assert!(system_of(&args_of(&[])).is_err(), "system is required");
+        let sys = system_of(&args_of(&["--system", "L80(2,10)"])).unwrap();
+        assert_eq!(sys.name(), "L80(2,10)");
+        assert_eq!(seed_of(&args_of(&["--seed", "9"])).unwrap(), 9);
+        assert!(seed_of(&args_of(&["--seed", "x"])).is_err());
+    }
+}

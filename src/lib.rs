@@ -1,0 +1,76 @@
+//! # Balanced Scheduling
+//!
+//! A from-scratch Rust reproduction of *"Balanced Scheduling: Instruction
+//! Scheduling When Memory Latency is Uncertain"* (Daniel R. Kerns and
+//! Susan J. Eggers, PLDI 1993), including every substrate the paper's
+//! evaluation depends on.
+//!
+//! This crate is a facade: it re-exports the subsystem crates under short
+//! module names and the most common types at the root. See `DESIGN.md`
+//! for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison of every table and figure.
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`ir`] | `bsched-ir` | MIPS-like RISC IR |
+//! | [`dag`] | `bsched-dag` | code DAG + dependence analysis |
+//! | [`sched`] | `bsched-core` | balanced/traditional weights + list scheduler |
+//! | [`regalloc`] | `bsched-regalloc` | linear scan + FIFO spill pool |
+//! | [`memsim`] | `bsched-memsim` | cache / network / mixed latency models |
+//! | [`cpusim`] | `bsched-cpusim` | non-blocking-load processor simulator |
+//! | [`workload`] | `bsched-workload` | kernels + Perfect Club stand-ins |
+//! | [`stats`] | `bsched-stats` | RNG, bootstrap, confidence intervals |
+//! | [`pipeline`] | `bsched-pipeline` | compile → simulate → compare |
+//!
+//! # Quick start
+//!
+//! Compare the two schedulers on the paper's showcase benchmark (MDG)
+//! under a high-variance memory network:
+//!
+//! ```
+//! use balanced_scheduling::prelude::*;
+//!
+//! let mdg = bsched_workload::perfect::mdg();
+//! let pipeline = Pipeline::default();
+//! let balanced = pipeline.compile(mdg.function(), &SchedulerChoice::balanced()).unwrap();
+//! let traditional = pipeline
+//!     .compile(mdg.function(), &SchedulerChoice::traditional(Ratio::from_int(2)))
+//!     .unwrap();
+//!
+//! let mem = NetworkModel::new(2.0, 5.0);
+//! let cfg = EvalConfig { runs: 10, ..EvalConfig::default() }; // 30 in the paper
+//! let imp = compare(&evaluate(&traditional, &mem, &cfg), &evaluate(&balanced, &mem, &cfg));
+//! assert!(imp.mean_percent > 0.0, "balanced wins under uncertainty: {imp}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub use bsched_core as sched;
+pub use bsched_cpusim as cpusim;
+pub use bsched_dag as dag;
+pub use bsched_ir as ir;
+pub use bsched_memsim as memsim;
+pub use bsched_pipeline as pipeline;
+pub use bsched_regalloc as regalloc;
+pub use bsched_stats as stats;
+pub use bsched_workload as workload;
+
+/// The most common types, importable in one line.
+pub mod prelude {
+    pub use bsched_core::{
+        BalancedWeights, Direction, ListScheduler, Ratio, Rounding, Schedule, TraditionalWeights,
+        WeightAssigner,
+    };
+    pub use bsched_cpusim::{simulate_block, ProcessorModel, SimResult};
+    pub use bsched_dag::{build_dag, AliasModel, ChancesMethod, CodeDag};
+    pub use bsched_ir::{BasicBlock, BlockBuilder, Function, InstId};
+    pub use bsched_memsim::{
+        CacheModel, FixedLatency, LatencyModel, MemorySystem, MixedModel, NetworkModel,
+    };
+    pub use bsched_pipeline::{
+        compare, evaluate, CompiledProgram, EvalConfig, Pipeline, SchedulerChoice,
+    };
+    pub use bsched_regalloc::{allocate, AllocatorConfig, PoolPolicy};
+    pub use bsched_stats::{Improvement, Pcg32};
+    pub use bsched_workload::{perfect_club, Benchmark};
+}

@@ -1,0 +1,107 @@
+//! Golden-schedule regression tests.
+//!
+//! The exact instruction orders below were produced by the current
+//! scheduler and reviewed once; any change to weight computation,
+//! priorities, tie-breaks or the list-scheduler loop that alters them
+//! will trip these tests. When a change is *intended*, regenerate the
+//! expectations (each vector is the schedule's `InstId` order) and
+//! re-review the schedules by hand — the point is that schedule changes
+//! never land silently, since every experiment number depends on them.
+
+use balanced_scheduling::prelude::*;
+use balanced_scheduling::workload::{kernels, lower_kernel, Kernel};
+
+fn golden() -> Vec<(&'static str, Kernel)> {
+    vec![
+        ("daxpy2", kernels::daxpy().with_unroll(2)),
+        ("dot2", kernels::dot().with_unroll(2)),
+        ("stencil3", kernels::stencil3()),
+        ("md_force", kernels::md_force()),
+        ("fft", kernels::fft_butterfly()),
+    ]
+}
+
+fn schedule_order(kernel: &Kernel, assigner: &dyn WeightAssigner) -> Vec<u32> {
+    let block = lower_kernel(kernel, 1.0);
+    let dag = build_dag(&block, AliasModel::Fortran);
+    let sched = ListScheduler::new().run(&dag, assigner);
+    assert!(sched.verify(&dag).is_ok());
+    sched.order().iter().map(|i| i.raw()).collect()
+}
+
+#[test]
+fn balanced_schedules_are_stable() {
+    let expected: Vec<(&str, Vec<u32>)> = vec![
+        ("daxpy2", vec![1, 11, 0, 9, 5, 3, 8, 10, 12, 13, 2, 4, 6, 7]),
+        ("dot2", vec![1, 8, 0, 7, 4, 3, 9, 2, 5, 6, 10]),
+        ("stencil3", vec![0, 6, 4, 3, 1, 2, 5, 7, 8, 9]),
+        (
+            "md_force",
+            vec![
+                5, 20, 1, 14, 0, 13, 4, 19, 3, 17, 2, 16, 12, 11, 10, 9, 8, 22, 15, 23, 21, 25, 18,
+                24, 26, 27, 28, 33, 34, 7, 31, 32, 6, 29, 30,
+            ],
+        ),
+        (
+            "fft",
+            vec![
+                1, 11, 2, 12, 3, 13, 0, 10, 9, 8, 7, 6, 5, 4, 21, 22, 19, 20, 23, 30, 31, 16, 17,
+                14, 15, 18, 28, 29, 26, 27, 24, 25,
+            ],
+        ),
+    ];
+    for ((name, kernel), (ename, order)) in golden().iter().zip(&expected) {
+        assert_eq!(name, ename);
+        assert_eq!(
+            &schedule_order(kernel, &BalancedWeights::new()),
+            order,
+            "balanced schedule drifted for {name}"
+        );
+    }
+}
+
+#[test]
+fn traditional_schedules_are_stable() {
+    let expected: Vec<(&str, Vec<u32>)> = vec![
+        ("daxpy2", vec![8, 1, 0, 9, 11, 10, 12, 13, 2, 3, 5, 4, 6, 7]),
+        ("dot2", vec![1, 8, 0, 7, 9, 4, 3, 2, 5, 6, 10]),
+        ("stencil3", vec![1, 2, 0, 4, 3, 6, 5, 7, 8, 9]),
+        (
+            "md_force",
+            vec![
+                12, 11, 10, 9, 8, 1, 14, 0, 13, 22, 15, 5, 20, 4, 19, 23, 21, 3, 17, 2, 16, 25, 18,
+                24, 26, 27, 28, 33, 34, 7, 31, 32, 6, 29, 30,
+            ],
+        ),
+        (
+            "fft",
+            vec![
+                9, 8, 7, 6, 5, 4, 1, 11, 2, 12, 21, 22, 3, 13, 19, 20, 23, 30, 31, 0, 10, 16, 17,
+                14, 15, 18, 28, 29, 26, 27, 24, 25,
+            ],
+        ),
+    ];
+    let assigner = TraditionalWeights::new(Ratio::from_int(2));
+    for ((name, kernel), (ename, order)) in golden().iter().zip(&expected) {
+        assert_eq!(name, ename);
+        assert_eq!(
+            &schedule_order(kernel, &assigner),
+            order,
+            "traditional schedule drifted for {name}"
+        );
+    }
+}
+
+#[test]
+fn schedulers_actually_differ_on_every_golden_kernel() {
+    // If both schedulers ever emitted identical orders on all kernels,
+    // the experiments would be comparing a scheduler against itself.
+    let trad = TraditionalWeights::new(Ratio::from_int(2));
+    for (name, kernel) in golden() {
+        assert_ne!(
+            schedule_order(&kernel, &BalancedWeights::new()),
+            schedule_order(&kernel, &trad),
+            "{name}: schedulers coincide"
+        );
+    }
+}

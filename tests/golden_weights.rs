@@ -1,0 +1,94 @@
+//! Golden balanced-weight snapshots for every block of the workload.
+//!
+//! Each entry records the exact sum and maximum of the per-load balanced
+//! weights of one benchmark block (exact rationals, printed in the
+//! `Ratio` display format). Any change to the Fig. 6 implementation, the
+//! dependence builder, or the workload definition shows up here before
+//! it silently shifts every experiment table. Regenerate by printing
+//! `(name, Σ weights, max weight)` per block after an intended change.
+
+use balanced_scheduling::prelude::*;
+use balanced_scheduling::sched::BalancedWeights;
+
+const GOLDEN: &[(&str, &str, &str)] = &[
+    ("ADM.b0.daxpy", "99", "17"),
+    ("ADM.b1.stencil3", "80", "14"),
+    ("ADM.b2.dot", "116", "16"),
+    ("ADM.b3.matvec_row", "112", "14"),
+    ("ARC2D.b0.stencil5", "666", "46"),
+    ("ARC2D.b1.stencil5", "284", "30"),
+    ("ARC2D.b2.stencil3", "352", "30"),
+    ("ARC2D.b3.daxpy", "180", "23"),
+    ("BDNA.b0.gather", "128", "16"),
+    ("BDNA.b1.md_force", "140", "24"),
+    ("BDNA.b2.dot", "180", "20"),
+    ("BDNA.b3.gather", "72", "12"),
+    ("FLO52Q.b0.stencil3", "192", "22"),
+    ("FLO52Q.b1.fft_butterfly", "92", "27"),
+    ("FLO52Q.b2.daxpy", "99", "17"),
+    ("FLO52Q.b3.recurrence", "108", "17"),
+    ("MDG.b0.md_force", "140", "24"),
+    ("MDG.b1.md_force", "140", "24"),
+    ("MDG.b2.dot", "258", "24"),
+    ("MDG.b3.daxpy", "99", "17"),
+    ("MG3D.b0.matvec_row", "112", "14"),
+    ("MG3D.b1.daxpy", "285", "29"),
+    ("MG3D.b2.stencil3", "192", "22"),
+    ("MG3D.b3.dot", "456", "32"),
+    ("QCD2.b0.fft_butterfly", "360", "49"),
+    ("QCD2.b1.fft_butterfly", "360", "49"),
+    ("QCD2.b2.md_force", "140", "24"),
+    ("QCD2.b3.fft_butterfly", "804", "71"),
+    ("TRACK.b0.recurrence", "30", "9"),
+    ("TRACK.b1.daxpy", "9", "5"),
+    ("TRACK.b2.dot", "30", "8"),
+    ("TRACK.b3.gather", "8", "4"),
+];
+
+#[test]
+fn workload_balanced_weights_are_stable() {
+    let mut golden = GOLDEN.iter();
+    for bench in perfect_club() {
+        for block in bench.function().blocks() {
+            let (name, total_expected, max_expected) =
+                golden.next().expect("golden table covers every block");
+            assert_eq!(block.name(), *name, "workload structure changed");
+            let dag = build_dag(block, AliasModel::Fortran);
+            let w = BalancedWeights::new().assign(&dag);
+            let loads = dag.load_ids();
+            let total: Ratio = loads.iter().map(|&l| w.weight(l)).sum();
+            let max = loads
+                .iter()
+                .map(|&l| w.weight(l))
+                .max()
+                .expect("blocks have loads");
+            assert_eq!(
+                total.to_string(),
+                *total_expected,
+                "{name}: total weight drifted"
+            );
+            assert_eq!(max.to_string(), *max_expected, "{name}: max weight drifted");
+        }
+    }
+    assert!(
+        golden.next().is_none(),
+        "golden table has stale extra entries"
+    );
+}
+
+/// Sanity on the snapshot itself: the known profile ordering holds —
+/// QCD2's pressure-heavy butterflies carry the workload's largest
+/// weights, TRACK's serial blocks the smallest.
+#[test]
+fn snapshot_reflects_benchmark_profiles() {
+    let max_of = |prefix: &str| {
+        GOLDEN
+            .iter()
+            .filter(|(n, _, _)| n.starts_with(prefix))
+            .map(|(_, _, m)| m.parse::<i64>().unwrap_or(0))
+            .max()
+            .unwrap()
+    };
+    assert!(max_of("QCD2") > max_of("ADM"));
+    assert!(max_of("TRACK") < max_of("MDG"));
+}

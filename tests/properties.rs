@@ -1,0 +1,195 @@
+//! Property-based tests over randomly generated blocks: invariants that
+//! must hold for *any* straight-line program, not just the workload.
+
+use balanced_scheduling::prelude::*;
+use balanced_scheduling::sched::compute_priorities;
+use balanced_scheduling::stats::SplitMix64;
+use balanced_scheduling::workload::{random_block, GeneratorConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (5usize..80, 0.05f64..0.7, 0.0f64..0.5, 0.0f64..0.3).prop_map(
+        |(size, load_fraction, chain_fraction, store_fraction)| GeneratorConfig {
+            size,
+            load_fraction,
+            chain_fraction,
+            store_fraction,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Both schedulers produce valid topological orders for any block,
+    /// any alias model, any direction.
+    #[test]
+    fn schedules_always_verify(cfg in arb_config(), seed in 0u64..1000) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let block = random_block(&cfg, &mut rng);
+        for alias in [AliasModel::Fortran, AliasModel::CConservative] {
+            let dag = build_dag(&block, alias);
+            for direction in [Direction::BottomUp, Direction::TopDown] {
+                let scheduler = ListScheduler::new().with_direction(direction);
+                for assigner in [
+                    &BalancedWeights::new() as &dyn WeightAssigner,
+                    &TraditionalWeights::new(Ratio::from_int(3)),
+                ] {
+                    let sched = scheduler.run(&dag, assigner);
+                    prop_assert!(sched.verify(&dag).is_ok());
+                    prop_assert_eq!(sched.len(), block.len());
+                }
+            }
+        }
+    }
+
+    /// Balanced weights are at least 1 on every node and exceed 1 only
+    /// on loads.
+    #[test]
+    fn balanced_weights_bounds(cfg in arb_config(), seed in 0u64..1000) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let block = random_block(&cfg, &mut rng);
+        let dag = build_dag(&block, AliasModel::Fortran);
+        let w = BalancedWeights::new().assign(&dag);
+        for id in dag.node_ids() {
+            prop_assert!(w.weight(id) >= Ratio::ONE);
+            if !dag.is_load(id) {
+                prop_assert_eq!(w.weight(id), Ratio::ONE);
+            }
+        }
+    }
+
+    /// The sum of balanced weight contributions is conserved: every
+    /// instruction donates at most its issue slot per component, so the
+    /// total extra weight over all loads is at most n per donor — a loose
+    /// but model-independent bound: Σ(w_l − 1) ≤ n·L where L = #loads.
+    #[test]
+    fn balanced_weight_total_is_bounded(cfg in arb_config(), seed in 0u64..1000) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let block = random_block(&cfg, &mut rng);
+        let dag = build_dag(&block, AliasModel::Fortran);
+        let w = BalancedWeights::new().assign(&dag);
+        let loads = dag.load_ids();
+        let total_extra: Ratio = loads.iter().map(|&l| w.weight(l) - Ratio::ONE).sum();
+        let bound = Ratio::from_int((dag.len() * loads.len()) as i64);
+        prop_assert!(total_extra <= bound);
+    }
+
+    /// Priorities are monotone along dependence edges: a predecessor's
+    /// priority strictly exceeds each successor's (weights ≥ 1).
+    #[test]
+    fn priorities_decrease_along_edges(cfg in arb_config(), seed in 0u64..1000) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let block = random_block(&cfg, &mut rng);
+        let dag = build_dag(&block, AliasModel::Fortran);
+        let w = BalancedWeights::new().assign(&dag);
+        let p = compute_priorities(&dag, &w);
+        for e in dag.edges() {
+            prop_assert!(p[e.from.index()] > p[e.to.index()]);
+        }
+    }
+
+    /// Simulation accounting: cycles = instructions + interlocks, and a
+    /// fixed latency of 1 never stalls any schedule.
+    #[test]
+    fn simulation_accounting(cfg in arb_config(), seed in 0u64..1000, latency in 1u64..12) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let block = random_block(&cfg, &mut rng);
+        let mut sim_rng = Pcg32::seed_from_u64(seed ^ 1);
+        let r = simulate_block(&block, &FixedLatency::new(latency), ProcessorModel::Unlimited, &mut sim_rng);
+        prop_assert_eq!(r.cycles(), r.instructions + r.interlocks);
+        prop_assert_eq!(r.instructions as usize, block.len());
+        if latency == 1 {
+            prop_assert_eq!(r.interlocks, 0);
+        }
+    }
+
+    /// Restricted processors never beat UNLIMITED on the same program and
+    /// latency draws.
+    #[test]
+    fn restricted_processors_never_win(cfg in arb_config(), seed in 0u64..1000) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let block = random_block(&cfg, &mut rng);
+        let mem = FixedLatency::new(9);
+        let run = |model: ProcessorModel| {
+            let mut r = Pcg32::seed_from_u64(seed ^ 2);
+            simulate_block(&block, &mem, model, &mut r).cycles()
+        };
+        let unlimited = run(ProcessorModel::Unlimited);
+        prop_assert!(run(ProcessorModel::max_8()) >= unlimited);
+        prop_assert!(run(ProcessorModel::len_8()) >= unlimited);
+        prop_assert!(run(ProcessorModel::MaxOutstanding(1)) >= run(ProcessorModel::max_8()));
+    }
+
+    /// Register allocation preserves the program: instruction count grows
+    /// exactly by the spill count, no virtual registers survive, and
+    /// every use is dominated by a def.
+    #[test]
+    fn allocation_preserves_structure(cfg in arb_config(), seed in 0u64..1000) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let block = random_block(&cfg, &mut rng);
+        let result = allocate(&block, &AllocatorConfig::mips_default()).unwrap();
+        prop_assert_eq!(result.block.len(), block.len() + result.spill_count());
+        let mut defined = std::collections::HashSet::new();
+        for inst in result.block.insts() {
+            for u in inst.uses() {
+                prop_assert!(!u.is_virt());
+                prop_assert!(defined.contains(u), "use before def");
+            }
+            for d in inst.defs() {
+                prop_assert!(!d.is_virt());
+                defined.insert(*d);
+            }
+        }
+        // Loads and stores balance: every spill store has its slot read
+        // at least once (reloads never exceed... stores ≤ loads).
+        prop_assert!(result.spill_stores <= result.spill_loads || result.spill_stores == 0);
+    }
+
+    /// The full pipeline terminates and verifies on arbitrary blocks.
+    #[test]
+    fn pipeline_end_to_end(cfg in arb_config(), seed in 0u64..500) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let block = random_block(&cfg, &mut rng);
+        let func = Function::new("prop", vec![block]);
+        let prog = Pipeline::default().compile(&func, &SchedulerChoice::balanced()).unwrap();
+        let eval = evaluate(
+            &prog,
+            &CacheModel::l80_5(),
+            &EvalConfig { runs: 3, resamples: 10, ..EvalConfig::default() },
+        );
+        prop_assert!(eval.mean_runtime >= eval.dynamic_instructions);
+    }
+
+    /// Monotonicity: raising a uniform fixed latency never makes any
+    /// schedule run faster on the UNLIMITED processor.
+    #[test]
+    fn cycles_are_monotone_in_latency(cfg in arb_config(), seed in 0u64..500) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let block = random_block(&cfg, &mut rng);
+        let run = |latency: u64| {
+            let mut r = Pcg32::seed_from_u64(seed ^ 3);
+            simulate_block(&block, &FixedLatency::new(latency), ProcessorModel::Unlimited, &mut r)
+                .cycles()
+        };
+        let mut prev = run(1);
+        for latency in [2u64, 4, 8, 16] {
+            let cur = run(latency);
+            prop_assert!(cur >= prev, "latency {latency}: {cur} < {prev}");
+            prev = cur;
+        }
+    }
+
+    /// RNG streams: different split indices give different sequences.
+    #[test]
+    fn rng_split_streams_differ(seed in 0u64..10_000) {
+        let root = Pcg32::seed_from_u64(seed);
+        let mut a = root.split(0);
+        let mut b = root.split(1);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        prop_assert!(same < 4);
+        let mut sm1 = SplitMix64::new(seed);
+        let mut sm2 = SplitMix64::new(seed.wrapping_add(1));
+        prop_assert_ne!(sm1.next_u64(), sm2.next_u64());
+    }
+}

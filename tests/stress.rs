@@ -1,0 +1,57 @@
+//! Long-running randomized stress of the full pipeline, `#[ignore]`d by
+//! default. Run with:
+//!
+//! ```console
+//! cargo test --release --test stress -- --ignored
+//! ```
+
+use balanced_scheduling::prelude::*;
+use balanced_scheduling::workload::{random_block, GeneratorConfig};
+
+/// One thousand random programs through compile → evaluate under rotating
+/// schedulers, memory systems and processor models. Asserts only
+/// structural invariants; the value is the breadth of inputs exercised.
+#[test]
+#[ignore = "long-running stress; invoke explicitly with -- --ignored"]
+fn pipeline_survives_a_thousand_random_programs() {
+    let systems: Vec<MemorySystem> = MemorySystem::paper_systems();
+    let pipeline = Pipeline::default();
+    for seed in 0..1000u64 {
+        let cfg = GeneratorConfig {
+            size: 10 + (seed % 90) as usize,
+            load_fraction: 0.1 + (seed % 7) as f64 * 0.07,
+            chain_fraction: (seed % 5) as f64 * 0.1,
+            store_fraction: (seed % 4) as f64 * 0.08,
+        };
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let block = random_block(&cfg, &mut rng);
+        let func = Function::new("stress", vec![block]);
+
+        let choice = match seed % 3 {
+            0 => SchedulerChoice::balanced(),
+            1 => SchedulerChoice::traditional(Ratio::from_int(1 + (seed % 12) as i64)),
+            _ => SchedulerChoice::Average,
+        };
+        let prog = pipeline.compile(&func, &choice).expect("compile");
+        assert!(prog.dynamic_instructions() >= func.inst_count() as f64);
+
+        let mem = &systems[(seed % systems.len() as u64) as usize];
+        let processor = ProcessorModel::paper_models()[(seed % 3) as usize];
+        let eval = evaluate(
+            &prog,
+            mem,
+            &EvalConfig {
+                runs: 3,
+                resamples: 10,
+                processor,
+                seed,
+                ..EvalConfig::default()
+            },
+        );
+        assert!(
+            eval.mean_runtime >= eval.dynamic_instructions,
+            "seed {seed}"
+        );
+        assert!(eval.interlock_percent() >= 0.0 && eval.interlock_percent() < 100.0);
+    }
+}
