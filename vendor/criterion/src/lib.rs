@@ -1,0 +1,289 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, vendored so the workspace builds in offline environments.
+//!
+//! It implements the API subset this repository's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`],
+//! [`Bencher::iter`], [`criterion_group!`] and [`criterion_main!`] — and
+//! reports a mean wall-clock time per iteration on stderr instead of
+//! criterion's full statistical analysis. Timings are real; confidence
+//! intervals, HTML reports and regression detection are not provided.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export so `criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Minimum measured iterations per benchmark, before `sample_size`
+/// scaling.
+const MIN_ITERS: u32 = 10;
+/// Target measurement budget per benchmark.
+const TARGET_NANOS: u128 = 200_000_000;
+
+/// The benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the nominal sample count (scales the iteration budget).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2) as u32;
+        self
+    }
+
+    /// Accepted for CLI compatibility; no-op in the stand-in.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(name.to_owned(), self.sample_size);
+        f(&mut b);
+        b.report();
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u32,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the per-iteration throughput (printed with results).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Overrides the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2) as u32;
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(format!("{}/{}", self.name, id.0), self.sample_size);
+        f(&mut b, input);
+        b.report();
+        self
+    }
+
+    /// Benchmarks `f` with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(format!("{}/{}", self.name, id.0), self.sample_size);
+        f(&mut b);
+        b.report();
+        self
+    }
+
+    /// Ends the group (prints nothing extra in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A function name plus a parameter value, e.g. `balanced/200`.
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// A bare parameter value.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Throughput annotation (accepted, not analysed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes per iteration, decimal multiple display.
+    BytesDecimal(u64),
+}
+
+/// Runs and times one benchmark routine.
+pub struct Bencher {
+    label: String,
+    sample_size: u32,
+    mean_nanos: Option<f64>,
+}
+
+impl Bencher {
+    fn new(label: String, sample_size: u32) -> Self {
+        Self {
+            label,
+            sample_size,
+            mean_nanos: None,
+        }
+    }
+
+    /// Times `routine`, warming up briefly, then iterating until either
+    /// the iteration budget or the time budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let budget = MIN_ITERS.max(self.sample_size);
+        let start = Instant::now();
+        let mut iters: u32 = 0;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if iters >= budget || start.elapsed().as_nanos() >= TARGET_NANOS {
+                break;
+            }
+        }
+        let total = start.elapsed().as_nanos() as f64;
+        self.mean_nanos = Some(total / f64::from(iters));
+    }
+
+    fn report(&self) {
+        match self.mean_nanos {
+            Some(ns) => eprintln!("bench {:<48} {}", self.label, format_nanos(ns)),
+            None => eprintln!("bench {:<48} (no measurement)", self.label),
+        }
+    }
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:>10.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:>10.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:>10.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:>10.1} ns/iter")
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            });
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("f", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.bench_function(BenchmarkId::from_parameter(7), |b| {
+            b.iter(|| black_box(7));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).0, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+
+    #[test]
+    fn nanos_formatting_scales() {
+        assert!(format_nanos(5.0).contains("ns"));
+        assert!(format_nanos(5.0e3).contains("µs"));
+        assert!(format_nanos(5.0e6).contains("ms"));
+        assert!(format_nanos(5.0e9).contains("s/iter"));
+    }
+}

@@ -1,0 +1,314 @@
+//! A minimal, dependency-free stand-in for the `proptest` property
+//! testing framework, vendored so the workspace builds in offline
+//! environments.
+//!
+//! Supported subset (everything this repository's property tests use):
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`, doc
+//!   comments, `#[test]` attributes and `arg in strategy` parameters;
+//! * [`Strategy`](strategy::Strategy) implemented for numeric ranges and
+//!   tuples, plus [`prop_map`](strategy::Strategy::prop_map);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`];
+//! * [`ProptestConfig::with_cases`](test_runner::ProptestConfig::with_cases).
+//!
+//! Semantics differ from real proptest in two deliberate ways: case
+//! generation is **deterministic** (seeded from the test function name, so
+//! failures reproduce exactly) and there is **no shrinking** — a failing
+//! case panics with the sampled values printed by the assertion itself.
+
+/// Deterministic case generation.
+pub mod rng {
+    /// SplitMix64 — the stand-in's only random source.
+    #[derive(Debug, Clone, Copy)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a seed; all seeds are valid.
+        #[must_use]
+        pub fn new(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        /// Seeds a generator from a test name, deterministically.
+        #[must_use]
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self::new(h)
+        }
+
+        /// Next 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn next_unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// Controls how many cases each property runs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::rng::TestRng;
+
+    /// A recipe for generating values of an output type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as u128 + off) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.next_unit_f64()
+        }
+    }
+
+    impl Strategy for core::ops::Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.next_unit_f64() as f32
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy!(
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    );
+
+    /// `Just(v)`: always generates a clone of `v`.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// The common import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::rng::TestRng;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over `config.cases` generated
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::rng::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    let ($($arg,)+) = (
+                        $( $crate::strategy::Strategy::generate(&($strat), &mut rng), )+
+                    );
+                    let run = || -> () { $body };
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                    if let Err(panic) = result {
+                        eprintln!(
+                            "proptest case {case}/{} of {} failed",
+                            config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(5usize..60), &mut rng);
+            assert!((5..60).contains(&v));
+            let f = Strategy::generate(&(0.25f64..0.75), &mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = TestRng::from_name("t");
+        let mut b = TestRng::from_name("t");
+        for _ in 0..100 {
+            assert_eq!(
+                Strategy::generate(&(0u64..1000), &mut a),
+                Strategy::generate(&(0u64..1000), &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let strat = (1usize..4, 0.0f64..1.0).prop_map(|(n, x)| n as f64 + x);
+        let mut rng = TestRng::new(9);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1.0..4.0).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: args bind, asserts work, cases loop.
+        #[test]
+        fn macro_generates_cases(n in 1u64..100, f in 0.0f64..1.0) {
+            prop_assert!(n >= 1 && n < 100);
+            prop_assert!(f >= 0.0 && f < 1.0, "f = {f}");
+            prop_assert_eq!(n, n);
+            prop_assert_ne!(n as f64 + 1.0, f);
+        }
+    }
+}
