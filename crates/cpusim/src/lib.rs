@@ -48,6 +48,6 @@ pub use processor::ProcessorModel;
 pub use result::{InterlockBreakdown, SimResult};
 pub use sim::{
     simulate_block, simulate_block_custom, simulate_block_traced, simulate_block_wide,
-    simulate_runs, simulate_runs_wide, IssueEvent,
+    simulate_runs, simulate_runs_stats, simulate_runs_wide, IssueEvent, RunStats,
 };
 pub use timeline::render_timeline;

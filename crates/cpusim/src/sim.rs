@@ -142,13 +142,70 @@ pub fn simulate_runs_wide(
     runs: u32,
     rng: &Pcg32,
 ) -> Vec<f64> {
+    simulate_runs_stats(block, mem, model, width, runs, rng).elapsed
+}
+
+/// Per-run samples from one batch of independent simulations: everything
+/// the §4.3 measurement protocol consumes, produced in a **single**
+/// simulation pass per run.
+///
+/// Run `r` draws its latencies from `rng.split(r)`, exactly as
+/// [`simulate_runs_wide`] does, so `elapsed` is bit-identical to that
+/// function's output and `interlocks` comes for free from the same runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Elapsed cycles per run (equals `instructions + interlocks` at
+    /// issue width 1; less when slots overlap on a wider machine).
+    pub elapsed: Vec<f64>,
+    /// Interlock cycles per run.
+    pub interlocks: Vec<f64>,
+}
+
+impl RunStats {
+    /// Mean interlock cycles across the batch (0 for an empty batch).
+    #[must_use]
+    pub fn mean_interlocks(&self) -> f64 {
+        if self.interlocks.is_empty() {
+            0.0
+        } else {
+            self.interlocks.iter().sum::<f64>() / self.interlocks.len() as f64
+        }
+    }
+}
+
+/// Runs `runs` independent simulations and returns both the elapsed
+/// cycle count and the interlock count of every run.
+///
+/// This is the single-pass batch entry point: callers that need runtimes
+/// *and* interlock accounting (the §4.3 protocol reports both) must not
+/// simulate twice — each `(block, run)` pair is simulated exactly once
+/// here.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+#[must_use]
+pub fn simulate_runs_stats(
+    block: &BasicBlock,
+    mem: &dyn LatencyModel,
+    model: ProcessorModel,
+    width: u32,
+    runs: u32,
+    rng: &Pcg32,
+) -> RunStats {
     assert!(width >= 1, "issue width must be at least 1");
-    (0..runs)
-        .map(|r| {
-            let mut run_rng = rng.split(u64::from(r));
-            simulate_block_wide(block, mem, model, width, &mut run_rng).1 as f64
-        })
-        .collect()
+    let mut elapsed = Vec::with_capacity(runs as usize);
+    let mut interlocks = Vec::with_capacity(runs as usize);
+    for r in 0..runs {
+        let mut run_rng = rng.split(u64::from(r));
+        let (result, cycles) = simulate_block_wide(block, mem, model, width, &mut run_rng);
+        elapsed.push(cycles as f64);
+        interlocks.push(result.interlocks as f64);
+    }
+    RunStats {
+        elapsed,
+        interlocks,
+    }
 }
 
 /// Maps a symbolic memory location to a flat simulated address: each
@@ -498,6 +555,39 @@ mod tests {
         assert_eq!(a.len(), 30);
         // Stochastic latencies: runs should not all coincide.
         assert!(a.iter().any(|&x| x != a[0]));
+    }
+
+    #[test]
+    fn runs_stats_single_pass_matches_separate_passes() {
+        // The batch entry point must reproduce, bit for bit, both the
+        // elapsed samples of `simulate_runs_wide` and the interlocks a
+        // separate per-run `simulate_block` pass would have counted.
+        let block = block_with_loads(8);
+        let mem: MemorySystem = NetworkModel::new(3.0, 2.0).into();
+        let rng = Pcg32::seed_from_u64(42);
+        let stats = simulate_runs_stats(&block, &mem, ProcessorModel::Unlimited, 1, 30, &rng);
+        let elapsed = simulate_runs(&block, &mem, ProcessorModel::Unlimited, 30, &rng);
+        assert_eq!(stats.elapsed, elapsed);
+        let interlocks: Vec<f64> = (0..30u32)
+            .map(|r| {
+                let mut run_rng = rng.split(u64::from(r));
+                simulate_block(&block, &mem, ProcessorModel::Unlimited, &mut run_rng).interlocks
+                    as f64
+            })
+            .collect();
+        assert_eq!(stats.interlocks, interlocks);
+        let mean = interlocks.iter().sum::<f64>() / 30.0;
+        assert_eq!(stats.mean_interlocks(), mean);
+    }
+
+    #[test]
+    fn runs_stats_empty_batch() {
+        let block = block_with_loads(1);
+        let rng = Pcg32::seed_from_u64(0);
+        let stats =
+            simulate_runs_stats(&block, &FixedLatency::new(2), ProcessorModel::Unlimited, 1, 0, &rng);
+        assert!(stats.elapsed.is_empty());
+        assert_eq!(stats.mean_interlocks(), 0.0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Measurement: the §4.3 simulation and bootstrap protocol.
 
-use bsched_cpusim::{simulate_block, simulate_runs_wide, ProcessorModel, SimResult};
+use bsched_cpusim::{simulate_runs_stats, ProcessorModel};
 use bsched_memsim::LatencyModel;
 use bsched_stats::{bootstrap_means, paired_improvement, Improvement, Pcg32};
 
@@ -84,7 +84,9 @@ pub fn evaluate(
 
     for (i, cb) in program.blocks.iter().enumerate() {
         let block_rng = sim_root.split(i as u64);
-        let samples = simulate_runs_wide(
+        // One simulation pass per (block, run): runtimes and interlock
+        // accounting come from the same runs.
+        let stats = simulate_runs_stats(
             &cb.block,
             mem,
             config.processor,
@@ -93,19 +95,12 @@ pub fn evaluate(
             &block_rng,
         );
         let mut boot_rng = boot_root.split(i as u64);
-        let means = bootstrap_means(&samples, config.resamples, &mut boot_rng);
+        let means = bootstrap_means(&stats.elapsed, config.resamples, &mut boot_rng);
         let freq = cb.block.frequency();
         for (total, m) in bootstrap_runtimes.iter_mut().zip(&means) {
             *total += m * freq;
         }
-        // Interlock accounting: mean over the same runs.
-        let mut interlocks = 0.0;
-        for r in 0..config.runs {
-            let mut rng = block_rng.split(u64::from(r));
-            let result: SimResult = simulate_block(&cb.block, mem, config.processor, &mut rng);
-            interlocks += result.interlocks as f64;
-        }
-        mean_interlocks += interlocks / f64::from(config.runs) * freq;
+        mean_interlocks += stats.mean_interlocks() * freq;
     }
 
     let mean_runtime =
