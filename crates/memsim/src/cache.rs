@@ -108,6 +108,10 @@ impl LatencyModel for CacheModel {
     fn effective_latency(&self) -> f64 {
         self.hit_rate * self.hit_latency as f64 + (1.0 - self.hit_rate) * self.miss_latency as f64
     }
+
+    fn as_sync(&self) -> Option<&(dyn LatencyModel + Sync)> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

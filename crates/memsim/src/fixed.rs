@@ -46,6 +46,10 @@ impl LatencyModel for FixedLatency {
     fn effective_latency(&self) -> f64 {
         self.0 as f64
     }
+
+    fn as_sync(&self) -> Option<&(dyn LatencyModel + Sync)> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

@@ -91,4 +91,16 @@ pub trait LatencyModel {
     /// The expected access time (the second "Optimistic Latency" row the
     /// paper evaluates traditional scheduling at, e.g. 2.6 for L80(2,5)).
     fn effective_latency(&self) -> f64;
+
+    /// Returns `self` as a thread-safe model when the implementation has
+    /// no interior mutability, enabling parallel evaluation.
+    ///
+    /// The default is `None`, which keeps stateful models correct: the
+    /// harness falls back to serial evaluation for anything that does
+    /// not opt in. Stateless models override this with `Some(self)`.
+    /// [`LineCache`] (`RefCell` tag store) and [`MarkovNetworkModel`]
+    /// (`Cell` congestion state) must keep the default.
+    fn as_sync(&self) -> Option<&(dyn LatencyModel + Sync)> {
+        None
+    }
 }

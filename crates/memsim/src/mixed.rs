@@ -76,6 +76,10 @@ impl LatencyModel for MixedModel {
     fn effective_latency(&self) -> f64 {
         self.hit_rate * self.hit_latency as f64 + (1.0 - self.hit_rate) * self.miss.discrete_mean()
     }
+
+    fn as_sync(&self) -> Option<&(dyn LatencyModel + Sync)> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

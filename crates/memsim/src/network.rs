@@ -72,6 +72,10 @@ impl LatencyModel for NetworkModel {
     fn effective_latency(&self) -> f64 {
         self.dist.discrete_mean()
     }
+
+    fn as_sync(&self) -> Option<&(dyn LatencyModel + Sync)> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

@@ -78,6 +78,11 @@ impl LatencyModel for MemorySystem {
             MemorySystem::Mixed(m) => m.effective_latency(),
         }
     }
+
+    fn as_sync(&self) -> Option<&(dyn LatencyModel + Sync)> {
+        // Every variant is a plain-data model; the enum itself is Sync.
+        Some(self)
+    }
 }
 
 impl From<FixedLatency> for MemorySystem {

@@ -1,0 +1,207 @@
+//! Deterministic fork-join parallelism for the experiment harness.
+//!
+//! The measurement protocol derives every random stream from a master
+//! seed by *counter splitting* (`Pcg32::split`), so per-item work is a
+//! pure function of the item index — which items run on which OS thread
+//! cannot change any result. [`parallel_map`] exploits that: it fans a
+//! slice out over a dynamic work queue and returns results **in item
+//! order**, so callers fold them exactly as a serial loop would and get
+//! bit-identical output.
+//!
+//! Thread count comes from the `BSCHED_THREADS` environment variable
+//! (read on every call, so tests can toggle it), defaulting to the
+//! machine's available parallelism. `BSCHED_THREADS=1` forces serial
+//! execution everywhere.
+//!
+//! Nested calls degrade gracefully: a `parallel_map` running inside a
+//! worker thread of another `parallel_map` executes serially instead of
+//! oversubscribing the machine. The harness relies on this — the bench
+//! crate parallelises over table cells while `evaluate()` parallelises
+//! over blocks, and whichever fans out first wins.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = bsched_par::parallel_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Set inside `parallel_map` worker threads so nested calls run
+    /// serially instead of spawning threads-of-threads.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when called from inside a [`parallel_map`] worker thread.
+#[must_use]
+pub fn in_parallel_worker() -> bool {
+    IN_PARALLEL.with(Cell::get)
+}
+
+/// The number of worker threads fan-out points should use right now:
+/// `BSCHED_THREADS` if set to a positive integer, otherwise the
+/// machine's available parallelism. Re-read on every call.
+#[must_use]
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("BSCHED_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Maps `f` over `items` on up to [`max_threads`] threads, returning
+/// results in item order.
+///
+/// `f` receives `(index, &item)` and must be a pure function of them for
+/// the order guarantee to mean anything. Equivalent to
+/// `items.iter().enumerate().map(..).collect()` — including panic
+/// propagation — just faster.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_with(max_threads(), items, f)
+}
+
+/// [`parallel_map`] with an explicit thread budget (tests use this to
+/// compare serial and parallel execution without touching the
+/// environment). `threads <= 1` runs serially on the calling thread, as
+/// does any call nested inside another `parallel_map`.
+pub fn parallel_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.min(n);
+    if threads <= 1 || in_parallel_worker() {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // Dynamic work queue: workers race on a shared counter so uneven
+    // item costs (block sizes vary wildly) still balance.
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_PARALLEL.with(|flag| flag.set(true));
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        done.push((i, f(i, &items[i])));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for worker in workers {
+            match worker.join() {
+                Ok(done) => {
+                    for (i, r) in done {
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index was claimed by exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serialises tests that mutate `BSCHED_THREADS`.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let serial: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let par = parallel_map_with(threads, &items, |_, &x| x * 3 + 1);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let items = [10u64, 20, 30, 40, 50];
+        let pairs = parallel_map_with(4, &items, |i, &x| (i, x));
+        for (i, (idx, x)) in pairs.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*x, items[i]);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map_with(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map_with(8, &[7u8], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn nested_calls_run_serially_without_deadlock() {
+        let outer: Vec<usize> = (0..8).collect();
+        let sums = parallel_map_with(4, &outer, |_, &o| {
+            assert!(in_parallel_worker());
+            let inner: Vec<usize> = (0..50).collect();
+            parallel_map_with(4, &inner, |_, &x| x + o).iter().sum::<usize>()
+        });
+        let expected: Vec<usize> = outer.iter().map(|o| (0..50).sum::<usize>() + 50 * o).collect();
+        assert_eq!(sums, expected);
+        assert!(!in_parallel_worker(), "flag must not leak to the caller");
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            parallel_map_with(4, &[1u32, 2, 3, 4, 5, 6, 7, 8], |_, &x| {
+                assert!(x != 5, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn env_var_controls_thread_budget() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("BSCHED_THREADS", "3");
+        assert_eq!(max_threads(), 3);
+        std::env::set_var("BSCHED_THREADS", "1");
+        assert_eq!(max_threads(), 1);
+        // Invalid values fall back to the hardware default.
+        let default = std::thread::available_parallelism().map_or(1, usize::from);
+        for bad in ["0", "-2", "many", ""] {
+            std::env::set_var("BSCHED_THREADS", bad);
+            assert_eq!(max_threads(), default, "BSCHED_THREADS={bad:?}");
+        }
+        std::env::remove_var("BSCHED_THREADS");
+        assert_eq!(max_threads(), default);
+    }
+}

@@ -63,46 +63,48 @@ impl ProgramEval {
     }
 }
 
-/// Runs the full measurement protocol on a compiled program.
-///
-/// Per block: `runs` independent simulations (independent latency draws,
-/// deterministically derived from `config.seed`), bootstrap-resampled
-/// into `resamples` means; block means are scaled by profiled frequency
-/// and summed into program-level bootstrap runtimes, exactly as §4.3
-/// describes.
-#[must_use]
-pub fn evaluate(
-    program: &CompiledProgram,
+/// One block's contribution to the program-level statistics: the
+/// bootstrap means of its run times plus its mean interlock count. A
+/// pure function of `(block, index, config)` — every random stream is
+/// counter-split from the master seed — so blocks can be computed in any
+/// order, on any thread, with identical results.
+fn block_stats(
+    cb: &crate::pipeline::CompiledBlock,
+    index: usize,
     mem: &dyn LatencyModel,
     config: &EvalConfig,
-) -> ProgramEval {
+) -> (Vec<f64>, f64) {
     let sim_root = Pcg32::seed_from_u64(config.seed);
     let boot_root = Pcg32::seed_from_u64(config.seed ^ 0xB007_5742_u64);
+    let block_rng = sim_root.split(index as u64);
+    // One simulation pass per (block, run): runtimes and interlock
+    // accounting come from the same runs.
+    let stats = simulate_runs_stats(
+        &cb.block,
+        mem,
+        config.processor,
+        config.issue_width,
+        config.runs,
+        &block_rng,
+    );
+    let mut boot_rng = boot_root.split(index as u64);
+    let means = bootstrap_means(&stats.elapsed, config.resamples, &mut boot_rng);
+    (means, stats.mean_interlocks())
+}
 
+/// Folds per-block statistics into a [`ProgramEval`], always in block
+/// order so floating-point accumulation is identical however the
+/// per-block work was scheduled.
+fn combine(program: &CompiledProgram, per_block: Vec<(Vec<f64>, f64)>, config: &EvalConfig) -> ProgramEval {
     let mut bootstrap_runtimes = vec![0.0; config.resamples];
     let mut mean_interlocks = 0.0;
-
-    for (i, cb) in program.blocks.iter().enumerate() {
-        let block_rng = sim_root.split(i as u64);
-        // One simulation pass per (block, run): runtimes and interlock
-        // accounting come from the same runs.
-        let stats = simulate_runs_stats(
-            &cb.block,
-            mem,
-            config.processor,
-            config.issue_width,
-            config.runs,
-            &block_rng,
-        );
-        let mut boot_rng = boot_root.split(i as u64);
-        let means = bootstrap_means(&stats.elapsed, config.resamples, &mut boot_rng);
+    for (cb, (means, interlocks)) in program.blocks.iter().zip(per_block) {
         let freq = cb.block.frequency();
         for (total, m) in bootstrap_runtimes.iter_mut().zip(&means) {
             *total += m * freq;
         }
-        mean_interlocks += stats.mean_interlocks() * freq;
+        mean_interlocks += interlocks * freq;
     }
-
     let mean_runtime =
         bootstrap_runtimes.iter().sum::<f64>() / bootstrap_runtimes.len().max(1) as f64;
     ProgramEval {
@@ -111,6 +113,56 @@ pub fn evaluate(
         dynamic_instructions: program.dynamic_instructions(),
         mean_interlocks,
     }
+}
+
+/// Runs the full measurement protocol on a compiled program.
+///
+/// Per block: `runs` independent simulations (independent latency draws,
+/// deterministically derived from `config.seed`), bootstrap-resampled
+/// into `resamples` means; block means are scaled by profiled frequency
+/// and summed into program-level bootstrap runtimes, exactly as §4.3
+/// describes.
+///
+/// Blocks are evaluated in parallel (`BSCHED_THREADS` workers) when the
+/// memory model reports itself thread-safe via
+/// [`LatencyModel::as_sync`]; stateful models (`LineCache`,
+/// `MarkovNetworkModel`) evaluate serially. Either way the result is
+/// bit-identical to [`evaluate_serial`]: per-block work depends only on
+/// the block index and master seed, and contributions are folded in
+/// block order.
+#[must_use]
+pub fn evaluate(
+    program: &CompiledProgram,
+    mem: &dyn LatencyModel,
+    config: &EvalConfig,
+) -> ProgramEval {
+    match mem.as_sync() {
+        Some(sync_mem) if bsched_par::max_threads() > 1 => {
+            let per_block = bsched_par::parallel_map(&program.blocks, |i, cb| {
+                block_stats(cb, i, sync_mem, config)
+            });
+            combine(program, per_block, config)
+        }
+        _ => evaluate_serial(program, mem, config),
+    }
+}
+
+/// [`evaluate`] restricted to the calling thread, accepting stateful
+/// (non-`Sync`) models. `evaluate` delegates here when parallelism is
+/// unavailable; tests use it to check serial/parallel parity.
+#[must_use]
+pub fn evaluate_serial(
+    program: &CompiledProgram,
+    mem: &dyn LatencyModel,
+    config: &EvalConfig,
+) -> ProgramEval {
+    let per_block = program
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, cb)| block_stats(cb, i, mem, config))
+        .collect();
+    combine(program, per_block, config)
 }
 
 /// Pairs a traditional-scheduler evaluation with a balanced one and
@@ -209,6 +261,40 @@ mod tests {
         let eval = evaluate(&prog, &CacheModel::l80_5(), &EvalConfig::default());
         let imp = compare(&eval, &eval);
         assert_eq!(imp.mean_percent, 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let prog = Pipeline::default()
+            .compile(&demo_program(), &SchedulerChoice::balanced())
+            .unwrap();
+        let cfg = EvalConfig::default();
+        for mem in [
+            bsched_memsim::MemorySystem::from(CacheModel::l80_5()),
+            NetworkModel::new(3.0, 5.0).into(),
+        ] {
+            assert!(mem.as_sync().is_some());
+            let par = evaluate(&prog, &mem, &cfg);
+            let ser = evaluate_serial(&prog, &mem, &cfg);
+            assert_eq!(par.bootstrap_runtimes, ser.bootstrap_runtimes);
+            assert_eq!(par.mean_runtime, ser.mean_runtime);
+            assert_eq!(par.mean_interlocks, ser.mean_interlocks);
+        }
+    }
+
+    #[test]
+    fn stateful_models_still_evaluate() {
+        // LineCache has a RefCell tag store, reports as_sync() = None and
+        // must take the serial path inside evaluate() unchanged.
+        let prog = Pipeline::default()
+            .compile(&demo_program(), &SchedulerChoice::balanced())
+            .unwrap();
+        let mem = bsched_memsim::LineCache::small_l1();
+        assert!(mem.as_sync().is_none());
+        let cfg = EvalConfig::default();
+        let a = evaluate(&prog, &mem, &cfg);
+        let b = evaluate_serial(&prog, &mem, &cfg);
+        assert_eq!(a.bootstrap_runtimes, b.bootstrap_runtimes);
     }
 
     #[test]

@@ -51,5 +51,5 @@
 pub mod eval;
 pub mod pipeline;
 
-pub use eval::{compare, evaluate, EvalConfig, ProgramEval};
+pub use eval::{compare, evaluate, evaluate_serial, EvalConfig, ProgramEval};
 pub use pipeline::{AllocationStrategy, CompiledBlock, CompiledProgram, Pipeline, SchedulerChoice};
