@@ -16,10 +16,7 @@
 //! component split the donation (`Chances` > 1), loads *in parallel*
 //! each receive the full donation through their separate components.
 
-use bsched_dag::{
-    chances_exact, chances_level_approx, connected_components, load_levels, ChancesMethod,
-    Closures, CodeDag,
-};
+use bsched_dag::{load_levels, BitSet, ChancesMethod, Closures, CodeDag, DagWorkspace};
 use bsched_ir::{InstId, OpLatencies};
 
 use crate::ratio::Ratio;
@@ -91,20 +88,15 @@ impl BalancedWeights {
         self
     }
 
-    fn is_pinned(&self, id: InstId) -> bool {
-        self.known_latency.iter().any(|(l, _)| *l == id)
-    }
-}
-
-impl WeightAssigner for BalancedWeights {
-    fn name(&self) -> &'static str {
-        match self.method {
-            ChancesMethod::Exact => "balanced",
-            ChancesMethod::LevelApprox => "balanced-approx",
-        }
-    }
-
-    fn assign(&self, dag: &CodeDag) -> Weights {
+    /// [`WeightAssigner::assign`] with caller-provided scratch space.
+    ///
+    /// The Fig. 6 loop touches every (instruction, component) pair — an
+    /// O(n²) walk whose naive form allocates several buffers per
+    /// iteration. Passing one [`DagWorkspace`] here (and reusing it
+    /// across blocks) keeps that inner loop allocation-free after the
+    /// buffers warm up. Results are identical to `assign`.
+    #[must_use]
+    pub fn assign_with(&self, dag: &CodeDag, ws: &mut DagWorkspace) -> Weights {
         let n = dag.len();
         // Line 1: every instruction starts at its issue slot (1) — or its
         // fixed multi-cycle latency for non-loads under the §6 extension;
@@ -119,6 +111,15 @@ impl WeightAssigner for BalancedWeights {
                     Ratio::from_int(i64::from(self.op_latencies.latency(dag.opcode(id))));
             }
         }
+        // Pinned loads as a bitset: the inner loop asks "is l pinned?"
+        // O(n²) times, so the O(k) list scan is hoisted into one O(1)
+        // lookup. Out-of-range pins can't match any node; skip them.
+        let mut pinned = BitSet::new(n);
+        for &(load, _) in &self.known_latency {
+            if load.index() < n {
+                pinned.insert(load.index());
+            }
+        }
         let closures = Closures::compute(dag);
         let levels = match self.method {
             ChancesMethod::Exact => Vec::new(),
@@ -128,44 +129,46 @@ impl WeightAssigner for BalancedWeights {
         // Line 2: for each instruction i in G.
         for i in dag.node_ids() {
             let issue_slots = i64::from(issue_slots_of(dag, i));
-            // Line 3: G_ind = G − (Pred(i) ∪ Succ(i)).
-            let keep = closures.independent_of(i);
-            // Lines 4–7 for either Chances method.
-            match self.method {
-                ChancesMethod::Exact => {
-                    for component in connected_components(dag, &keep) {
-                        let chances = chances_exact(dag, &component);
-                        if chances == 0 {
-                            continue;
-                        }
-                        let contribution = Ratio::new(issue_slots, i64::from(chances));
-                        for l in component {
-                            if dag.is_load(l) && !self.is_pinned(l) {
-                                *weights.weight_mut(l) += contribution;
-                            }
-                        }
-                    }
+            // Lines 3–4: G_ind = G − (Pred(i) ∪ Succ(i)) and its connected
+            // components, both into the workspace's reused buffers.
+            ws.find_independent_components(dag, &closures, i);
+            // Lines 5–7 for either Chances method.
+            for k in 0..ws.component_count() {
+                let chances = match self.method {
+                    ChancesMethod::Exact => ws.chances_exact(dag, k),
+                    ChancesMethod::LevelApprox => ws.chances_level_approx(dag, k, &levels),
+                };
+                if chances == 0 {
+                    continue;
                 }
-                ChancesMethod::LevelApprox => {
-                    for (component, chances) in chances_level_approx(dag, &keep, &levels) {
-                        if chances == 0 {
-                            continue;
-                        }
-                        let contribution = Ratio::new(issue_slots, i64::from(chances));
-                        for l in component {
-                            if dag.is_load(l) && !self.is_pinned(l) {
-                                *weights.weight_mut(l) += contribution;
-                            }
-                        }
+                let contribution = Ratio::new(issue_slots, i64::from(chances));
+                for &l in ws.component(k) {
+                    if dag.is_load(l) && !pinned.contains(l.index()) {
+                        *weights.weight_mut(l) += contribution;
                     }
                 }
             }
         }
 
         for &(load, latency) in &self.known_latency {
-            *weights.weight_mut(load) = latency;
+            if load.index() < n {
+                *weights.weight_mut(load) = latency;
+            }
         }
         weights
+    }
+}
+
+impl WeightAssigner for BalancedWeights {
+    fn name(&self) -> &'static str {
+        match self.method {
+            ChancesMethod::Exact => "balanced",
+            ChancesMethod::LevelApprox => "balanced-approx",
+        }
+    }
+
+    fn assign(&self, dag: &CodeDag) -> Weights {
+        self.assign_with(dag, &mut DagWorkspace::new())
     }
 }
 
@@ -178,7 +181,7 @@ fn issue_slots_of(dag: &CodeDag, i: InstId) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bsched_dag::DepKind;
+    use bsched_dag::{chances_exact, connected_components, DepKind};
     use bsched_ir::{BasicBlock, Inst, MemAccess, MemLoc, Opcode, RegionId};
 
     fn id(i: u32) -> InstId {
@@ -402,6 +405,41 @@ mod tests {
                 assert!(w.weight(i) >= Ratio::ONE);
             }
         }
+    }
+
+    #[test]
+    fn one_workspace_reused_across_blocks_matches_fresh() {
+        // The program pipeline holds one workspace across all blocks of
+        // all methods; stale buffers must never bleed between calls.
+        let mut ws = DagWorkspace::new();
+        let dags = [figure7(), figure1(), figure4(), figure7()];
+        for (b, dag) in dags.iter().enumerate() {
+            for method in [ChancesMethod::Exact, ChancesMethod::LevelApprox] {
+                let assigner = BalancedWeights::new().with_method(method);
+                let reused = assigner.assign_with(dag, &mut ws);
+                let fresh = assigner.assign(dag);
+                for i in dag.node_ids() {
+                    assert_eq!(
+                        reused.weight(i),
+                        fresh.weight(i),
+                        "block {b} {method:?} node {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_load_out_of_range_is_harmless() {
+        // A pin naming a node outside the block can't match any load;
+        // the bitset build must not panic on it.
+        let dag = figure4();
+        let w = BalancedWeights::new()
+            .with_known_latency(id(1), Ratio::from_int(4))
+            .with_known_latency(id(100), Ratio::from_int(9))
+            .assign(&dag);
+        assert_eq!(w.weight(id(1)), Ratio::from_int(4));
+        assert_eq!(w.weight(id(0)), Ratio::from_int(6));
     }
 
     #[test]

@@ -8,7 +8,9 @@
 use std::fmt;
 
 /// A fixed-capacity set of `usize` indices backed by `u64` words.
-#[derive(Clone, PartialEq, Eq, Hash)]
+///
+/// The [`Default`] value is an empty set of capacity 0.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
 pub struct BitSet {
     words: Vec<u64>,
     capacity: usize,

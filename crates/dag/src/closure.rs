@@ -33,24 +33,25 @@ impl Closures {
         let mut preds = vec![BitSet::new(n); n];
         for v in 0..n {
             let id = InstId::from_usize(v);
-            // Collect into a fresh set to avoid aliasing preds[v] while
-            // unioning other entries in.
-            let mut acc = BitSet::new(n);
+            // Predecessors have smaller indices, so splitting at v gives
+            // disjoint access to preds[v] and every entry it unions in.
+            let (done, rest) = preds.split_at_mut(v);
+            let acc = &mut rest[0];
             for &(p, _) in dag.preds(id) {
                 acc.insert(p.index());
-                acc.union_with(&preds[p.index()]);
+                acc.union_with(&done[p.index()]);
             }
-            preds[v] = acc;
         }
         let mut succs = vec![BitSet::new(n); n];
         for v in (0..n).rev() {
             let id = InstId::from_usize(v);
-            let mut acc = BitSet::new(n);
+            // Successors have larger indices; split just past v.
+            let (left, done) = succs.split_at_mut(v + 1);
+            let acc = &mut left[v];
             for &(s, _) in dag.succs(id) {
                 acc.insert(s.index());
-                acc.union_with(&succs[s.index()]);
+                acc.union_with(&done[s.index() - v - 1]);
             }
-            succs[v] = acc;
         }
         Self { preds, succs }
     }
@@ -71,13 +72,24 @@ impl Closures {
     /// execute in parallel with `id` (Fig. 6 line 3).
     #[must_use]
     pub fn independent_of(&self, id: InstId) -> BitSet {
-        let n = self.preds.len();
-        let mut s = BitSet::new(n);
-        s.fill();
-        s.difference_with(&self.preds[id.index()]);
-        s.difference_with(&self.succs[id.index()]);
-        s.remove(id.index());
+        let mut s = BitSet::new(self.preds.len());
+        self.independent_of_into(id, &mut s);
         s
+    }
+
+    /// [`independent_of`](Self::independent_of), written into a caller
+    /// buffer so repeated queries (one per instruction in Fig. 6) reuse
+    /// one allocation. `out` is reallocated only if its capacity does
+    /// not match this DAG's node count.
+    pub fn independent_of_into(&self, id: InstId, out: &mut BitSet) {
+        let n = self.preds.len();
+        if out.capacity() != n {
+            *out = BitSet::new(n);
+        }
+        out.fill();
+        out.difference_with(&self.preds[id.index()]);
+        out.difference_with(&self.succs[id.index()]);
+        out.remove(id.index());
     }
 
     /// `true` when `a` and `b` are unordered by dependences (neither

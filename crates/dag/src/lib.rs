@@ -18,6 +18,8 @@
 //!   component, both the exact DP and the paper's min/max-level
 //!   union-find approximation (§3);
 //! * [`unionfind`] — the disjoint-set structure backing the approximation;
+//! * [`workspace`] — reusable scratch buffers so the Fig. 6 inner loop
+//!   runs allocation-free;
 //! * [`dot`] — Graphviz export for debugging and documentation.
 //!
 //! # Example
@@ -47,6 +49,7 @@ pub mod dag;
 pub mod dot;
 pub mod paths;
 pub mod unionfind;
+pub mod workspace;
 
 pub use analysis::{alap_levels, asap_levels, critical_path_length, slack, DagProfile};
 pub use bitset::BitSet;
@@ -57,3 +60,4 @@ pub use dag::{CodeDag, DepKind, Edge};
 pub use dot::to_dot;
 pub use paths::{chances_exact, chances_level_approx, load_levels, ChancesMethod};
 pub use unionfind::UnionFind;
+pub use workspace::DagWorkspace;

@@ -1,0 +1,357 @@
+//! Reusable scratch space for the Fig. 6 inner loop.
+//!
+//! Balanced weight assignment runs, for every instruction `i` of a
+//! block, an independence-set computation, a connected-components DFS
+//! and a `Chances` evaluation per component. Done naively that is
+//! several heap allocations per iteration of an O(n²) loop — the
+//! dominant cost of compiling a block. [`DagWorkspace`] owns every
+//! buffer those steps need and recycles them across iterations (and
+//! across blocks), so after the first iteration warms the buffers up
+//! the whole inner loop allocates nothing.
+//!
+//! Visited marks use an *epoch* scheme: each node carries the number of
+//! the round that last touched it, so "clearing" the mark array between
+//! rounds is a single counter increment instead of an O(n) write.
+//! Components are stored flat — one arena of node ids plus a bounds
+//! vector — rather than as a `Vec<Vec<InstId>>`.
+
+use bsched_ir::InstId;
+
+use crate::bitset::BitSet;
+use crate::closure::Closures;
+use crate::dag::CodeDag;
+
+/// O(1)-clear visited marks: `marks[v] == epoch` means "seen this round".
+#[derive(Debug, Clone, Default)]
+struct EpochMarks {
+    marks: Vec<u64>,
+    epoch: u64,
+}
+
+impl EpochMarks {
+    /// Starts a new round over `n` nodes; all marks become stale.
+    fn begin(&mut self, n: usize) {
+        if self.marks.len() < n {
+            self.marks.resize(n, 0);
+        }
+        self.epoch += 1;
+    }
+
+    fn contains(&self, v: usize) -> bool {
+        self.marks[v] == self.epoch
+    }
+
+    /// Marks `v`; returns `true` if it was unmarked this round.
+    fn insert(&mut self, v: usize) -> bool {
+        let fresh = self.marks[v] != self.epoch;
+        self.marks[v] = self.epoch;
+        fresh
+    }
+}
+
+/// Reusable buffers for independence sets, connected components and
+/// `Chances` — see the module docs.
+///
+/// One workspace serves any number of DAGs of any size: buffers grow to
+/// the largest block seen and stay warm. A workspace holds no results a
+/// caller may keep — component slices borrow from it and are
+/// invalidated by the next [`find_components`](Self::find_components)
+/// call, which the borrow checker enforces.
+#[derive(Debug, Clone, Default)]
+pub struct DagWorkspace {
+    /// Scratch for the kept-node set (`G − Pred(i) − Succ(i) − {i}`).
+    keep: BitSet,
+    visited: EpochMarks,
+    stack: Vec<usize>,
+    /// Flat component arena: component `k` is
+    /// `comp_nodes[comp_bounds[k]..comp_bounds[k + 1]]`, sorted.
+    comp_nodes: Vec<InstId>,
+    comp_bounds: Vec<usize>,
+    /// `Chances` DP values, indexed by node id. Valid only for the
+    /// component being scored: values are written in decreasing-id order
+    /// and read only through in-component successors, which are always
+    /// written first — stale entries from earlier components are never
+    /// consulted.
+    best: Vec<u32>,
+    member: EpochMarks,
+}
+
+impl DagWorkspace {
+    /// A workspace with cold buffers; they warm up on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the connected components of `dag` restricted to `keep`,
+    /// replacing the previously stored components.
+    ///
+    /// Identical to [`crate::connected_components`] — components in
+    /// order of smallest member, each sorted — but writes into the flat
+    /// arena instead of allocating per component.
+    pub fn find_components(&mut self, dag: &CodeDag, keep: &BitSet) {
+        self.keep.clone_from(keep);
+        self.components_of_keep(dag);
+    }
+
+    /// Fig. 6 lines 3–4 in one step: forms the independence set
+    /// `G − (Pred(i) ∪ Succ(i) ∪ {i})` in the internal `keep` buffer and
+    /// decomposes it into connected components.
+    pub fn find_independent_components(&mut self, dag: &CodeDag, closures: &Closures, i: InstId) {
+        closures.independent_of_into(i, &mut self.keep);
+        self.components_of_keep(dag);
+    }
+
+    /// DFS over the undirected dependence edges restricted to
+    /// `self.keep`, writing components into the flat arena.
+    fn components_of_keep(&mut self, dag: &CodeDag) {
+        let n = dag.len();
+        self.visited.begin(n);
+        self.comp_nodes.clear();
+        self.comp_bounds.clear();
+        self.comp_bounds.push(0);
+        self.stack.clear();
+
+        for start in self.keep.iter() {
+            if self.visited.contains(start) {
+                continue;
+            }
+            let comp_start = self.comp_nodes.len();
+            self.visited.insert(start);
+            self.stack.push(start);
+            while let Some(v) = self.stack.pop() {
+                let id = InstId::from_usize(v);
+                self.comp_nodes.push(id);
+                let neighbours = dag
+                    .succs(id)
+                    .iter()
+                    .map(|&(s, _)| s.index())
+                    .chain(dag.preds(id).iter().map(|&(p, _)| p.index()));
+                for u in neighbours {
+                    if self.keep.contains(u) && self.visited.insert(u) {
+                        self.stack.push(u);
+                    }
+                }
+            }
+            self.comp_nodes[comp_start..].sort_unstable();
+            self.comp_bounds.push(self.comp_nodes.len());
+        }
+    }
+
+    /// Number of components found by the last `find_*` call.
+    #[must_use]
+    pub fn component_count(&self) -> usize {
+        self.comp_bounds.len().saturating_sub(1)
+    }
+
+    /// Component `k` as a sorted slice of instruction ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= component_count()`.
+    #[must_use]
+    pub fn component(&self, k: usize) -> &[InstId] {
+        &self.comp_nodes[self.comp_bounds[k]..self.comp_bounds[k + 1]]
+    }
+
+    /// Exact `Chances` of component `k`: the maximum number of loads on
+    /// any directed path within the component. Allocation-free
+    /// equivalent of [`crate::chances_exact`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= component_count()`.
+    #[must_use]
+    pub fn chances_exact(&mut self, dag: &CodeDag, k: usize) -> u32 {
+        let component = &self.comp_nodes[self.comp_bounds[k]..self.comp_bounds[k + 1]];
+        if component.is_empty() {
+            return 0;
+        }
+        let n = dag.len();
+        if self.best.len() < n {
+            self.best.resize(n, 0);
+        }
+        self.member.begin(n);
+        for id in component {
+            self.member.insert(id.index());
+        }
+        let mut overall = 0;
+        // Ids increase along every edge, so decreasing order is reverse
+        // topological; the slice is sorted, so walk it backwards.
+        for &v in component.iter().rev() {
+            let succ_best = dag
+                .succs(v)
+                .iter()
+                .filter(|(s, _)| self.member.contains(s.index()))
+                .map(|(s, _)| self.best[s.index()])
+                .max()
+                .unwrap_or(0);
+            let mine = u32::from(dag.is_load(v)) + succ_best;
+            overall = overall.max(mine);
+            self.best[v.index()] = mine;
+        }
+        overall
+    }
+
+    /// The §3 min/max-level estimate of `Chances` for component `k`:
+    /// `max − min + 1` over the load levels of the component's loads,
+    /// clamped to the load count (0 for a loadless component).
+    ///
+    /// Components from the DFS are exactly the union–find groups of
+    /// [`crate::chances_level_approx`] — both are connectivity over the
+    /// kept undirected edges — so this computes the same estimate
+    /// without the union–find or the per-call hash map.
+    ///
+    /// `levels` must come from [`crate::load_levels`] on the same DAG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= component_count()`.
+    #[must_use]
+    pub fn chances_level_approx(&self, dag: &CodeDag, k: usize, levels: &[u32]) -> u32 {
+        let component = self.component(k);
+        let mut loads = 0u32;
+        let (mut lo, mut hi) = (u32::MAX, 0u32);
+        for &m in component {
+            if dag.is_load(m) {
+                loads += 1;
+                let level = levels[m.index()];
+                lo = lo.min(level);
+                hi = hi.max(level);
+            }
+        }
+        if loads == 0 {
+            0
+        } else {
+            (hi - lo + 1).min(loads)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::connected_components;
+    use crate::dag::DepKind;
+    use crate::paths::{chances_exact, chances_level_approx, load_levels};
+    use bsched_ir::{BasicBlock, Inst, MemAccess, MemLoc, Opcode, RegionId};
+
+    fn id(i: u32) -> InstId {
+        InstId::new(i)
+    }
+
+    fn dag_of(loads: &[bool], edges: &[(u32, u32)]) -> CodeDag {
+        let insts = loads
+            .iter()
+            .map(|&is_load| {
+                if is_load {
+                    Inst::new(
+                        Opcode::Ldc1,
+                        vec![],
+                        vec![],
+                        Some(MemAccess::read(MemLoc::known(RegionId::new(0), 0))),
+                    )
+                } else {
+                    Inst::new(Opcode::FMove, vec![], vec![], None)
+                }
+            })
+            .collect();
+        let block = BasicBlock::new("t", insts);
+        let mut dag = CodeDag::new(&block);
+        for &(a, b) in edges {
+            dag.add_edge(id(a), id(b), DepKind::True);
+        }
+        dag
+    }
+
+    /// A messy DAG exercising multiple components, loadless components
+    /// and branching load paths.
+    fn messy() -> CodeDag {
+        dag_of(
+            &[true, false, true, true, false, true, false, true],
+            &[(0, 1), (1, 2), (2, 3), (5, 6)],
+        )
+    }
+
+    #[test]
+    fn matches_allocating_components_for_every_center() {
+        let dag = messy();
+        let closures = Closures::compute(&dag);
+        let mut ws = DagWorkspace::new();
+        for i in dag.node_ids() {
+            let keep = closures.independent_of(i);
+            let expected = connected_components(&dag, &keep);
+            ws.find_independent_components(&dag, &closures, i);
+            assert_eq!(ws.component_count(), expected.len(), "center {i}");
+            for (k, comp) in expected.iter().enumerate() {
+                assert_eq!(ws.component(k), comp.as_slice(), "center {i} comp {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_allocating_chances_for_every_center() {
+        let dag = messy();
+        let closures = Closures::compute(&dag);
+        let levels = load_levels(&dag);
+        let mut ws = DagWorkspace::new();
+        for i in dag.node_ids() {
+            let keep = closures.independent_of(i);
+            ws.find_independent_components(&dag, &closures, i);
+            for (k, (comp, approx)) in chances_level_approx(&dag, &keep, &levels)
+                .into_iter()
+                .enumerate()
+            {
+                assert_eq!(ws.chances_exact(&dag, k), chances_exact(&dag, &comp));
+                assert_eq!(ws.chances_level_approx(&dag, k, &levels), approx);
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_across_dags_of_different_sizes() {
+        let mut ws = DagWorkspace::new();
+        let big = messy();
+        let big_closures = Closures::compute(&big);
+        ws.find_independent_components(&big, &big_closures, id(0));
+        let big_count = ws.component_count();
+        assert!(big_count >= 2);
+
+        // A smaller DAG next: stale marks and bounds must not leak.
+        let small = dag_of(&[true, true], &[]);
+        let small_closures = Closures::compute(&small);
+        ws.find_independent_components(&small, &small_closures, id(0));
+        assert_eq!(ws.component_count(), 1);
+        assert_eq!(ws.component(0), &[id(1)]);
+        assert_eq!(ws.chances_exact(&small, 0), 1);
+
+        // And back to the larger one.
+        ws.find_independent_components(&big, &big_closures, id(0));
+        assert_eq!(ws.component_count(), big_count);
+    }
+
+    #[test]
+    fn explicit_keep_set_entry_point() {
+        let dag = messy();
+        let mut keep = BitSet::new(dag.len());
+        keep.fill();
+        let mut ws = DagWorkspace::new();
+        ws.find_components(&dag, &keep);
+        let expected = connected_components(&dag, &keep);
+        assert_eq!(ws.component_count(), expected.len());
+        for (k, comp) in expected.iter().enumerate() {
+            assert_eq!(ws.component(k), comp.as_slice());
+        }
+    }
+
+    #[test]
+    fn empty_dag_and_empty_keep() {
+        let dag = dag_of(&[], &[]);
+        let closures = Closures::compute(&dag);
+        let mut ws = DagWorkspace::new();
+        let keep = BitSet::new(0);
+        ws.find_components(&dag, &keep);
+        assert_eq!(ws.component_count(), 0);
+        drop(closures);
+    }
+}
