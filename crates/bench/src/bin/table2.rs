@@ -5,7 +5,7 @@
 //! Usage: `cargo run --release -p bsched-bench --bin table2`
 //! (`BSCHED_RUNS=5` for a quick pass).
 
-use bsched_bench::{print_table, run_cell, table2_rows};
+use bsched_bench::{print_table, run_cells, table2_rows, CellJob};
 use bsched_cpusim::ProcessorModel;
 use bsched_memsim::LatencyModel;
 use bsched_workload::perfect_club;
@@ -27,12 +27,26 @@ fn main() {
     header.extend(benchmarks.iter().map(|b| b.name().to_owned()));
     header.push("Mean".to_owned());
 
+    // All 17 × 8 cells evaluate in parallel; formatting then walks the
+    // results in table order.
+    let system_rows = table2_rows();
+    let jobs: Vec<CellJob> = system_rows
+        .iter()
+        .flat_map(|row| {
+            benchmarks.iter().map(move |bench| CellJob {
+                bench,
+                row,
+                processor,
+            })
+        })
+        .collect();
+    let results = run_cells(&jobs);
+
     let mut rows = Vec::new();
-    for row in table2_rows() {
+    for (row, row_cells) in system_rows.iter().zip(results.chunks(benchmarks.len())) {
         let mut cells = vec![row.system.name(), row.optimistic.to_string()];
         let mut sum = 0.0;
-        for bench in &benchmarks {
-            let cell = run_cell(bench, &row, processor);
+        for cell in row_cells {
             sum += cell.improvement.mean_percent;
             if with_ci {
                 let half = cell.improvement.interval.width() / 2.0;

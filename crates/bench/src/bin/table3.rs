@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p bsched-bench --bin table3`
 
-use bsched_bench::{print_table, run_cell, table2_rows};
+use bsched_bench::{print_table, run_cells, table2_rows, CellJob};
 use bsched_cpusim::ProcessorModel;
 use bsched_memsim::LatencyModel;
 use bsched_workload::perfect_club;
@@ -27,12 +27,27 @@ fn main() {
     .map(|s| (*s).to_owned())
     .collect();
 
+    // Evaluate all (system × processor model) cells in parallel.
+    let system_rows = table2_rows();
+    let models = ProcessorModel::paper_models();
+    let bench = &mdg;
+    let jobs: Vec<CellJob> = system_rows
+        .iter()
+        .flat_map(|row| {
+            models.iter().map(move |&processor| CellJob {
+                bench,
+                row,
+                processor,
+            })
+        })
+        .collect();
+    let results = run_cells(&jobs);
+
     let mut rows = Vec::new();
-    for row in table2_rows() {
+    for (row, row_cells) in system_rows.iter().zip(results.chunks(models.len())) {
         let mut cells = vec![row.system.name(), row.optimistic.to_string()];
         let mut first = true;
-        for processor in ProcessorModel::paper_models() {
-            let cell = run_cell(&mdg, &row, processor);
+        for cell in row_cells {
             if first {
                 cells.push(format!("{:.0}", cell.traditional.dynamic_instructions));
                 cells.push(format!("{:.0}", cell.balanced.dynamic_instructions));

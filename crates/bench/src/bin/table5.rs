@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p bsched-bench --bin table5`
 
-use bsched_bench::{print_table, run_cell, SystemRow};
+use bsched_bench::{print_table, run_cells, CellJob, SystemRow};
 use bsched_core::Ratio;
 use bsched_cpusim::ProcessorModel;
 use bsched_memsim::NetworkModel;
@@ -23,12 +23,26 @@ fn main() {
     .map(|s| (*s).to_owned())
     .collect();
 
+    // Evaluate all (benchmark × processor model) cells in parallel.
+    let benchmarks = perfect_club();
+    let models = ProcessorModel::paper_models();
+    let jobs: Vec<CellJob> = benchmarks
+        .iter()
+        .flat_map(|bench| {
+            models.iter().map(|&processor| CellJob {
+                bench,
+                row: &row,
+                processor,
+            })
+        })
+        .collect();
+    let results = run_cells(&jobs);
+
     let mut rows = Vec::new();
-    for bench in perfect_club() {
+    for (bench, row_cells) in benchmarks.iter().zip(results.chunks(models.len())) {
         let mut cells = vec![bench.name().to_owned()];
         let mut first = true;
-        for processor in ProcessorModel::paper_models() {
-            let cell = run_cell(&bench, &row, processor);
+        for cell in row_cells {
             if first {
                 cells.push(format!("{:.0}", cell.traditional.dynamic_instructions));
                 cells.push(format!("{:.0}", cell.balanced.dynamic_instructions));

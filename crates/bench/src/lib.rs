@@ -17,14 +17,20 @@
 //! Every binary honours `BSCHED_RUNS` (simulation runs per block,
 //! default 30) and `BSCHED_SEED` (master seed, default matches
 //! `EvalConfig::default`), so results are reproducible and a quick smoke
-//! run is one environment variable away.
+//! run is one environment variable away. `BSCHED_THREADS` caps the
+//! worker threads used by [`run_cells`] and the per-block parallelism in
+//! `evaluate` — any value produces identical output, because all
+//! randomness is counter-split from the master seed and results are
+//! folded in deterministic order.
 
 #![warn(missing_docs)]
 
 use bsched_core::Ratio;
 use bsched_cpusim::ProcessorModel;
 use bsched_memsim::{CacheModel, LatencyModel, MemorySystem, MixedModel, NetworkModel};
-use bsched_pipeline::{compare, evaluate, EvalConfig, Pipeline, ProgramEval, SchedulerChoice};
+use bsched_pipeline::{
+    compare, evaluate, CompiledProgram, EvalConfig, Pipeline, ProgramEval, SchedulerChoice,
+};
 use bsched_stats::Improvement;
 use bsched_workload::Benchmark;
 
@@ -137,9 +143,25 @@ pub fn run_cell(bench: &Benchmark, row: &SystemRow, processor: ProcessorModel) -
             &SchedulerChoice::traditional(row.optimistic),
         )
         .expect("compile traditional");
+    run_cell_compiled(&balanced, &traditional, row, processor)
+}
+
+/// Evaluates one comparison cell from already-compiled programs.
+///
+/// Compilation does not depend on the memory system or processor model
+/// being simulated, so callers sweeping one benchmark across many
+/// systems (every table binary) can compile once and evaluate many
+/// times; [`run_cells`] does exactly that.
+#[must_use]
+pub fn run_cell_compiled(
+    balanced: &CompiledProgram,
+    traditional: &CompiledProgram,
+    row: &SystemRow,
+    processor: ProcessorModel,
+) -> Cell {
     let cfg = eval_config(processor);
-    let b_eval = evaluate(&balanced, &row.system, &cfg);
-    let t_eval = evaluate(&traditional, &row.system, &cfg);
+    let b_eval = evaluate(balanced, &row.system, &cfg);
+    let t_eval = evaluate(traditional, &row.system, &cfg);
     Cell {
         improvement: compare(&t_eval, &b_eval),
         traditional_spill_percent: traditional.spill_percent(),
@@ -147,6 +169,75 @@ pub fn run_cell(bench: &Benchmark, row: &SystemRow, processor: ProcessorModel) -
         traditional: t_eval,
         balanced: b_eval,
     }
+}
+
+/// One entry in a table's work list: which benchmark to evaluate under
+/// which system row and processor model.
+#[derive(Debug, Clone, Copy)]
+pub struct CellJob<'a> {
+    /// Benchmark to compile and simulate.
+    pub bench: &'a Benchmark,
+    /// Memory system plus the traditional scheduler's assumed latency.
+    pub row: &'a SystemRow,
+    /// Processor model to simulate under.
+    pub processor: ProcessorModel,
+}
+
+/// Runs every job, in parallel across `BSCHED_THREADS` workers (default:
+/// all cores), returning cells in job order.
+///
+/// Each cell is a pure function of its job — compilation is
+/// deterministic and every simulation stream is counter-split from the
+/// master seed — so this is bit-identical to calling [`run_cell`] in a
+/// loop, and `BSCHED_THREADS=1` does exactly that. Table binaries fan
+/// out here, across cells; the per-block parallelism inside
+/// [`evaluate`](bsched_pipeline::evaluate) detects the nesting and stays
+/// serial.
+#[must_use]
+pub fn run_cells(jobs: &[CellJob<'_>]) -> Vec<Cell> {
+    // Compilation is independent of the memory system and processor
+    // model: the balanced schedule depends only on the benchmark, the
+    // traditional schedule only on (benchmark, optimistic latency).
+    // Table job lists repeat those pairs heavily — Table 2 alone names
+    // each benchmark's balanced program 17 times — so each distinct
+    // program is compiled once and shared across its cells. Compilation
+    // is deterministic, making the sharing bit-identical to compiling
+    // per cell as [`run_cell`] does.
+    #[derive(PartialEq, Eq, Hash)]
+    enum Key {
+        Balanced(usize),
+        Traditional(usize, Ratio),
+    }
+    let mut index: std::collections::HashMap<Key, usize> = std::collections::HashMap::new();
+    let mut tasks: Vec<(&Benchmark, SchedulerChoice)> = Vec::new();
+    let mut refs: Vec<(usize, usize)> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let bench_key = std::ptr::from_ref(job.bench) as usize;
+        let balanced = *index.entry(Key::Balanced(bench_key)).or_insert_with(|| {
+            tasks.push((job.bench, SchedulerChoice::balanced()));
+            tasks.len() - 1
+        });
+        let traditional = *index
+            .entry(Key::Traditional(bench_key, job.row.optimistic))
+            .or_insert_with(|| {
+                tasks.push((job.bench, SchedulerChoice::traditional(job.row.optimistic)));
+                tasks.len() - 1
+            });
+        refs.push((balanced, traditional));
+    }
+    let compiled: Vec<CompiledProgram> = bsched_par::parallel_map(&tasks, |_, (bench, choice)| {
+        Pipeline::default()
+            .compile(bench.function(), choice)
+            .expect("compile")
+    });
+    bsched_par::parallel_map(&refs, |i, &(balanced, traditional)| {
+        run_cell_compiled(
+            &compiled[balanced],
+            &compiled[traditional],
+            jobs[i].row,
+            jobs[i].processor,
+        )
+    })
 }
 
 /// Serialises a table as a JSON object (`{"title", "header", "rows"}`)
@@ -215,7 +306,15 @@ pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bsched_workload::perfect;
+    use bsched_workload::{perfect, perfect_club};
+
+    /// Serialises the tests that read or write `BSCHED_*` environment
+    /// variables; the test harness runs tests on concurrent threads.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+        ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 
     #[test]
     fn table2_has_seventeen_rows_in_paper_order() {
@@ -230,6 +329,7 @@ mod tests {
 
     #[test]
     fn run_cell_produces_consistent_results() {
+        let _guard = env_lock();
         std::env::remove_var("BSCHED_RUNS");
         let bench = perfect::track();
         let row = &table2_rows()[8]; // N(2,2)
@@ -238,6 +338,37 @@ mod tests {
         assert!(cell.traditional.mean_runtime > 0.0);
         assert!(cell.balanced.mean_runtime > 0.0);
         assert!(cell.traditional_spill_percent >= 0.0);
+    }
+
+    #[test]
+    fn threads_env_does_not_change_results() {
+        // One full Table-2 row: every benchmark under L80(2,5), serial
+        // (BSCHED_THREADS=1) versus maximally parallel, bit-identical.
+        let _guard = env_lock();
+        std::env::set_var("BSCHED_RUNS", "5");
+        let benchmarks = perfect_club();
+        let rows = table2_rows();
+        let row = &rows[0];
+        let jobs: Vec<CellJob> = benchmarks
+            .iter()
+            .map(|bench| CellJob {
+                bench,
+                row,
+                processor: ProcessorModel::Unlimited,
+            })
+            .collect();
+        std::env::set_var("BSCHED_THREADS", "1");
+        let serial = run_cells(&jobs);
+        std::env::remove_var("BSCHED_THREADS");
+        let parallel = run_cells(&jobs);
+        std::env::remove_var("BSCHED_RUNS");
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.improvement.mean_percent, p.improvement.mean_percent);
+            assert_eq!(s.traditional.bootstrap_runtimes, p.traditional.bootstrap_runtimes);
+            assert_eq!(s.balanced.bootstrap_runtimes, p.balanced.bootstrap_runtimes);
+            assert_eq!(s.balanced.mean_interlocks, p.balanced.mean_interlocks);
+        }
     }
 
     #[test]
@@ -255,6 +386,7 @@ mod tests {
 
     #[test]
     fn eval_config_defaults() {
+        let _guard = env_lock();
         std::env::remove_var("BSCHED_RUNS");
         std::env::remove_var("BSCHED_SEED");
         let cfg = eval_config(ProcessorModel::max_8());
