@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Times the table2 workload (BSCHED_RUNS=5) on the current tree against a
+# pinned pre-optimization baseline commit and writes BENCH_eval.json.
+#
+# The baseline is built in a temporary git worktree, so the working tree
+# is never touched. Wall times are best-of-N to shed scheduler noise.
+#
+# Usage: scripts/bench.sh [reps]   (default 5 timed reps per binary)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Last commit before the perf work: single-threaded, double-simulation,
+# allocating weights kernel. First commit that builds offline.
+BASELINE_COMMIT=80499425dd0d2af96f2341fe13337bacaadc67bb
+REPS="${1:-5}"
+RUNS=5
+
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+
+# best_of <reps> <binary> — prints the fastest wall time in ms.
+best_of() {
+    local reps="$1" bin="$2" best=-1 t0 t1 dt
+    # One untimed warm-up run to fault the binary and data in.
+    BSCHED_RUNS=$RUNS "$bin" > /dev/null 2>&1
+    for _ in $(seq "$reps"); do
+        t0=$(now_ms)
+        BSCHED_RUNS=$RUNS "$bin" > /dev/null 2>&1
+        t1=$(now_ms)
+        dt=$(( t1 - t0 ))
+        if [ "$best" -lt 0 ] || [ "$dt" -lt "$best" ]; then best=$dt; fi
+    done
+    echo "$best"
+}
+
+echo "building current tree..." >&2
+cargo build --release -q -p bsched-bench
+current_ms=$(best_of "$REPS" ./target/release/table2)
+echo "current:  ${current_ms}ms (best of $REPS, BSCHED_RUNS=$RUNS)" >&2
+
+worktree=$(mktemp -d /tmp/bsched-bench-baseline.XXXXXX)
+rmdir "$worktree"
+echo "building baseline $BASELINE_COMMIT in a worktree..." >&2
+git worktree add --detach -q "$worktree" "$BASELINE_COMMIT"
+trap 'git worktree remove --force "$worktree" 2>/dev/null || true' EXIT
+(cd "$worktree" && cargo build --release -q -p bsched-bench)
+baseline_ms=$(best_of "$REPS" "$worktree/target/release/table2")
+echo "baseline: ${baseline_ms}ms (best of $REPS, BSCHED_RUNS=$RUNS)" >&2
+
+# Shell arithmetic only (no bc in the container): speedup to 2 decimals.
+speedup_x100=$(( baseline_ms * 100 / current_ms ))
+speedup="$(( speedup_x100 / 100 )).$(printf '%02d' $(( speedup_x100 % 100 )))"
+
+cat > BENCH_eval.json <<JSON
+{
+  "workload": "table2",
+  "env": { "BSCHED_RUNS": $RUNS },
+  "reps": $REPS,
+  "timing": "best-of-reps wall clock, milliseconds",
+  "baseline_commit": "$BASELINE_COMMIT",
+  "current_commit": "$(git rev-parse HEAD)",
+  "threads_available": $(nproc),
+  "baseline_ms": $baseline_ms,
+  "current_ms": $current_ms,
+  "speedup": $speedup
+}
+JSON
+echo "wrote BENCH_eval.json (speedup ${speedup}x)" >&2
