@@ -305,8 +305,8 @@ mod tests {
         /// The macro itself: args bind, asserts work, cases loop.
         #[test]
         fn macro_generates_cases(n in 1u64..100, f in 0.0f64..1.0) {
-            prop_assert!(n >= 1 && n < 100);
-            prop_assert!(f >= 0.0 && f < 1.0, "f = {f}");
+            prop_assert!((1..100).contains(&n));
+            prop_assert!((0.0..1.0).contains(&f), "f = {f}");
             prop_assert_eq!(n, n);
             prop_assert_ne!(n as f64 + 1.0, f);
         }
