@@ -5,7 +5,9 @@
 //! Usage: `cargo run --release -p bsched-bench --bin table2`
 //! (`BSCHED_RUNS=5` for a quick pass).
 
-use bsched_bench::{print_table, run_cells, table2_rows, CellJob};
+use bsched_bench::{
+    failure_label, print_table, report_cell_failures, run_cells_checked, table2_rows, CellJob,
+};
 use bsched_cpusim::ProcessorModel;
 use bsched_memsim::LatencyModel;
 use bsched_workload::perfect_club;
@@ -40,22 +42,34 @@ fn main() {
             })
         })
         .collect();
-    let results = run_cells(&jobs);
+    let results = run_cells_checked(&jobs);
 
     let mut rows = Vec::new();
     for (row, row_cells) in system_rows.iter().zip(results.chunks(benchmarks.len())) {
         let mut cells = vec![row.system.name(), row.optimistic.to_string()];
         let mut sum = 0.0;
-        for cell in row_cells {
-            sum += cell.improvement.mean_percent;
-            if with_ci {
-                let half = cell.improvement.interval.width() / 2.0;
-                cells.push(format!("{:.1}±{half:.1}", cell.improvement.mean_percent));
-            } else {
-                cells.push(format!("{:.1}", cell.improvement.mean_percent));
+        let mut survivors = 0usize;
+        for outcome in row_cells {
+            match outcome.as_ok() {
+                Some(cell) => {
+                    sum += cell.improvement.mean_percent;
+                    survivors += 1;
+                    if with_ci {
+                        let half = cell.improvement.interval.width() / 2.0;
+                        cells.push(format!("{:.1}±{half:.1}", cell.improvement.mean_percent));
+                    } else {
+                        cells.push(format!("{:.1}", cell.improvement.mean_percent));
+                    }
+                }
+                None => cells.push(failure_label(outcome.failure().unwrap_or("unknown"))),
             }
         }
-        cells.push(format!("{:.1}", sum / benchmarks.len() as f64));
+        // The row mean averages the surviving cells only.
+        cells.push(if survivors == 0 {
+            "-".to_owned()
+        } else {
+            format!("{:.1}", sum / survivors as f64)
+        });
         rows.push(cells);
         eprint!(".");
     }
@@ -68,4 +82,7 @@ fn main() {
         &header,
         &rows,
     );
+    if report_cell_failures(&jobs, &results) > 0 {
+        std::process::exit(1);
+    }
 }

@@ -4,7 +4,10 @@
 //!
 //! Usage: `cargo run --release -p bsched-bench --bin table5`
 
-use bsched_bench::{print_table, run_cells, CellJob, SystemRow};
+use bsched_bench::{
+    failure_label, print_table, report_cell_failures, run_cells_checked, CellJob, CellOutcome,
+    SystemRow,
+};
 use bsched_core::Ratio;
 use bsched_cpusim::ProcessorModel;
 use bsched_memsim::NetworkModel;
@@ -36,21 +39,32 @@ fn main() {
             })
         })
         .collect();
-    let results = run_cells(&jobs);
+    let results = run_cells_checked(&jobs);
 
     let mut rows = Vec::new();
     for (bench, row_cells) in benchmarks.iter().zip(results.chunks(models.len())) {
         let mut cells = vec![bench.name().to_owned()];
-        let mut first = true;
-        for cell in row_cells {
-            if first {
+        // TIns/BIns are compile-time statistics, identical across
+        // processor models; any surviving cell can supply them.
+        match row_cells.iter().find_map(CellOutcome::as_ok) {
+            Some(cell) => {
                 cells.push(format!("{:.0}", cell.traditional.dynamic_instructions));
                 cells.push(format!("{:.0}", cell.balanced.dynamic_instructions));
-                first = false;
             }
-            cells.push(format!("{:.1}", cell.improvement.mean_percent));
-            cells.push(format!("{:.1}", cell.traditional.interlock_percent()));
-            cells.push(format!("{:.1}", cell.balanced.interlock_percent()));
+            None => cells.extend(["-".to_owned(), "-".to_owned()]),
+        }
+        for outcome in row_cells {
+            match outcome.as_ok() {
+                Some(cell) => {
+                    cells.push(format!("{:.1}", cell.improvement.mean_percent));
+                    cells.push(format!("{:.1}", cell.traditional.interlock_percent()));
+                    cells.push(format!("{:.1}", cell.balanced.interlock_percent()));
+                }
+                None => {
+                    cells.push(failure_label(outcome.failure().unwrap_or("unknown")));
+                    cells.extend(["-".to_owned(), "-".to_owned()]);
+                }
+            }
         }
         rows.push(cells);
         eprint!(".");
@@ -61,4 +75,7 @@ fn main() {
         &header,
         &rows,
     );
+    if report_cell_failures(&jobs, &results) > 0 {
+        std::process::exit(1);
+    }
 }

@@ -29,7 +29,8 @@ use bsched_core::Ratio;
 use bsched_cpusim::ProcessorModel;
 use bsched_memsim::{CacheModel, LatencyModel, MemorySystem, MixedModel, NetworkModel};
 use bsched_pipeline::{
-    compare, evaluate, CompiledProgram, EvalConfig, Pipeline, ProgramEval, SchedulerChoice,
+    compare, evaluate, try_evaluate, CompiledProgram, EvalConfig, Pipeline, PipelineError,
+    ProgramEval, SchedulerChoice,
 };
 use bsched_stats::Improvement;
 use bsched_workload::Benchmark;
@@ -171,6 +172,31 @@ pub fn run_cell_compiled(
     }
 }
 
+/// [`run_cell_compiled`] with validation findings surfaced as errors.
+///
+/// # Errors
+///
+/// Propagates the first finding from
+/// [`try_evaluate`](bsched_pipeline::try_evaluate) (only possible at
+/// [`ValidationLevel::Full`](bsched_verify::ValidationLevel::Full)).
+pub fn try_run_cell_compiled(
+    balanced: &CompiledProgram,
+    traditional: &CompiledProgram,
+    row: &SystemRow,
+    processor: ProcessorModel,
+) -> Result<Cell, PipelineError> {
+    let cfg = eval_config(processor);
+    let b_eval = try_evaluate(balanced, &row.system, &cfg)?;
+    let t_eval = try_evaluate(traditional, &row.system, &cfg)?;
+    Ok(Cell {
+        improvement: compare(&t_eval, &b_eval),
+        traditional_spill_percent: traditional.spill_percent(),
+        balanced_spill_percent: balanced.spill_percent(),
+        traditional: t_eval,
+        balanced: b_eval,
+    })
+}
+
 /// One entry in a table's work list: which benchmark to evaluate under
 /// which system row and processor model.
 #[derive(Debug, Clone, Copy)]
@@ -183,6 +209,62 @@ pub struct CellJob<'a> {
     pub processor: ProcessorModel,
 }
 
+/// One cell's result from [`run_cells_checked`]: the evaluated cell, or
+/// the reason this cell (and only this cell) could not be produced.
+#[derive(Debug, Clone)]
+pub enum CellOutcome {
+    /// The cell evaluated normally.
+    Ok(Cell),
+    /// The cell failed — a panic, a compile error, or a validation
+    /// finding — and failed again on a serial retry.
+    Failed {
+        /// Human-readable reason, rendered from the error or panic.
+        reason: String,
+    },
+}
+
+impl CellOutcome {
+    /// The cell, if it evaluated normally.
+    #[must_use]
+    pub fn as_ok(&self) -> Option<&Cell> {
+        match self {
+            CellOutcome::Ok(cell) => Some(cell),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The failure reason, if the cell failed.
+    #[must_use]
+    pub fn failure(&self) -> Option<&str> {
+        match self {
+            CellOutcome::Ok(_) => None,
+            CellOutcome::Failed { reason } => Some(reason),
+        }
+    }
+}
+
+/// Renders a failure reason as a table cell: `FAILED(<reason>)`,
+/// truncated to the reason's first line and at most 40 characters so a
+/// broken cell cannot wreck the table layout.
+#[must_use]
+pub fn failure_label(reason: &str) -> String {
+    let first_line = reason.lines().next().unwrap_or("");
+    let mut short: String = first_line.chars().take(40).collect();
+    if first_line.chars().count() > 40 {
+        short.push('…');
+    }
+    format!("FAILED({short})")
+}
+
+/// Test hook: `BSCHED_INJECT_PANIC=<benchmark name>` makes every cell of
+/// that benchmark panic inside the evaluation stage, exercising the
+/// degradation path end to end.
+fn maybe_inject_panic(bench_name: &str) {
+    if std::env::var("BSCHED_INJECT_PANIC").as_deref() == Ok(bench_name) {
+        panic!("injected failure (BSCHED_INJECT_PANIC={bench_name})");
+    }
+}
+
 /// Runs every job, in parallel across `BSCHED_THREADS` workers (default:
 /// all cores), returning cells in job order.
 ///
@@ -193,8 +275,28 @@ pub struct CellJob<'a> {
 /// out here, across cells; the per-block parallelism inside
 /// [`evaluate`](bsched_pipeline::evaluate) detects the nesting and stays
 /// serial.
+///
+/// # Panics
+///
+/// Panics on the first failed cell; harness code that wants graceful
+/// degradation uses [`run_cells_checked`] instead.
 #[must_use]
 pub fn run_cells(jobs: &[CellJob<'_>]) -> Vec<Cell> {
+    run_cells_checked(jobs)
+        .into_iter()
+        .map(|outcome| match outcome {
+            CellOutcome::Ok(cell) => cell,
+            CellOutcome::Failed { reason } => panic!("cell failed: {reason}"),
+        })
+        .collect()
+}
+
+/// [`run_cells`] with per-cell fault isolation: a panic, compile error,
+/// or validation finding in one cell is retried once serially and, if it
+/// persists, reported as [`CellOutcome::Failed`] — every other cell
+/// still evaluates.
+#[must_use]
+pub fn run_cells_checked(jobs: &[CellJob<'_>]) -> Vec<CellOutcome> {
     // Compilation is independent of the memory system and processor
     // model: the balanced schedule depends only on the benchmark, the
     // traditional schedule only on (benchmark, optimistic latency).
@@ -225,19 +327,82 @@ pub fn run_cells(jobs: &[CellJob<'_>]) -> Vec<Cell> {
             });
         refs.push((balanced, traditional));
     }
-    let compiled: Vec<CompiledProgram> = bsched_par::parallel_map(&tasks, |_, (bench, choice)| {
+
+    // Compile each distinct program once, with panics and errors caught
+    // per program; a failed compile only poisons the cells that need it.
+    let compile_one = |_: usize, task: &(&Benchmark, SchedulerChoice)| {
         Pipeline::default()
-            .compile(bench.function(), choice)
-            .expect("compile")
-    });
-    bsched_par::parallel_map(&refs, |i, &(balanced, traditional)| {
-        run_cell_compiled(
-            &compiled[balanced],
-            &compiled[traditional],
-            jobs[i].row,
-            jobs[i].processor,
-        )
-    })
+            .compile(task.0.function(), &task.1)
+            .map_err(|e| e.to_string())
+    };
+    let compiled: Vec<Result<CompiledProgram, String>> =
+        bsched_par::parallel_map_catch(&tasks, compile_one)
+            .into_iter()
+            .enumerate()
+            .map(|(k, caught)| match caught.unwrap_or_else(|p| Err(p.to_string())) {
+                Ok(program) => Ok(program),
+                // Retry once serially: rules out transient causes
+                // (resource exhaustion under full fan-out) before the
+                // cell is written off.
+                Err(_) => bsched_par::parallel_map_catch(&tasks[k..=k], compile_one)
+                    .pop()
+                    .expect("one result per item")
+                    .unwrap_or_else(|p| Err(p.to_string())),
+            })
+            .collect();
+
+    let eval_one = |i: usize, &(balanced, traditional): &(usize, usize)| -> Result<Cell, String> {
+        let job = &jobs[i];
+        maybe_inject_panic(job.bench.name());
+        let scheduler_of = |k: usize| &tasks[k].1;
+        let balanced = compiled[balanced]
+            .as_ref()
+            .map_err(|e| format!("compiling {}: {e}", scheduler_of(balanced).name()))?;
+        let traditional = compiled[traditional]
+            .as_ref()
+            .map_err(|e| format!("compiling {}: {e}", scheduler_of(traditional).name()))?;
+        try_run_cell_compiled(balanced, traditional, job.row, job.processor)
+            .map_err(|e| e.to_string())
+    };
+    bsched_par::parallel_map_catch(&refs, eval_one)
+        .into_iter()
+        .enumerate()
+        .map(|(i, caught)| match caught.unwrap_or_else(|p| Err(p.to_string())) {
+            Ok(cell) => CellOutcome::Ok(cell),
+            Err(_) => {
+                // Same serial retry as the compile stage.
+                let retried = bsched_par::parallel_map_catch(&refs[i..=i], |_, r| eval_one(i, r))
+                    .pop()
+                    .expect("one result per item");
+                match retried.unwrap_or_else(|p| Err(p.to_string())) {
+                    Ok(cell) => CellOutcome::Ok(cell),
+                    Err(reason) => CellOutcome::Failed { reason },
+                }
+            }
+        })
+        .collect()
+}
+
+/// Prints every failed cell to stderr (benchmark, system, processor and
+/// reason) and returns the failure count; table binaries exit non-zero
+/// when it is positive.
+pub fn report_cell_failures(jobs: &[CellJob<'_>], outcomes: &[CellOutcome]) -> usize {
+    let mut failures = 0;
+    for (job, outcome) in jobs.iter().zip(outcomes) {
+        if let Some(reason) = outcome.failure() {
+            failures += 1;
+            eprintln!(
+                "FAILED cell: {} under {} on {}: {reason}",
+                job.bench.name(),
+                job.row.label(),
+                job.processor,
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} of {} cells failed; the rest are reported above", jobs.len());
+    }
+    failures
 }
 
 /// Serialises a table as a JSON object (`{"title", "header", "rows"}`)
@@ -368,6 +533,91 @@ mod tests {
             assert_eq!(s.traditional.bootstrap_runtimes, p.traditional.bootstrap_runtimes);
             assert_eq!(s.balanced.bootstrap_runtimes, p.balanced.bootstrap_runtimes);
             assert_eq!(s.balanced.mean_interlocks, p.balanced.mean_interlocks);
+        }
+    }
+
+    /// A benchmark whose block already names a physical register, which
+    /// the allocator rejects — a stand-in for any corrupted program.
+    fn corrupted_benchmark() -> Benchmark {
+        use bsched_ir::{Function, Inst, Opcode, PhysReg, RegClass};
+        let phys = PhysReg::new(RegClass::Int, 0).into();
+        let block = bsched_ir::BasicBlock::new(
+            "bad",
+            vec![Inst::new(Opcode::Li, vec![phys], vec![], None)],
+        );
+        Benchmark::new("BROKEN", Function::new("BROKEN", vec![block]))
+    }
+
+    #[test]
+    fn corrupted_benchmark_degrades_to_a_failed_cell() {
+        let _guard = env_lock();
+        std::env::set_var("BSCHED_RUNS", "2");
+        let good = perfect::track();
+        let bad = corrupted_benchmark();
+        let rows = table2_rows();
+        let row = &rows[8]; // N(2,2)
+        let jobs: Vec<CellJob> = [&good, &bad, &good]
+            .into_iter()
+            .map(|bench| CellJob {
+                bench,
+                row,
+                processor: ProcessorModel::Unlimited,
+            })
+            .collect();
+        let outcomes = run_cells_checked(&jobs);
+        std::env::remove_var("BSCHED_RUNS");
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].as_ok().is_some(), "good cell must survive");
+        assert!(outcomes[2].as_ok().is_some(), "good cell must survive");
+        let reason = outcomes[1].failure().expect("bad cell must fail");
+        assert!(
+            reason.contains("physical registers"),
+            "reason should name the allocator's complaint: {reason}"
+        );
+        assert!(failure_label(reason).starts_with("FAILED("));
+        assert_eq!(report_cell_failures(&jobs, &outcomes), 1);
+    }
+
+    #[test]
+    fn injected_panic_fails_the_same_cells_serial_and_parallel() {
+        let _guard = env_lock();
+        std::env::set_var("BSCHED_RUNS", "2");
+        let benchmarks = perfect_club();
+        let rows = table2_rows();
+        let row = &rows[8]; // N(2,2)
+        let jobs: Vec<CellJob> = benchmarks
+            .iter()
+            .map(|bench| CellJob {
+                bench,
+                row,
+                processor: ProcessorModel::Unlimited,
+            })
+            .collect();
+        std::env::set_var("BSCHED_INJECT_PANIC", benchmarks[2].name());
+        std::env::set_var("BSCHED_THREADS", "1");
+        let serial = run_cells_checked(&jobs);
+        std::env::set_var("BSCHED_THREADS", "4");
+        let parallel = run_cells_checked(&jobs);
+        std::env::remove_var("BSCHED_THREADS");
+        std::env::remove_var("BSCHED_INJECT_PANIC");
+        std::env::remove_var("BSCHED_RUNS");
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            match (s, p) {
+                (CellOutcome::Ok(s), CellOutcome::Ok(p)) => {
+                    assert_eq!(
+                        s.improvement.mean_percent, p.improvement.mean_percent,
+                        "surviving cell {i} differs between serial and parallel"
+                    );
+                    assert_eq!(s.balanced.bootstrap_runtimes, p.balanced.bootstrap_runtimes);
+                }
+                (CellOutcome::Failed { reason: s }, CellOutcome::Failed { reason: p }) => {
+                    assert_eq!(i, 2, "only the injected cell may fail");
+                    assert_eq!(s, p);
+                    assert!(s.contains("injected failure"));
+                }
+                _ => panic!("cell {i}: serial and parallel outcomes disagree"),
+            }
         }
     }
 

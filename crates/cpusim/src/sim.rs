@@ -22,6 +22,15 @@ pub struct IssueEvent {
     pub stall_cycles: u64,
 }
 
+impl IssueEvent {
+    /// Cycles from issue to completion — a load's sampled latency, 1 for
+    /// anything else.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.complete_cycle.saturating_sub(self.issue_cycle)
+    }
+}
+
 /// An in-flight load.
 #[derive(Debug, Clone, Copy)]
 struct Outstanding {

@@ -109,6 +109,23 @@ impl LatencyModel for CacheModel {
         self.hit_rate * self.hit_latency as f64 + (1.0 - self.hit_rate) * self.miss_latency as f64
     }
 
+    fn min_latency(&self) -> u64 {
+        // Degenerate rates shrink the support to a single point.
+        if self.hit_rate == 0.0 {
+            self.miss_latency
+        } else {
+            self.hit_latency
+        }
+    }
+
+    fn max_latency(&self) -> Option<u64> {
+        Some(if self.hit_rate == 1.0 {
+            self.hit_latency
+        } else {
+            self.miss_latency
+        })
+    }
+
     fn as_sync(&self) -> Option<&(dyn LatencyModel + Sync)> {
         Some(self)
     }

@@ -47,6 +47,14 @@ impl LatencyModel for FixedLatency {
         self.0 as f64
     }
 
+    fn min_latency(&self) -> u64 {
+        self.0
+    }
+
+    fn max_latency(&self) -> Option<u64> {
+        Some(self.0)
+    }
+
     fn as_sync(&self) -> Option<&(dyn LatencyModel + Sync)> {
         Some(self)
     }

@@ -92,6 +92,25 @@ pub trait LatencyModel {
     /// paper evaluates traditional scheduling at, e.g. 2.6 for L80(2,5)).
     fn effective_latency(&self) -> f64;
 
+    /// The smallest latency [`sample`](Self::sample) can return.
+    ///
+    /// Validators use this as the support's lower bound: every sampled
+    /// latency must be at least `min_latency().max(1)`. The default of 1
+    /// (the simulator's floor) is correct for any model; bounded models
+    /// override it with their true minimum (e.g. the cache-hit time).
+    fn min_latency(&self) -> u64 {
+        1
+    }
+
+    /// The largest latency [`sample`](Self::sample) can return, or
+    /// `None` when the support is unbounded above (normal-tail models).
+    ///
+    /// Bounded models (fixed, two-point caches) override this so
+    /// validators can reject impossible draws.
+    fn max_latency(&self) -> Option<u64> {
+        None
+    }
+
     /// Returns `self` as a thread-safe model when the implementation has
     /// no interior mutability, enabling parallel evaluation.
     ///

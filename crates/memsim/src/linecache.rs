@@ -154,6 +154,14 @@ impl LatencyModel for LineCache {
     fn effective_latency(&self) -> f64 {
         (self.hit_latency + self.miss_latency) as f64 / 2.0
     }
+
+    fn min_latency(&self) -> u64 {
+        self.hit_latency
+    }
+
+    fn max_latency(&self) -> Option<u64> {
+        Some(self.miss_latency)
+    }
 }
 
 #[cfg(test)]
@@ -242,6 +250,8 @@ mod tests {
         assert_eq!(cache.line_bytes(), 32);
         assert_eq!(cache.optimistic_latency(), 2.0);
         assert!(cache.name().contains("4096B"));
+        assert_eq!(cache.min_latency(), 2);
+        assert_eq!(cache.max_latency(), Some(10));
     }
 
     #[test]

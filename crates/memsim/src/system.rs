@@ -79,6 +79,26 @@ impl LatencyModel for MemorySystem {
         }
     }
 
+    fn min_latency(&self) -> u64 {
+        // Explicit delegation: the trait default (1) would erase the
+        // tighter bounds the fixed and cache variants declare.
+        match self {
+            MemorySystem::Fixed(m) => m.min_latency(),
+            MemorySystem::Cache(m) => m.min_latency(),
+            MemorySystem::Network(m) => m.min_latency(),
+            MemorySystem::Mixed(m) => m.min_latency(),
+        }
+    }
+
+    fn max_latency(&self) -> Option<u64> {
+        match self {
+            MemorySystem::Fixed(m) => m.max_latency(),
+            MemorySystem::Cache(m) => m.max_latency(),
+            MemorySystem::Network(m) => m.max_latency(),
+            MemorySystem::Mixed(m) => m.max_latency(),
+        }
+    }
+
     fn as_sync(&self) -> Option<&(dyn LatencyModel + Sync)> {
         // Every variant is a plain-data model; the enum itself is Sync.
         Some(self)
@@ -245,6 +265,43 @@ mod tests {
         assert_eq!(n, NetworkModel::new(3.0, 5.0).into());
         let c: MemorySystem = "l95(2,10)".parse().unwrap();
         assert_eq!(c, CacheModel::l95_10().into());
+    }
+
+    #[test]
+    fn samples_stay_inside_declared_support() {
+        let mut systems = MemorySystem::paper_systems();
+        systems.push(FixedLatency::new(4).into());
+        let mut rng = Pcg32::seed_from_u64(9);
+        for system in systems {
+            let lo = system.min_latency().max(1);
+            let hi = system.max_latency();
+            assert!(lo >= 1, "{}", system.name());
+            for _ in 0..2000 {
+                let v = system.sample(&mut rng);
+                assert!(v >= lo, "{}: {v} < {lo}", system.name());
+                if let Some(hi) = hi {
+                    assert!(v <= hi, "{}: {v} > {hi}", system.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn declared_bounds_match_the_models() {
+        let fixed: MemorySystem = FixedLatency::new(4).into();
+        assert_eq!((fixed.min_latency(), fixed.max_latency()), (4, Some(4)));
+        let cache: MemorySystem = CacheModel::l80_10().into();
+        assert_eq!((cache.min_latency(), cache.max_latency()), (2, Some(10)));
+        // Degenerate hit rates collapse the support to one point.
+        let always = MemorySystem::Cache(CacheModel::new(1.0, 2, 5));
+        assert_eq!((always.min_latency(), always.max_latency()), (2, Some(2)));
+        let never = MemorySystem::Cache(CacheModel::new(0.0, 2, 5));
+        assert_eq!((never.min_latency(), never.max_latency()), (5, Some(5)));
+        // Normal-tail models are unbounded above, floored at 1 below.
+        let net: MemorySystem = NetworkModel::new(3.0, 5.0).into();
+        assert_eq!((net.min_latency(), net.max_latency()), (1, None));
+        let mixed: MemorySystem = MixedModel::l80_n30_5().into();
+        assert_eq!((mixed.min_latency(), mixed.max_latency()), (1, None));
     }
 
     #[test]

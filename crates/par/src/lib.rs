@@ -19,6 +19,14 @@
 //! crate parallelises over table cells while `evaluate()` parallelises
 //! over blocks, and whichever fans out first wins.
 //!
+//! Panics are isolated **per item**, never per pool: a panicking item
+//! cannot stall the work queue or poison the worker state, and every
+//! other item still runs to completion. [`parallel_map`] then re-raises
+//! the first panic in *item order* (so which thread hit it first cannot
+//! change what the caller observes), while [`parallel_map_catch`]
+//! instead hands each item's outcome back as a
+//! `Result<R, `[`CaughtPanic`]`>` for callers that degrade gracefully.
+//!
 //! # Example
 //!
 //! ```
@@ -28,7 +36,9 @@
 
 #![warn(missing_docs)]
 
+use std::any::Any;
 use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 thread_local! {
@@ -58,6 +68,43 @@ pub fn max_threads() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
+/// A panic caught while mapping one item, rendered to text.
+///
+/// The original payload is consumed where it is caught (payloads are not
+/// `Clone`); what travels back to the caller is the panic message — a
+/// `&str` or `String` payload verbatim, anything else a placeholder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaughtPanic {
+    message: String,
+}
+
+impl CaughtPanic {
+    fn from_payload(payload: &(dyn Any + Send)) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_owned()
+        };
+        Self { message }
+    }
+
+    /// The panic message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for CaughtPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for CaughtPanic {}
+
 /// Maps `f` over `items` on up to [`max_threads`] threads, returning
 /// results in item order.
 ///
@@ -65,6 +112,13 @@ pub fn max_threads() -> usize {
 /// the order guarantee to mean anything. Equivalent to
 /// `items.iter().enumerate().map(..).collect()` — including panic
 /// propagation — just faster.
+///
+/// # Panics
+///
+/// If any item's `f` panics, every other item still completes, and the
+/// first panic **in item order** is re-raised with its original payload
+/// — the same panic a serial loop would have surfaced, regardless of
+/// which worker thread happened to hit one first.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -84,17 +138,72 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let mut out = Vec::with_capacity(items.len());
+    for result in run_isolated(threads, items, f) {
+        match result {
+            Ok(r) => out.push(r),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// Like [`parallel_map`], but a panicking item becomes an `Err` in its
+/// slot instead of unwinding: all other items complete and their results
+/// come back in item order. The degradation path of the table harness —
+/// one poisoned cell must not take down the run.
+pub fn parallel_map_catch<T, R, F>(items: &[T], f: F) -> Vec<Result<R, CaughtPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_catch_with(max_threads(), items, f)
+}
+
+/// [`parallel_map_catch`] with an explicit thread budget.
+pub fn parallel_map_catch_with<T, R, F>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> Vec<Result<R, CaughtPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    run_isolated(threads, items, f)
+        .into_iter()
+        .map(|r| r.map_err(|payload| CaughtPanic::from_payload(payload.as_ref())))
+        .collect()
+}
+
+/// The shared engine: every item's `f` runs inside `catch_unwind`, so a
+/// worker thread can never unwind — the work queue always drains, the
+/// scope join never sees a dead thread, and the `IN_PARALLEL` flag never
+/// outlives its worker.
+fn run_isolated<T, R, F>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> Vec<Result<R, Box<dyn Any + Send>>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
     let threads = threads.min(n);
+    let call = |i: usize| catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
     if threads <= 1 || in_parallel_worker() {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return (0..n).map(call).collect();
     }
 
     // Dynamic work queue: workers race on a shared counter so uneven
     // item costs (block sizes vary wildly) still balance.
     let next = AtomicUsize::new(0);
-    let f = &f;
-    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    let call = &call;
+    let mut slots: Vec<Option<Result<R, _>>> = std::iter::repeat_with(|| None).take(n).collect();
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
@@ -106,7 +215,7 @@ where
                         if i >= n {
                             break;
                         }
-                        done.push((i, f(i, &items[i])));
+                        done.push((i, call(i)));
                     }
                     done
                 })
@@ -119,7 +228,9 @@ where
                         slots[i] = Some(r);
                     }
                 }
-                Err(panic) => std::panic::resume_unwind(panic),
+                // Unreachable — workers catch every item panic — but a
+                // defect here must not be swallowed.
+                Err(panic) => resume_unwind(panic),
             }
         }
     });
@@ -186,6 +297,77 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn first_panic_in_item_order_wins() {
+        // Items 2 and 6 both panic; whichever thread trips first, the
+        // caller must always see item 2's payload.
+        for threads in [1, 2, 4, 8] {
+            let items: Vec<usize> = (0..8).collect();
+            let payload = std::panic::catch_unwind(|| {
+                parallel_map_with(threads, &items, |_, &x| {
+                    if x == 2 || x == 6 {
+                        std::panic::panic_any(format!("item {x}"));
+                    }
+                    x
+                })
+            })
+            .unwrap_err();
+            let message = payload.downcast_ref::<String>().unwrap();
+            assert_eq!(message, "item 2", "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn catch_isolates_panics_per_item() {
+        let items: Vec<u32> = (0..16).collect();
+        for threads in [1, 3, 8] {
+            let results = parallel_map_catch_with(threads, &items, |i, &x| {
+                assert!(x % 5 != 3, "boom at {i}");
+                x * 2
+            });
+            assert_eq!(results.len(), items.len());
+            for (i, r) in results.iter().enumerate() {
+                if i % 5 == 3 {
+                    let err = r.as_ref().unwrap_err();
+                    assert!(err.message().contains(&format!("boom at {i}")), "{err}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), items[i] * 2, "threads = {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_item() {
+        // A caught panic must leave no residue: the flag is clear on the
+        // caller, and the next fan-out behaves normally.
+        let _ = std::panic::catch_unwind(|| {
+            parallel_map_with(4, &[0u8; 32], |i, _| {
+                assert!(i != 9);
+                i
+            })
+        });
+        assert!(!in_parallel_worker(), "flag must not leak after a panic");
+        let items: Vec<usize> = (0..64).collect();
+        let doubled = parallel_map_with(4, &items, |_, &x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn caught_panic_renders_static_and_formatted_messages() {
+        let results = parallel_map_catch_with(2, &[0u8, 1], |_, &x| {
+            if x == 0 {
+                panic!("static message");
+            }
+            std::panic::panic_any(7u32);
+        });
+        let first = results[0].as_ref().unwrap_err();
+        assert_eq!(first.message(), "static message");
+        assert_eq!(first.to_string(), "panicked: static message");
+        let second = results[1].as_ref().unwrap_err();
+        assert_eq!(second.message(), "non-string panic payload");
     }
 
     #[test]

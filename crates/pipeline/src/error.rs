@@ -1,0 +1,92 @@
+//! One error type for the whole compile–simulate flow.
+
+use bsched_regalloc::AllocError;
+use bsched_verify::VerifyError;
+use bsched_workload::{LowerError, ParseError};
+
+/// Any failure between kernel text and a measured table cell.
+///
+/// Each stage keeps its own precise error type; this enum is the spine
+/// that lets harness code thread them through one `Result` with `?`:
+/// parsing ([`ParseError`]), lowering ([`LowerError`]), register
+/// allocation ([`AllocError`]) and independent validation
+/// ([`VerifyError`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// Register allocation failed.
+    Alloc(AllocError),
+    /// An independent validator rejected a stage's output.
+    Verify(VerifyError),
+    /// Kernel source text failed to parse.
+    Parse(ParseError),
+    /// A kernel could not be lowered to the IR.
+    Lower(LowerError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Alloc(e) => write!(f, "register allocation: {e}"),
+            PipelineError::Verify(e) => write!(f, "validation: {e}"),
+            PipelineError::Parse(e) => write!(f, "parse: {e}"),
+            PipelineError::Lower(e) => write!(f, "lowering: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Alloc(e) => Some(e),
+            PipelineError::Verify(e) => Some(e),
+            PipelineError::Parse(e) => Some(e),
+            PipelineError::Lower(e) => Some(e),
+        }
+    }
+}
+
+impl From<AllocError> for PipelineError {
+    fn from(e: AllocError) -> Self {
+        PipelineError::Alloc(e)
+    }
+}
+
+impl From<VerifyError> for PipelineError {
+    fn from(e: VerifyError) -> Self {
+        PipelineError::Verify(e)
+    }
+}
+
+impl From<ParseError> for PipelineError {
+    fn from(e: ParseError) -> Self {
+        PipelineError::Parse(e)
+    }
+}
+
+impl From<LowerError> for PipelineError {
+    fn from(e: LowerError) -> Self {
+        PipelineError::Lower(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_rendering() {
+        let e: PipelineError = AllocError::PhysicalInput.into();
+        assert_eq!(
+            e.to_string(),
+            "register allocation: input block already uses physical registers"
+        );
+        let e: PipelineError = VerifyError::LengthMismatch { expected: 2, got: 1 }.into();
+        assert!(e.to_string().starts_with("validation: "));
+        let e: PipelineError = LowerError::InvalidFrequency { value: -1.0 }.into();
+        assert!(e.to_string().starts_with("lowering: "));
+        let e: PipelineError =
+            bsched_workload::parse_kernel("kernel").map(|_| ()).unwrap_err().into();
+        assert!(e.to_string().starts_with("parse: "));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,9 +1,11 @@
 //! Measurement: the §4.3 simulation and bootstrap protocol.
 
-use bsched_cpusim::{simulate_runs_stats, ProcessorModel};
+use bsched_cpusim::{simulate_block_traced, simulate_runs_stats, ProcessorModel};
 use bsched_memsim::LatencyModel;
 use bsched_stats::{bootstrap_means, paired_improvement, Improvement, Pcg32};
+use bsched_verify::{verify_timeline, ValidationLevel};
 
+use crate::error::PipelineError;
 use crate::pipeline::CompiledProgram;
 
 /// Measurement protocol parameters.
@@ -21,6 +23,11 @@ pub struct EvalConfig {
     pub issue_width: u32,
     /// Master seed; every block/run derives its stream from it.
     pub seed: u64,
+    /// At [`ValidationLevel::Full`], each block's run-0 simulation is
+    /// replayed with tracing and the timeline checked against the memory
+    /// model's declared latency support. Defaults to `BSCHED_VALIDATE`;
+    /// below `Full` this field changes nothing.
+    pub validation: ValidationLevel,
 }
 
 impl Default for EvalConfig {
@@ -31,6 +38,7 @@ impl Default for EvalConfig {
             processor: ProcessorModel::Unlimited,
             issue_width: 1,
             seed: 0x5EED,
+            validation: ValidationLevel::from_env(),
         }
     }
 }
@@ -73,7 +81,7 @@ fn block_stats(
     index: usize,
     mem: &dyn LatencyModel,
     config: &EvalConfig,
-) -> (Vec<f64>, f64) {
+) -> Result<(Vec<f64>, f64), PipelineError> {
     let sim_root = Pcg32::seed_from_u64(config.seed);
     let boot_root = Pcg32::seed_from_u64(config.seed ^ 0xB007_5742_u64);
     let block_rng = sim_root.split(index as u64);
@@ -87,9 +95,25 @@ fn block_stats(
         config.runs,
         &block_rng,
     );
+    if config.validation >= ValidationLevel::Full && config.issue_width == 1 && config.runs > 0 {
+        // Replay run 0 with tracing (`split` is pure, so the extra
+        // simulation reuses run 0's exact latency stream and perturbs
+        // nothing) and check the timeline against the model's declared
+        // latency support and the min-latency critical path.
+        let mut run_rng = block_rng.split(0);
+        let (result, events) =
+            simulate_block_traced(&cb.block, mem, config.processor, &mut run_rng);
+        verify_timeline(
+            &cb.block,
+            &events,
+            result.cycles(),
+            mem.min_latency(),
+            mem.max_latency(),
+        )?;
+    }
     let mut boot_rng = boot_root.split(index as u64);
     let means = bootstrap_means(&stats.elapsed, config.resamples, &mut boot_rng);
-    (means, stats.mean_interlocks())
+    Ok((means, stats.mean_interlocks()))
 }
 
 /// Folds per-block statistics into a [`ProgramEval`], always in block
@@ -136,15 +160,7 @@ pub fn evaluate(
     mem: &dyn LatencyModel,
     config: &EvalConfig,
 ) -> ProgramEval {
-    match mem.as_sync() {
-        Some(sync_mem) if bsched_par::max_threads() > 1 => {
-            let per_block = bsched_par::parallel_map(&program.blocks, |i, cb| {
-                block_stats(cb, i, sync_mem, config)
-            });
-            combine(program, per_block, config)
-        }
-        _ => evaluate_serial(program, mem, config),
-    }
+    try_evaluate(program, mem, config).expect("evaluation failed validation")
 }
 
 /// [`evaluate`] restricted to the calling thread, accepting stateful
@@ -156,13 +172,50 @@ pub fn evaluate_serial(
     mem: &dyn LatencyModel,
     config: &EvalConfig,
 ) -> ProgramEval {
+    try_evaluate_serial(program, mem, config).expect("evaluation failed validation")
+}
+
+/// [`evaluate`] with validation findings surfaced as errors instead of
+/// panics.
+///
+/// # Errors
+///
+/// At [`ValidationLevel::Full`], returns the first (in block order)
+/// timeline finding; below `Full`, never fails.
+pub fn try_evaluate(
+    program: &CompiledProgram,
+    mem: &dyn LatencyModel,
+    config: &EvalConfig,
+) -> Result<ProgramEval, PipelineError> {
+    match mem.as_sync() {
+        Some(sync_mem) if bsched_par::max_threads() > 1 => {
+            let per_block = bsched_par::parallel_map(&program.blocks, |i, cb| {
+                block_stats(cb, i, sync_mem, config)
+            });
+            let per_block = per_block.into_iter().collect::<Result<Vec<_>, _>>()?;
+            Ok(combine(program, per_block, config))
+        }
+        _ => try_evaluate_serial(program, mem, config),
+    }
+}
+
+/// [`try_evaluate`] restricted to the calling thread.
+///
+/// # Errors
+///
+/// Same contract as [`try_evaluate`].
+pub fn try_evaluate_serial(
+    program: &CompiledProgram,
+    mem: &dyn LatencyModel,
+    config: &EvalConfig,
+) -> Result<ProgramEval, PipelineError> {
     let per_block = program
         .blocks
         .iter()
         .enumerate()
         .map(|(i, cb)| block_stats(cb, i, mem, config))
-        .collect();
-    combine(program, per_block, config)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(combine(program, per_block, config))
 }
 
 /// Pairs a traditional-scheduler evaluation with a balanced one and

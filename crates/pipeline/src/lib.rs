@@ -48,8 +48,12 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod eval;
 pub mod pipeline;
 
-pub use eval::{compare, evaluate, evaluate_serial, EvalConfig, ProgramEval};
+pub use error::PipelineError;
+pub use eval::{
+    compare, evaluate, evaluate_serial, try_evaluate, try_evaluate_serial, EvalConfig, ProgramEval,
+};
 pub use pipeline::{AllocationStrategy, CompiledBlock, CompiledProgram, Pipeline, SchedulerChoice};

@@ -6,9 +6,10 @@ use bsched_core::{
 };
 use bsched_dag::{build_dag, AliasModel, ChancesMethod};
 use bsched_ir::{BasicBlock, Function};
-use bsched_regalloc::{
-    allocate, allocate_usage_count, rename_registers, AllocError, AllocatorConfig,
-};
+use bsched_regalloc::{allocate, allocate_usage_count, rename_registers, AllocatorConfig};
+use bsched_verify::{verify_allocation, verify_schedule, ValidationLevel};
+
+use crate::error::PipelineError;
 
 /// Which register allocator the pipeline runs (§4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -154,6 +155,11 @@ pub struct Pipeline {
     /// the second scheduling pass. Off by default (the paper shipped the
     /// FIFO pool).
     pub rename_after_alloc: bool,
+    /// How much independent validation runs per block (see
+    /// `bsched-verify`). Defaults to the `BSCHED_VALIDATE` environment
+    /// variable; at [`ValidationLevel::Off`] the compiled output is
+    /// byte-identical to a build without the validators.
+    pub validation: ValidationLevel,
 }
 
 impl Default for Pipeline {
@@ -166,6 +172,7 @@ impl Default for Pipeline {
             allocation: AllocationStrategy::default(),
             second_pass: true,
             rename_after_alloc: false,
+            validation: ValidationLevel::from_env(),
         }
     }
 }
@@ -176,12 +183,16 @@ impl Pipeline {
     /// # Errors
     ///
     /// Propagates allocation failures (register file too small for an
-    /// instruction's operands).
+    /// instruction's operands) and, at [`ValidationLevel::Schedule`] or
+    /// above, any finding from the independent validators: both
+    /// scheduling passes are checked against a freshly built DAG, and at
+    /// [`ValidationLevel::Full`] the allocated block is value-flow
+    /// checked against its pre-allocation input.
     pub fn compile_block(
         &self,
         block: &BasicBlock,
         choice: &SchedulerChoice,
-    ) -> Result<CompiledBlock, AllocError> {
+    ) -> Result<CompiledBlock, PipelineError> {
         let assigner = choice.assigner();
         let scheduler = ListScheduler::new()
             .with_direction(self.direction)
@@ -191,6 +202,9 @@ impl Pipeline {
         let dag1 = build_dag(block, self.alias);
         let sched1 = scheduler.run(&dag1, assigner.as_ref());
         debug_assert!(sched1.verify(&dag1).is_ok());
+        if self.validation >= ValidationLevel::Schedule {
+            verify_schedule(block, sched1.order(), self.alias)?;
+        }
         let ordered = sched1.apply(block);
 
         // Register allocation on the pass-1 order.
@@ -203,12 +217,18 @@ impl Pipeline {
         } else {
             alloc.block.clone()
         };
+        if self.validation >= ValidationLevel::Full {
+            verify_allocation(&ordered, &allocated_block, &self.allocator)?;
+        }
 
         // Pass 2: integrate spill code under physical-register deps.
         let final_block = if self.second_pass {
             let dag2 = build_dag(&allocated_block, self.alias);
             let sched2 = scheduler.run(&dag2, assigner.as_ref());
             debug_assert!(sched2.verify(&dag2).is_ok());
+            if self.validation >= ValidationLevel::Schedule {
+                verify_schedule(&allocated_block, sched2.order(), self.alias)?;
+            }
             sched2.apply(&allocated_block)
         } else {
             allocated_block
@@ -224,12 +244,12 @@ impl Pipeline {
     ///
     /// # Errors
     ///
-    /// Propagates the first block's allocation failure.
+    /// Propagates the first block's allocation or validation failure.
     pub fn compile(
         &self,
         func: &Function,
         choice: &SchedulerChoice,
-    ) -> Result<CompiledProgram, AllocError> {
+    ) -> Result<CompiledProgram, PipelineError> {
         let blocks = func
             .blocks()
             .iter()
@@ -342,6 +362,36 @@ mod tests {
         for (x, y) in a.blocks.iter().zip(&b.blocks) {
             assert_eq!(x.block, y.block);
             assert_eq!(x.spill_count, y.spill_count);
+        }
+    }
+
+    #[test]
+    fn full_validation_passes_over_every_pipeline_variant() {
+        // The independent validators must find nothing to complain
+        // about in the real pipeline, whichever allocator, renaming
+        // mode and scheduler drive it.
+        let block = pressure_block(30);
+        let schedulers = [
+            SchedulerChoice::balanced(),
+            SchedulerChoice::traditional(Ratio::from_int(2)),
+            SchedulerChoice::Average,
+        ];
+        for allocation in [AllocationStrategy::BeladyScan, AllocationStrategy::UsageCount] {
+            for rename_after_alloc in [false, true] {
+                let pipeline = Pipeline {
+                    allocation,
+                    rename_after_alloc,
+                    validation: ValidationLevel::Full,
+                    ..Pipeline::default()
+                };
+                for scheduler in &schedulers {
+                    pipeline
+                        .compile_block(&block, scheduler)
+                        .unwrap_or_else(|e| {
+                            panic!("{allocation:?}/rename={rename_after_alloc}: {e}")
+                        });
+                }
+            }
         }
     }
 

@@ -52,6 +52,11 @@ pub enum AllocError {
         /// The offending register.
         reg: VirtReg,
     },
+    /// The register file/pool configuration cannot allocate at all.
+    InvalidConfig {
+        /// What is wrong with the configuration.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for AllocError {
@@ -65,6 +70,9 @@ impl std::fmt::Display for AllocError {
                 )
             }
             AllocError::UndefinedUse { reg } => write!(f, "use of undefined register {reg}"),
+            AllocError::InvalidConfig { detail } => {
+                write!(f, "invalid allocator configuration: {detail}")
+            }
         }
     }
 }
@@ -150,7 +158,7 @@ impl ClassState {
 /// Returns an error for physical-register inputs, undefined uses, or an
 /// instruction whose same-class reload demand exceeds the pool.
 pub fn allocate(block: &BasicBlock, config: &AllocatorConfig) -> Result<AllocResult, AllocError> {
-    config.validate();
+    config.check()?;
     let uses_info = UsePositions::compute(block);
     let mut states: HashMap<RegClass, ClassState> = RegClass::ALL
         .into_iter()

@@ -2,6 +2,8 @@
 
 use bsched_ir::RegClass;
 
+use crate::alloc::AllocError;
+
 /// How reload target registers are recycled from the spill pool (§4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PoolPolicy {
@@ -75,23 +77,39 @@ impl AllocatorConfig {
         self.regs_of(class).saturating_sub(self.pool_size)
     }
 
-    /// Validates that the configuration can allocate at all.
+    /// Checks that the configuration can allocate at all: every class
+    /// needs at least two general registers, and the pool must hold at
+    /// least two (an instruction may need two reloaded operands).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::InvalidConfig`] naming the violated rule.
+    pub fn check(&self) -> Result<(), AllocError> {
+        for class in RegClass::ALL {
+            if self.general_regs_of(class) < 2 {
+                return Err(AllocError::InvalidConfig {
+                    detail: format!("class {class} needs at least two general registers"),
+                });
+            }
+        }
+        if self.pool_size < 2 {
+            return Err(AllocError::InvalidConfig {
+                detail: "spill pool must hold at least two registers".to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// [`check`](Self::check) for callers that treat a bad configuration
+    /// as a programming error.
     ///
     /// # Panics
     ///
-    /// Panics if any class has no general registers or the pool is
-    /// smaller than 2 (an instruction may need two reloaded operands).
+    /// Panics with the violated rule.
     pub fn validate(&self) {
-        for class in RegClass::ALL {
-            assert!(
-                self.general_regs_of(class) >= 2,
-                "class {class} needs at least two general registers"
-            );
+        if let Err(e) = self.check() {
+            panic!("{e}");
         }
-        assert!(
-            self.pool_size >= 2,
-            "spill pool must hold at least two registers"
-        );
     }
 }
 
@@ -129,6 +147,26 @@ mod tests {
             policy: PoolPolicy::Fifo,
         }
         .validate();
+    }
+
+    #[test]
+    fn check_returns_typed_errors() {
+        assert!(AllocatorConfig::mips_default().check().is_ok());
+        let tiny = AllocatorConfig {
+            int_regs: 3,
+            ..AllocatorConfig::mips_default()
+        };
+        let err = tiny.check().unwrap_err();
+        assert!(matches!(&err, AllocError::InvalidConfig { detail }
+            if detail.contains("general registers")));
+        let no_pool = AllocatorConfig {
+            pool_size: 1,
+            int_regs: 12,
+            fp_regs: 16,
+            policy: PoolPolicy::Fifo,
+        };
+        assert!(matches!(no_pool.check(), Err(AllocError::InvalidConfig { detail })
+            if detail.contains("spill pool")));
     }
 
     #[test]

@@ -41,10 +41,13 @@ fn def_range_ends(block: &BasicBlock) -> HashMap<(usize, Reg), usize> {
         let uses = uses_of.get(reg).unwrap_or(&empty);
         for (k, &def_idx) in defs.iter().enumerate() {
             let next_def = defs.get(k + 1).copied().unwrap_or(usize::MAX);
+            // A use at `next_def`'s own index still reads THIS def:
+            // reads precede writes within an instruction, so the
+            // redefinition only takes effect after its uses.
             let end = uses
                 .iter()
                 .copied()
-                .filter(|&u| u > def_idx && u < next_def)
+                .filter(|&u| u > def_idx && u <= next_def)
                 .max()
                 .unwrap_or(def_idx);
             ends.insert((def_idx, *reg), end);
@@ -324,6 +327,45 @@ mod tests {
         };
         assert_eq!(true_edges(&allocated), true_edges(&once));
         assert_eq!(true_edges(&once), true_edges(&twice));
+    }
+
+    #[test]
+    fn use_at_redefinition_index_keeps_the_old_value_live() {
+        // r0 = li            (value A)
+        // r1 = li            (value B — must NOT steal r0's name)
+        // r0 = add r0, r1    (reads A at the same index that redefines r0)
+        // store r0
+        // The use of r0 at index 2 happens at the same index as r0's next
+        // definition; reads precede writes, so value A is live through
+        // index 2 and r0's name must not be handed to the li at index 1.
+        use bsched_ir::{AccessKind, MemAccess, MemLoc, PhysReg, RegionId};
+        let r0: Reg = PhysReg::new(RegClass::Int, 0).into();
+        let r1: Reg = PhysReg::new(RegClass::Int, 1).into();
+        let block = BasicBlock::new(
+            "t",
+            vec![
+                Inst::new(Opcode::Li, vec![r0], vec![], None),
+                Inst::new(Opcode::Li, vec![r1], vec![], None),
+                Inst::new(Opcode::Add, vec![r0], vec![r0, r1], None),
+                Inst::new(
+                    Opcode::Sw,
+                    vec![],
+                    vec![r0],
+                    Some(MemAccess::new(
+                        MemLoc::known(RegionId::new(0), 0),
+                        AccessKind::Write,
+                        8,
+                    )),
+                ),
+            ],
+        );
+        let renamed = rename_registers(&block, &small_config());
+        let a = renamed.insts()[0].defs()[0];
+        let b = renamed.insts()[1].defs()[0];
+        assert_ne!(a, b, "value B clobbered value A's register");
+        assert_eq!(renamed.insts()[2].uses()[0], a);
+        assert_eq!(renamed.insts()[2].uses()[1], b);
+        assert_eq!(renamed.insts()[3].uses()[0], renamed.insts()[2].defs()[0]);
     }
 
     #[test]

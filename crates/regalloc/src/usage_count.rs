@@ -43,7 +43,7 @@ pub fn allocate_usage_count(
     block: &BasicBlock,
     config: &AllocatorConfig,
 ) -> Result<AllocResult, AllocError> {
-    config.validate();
+    config.check()?;
 
     // Live ranges.
     let mut ranges: HashMap<VirtReg, Range> = HashMap::new();

@@ -1,0 +1,397 @@
+//! Allocation legality: value-flow simulation over physical registers.
+
+use std::collections::HashMap;
+
+use bsched_ir::{BasicBlock, Inst, PhysReg, Reg};
+use bsched_regalloc::{AllocatorConfig, SPILL_REGION};
+
+use crate::error::VerifyError;
+
+/// Checks that `allocated` is a faithful register allocation of
+/// `original` (a spill-free block over virtual registers, in the same
+/// instruction order).
+///
+/// The check runs an abstract interpretation of `allocated`: every
+/// physical register and every spill slot tracks *which original value
+/// it currently holds*. Walking the block in order,
+///
+/// * a **spill store** copies its register's value into its stack slot,
+/// * a **spill reload** copies a previously stored slot back into a
+///   register ([`VerifyError::UnmatchedReload`] if the slot was never
+///   written),
+/// * every **real instruction** is paired, in order, with the next
+///   instruction of `original` — same opcode, operand counts and memory
+///   access — and each register it reads must currently hold exactly the
+///   value the original instruction reads. Reads are checked before
+///   writes update the state, so an allocator may legally reuse a
+///   register whose final use is in the same instruction.
+///
+/// This subsumes the classic post-regalloc checklist: no use before def,
+/// no clobbered live range (the rename map stays a bijection per live
+/// range), spill loads/stores pair up through real slots, and no
+/// register index escapes the file described by `config`. Spill code
+/// must live in the allocator's private [`SPILL_REGION`]; real memory
+/// accesses must not.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_allocation(
+    original: &BasicBlock,
+    allocated: &BasicBlock,
+    config: &AllocatorConfig,
+) -> Result<(), VerifyError> {
+    if allocated.frequency() != original.frequency() {
+        return Err(VerifyError::ShapeMismatch {
+            at: 0,
+            detail: format!(
+                "frequency changed from {} to {}",
+                original.frequency(),
+                allocated.frequency()
+            ),
+        });
+    }
+
+    // What each physical register / spill slot currently holds, as a
+    // register of the *original* program.
+    let mut reg_value: HashMap<PhysReg, Reg> = HashMap::new();
+    let mut slot_value: HashMap<i64, Reg> = HashMap::new();
+    let mut originals = original.insts().iter();
+
+    for (at, inst) in allocated.insts().iter().enumerate() {
+        check_registers_physical_and_in_range(at, inst, config)?;
+        if inst.opcode().is_spill() {
+            let slot = spill_slot(at, inst)?;
+            if inst.opcode().is_store() {
+                let (&[], &[reg]) = (inst.defs(), inst.uses()) else {
+                    return Err(shape(at, "spill store must read exactly one register"));
+                };
+                let phys = as_phys(reg);
+                let value = *reg_value
+                    .get(&phys)
+                    .ok_or(VerifyError::UseBeforeDef { at, reg: phys })?;
+                slot_value.insert(slot, value);
+            } else {
+                let (&[reg], &[]) = (inst.defs(), inst.uses()) else {
+                    return Err(shape(at, "spill reload must write exactly one register"));
+                };
+                let value = *slot_value
+                    .get(&slot)
+                    .ok_or(VerifyError::UnmatchedReload { at, slot })?;
+                reg_value.insert(as_phys(reg), value);
+            }
+            continue;
+        }
+
+        let Some(orig) = originals.next() else {
+            return Err(shape(at, "extra instruction not present before allocation"));
+        };
+        check_shape(at, orig, inst)?;
+        // Reads first: the instruction sees the pre-write register state.
+        for (&want, &got) in orig.uses().iter().zip(inst.uses()) {
+            let phys = as_phys(got);
+            match reg_value.get(&phys) {
+                Some(&held) if held == want => {}
+                Some(_) => {
+                    return Err(VerifyError::StaleValue { at, reg: phys, expected: want });
+                }
+                // A physical register the original program itself reads
+                // (a live-in) holds "itself" on entry.
+                None if want == got => {
+                    reg_value.insert(phys, want);
+                }
+                None => return Err(VerifyError::UseBeforeDef { at, reg: phys }),
+            }
+        }
+        for (&value, &target) in orig.defs().iter().zip(inst.defs()) {
+            reg_value.insert(as_phys(target), value);
+        }
+    }
+
+    if originals.next().is_some() {
+        return Err(shape(
+            allocated.len(),
+            "instructions missing from the allocated block",
+        ));
+    }
+    Ok(())
+}
+
+fn shape(at: usize, detail: impl Into<String>) -> VerifyError {
+    VerifyError::ShapeMismatch { at, detail: detail.into() }
+}
+
+/// Every register was pre-checked physical before the value-flow walk.
+fn as_phys(reg: Reg) -> PhysReg {
+    match reg {
+        Reg::Phys(p) => p,
+        Reg::Virt(_) => unreachable!("registers are pre-checked physical"),
+    }
+}
+
+/// Every operand must be a physical register inside the configured file.
+fn check_registers_physical_and_in_range(
+    at: usize,
+    inst: &Inst,
+    config: &AllocatorConfig,
+) -> Result<(), VerifyError> {
+    for &reg in inst.defs().iter().chain(inst.uses()) {
+        let Reg::Phys(phys) = reg else {
+            return Err(shape(at, format!("virtual register {reg} survived allocation")));
+        };
+        let file_size = config.regs_of(phys.class());
+        if phys.index() >= file_size {
+            return Err(VerifyError::RegisterOutOfRange { at, reg: phys, file_size });
+        }
+    }
+    Ok(())
+}
+
+/// A spill instruction's slot: a known offset in the spill region.
+fn spill_slot(at: usize, inst: &Inst) -> Result<i64, VerifyError> {
+    let Some(mem) = inst.mem() else {
+        return Err(shape(at, "spill instruction without a memory access"));
+    };
+    if mem.loc().region() != SPILL_REGION {
+        return Err(shape(at, "spill instruction outside the spill region"));
+    }
+    mem.loc()
+        .offset()
+        .ok_or_else(|| shape(at, "spill slot must have a known offset"))
+}
+
+/// A real instruction must match its pre-allocation counterpart in
+/// everything except register names.
+fn check_shape(at: usize, orig: &Inst, inst: &Inst) -> Result<(), VerifyError> {
+    if inst.opcode() != orig.opcode() {
+        return Err(shape(
+            at,
+            format!("opcode {} was {}", inst.opcode().mnemonic(), orig.opcode().mnemonic()),
+        ));
+    }
+    if inst.defs().len() != orig.defs().len() || inst.uses().len() != orig.uses().len() {
+        return Err(shape(at, "operand counts changed"));
+    }
+    match (orig.mem(), inst.mem()) {
+        (None, None) => {}
+        (Some(want), Some(got)) => {
+            if got.loc().region() == SPILL_REGION {
+                return Err(shape(at, "real instruction accesses the spill region"));
+            }
+            if got.loc().region() != want.loc().region()
+                || got.loc().offset() != want.loc().offset()
+                || got.is_write() != want.is_write()
+                || got.width() != want.width()
+            {
+                return Err(shape(at, "memory access changed"));
+            }
+        }
+        _ => return Err(shape(at, "memory access added or removed")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_ir::{AccessKind, MemAccess, MemLoc, Opcode, RegClass, RegionId, VirtReg};
+
+    const DATA: RegionId = RegionId::new(7);
+
+    fn vi(i: u32) -> Reg {
+        VirtReg::new(RegClass::Int, i).into()
+    }
+    fn vf(i: u32) -> Reg {
+        VirtReg::new(RegClass::Float, i).into()
+    }
+    fn pi(i: u32) -> Reg {
+        PhysReg::new(RegClass::Int, i).into()
+    }
+    fn pf(i: u32) -> Reg {
+        PhysReg::new(RegClass::Float, i).into()
+    }
+    fn read(region: RegionId, offset: i64) -> Option<MemAccess> {
+        Some(MemAccess::new(MemLoc::known(region, offset), AccessKind::Read, 8))
+    }
+    fn write(region: RegionId, offset: i64) -> Option<MemAccess> {
+        Some(MemAccess::new(MemLoc::known(region, offset), AccessKind::Write, 8))
+    }
+
+    /// base = li; f0 = load [base+0]; f1 = f0 + f0; store f1, [base+8].
+    fn original() -> BasicBlock {
+        BasicBlock::new(
+            "o",
+            vec![
+                Inst::new(Opcode::Li, vec![vi(0)], vec![], None),
+                Inst::new(Opcode::Ldc1, vec![vf(0)], vec![vi(0)], read(DATA, 0)),
+                Inst::new(Opcode::FAdd, vec![vf(1)], vec![vf(0), vf(0)], None),
+                Inst::new(Opcode::Sdc1, vec![], vec![vf(1), vi(0)], write(DATA, 8)),
+            ],
+        )
+    }
+
+    fn config() -> AllocatorConfig {
+        AllocatorConfig::mips_default()
+    }
+
+    #[test]
+    fn direct_renaming_verifies() {
+        let allocated = BasicBlock::new(
+            "a",
+            vec![
+                Inst::new(Opcode::Li, vec![pi(0)], vec![], None),
+                Inst::new(Opcode::Ldc1, vec![pf(0)], vec![pi(0)], read(DATA, 0)),
+                Inst::new(Opcode::FAdd, vec![pf(1)], vec![pf(0), pf(0)], None),
+                Inst::new(Opcode::Sdc1, vec![], vec![pf(1), pi(0)], write(DATA, 8)),
+            ],
+        );
+        assert!(verify_allocation(&original(), &allocated, &config()).is_ok());
+    }
+
+    #[test]
+    fn spill_round_trip_verifies() {
+        // The base register is spilled after definition and reloaded into
+        // a *different* register for the final store.
+        let allocated = BasicBlock::new(
+            "a",
+            vec![
+                Inst::new(Opcode::Li, vec![pi(0)], vec![], None),
+                Inst::new(Opcode::SpillStore, vec![], vec![pi(0)], write(SPILL_REGION, 0)),
+                Inst::new(Opcode::Ldc1, vec![pf(0)], vec![pi(0)], read(DATA, 0)),
+                Inst::new(Opcode::FAdd, vec![pf(1)], vec![pf(0), pf(0)], None),
+                Inst::new(Opcode::SpillLoad, vec![pi(5)], vec![], read(SPILL_REGION, 0)),
+                Inst::new(Opcode::Sdc1, vec![], vec![pf(1), pi(5)], write(DATA, 8)),
+            ],
+        );
+        assert!(verify_allocation(&original(), &allocated, &config()).is_ok());
+    }
+
+    #[test]
+    fn same_instruction_register_reuse_is_legal() {
+        // f0 is read and overwritten by the same add: reads precede
+        // writes, so this is a legal (if tight) assignment.
+        let allocated = BasicBlock::new(
+            "a",
+            vec![
+                Inst::new(Opcode::Li, vec![pi(0)], vec![], None),
+                Inst::new(Opcode::Ldc1, vec![pf(0)], vec![pi(0)], read(DATA, 0)),
+                Inst::new(Opcode::FAdd, vec![pf(0)], vec![pf(0), pf(0)], None),
+                Inst::new(Opcode::Sdc1, vec![], vec![pf(0), pi(0)], write(DATA, 8)),
+            ],
+        );
+        assert!(verify_allocation(&original(), &allocated, &config()).is_ok());
+    }
+
+    #[test]
+    fn stale_value_is_detected() {
+        // The store reads pf(0), which still holds the load's value, not
+        // the add's result.
+        let allocated = BasicBlock::new(
+            "a",
+            vec![
+                Inst::new(Opcode::Li, vec![pi(0)], vec![], None),
+                Inst::new(Opcode::Ldc1, vec![pf(0)], vec![pi(0)], read(DATA, 0)),
+                Inst::new(Opcode::FAdd, vec![pf(1)], vec![pf(0), pf(0)], None),
+                Inst::new(Opcode::Sdc1, vec![], vec![pf(0), pi(0)], write(DATA, 8)),
+            ],
+        );
+        let err = verify_allocation(&original(), &allocated, &config()).unwrap_err();
+        assert_eq!(
+            err,
+            VerifyError::StaleValue {
+                at: 3,
+                reg: PhysReg::new(RegClass::Float, 0),
+                expected: vf(1),
+            }
+        );
+    }
+
+    #[test]
+    fn use_before_def_is_detected() {
+        let allocated = BasicBlock::new(
+            "a",
+            vec![
+                Inst::new(Opcode::Li, vec![pi(0)], vec![], None),
+                Inst::new(Opcode::Ldc1, vec![pf(0)], vec![pi(3)], read(DATA, 0)),
+                Inst::new(Opcode::FAdd, vec![pf(1)], vec![pf(0), pf(0)], None),
+                Inst::new(Opcode::Sdc1, vec![], vec![pf(1), pi(0)], write(DATA, 8)),
+            ],
+        );
+        let err = verify_allocation(&original(), &allocated, &config()).unwrap_err();
+        assert_eq!(err, VerifyError::UseBeforeDef { at: 1, reg: PhysReg::new(RegClass::Int, 3) });
+    }
+
+    #[test]
+    fn unwritten_slot_reload_is_detected() {
+        let allocated = BasicBlock::new(
+            "a",
+            vec![
+                Inst::new(Opcode::Li, vec![pi(0)], vec![], None),
+                Inst::new(Opcode::Ldc1, vec![pf(0)], vec![pi(0)], read(DATA, 0)),
+                Inst::new(Opcode::FAdd, vec![pf(1)], vec![pf(0), pf(0)], None),
+                Inst::new(Opcode::SpillLoad, vec![pi(5)], vec![], read(SPILL_REGION, 16)),
+                Inst::new(Opcode::Sdc1, vec![], vec![pf(1), pi(5)], write(DATA, 8)),
+            ],
+        );
+        let err = verify_allocation(&original(), &allocated, &config()).unwrap_err();
+        assert_eq!(err, VerifyError::UnmatchedReload { at: 3, slot: 16 });
+    }
+
+    #[test]
+    fn out_of_range_register_is_detected() {
+        let allocated = BasicBlock::new(
+            "a",
+            vec![
+                Inst::new(Opcode::Li, vec![pi(40)], vec![], None),
+                Inst::new(Opcode::Ldc1, vec![pf(0)], vec![pi(40)], read(DATA, 0)),
+                Inst::new(Opcode::FAdd, vec![pf(1)], vec![pf(0), pf(0)], None),
+                Inst::new(Opcode::Sdc1, vec![], vec![pf(1), pi(40)], write(DATA, 8)),
+            ],
+        );
+        let err = verify_allocation(&original(), &allocated, &config()).unwrap_err();
+        assert_eq!(
+            err,
+            VerifyError::RegisterOutOfRange {
+                at: 0,
+                reg: PhysReg::new(RegClass::Int, 40),
+                file_size: 12,
+            }
+        );
+    }
+
+    #[test]
+    fn shape_changes_are_detected() {
+        // Surviving virtual register.
+        let allocated = BasicBlock::new(
+            "a",
+            vec![Inst::new(Opcode::Li, vec![vi(0)], vec![], None)],
+        );
+        assert!(matches!(
+            verify_allocation(&original(), &allocated, &config()),
+            Err(VerifyError::ShapeMismatch { at: 0, .. })
+        ));
+        // Dropped instructions.
+        let allocated = BasicBlock::new(
+            "a",
+            vec![Inst::new(Opcode::Li, vec![pi(0)], vec![], None)],
+        );
+        assert!(matches!(
+            verify_allocation(&original(), &allocated, &config()),
+            Err(VerifyError::ShapeMismatch { at: 1, .. })
+        ));
+        // Changed opcode.
+        let allocated = BasicBlock::new(
+            "a",
+            vec![
+                Inst::new(Opcode::Move, vec![pi(0)], vec![], None),
+                Inst::new(Opcode::Ldc1, vec![pf(0)], vec![pi(0)], read(DATA, 0)),
+                Inst::new(Opcode::FAdd, vec![pf(1)], vec![pf(0), pf(0)], None),
+                Inst::new(Opcode::Sdc1, vec![], vec![pf(1), pi(0)], write(DATA, 8)),
+            ],
+        );
+        assert!(matches!(
+            verify_allocation(&original(), &allocated, &config()),
+            Err(VerifyError::ShapeMismatch { at: 0, .. })
+        ));
+    }
+}

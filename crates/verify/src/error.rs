@@ -1,0 +1,140 @@
+//! The validator error taxonomy.
+
+use bsched_dag::DepKind;
+use bsched_ir::{InstId, PhysReg, Reg};
+
+/// A validator finding: why a schedule, allocation or timeline is wrong.
+///
+/// Every variant names the first violation found, with enough context to
+/// locate it; validators stop at the first finding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// The scheduled order has a different length than the block.
+    LengthMismatch {
+        /// Instructions in the block.
+        expected: usize,
+        /// Entries in the scheduled order.
+        got: usize,
+    },
+    /// The scheduled order repeats or invents an instruction id.
+    NotAPermutation {
+        /// The offending id.
+        id: InstId,
+    },
+    /// A dependence edge of the code DAG points backward in the
+    /// scheduled order.
+    DependenceViolated {
+        /// The predecessor instruction.
+        from: InstId,
+        /// The successor instruction, scheduled before its predecessor.
+        to: InstId,
+        /// Why the successor must follow the predecessor.
+        kind: DepKind,
+    },
+    /// The allocated block's real instructions do not line up with the
+    /// pre-allocation block (opcode, operand counts, memory access or
+    /// frequency differ, or instructions were added/dropped).
+    ShapeMismatch {
+        /// Position in the allocated block (or its length, when
+        /// instructions are missing at the end).
+        at: usize,
+        /// What failed to match.
+        detail: String,
+    },
+    /// An instruction reads a physical register before anything was
+    /// written to it.
+    UseBeforeDef {
+        /// Position in the allocated block.
+        at: usize,
+        /// The register read.
+        reg: PhysReg,
+    },
+    /// A physical register holds a different virtual value than the one
+    /// the original program reads here — a live range was clobbered.
+    StaleValue {
+        /// Position in the allocated block.
+        at: usize,
+        /// The register read.
+        reg: PhysReg,
+        /// The value the original program expects.
+        expected: Reg,
+    },
+    /// A register index is outside the configured register file.
+    RegisterOutOfRange {
+        /// Position in the allocated block.
+        at: usize,
+        /// The offending register.
+        reg: PhysReg,
+        /// Registers of that class in the file.
+        file_size: u32,
+    },
+    /// A spill reload reads a stack slot no spill store has written.
+    UnmatchedReload {
+        /// Position in the allocated block.
+        at: usize,
+        /// The slot's byte offset in the spill region.
+        slot: i64,
+    },
+    /// The simulator's issue trace is inconsistent (non-monotone issue
+    /// cycles, a load latency outside the memory model's declared
+    /// support, or elapsed time below the min-latency critical path).
+    Timeline {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::LengthMismatch { expected, got } => {
+                write!(f, "schedule covers {got} instructions, block has {expected}")
+            }
+            VerifyError::NotAPermutation { id } => {
+                write!(f, "schedule repeats or invents instruction {id}")
+            }
+            VerifyError::DependenceViolated { from, to, kind } => {
+                write!(f, "{kind} dependence {from} -> {to} points backward in the schedule")
+            }
+            VerifyError::ShapeMismatch { at, detail } => {
+                write!(f, "allocated instruction {at}: {detail}")
+            }
+            VerifyError::UseBeforeDef { at, reg } => {
+                write!(f, "allocated instruction {at} reads {reg} before any write")
+            }
+            VerifyError::StaleValue { at, reg, expected } => {
+                write!(
+                    f,
+                    "allocated instruction {at} reads {reg}, which no longer holds {expected}"
+                )
+            }
+            VerifyError::RegisterOutOfRange { at, reg, file_size } => {
+                write!(
+                    f,
+                    "allocated instruction {at} names {reg}, outside the {file_size}-register file"
+                )
+            }
+            VerifyError::UnmatchedReload { at, slot } => {
+                write!(f, "reload at {at} reads spill slot {slot}, which was never stored")
+            }
+            VerifyError::Timeline { detail } => write!(f, "simulator timeline: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_context() {
+        let e = VerifyError::LengthMismatch { expected: 4, got: 3 };
+        assert_eq!(e.to_string(), "schedule covers 3 instructions, block has 4");
+        let e = VerifyError::Timeline { detail: "x".to_owned() };
+        assert_eq!(e.to_string(), "simulator timeline: x");
+        let e = VerifyError::UnmatchedReload { at: 7, slot: 16 };
+        assert!(e.to_string().contains("slot 16"));
+    }
+}

@@ -1,0 +1,96 @@
+//! How much validation the pipeline runs.
+
+/// How much independent validation the pipeline performs per block.
+///
+/// Ordered: each level includes everything below it, so call sites can
+/// gate on `level >= ValidationLevel::Schedule`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ValidationLevel {
+    /// No validation. Output is byte-identical to a build without the
+    /// validators.
+    Off,
+    /// Check that both scheduling passes emit topological orders of the
+    /// code DAG ([`verify_schedule`](crate::verify_schedule)).
+    Schedule,
+    /// `Schedule` plus value-flow allocation checking
+    /// ([`verify_allocation`](crate::verify_allocation)) and simulator
+    /// timeline checking ([`verify_timeline`](crate::verify_timeline)).
+    Full,
+}
+
+impl ValidationLevel {
+    /// The level selected by the `BSCHED_VALIDATE` environment variable:
+    /// `off` (also `0`/`none`), `schedule`, or `full`. Unset or
+    /// unrecognised values fall back to the build default — `schedule`
+    /// when `debug_assertions` are on, `off` otherwise — so a typo can
+    /// never silently disable checking that a debug build would do.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("BSCHED_VALIDATE") {
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "off" | "0" | "none" => ValidationLevel::Off,
+                "schedule" => ValidationLevel::Schedule,
+                "full" => ValidationLevel::Full,
+                _ => Self::build_default(),
+            },
+            Err(_) => Self::build_default(),
+        }
+    }
+
+    /// The default when `BSCHED_VALIDATE` is unset: `Schedule` in debug
+    /// builds, `Off` in release builds (validation never perturbs
+    /// measured table output).
+    #[must_use]
+    pub fn build_default() -> Self {
+        if cfg!(debug_assertions) {
+            ValidationLevel::Schedule
+        } else {
+            ValidationLevel::Off
+        }
+    }
+}
+
+impl Default for ValidationLevel {
+    fn default() -> Self {
+        Self::build_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serialises tests that mutate `BSCHED_VALIDATE`.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(ValidationLevel::Off < ValidationLevel::Schedule);
+        assert!(ValidationLevel::Schedule < ValidationLevel::Full);
+    }
+
+    #[test]
+    fn env_var_selects_level() {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (text, level) in [
+            ("off", ValidationLevel::Off),
+            ("0", ValidationLevel::Off),
+            ("none", ValidationLevel::Off),
+            ("schedule", ValidationLevel::Schedule),
+            ("SCHEDULE", ValidationLevel::Schedule),
+            ("full", ValidationLevel::Full),
+            (" Full ", ValidationLevel::Full),
+        ] {
+            std::env::set_var("BSCHED_VALIDATE", text);
+            assert_eq!(ValidationLevel::from_env(), level, "BSCHED_VALIDATE={text:?}");
+        }
+        for fallback in ["", "garbage", "2"] {
+            std::env::set_var("BSCHED_VALIDATE", fallback);
+            assert_eq!(ValidationLevel::from_env(), ValidationLevel::build_default());
+        }
+        std::env::remove_var("BSCHED_VALIDATE");
+        assert_eq!(ValidationLevel::from_env(), ValidationLevel::build_default());
+        assert_eq!(ValidationLevel::default(), ValidationLevel::build_default());
+    }
+}

@@ -1,0 +1,121 @@
+//! Schedule legality: topological order of an independently built DAG.
+
+use bsched_dag::{build_dag, AliasModel};
+use bsched_ir::{BasicBlock, InstId};
+
+use crate::error::VerifyError;
+
+/// Checks that `order` is a legal schedule of `block`: a permutation of
+/// its instruction ids in which every dependence edge points forward.
+///
+/// The code DAG is rebuilt here from `block` under `alias`, so this is
+/// an independent check — it does not trust the DAG the scheduler used,
+/// only the block and the aliasing discipline.
+///
+/// # Errors
+///
+/// Returns the first violation found: a length mismatch, a repeated or
+/// invented id, or a backward dependence edge.
+pub fn verify_schedule(
+    block: &BasicBlock,
+    order: &[InstId],
+    alias: AliasModel,
+) -> Result<(), VerifyError> {
+    let n = block.len();
+    if order.len() != n {
+        return Err(VerifyError::LengthMismatch {
+            expected: n,
+            got: order.len(),
+        });
+    }
+    // Each instruction issued exactly once.
+    let mut pos = vec![usize::MAX; n];
+    for (p, &id) in order.iter().enumerate() {
+        if id.index() >= n || pos[id.index()] != usize::MAX {
+            return Err(VerifyError::NotAPermutation { id });
+        }
+        pos[id.index()] = p;
+    }
+    // Every dependence edge respected.
+    let dag = build_dag(block, alias);
+    for from in dag.node_ids() {
+        for &(to, kind) in dag.succs(from) {
+            if pos[from.index()] >= pos[to.index()] {
+                return Err(VerifyError::DependenceViolated { from, to, kind });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_dag::DepKind;
+    use bsched_ir::BlockBuilder;
+
+    /// base; x = load(base); y = load(base); s = x + y; store s.
+    fn demo_block() -> BasicBlock {
+        let mut b = BlockBuilder::new("demo");
+        let region = b.fresh_region();
+        let base = b.def_int("base");
+        let x = b.load_region("x", region, base, Some(0));
+        let y = b.load_region("y", region, base, Some(8));
+        let s = b.fadd("s", x, y);
+        b.store_region(region, s, base, Some(16));
+        b.finish()
+    }
+
+    fn ids(raw: &[usize]) -> Vec<InstId> {
+        raw.iter().copied().map(InstId::from_usize).collect()
+    }
+
+    #[test]
+    fn program_order_is_legal() {
+        let block = demo_block();
+        let order = ids(&[0, 1, 2, 3, 4]);
+        assert!(verify_schedule(&block, &order, AliasModel::Fortran).is_ok());
+    }
+
+    #[test]
+    fn independent_loads_may_swap() {
+        let block = demo_block();
+        let order = ids(&[0, 2, 1, 3, 4]);
+        assert!(verify_schedule(&block, &order, AliasModel::Fortran).is_ok());
+    }
+
+    #[test]
+    fn use_before_def_is_rejected() {
+        let block = demo_block();
+        // The add scheduled before the load of its operand.
+        let order = ids(&[0, 1, 3, 2, 4]);
+        let err = verify_schedule(&block, &order, AliasModel::Fortran).unwrap_err();
+        assert_eq!(
+            err,
+            VerifyError::DependenceViolated {
+                from: InstId::from_usize(2),
+                to: InstId::from_usize(3),
+                kind: DepKind::True,
+            }
+        );
+    }
+
+    #[test]
+    fn duplicates_and_length_are_rejected() {
+        let block = demo_block();
+        let err = verify_schedule(&block, &ids(&[0, 1, 2, 3]), AliasModel::Fortran).unwrap_err();
+        assert_eq!(err, VerifyError::LengthMismatch { expected: 5, got: 4 });
+        let err =
+            verify_schedule(&block, &ids(&[0, 1, 2, 3, 3]), AliasModel::Fortran).unwrap_err();
+        assert_eq!(err, VerifyError::NotAPermutation { id: InstId::from_usize(3) });
+        let err =
+            verify_schedule(&block, &ids(&[0, 1, 2, 3, 9]), AliasModel::Fortran).unwrap_err();
+        assert_eq!(err, VerifyError::NotAPermutation { id: InstId::from_usize(9) });
+    }
+
+    #[test]
+    fn empty_block_verifies() {
+        let block = BasicBlock::new("empty", Vec::new());
+        assert!(verify_schedule(&block, &[], AliasModel::Fortran).is_ok());
+    }
+}

@@ -43,7 +43,7 @@ pub mod superblock;
 
 pub use generator::{random_block, GeneratorConfig};
 pub use kernel::{ArrayDecl, ArrayRef, BinOp, Expr, Index, Kernel, Stmt};
-pub use lower::{lower_kernel, ELEM_BYTES};
+pub use lower::{lower_kernel, try_lower_kernel, LowerError, ELEM_BYTES};
 pub use parse::{parse_kernel, parse_program, ParseError, ParsedKernel};
 pub use perfect::{perfect_club, Benchmark};
 pub use superblock::{fuse_blocks, superblocks_of};

@@ -14,6 +14,86 @@ use crate::kernel::{BinOp, Expr, Index, Kernel, Stmt};
 /// Element size in bytes (double precision, as the Fortran codes use).
 pub const ELEM_BYTES: i64 = 8;
 
+/// Why a kernel cannot be lowered to a basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LowerError {
+    /// The kernel references an array it never declared.
+    UnknownArray {
+        /// The referenced array index.
+        index: usize,
+        /// How many arrays the kernel declares.
+        declared: usize,
+    },
+    /// The kernel references an accumulator it never declared.
+    UnknownAccumulator {
+        /// The referenced accumulator index.
+        index: usize,
+        /// How many accumulators the kernel declares.
+        declared: usize,
+    },
+    /// The requested execution frequency is not a positive finite number.
+    InvalidFrequency {
+        /// The offending frequency.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::UnknownArray { index, declared } => {
+                write!(f, "kernel references array {index}, but declares only {declared}")
+            }
+            LowerError::UnknownAccumulator { index, declared } => {
+                write!(
+                    f,
+                    "kernel references accumulator {index}, but declares only {declared}"
+                )
+            }
+            LowerError::InvalidFrequency { value } => {
+                write!(f, "block frequency must be positive and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+fn check_array(kernel: &Kernel, arr: crate::kernel::ArrayRef) -> Result<(), LowerError> {
+    if arr.0 < kernel.arrays.len() {
+        Ok(())
+    } else {
+        Err(LowerError::UnknownArray {
+            index: arr.0,
+            declared: kernel.arrays.len(),
+        })
+    }
+}
+
+fn check_acc(kernel: &Kernel, k: usize) -> Result<(), LowerError> {
+    if k < kernel.accumulators {
+        Ok(())
+    } else {
+        Err(LowerError::UnknownAccumulator {
+            index: k,
+            declared: kernel.accumulators,
+        })
+    }
+}
+
+fn check_expr(kernel: &Kernel, expr: &Expr) -> Result<(), LowerError> {
+    match expr {
+        Expr::Load(arr, _) => check_array(kernel, *arr),
+        Expr::Const(_) => Ok(()),
+        Expr::Acc(k) => check_acc(kernel, *k),
+        Expr::Bin(_, lhs, rhs) => {
+            check_expr(kernel, lhs)?;
+            check_expr(kernel, rhs)
+        }
+        Expr::Neg(inner) => check_expr(kernel, inner),
+    }
+}
+
 /// Lowers `kernel` into a single basic block with execution frequency
 /// `frequency`.
 ///
@@ -21,11 +101,42 @@ pub const ELEM_BYTES: i64 = 8;
 /// statements; instruction scheduling is the next pipeline stage's job,
 /// so no reordering happens here.
 ///
+/// # Errors
+///
+/// Rejects a non-positive or non-finite `frequency` and any reference to
+/// an undeclared array or accumulator — everything is checked up front,
+/// so a failed call builds nothing.
+pub fn try_lower_kernel(kernel: &Kernel, frequency: f64) -> Result<BasicBlock, LowerError> {
+    if !frequency.is_finite() || frequency <= 0.0 {
+        return Err(LowerError::InvalidFrequency { value: frequency });
+    }
+    for stmt in &kernel.body {
+        match stmt {
+            Stmt::Store(arr, _, expr) => {
+                check_array(kernel, *arr)?;
+                check_expr(kernel, expr)?;
+            }
+            Stmt::SetAcc(k, expr) => {
+                check_acc(kernel, *k)?;
+                check_expr(kernel, expr)?;
+            }
+        }
+    }
+    Ok(lower_checked(kernel, frequency))
+}
+
+/// [`try_lower_kernel`] for kernels known to be well-formed.
+///
 /// # Panics
 ///
-/// Panics if the kernel references an undeclared array or accumulator.
+/// Panics if the kernel references an undeclared array or accumulator,
+/// or if `frequency` is not positive and finite.
 #[must_use]
 pub fn lower_kernel(kernel: &Kernel, frequency: f64) -> BasicBlock {
+    try_lower_kernel(kernel, frequency).unwrap_or_else(|e| panic!("{}: {e}", kernel.name))
+}
+
+fn lower_checked(kernel: &Kernel, frequency: f64) -> BasicBlock {
     let mut b = BlockBuilder::new(kernel.name.clone());
     b.set_frequency(frequency);
 
@@ -237,6 +348,64 @@ mod tests {
             .nth(1)
             .unwrap();
         assert_eq!(dag.edge_kind(load, store_x), Some(DepKind::Memory));
+    }
+
+    #[test]
+    fn out_of_bounds_references_are_typed_errors() {
+        // Store to an undeclared array.
+        let k = Kernel::new(
+            "bad",
+            vec!["x"],
+            vec![Stmt::Store(ArrayRef(3), Index::Elem(0), Expr::Const(1.0))],
+        );
+        assert_eq!(
+            try_lower_kernel(&k, 1.0),
+            Err(LowerError::UnknownArray { index: 3, declared: 1 })
+        );
+        // Load of an undeclared array, nested inside an expression.
+        let k = Kernel::new(
+            "bad",
+            vec!["x"],
+            vec![Stmt::Store(
+                ArrayRef(0),
+                Index::Elem(0),
+                Expr::add(Expr::Const(1.0), Expr::Load(ArrayRef(7), Index::Elem(0))),
+            )],
+        );
+        assert!(matches!(
+            try_lower_kernel(&k, 1.0),
+            Err(LowerError::UnknownArray { index: 7, .. })
+        ));
+        // Undeclared accumulator.
+        let k = Kernel::new(
+            "bad",
+            vec!["x"],
+            vec![Stmt::SetAcc(2, Expr::Const(0.0))],
+        );
+        assert_eq!(
+            try_lower_kernel(&k, 1.0),
+            Err(LowerError::UnknownAccumulator { index: 2, declared: 0 })
+        );
+    }
+
+    #[test]
+    fn invalid_frequencies_are_rejected() {
+        let k = daxpy();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = try_lower_kernel(&k, bad).unwrap_err();
+            assert!(
+                matches!(err, LowerError::InvalidFrequency { .. }),
+                "{bad}: {err}"
+            );
+        }
+        assert!(try_lower_kernel(&k, 100.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "references accumulator")]
+    fn panicking_wrapper_names_the_kernel() {
+        let k = Kernel::new("bad", vec!["x"], vec![Stmt::SetAcc(0, Expr::Const(0.0))]);
+        let _ = lower_kernel(&k, 1.0);
     }
 
     #[test]

@@ -30,15 +30,26 @@ use crate::lower::lower_kernel;
 /// A named benchmark stand-in.
 #[derive(Debug, Clone)]
 pub struct Benchmark {
-    name: &'static str,
+    name: String,
     function: Function,
 }
 
 impl Benchmark {
+    /// Wraps an arbitrary function as a named benchmark. The robustness
+    /// tests use this to inject deliberately broken programs into the
+    /// table harness; the Perfect Club stand-ins below use it too.
+    #[must_use]
+    pub fn new(name: impl Into<String>, function: Function) -> Self {
+        Self {
+            name: name.into(),
+            function,
+        }
+    }
+
     /// The benchmark's Perfect Club name.
     #[must_use]
-    pub fn name(&self) -> &'static str {
-        self.name
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// The benchmark's code.
@@ -58,10 +69,7 @@ fn assemble(name: &'static str, pieces: Vec<(Kernel, u32, f64)>) -> Benchmark {
             lower_kernel(&k, freq)
         })
         .collect();
-    Benchmark {
-        name,
-        function: Function::new(name, blocks),
-    }
+    Benchmark::new(name, Function::new(name, blocks))
 }
 
 /// ADM: pseudospectral air-pollution model — medium blocks, moderate LLP.
@@ -201,7 +209,8 @@ mod tests {
 
     #[test]
     fn eight_benchmarks_in_table_order() {
-        let names: Vec<&str> = perfect_club().iter().map(Benchmark::name).collect();
+        let suite = perfect_club();
+        let names: Vec<&str> = suite.iter().map(Benchmark::name).collect();
         assert_eq!(
             names,
             vec!["ADM", "ARC2D", "BDNA", "FLO52Q", "MDG", "MG3D", "QCD2", "TRACK"]

@@ -37,6 +37,15 @@ cargo build --release -q -p bsched-bench
 current_ms=$(best_of "$REPS" ./target/release/table2)
 echo "current:  ${current_ms}ms (best of $REPS, BSCHED_RUNS=$RUNS)" >&2
 
+# Shallow clones and fresh checkouts may not carry the baseline commit;
+# fail with a clear message instead of a cryptic worktree error.
+if ! git cat-file -e "$BASELINE_COMMIT^{commit}" 2>/dev/null; then
+    echo "error: baseline commit $BASELINE_COMMIT is not in this clone." >&2
+    echo "       Fetch full history first (git fetch --unshallow) or update" >&2
+    echo "       BASELINE_COMMIT in scripts/bench.sh." >&2
+    exit 1
+fi
+
 worktree=$(mktemp -d /tmp/bsched-bench-baseline.XXXXXX)
 rmdir "$worktree"
 echo "building baseline $BASELINE_COMMIT in a worktree..." >&2

@@ -21,6 +21,7 @@
 //! | [`workload`] | `bsched-workload` | kernels + Perfect Club stand-ins |
 //! | [`stats`] | `bsched-stats` | RNG, bootstrap, confidence intervals |
 //! | [`pipeline`] | `bsched-pipeline` | compile → simulate → compare |
+//! | [`verify`] | `bsched-verify` | independent schedule/allocation/timeline validators |
 //!
 //! # Quick start
 //!
@@ -53,6 +54,7 @@ pub use bsched_memsim as memsim;
 pub use bsched_pipeline as pipeline;
 pub use bsched_regalloc as regalloc;
 pub use bsched_stats as stats;
+pub use bsched_verify as verify;
 pub use bsched_workload as workload;
 
 /// The most common types, importable in one line.
@@ -68,9 +70,10 @@ pub mod prelude {
         CacheModel, FixedLatency, LatencyModel, MemorySystem, MixedModel, NetworkModel,
     };
     pub use bsched_pipeline::{
-        compare, evaluate, CompiledProgram, EvalConfig, Pipeline, SchedulerChoice,
+        compare, evaluate, CompiledProgram, EvalConfig, Pipeline, PipelineError, SchedulerChoice,
     };
     pub use bsched_regalloc::{allocate, AllocatorConfig, PoolPolicy};
     pub use bsched_stats::{Improvement, Pcg32};
+    pub use bsched_verify::ValidationLevel;
     pub use bsched_workload::{perfect_club, Benchmark};
 }

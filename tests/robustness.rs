@@ -1,0 +1,108 @@
+//! Robustness properties: the independent validators in `bsched-verify`
+//! accept every real pipeline output (differential testing — the
+//! validators re-derive the invariants from scratch, so agreement means
+//! both the pipeline and the validators are right, and a divergence
+//! pinpoints whichever is wrong), and the kernel parser returns errors
+//! rather than panicking on arbitrary input.
+
+use balanced_scheduling::pipeline::AllocationStrategy;
+use balanced_scheduling::prelude::*;
+use balanced_scheduling::workload::{parse_kernel, random_block, GeneratorConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (5usize..60, 0.05f64..0.7, 0.0f64..0.5, 0.0f64..0.3).prop_map(
+        |(size, load_fraction, chain_fraction, store_fraction)| GeneratorConfig {
+            size,
+            load_fraction,
+            chain_fraction,
+            store_fraction,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every scheduler × allocator × renaming combination compiles any
+    /// random block with zero findings at full validation: both
+    /// scheduling passes are independently re-verified as topological
+    /// orders, and the allocated block is value-flow checked against
+    /// its pre-allocation input.
+    #[test]
+    fn full_validation_accepts_every_compilation(cfg in arb_config(), seed in 0u64..500) {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let block = random_block(&cfg, &mut rng);
+        let schedulers = [
+            SchedulerChoice::balanced(),
+            SchedulerChoice::traditional(Ratio::from_int(2)),
+            SchedulerChoice::Average,
+        ];
+        for allocation in [AllocationStrategy::BeladyScan, AllocationStrategy::UsageCount] {
+            for rename_after_alloc in [false, true] {
+                let pipeline = Pipeline {
+                    allocation,
+                    rename_after_alloc,
+                    validation: ValidationLevel::Full,
+                    ..Pipeline::default()
+                };
+                for choice in &schedulers {
+                    let out = pipeline.compile_block(&block, choice);
+                    prop_assert!(
+                        out.is_ok(),
+                        "{allocation:?}/rename={rename_after_alloc}/{}: {}",
+                        choice.name(),
+                        out.err().map_or_else(String::new, |e| e.to_string()),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Simulated timelines of fully compiled random programs satisfy
+    /// the timeline validator end to end (wired through `EvalConfig`).
+    #[test]
+    fn full_validation_accepts_every_timeline(cfg in arb_config(), seed in 0u64..500) {
+        use balanced_scheduling::pipeline::try_evaluate;
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let block = random_block(&cfg, &mut rng);
+        let func = Function::new("fuzz", vec![block]);
+        let pipeline = Pipeline {
+            validation: ValidationLevel::Full,
+            ..Pipeline::default()
+        };
+        let prog = pipeline.compile(&func, &SchedulerChoice::balanced()).unwrap();
+        let cfg = EvalConfig {
+            runs: 3,
+            validation: ValidationLevel::Full,
+            ..EvalConfig::default()
+        };
+        let mem = NetworkModel::new(3.0, 2.0);
+        let eval = try_evaluate(&prog, &mem, &cfg);
+        prop_assert!(eval.is_ok(), "{}", eval.err().map_or_else(String::new, |e| e.to_string()));
+    }
+
+    /// The parser never panics: any input produces a kernel or a
+    /// located `ParseError`. Inputs mix arbitrary unicode noise with
+    /// kernel-shaped tokens, which reach much deeper into the grammar
+    /// than uniform noise does.
+    #[test]
+    fn parser_never_panics(seed in 0u64..20_000, len in 0usize..120, shaped in 0u32..2) {
+        const TOKENS: &[&str] = &[
+            "kernel", "k", "arrays", "accs", "frequency", "a[i]", "b[i+1]",
+            "c[0]", "s", "=", "+", "*", "-", ";", "{", "}", "\n", " ",
+            "3.5", "42", ".", "a[", "]", "kernel k {",
+        ];
+        const NOISE: &[char] = &['\0', 'é', '🦀', '\t', '"', '\\', 'x', '7', '\u{202e}'];
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let mut input = String::new();
+        for _ in 0..len {
+            if shaped == 1 {
+                input.push_str(TOKENS[rng.next_index(TOKENS.len())]);
+            } else {
+                input.push(NOISE[rng.next_index(NOISE.len())]);
+            }
+        }
+        let _ = parse_kernel(&input);
+    }
+}
