@@ -1,0 +1,158 @@
+//! The analyzer front-end: runs the passes, resolves findings into
+//! diagnostics, and bundles benchmark reports.
+
+use bsched_dag::AliasModel;
+use bsched_ir::{BasicBlock, Function};
+use bsched_workload::{Benchmark, SourceMap};
+
+use crate::diag::{Diagnostic, Finding, LintConfig, Severity};
+use crate::envelope::check_envelope;
+use crate::lints::{block_lints, function_lints};
+use crate::profile::BenchmarkProfile;
+
+/// A configured analyzer: alias model plus lint severities.
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    /// Alias model the memory lints reason under (matches the model the
+    /// scheduler will build its DAG with).
+    pub alias: AliasModel,
+    /// Per-lint severity configuration.
+    pub config: LintConfig,
+}
+
+impl Analyzer {
+    /// An analyzer for `alias` with default lint severities.
+    #[must_use]
+    pub fn new(alias: AliasModel) -> Self {
+        Self {
+            alias,
+            config: LintConfig::new(),
+        }
+    }
+
+    /// Replaces the lint configuration (builder-style).
+    #[must_use]
+    pub fn with_config(mut self, config: LintConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    fn resolve(
+        &self,
+        block_name: &str,
+        map: Option<&SourceMap>,
+        findings: Vec<Finding>,
+    ) -> Vec<Diagnostic> {
+        let mut diags: Vec<Diagnostic> = findings
+            .into_iter()
+            .filter_map(|f| {
+                let severity = self.config.severity_of(f.lint);
+                if severity == Severity::Allow {
+                    return None;
+                }
+                let span = f.inst.and_then(|id| map.and_then(|m| m.get(id)));
+                Some(Diagnostic {
+                    lint: f.lint,
+                    severity,
+                    block: block_name.to_owned(),
+                    inst: f.inst,
+                    span,
+                    message: f.message,
+                })
+            })
+            .collect();
+        diags.sort_by_key(|d| (std::cmp::Reverse(d.severity), d.inst, d.lint));
+        diags
+    }
+
+    /// Runs every block-local correctness lint on `block`, attaching
+    /// kernel-source spans from `map` when provided.
+    #[must_use]
+    pub fn analyze_block(&self, block: &BasicBlock, map: Option<&SourceMap>) -> Vec<Diagnostic> {
+        self.resolve(block.name(), map, block_lints(block, self.alias))
+    }
+
+    /// Runs block lints on every block of `func` plus the function-level
+    /// lints (empty and cold blocks).
+    #[must_use]
+    pub fn analyze_function(&self, func: &Function) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for block in func.blocks() {
+            diags.extend(self.analyze_block(block, None));
+        }
+        for (block_name, finding) in function_lints(func) {
+            diags.extend(self.resolve(&block_name, None, vec![finding]));
+        }
+        diags
+    }
+
+    /// Analyzes one benchmark stand-in: correctness lints on every block,
+    /// the profile report, and the profile-envelope check.
+    #[must_use]
+    pub fn analyze_benchmark(&self, bench: &Benchmark) -> BenchmarkReport {
+        let profile = BenchmarkProfile::of(bench, self.alias);
+        let mut diagnostics = self.analyze_function(bench.function());
+        diagnostics.extend(self.resolve(bench.name(), None, check_envelope(&profile)));
+        BenchmarkReport {
+            profile,
+            diagnostics,
+        }
+    }
+}
+
+/// Everything the analyzer knows about one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkReport {
+    /// The static profile (what `results/profiles.json` records).
+    pub profile: BenchmarkProfile,
+    /// Correctness and envelope diagnostics.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{has_errors, Lint};
+    use bsched_ir::BlockBuilder;
+    use bsched_workload::perfect_club;
+
+    fn double_store_block() -> BasicBlock {
+        let mut b = BlockBuilder::new("bad");
+        let base = b.def_int("base");
+        let x = b.load("x", base, 8);
+        b.store(x, base, 0);
+        b.store(x, base, 0);
+        b.finish()
+    }
+
+    #[test]
+    fn analyze_block_attaches_severity_and_sorts_errors_first() {
+        let analyzer = Analyzer::new(AliasModel::Fortran);
+        let diags = analyzer.analyze_block(&double_store_block(), None);
+        assert!(has_errors(&diags));
+        assert_eq!(diags[0].lint, Lint::DeadStore);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn allowed_lints_are_dropped() {
+        let analyzer = Analyzer::new(AliasModel::Fortran)
+            .with_config(LintConfig::new().allow(Lint::DeadStore));
+        let diags = analyzer.analyze_block(&double_store_block(), None);
+        assert!(diags.iter().all(|d| d.lint != Lint::DeadStore), "{diags:?}");
+    }
+
+    #[test]
+    fn every_stand_in_is_error_free() {
+        let analyzer = Analyzer::default();
+        for bench in perfect_club() {
+            let report = analyzer.analyze_benchmark(&bench);
+            let errors: Vec<_> = report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .collect();
+            assert!(errors.is_empty(), "{}: {errors:?}", bench.name());
+        }
+    }
+}

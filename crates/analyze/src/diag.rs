@@ -1,0 +1,426 @@
+//! The diagnostics engine: lint identities, severities, configuration and
+//! renderers.
+//!
+//! Every analysis pass reports [`Finding`]s — a lint id plus an optional
+//! instruction and message. The [`crate::Analyzer`] turns findings into
+//! [`Diagnostic`]s by attaching the block name, the kernel-source span
+//! (when a [`SourceMap`](bsched_workload::SourceMap) is available) and the
+//! effective severity from the active [`LintConfig`]; `Allow`ed lints are
+//! dropped entirely.
+
+use std::fmt;
+
+use bsched_ir::InstId;
+use bsched_workload::Span;
+
+/// Identity of one analyzer lint.
+///
+/// The kebab-case [`id`](Lint::id) is the stable name used on the command
+/// line (`--deny dead-store`) and in JSON output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Lint {
+    /// A register is read before any instruction in the block defines it.
+    UninitializedRead,
+    /// A stored value is overwritten before any load can observe it.
+    DeadStore,
+    /// A non-store instruction computes a value no later instruction uses.
+    DeadCode,
+    /// A load repeats an earlier load of the same location with no
+    /// possibly-conflicting store in between (under the active alias
+    /// model).
+    RedundantLoad,
+    /// A block contains no instructions.
+    EmptyBlock,
+    /// A block's profiled frequency is negligible next to the hottest
+    /// block of its function — effectively unreachable in the tables.
+    ColdBlock,
+    /// A balanced-weight invariant from the paper is violated
+    /// (negative weight, load weight below 1, or a Fortran-alias edge
+    /// missing from the C-conservative DAG).
+    WeightInvariant,
+    /// A Perfect-Club stand-in drifted outside the qualitative profile
+    /// envelope DESIGN.md claims for it.
+    ProfileEnvelope,
+}
+
+impl Lint {
+    /// Every lint, in a fixed order.
+    pub const ALL: [Lint; 8] = [
+        Lint::UninitializedRead,
+        Lint::DeadStore,
+        Lint::DeadCode,
+        Lint::RedundantLoad,
+        Lint::EmptyBlock,
+        Lint::ColdBlock,
+        Lint::WeightInvariant,
+        Lint::ProfileEnvelope,
+    ];
+
+    /// The stable kebab-case lint name.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Lint::UninitializedRead => "uninitialized-read",
+            Lint::DeadStore => "dead-store",
+            Lint::DeadCode => "dead-code",
+            Lint::RedundantLoad => "redundant-load",
+            Lint::EmptyBlock => "empty-block",
+            Lint::ColdBlock => "cold-block",
+            Lint::WeightInvariant => "weight-invariant",
+            Lint::ProfileEnvelope => "profile-envelope",
+        }
+    }
+
+    /// Looks a lint up by its [`id`](Lint::id).
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Lint> {
+        Lint::ALL.into_iter().find(|l| l.id() == id)
+    }
+
+    /// The severity a lint carries when the configuration says nothing.
+    ///
+    /// Lints that indicate outright wrong or meaningless code default to
+    /// [`Severity::Error`]; code-quality findings (dead code, redundant
+    /// loads, cold blocks) default to [`Severity::Warn`] because the
+    /// kernel lowering legitimately produces some of them (e.g. unused
+    /// accumulator seeds).
+    #[must_use]
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Lint::UninitializedRead
+            | Lint::DeadStore
+            | Lint::EmptyBlock
+            | Lint::WeightInvariant
+            | Lint::ProfileEnvelope => Severity::Error,
+            Lint::DeadCode | Lint::RedundantLoad | Lint::ColdBlock => Severity::Warn,
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// How seriously a diagnostic is taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suppressed: the finding is dropped before rendering.
+    Allow,
+    /// Reported, but does not fail the run.
+    Warn,
+    /// Reported and fails `bsched analyze` (non-zero exit) and the
+    /// pipeline's deny-gated pre-scheduling hook.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-lint severity overrides, rustc-style.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintConfig {
+    overrides: Vec<(Lint, Severity)>,
+    deny_warnings: bool,
+}
+
+impl LintConfig {
+    /// The default configuration: every lint at its
+    /// [`default_severity`](Lint::default_severity).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the severity of one lint, replacing any earlier override.
+    pub fn set(&mut self, lint: Lint, severity: Severity) {
+        self.overrides.retain(|(l, _)| *l != lint);
+        self.overrides.push((lint, severity));
+    }
+
+    /// Builder-style [`set`](LintConfig::set) to [`Severity::Allow`].
+    #[must_use]
+    pub fn allow(mut self, lint: Lint) -> Self {
+        self.set(lint, Severity::Allow);
+        self
+    }
+
+    /// Builder-style [`set`](LintConfig::set) to [`Severity::Warn`].
+    #[must_use]
+    pub fn warn(mut self, lint: Lint) -> Self {
+        self.set(lint, Severity::Warn);
+        self
+    }
+
+    /// Builder-style [`set`](LintConfig::set) to [`Severity::Error`].
+    #[must_use]
+    pub fn deny(mut self, lint: Lint) -> Self {
+        self.set(lint, Severity::Error);
+        self
+    }
+
+    /// Escalates every lint that would report at [`Severity::Warn`] to
+    /// [`Severity::Error`] (the CLI's `--deny warnings`). Explicit
+    /// `Allow` overrides still suppress their lint.
+    #[must_use]
+    pub fn deny_warnings(mut self) -> Self {
+        self.deny_warnings = true;
+        self
+    }
+
+    /// The effective severity of `lint` under this configuration.
+    #[must_use]
+    pub fn severity_of(&self, lint: Lint) -> Severity {
+        let base = self
+            .overrides
+            .iter()
+            .find(|(l, _)| *l == lint)
+            .map_or_else(|| lint.default_severity(), |(_, s)| *s);
+        if self.deny_warnings && base == Severity::Warn {
+            Severity::Error
+        } else {
+            base
+        }
+    }
+}
+
+/// A raw pass result: what was found, where, and why — before the block
+/// name, source span and configured severity are attached.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// The offending instruction, when the finding is instruction-level.
+    pub inst: Option<InstId>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Creates an instruction-level finding.
+    #[must_use]
+    pub fn at(lint: Lint, inst: InstId, message: impl Into<String>) -> Self {
+        Self {
+            lint,
+            inst: Some(inst),
+            message: message.into(),
+        }
+    }
+
+    /// Creates a block- or benchmark-level finding.
+    #[must_use]
+    pub fn block_level(lint: Lint, message: impl Into<String>) -> Self {
+        Self {
+            lint,
+            inst: None,
+            message: message.into(),
+        }
+    }
+}
+
+/// A fully-resolved diagnostic, ready to render.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Effective severity (never [`Severity::Allow`]).
+    pub severity: Severity,
+    /// Name of the block (or benchmark) the finding is about.
+    pub block: String,
+    /// The offending instruction, when instruction-level.
+    pub inst: Option<InstId>,
+    /// Kernel-source position of the offending statement, when known.
+    pub span: Option<Span>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}", self.severity, self.lint, self.block)?;
+        if let Some(inst) = self.inst {
+            write!(f, ":{inst}")?;
+        }
+        if let Some(span) = self.span {
+            write!(f, " @ {span}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// `true` if any diagnostic reached [`Severity::Error`].
+#[must_use]
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Renders diagnostics as text, one per line, with a trailing summary.
+#[must_use]
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warn)
+        .count();
+    out.push_str(&format!(
+        "{errors} error{}, {warnings} warning{}\n",
+        if errors == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+    ));
+    out
+}
+
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as a JSON array (stable field order, no trailing
+/// newline inside the array).
+#[must_use]
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        let inst = d
+            .inst
+            .map_or_else(|| "null".to_owned(), |id| id.index().to_string());
+        let span = d.span.map_or_else(
+            || "null".to_owned(),
+            |s| format!("{{\"line\": {}, \"column\": {}}}", s.line, s.column),
+        );
+        out.push_str(&format!(
+            "  {{\"lint\": \"{}\", \"severity\": \"{}\", \"block\": \"{}\", \"inst\": {}, \"span\": {}, \"message\": \"{}\"}}{}\n",
+            d.lint,
+            d.severity,
+            json_escape(&d.block),
+            inst,
+            span,
+            json_escape(&d.message),
+            if i + 1 == diags.len() { "" } else { "," },
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_ids_roundtrip() {
+        for lint in Lint::ALL {
+            assert_eq!(Lint::from_id(lint.id()), Some(lint), "{lint}");
+        }
+        assert_eq!(Lint::from_id("no-such-lint"), None);
+    }
+
+    #[test]
+    fn severity_ordering_and_display() {
+        assert!(Severity::Allow < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+        assert_eq!(Severity::Error.to_string(), "error");
+        assert_eq!(Severity::Warn.to_string(), "warning");
+    }
+
+    #[test]
+    fn config_overrides_and_deny_warnings() {
+        let cfg = LintConfig::new();
+        assert_eq!(cfg.severity_of(Lint::DeadStore), Severity::Error);
+        assert_eq!(cfg.severity_of(Lint::DeadCode), Severity::Warn);
+
+        let cfg = LintConfig::new()
+            .allow(Lint::DeadStore)
+            .deny(Lint::DeadCode);
+        assert_eq!(cfg.severity_of(Lint::DeadStore), Severity::Allow);
+        assert_eq!(cfg.severity_of(Lint::DeadCode), Severity::Error);
+
+        let cfg = LintConfig::new().deny_warnings().allow(Lint::RedundantLoad);
+        assert_eq!(cfg.severity_of(Lint::DeadCode), Severity::Error);
+        assert_eq!(
+            cfg.severity_of(Lint::RedundantLoad),
+            Severity::Allow,
+            "explicit allow survives --deny warnings"
+        );
+    }
+
+    #[test]
+    fn set_replaces_earlier_override() {
+        let mut cfg = LintConfig::new();
+        cfg.set(Lint::DeadCode, Severity::Error);
+        cfg.set(Lint::DeadCode, Severity::Allow);
+        assert_eq!(cfg.severity_of(Lint::DeadCode), Severity::Allow);
+    }
+
+    #[test]
+    fn diagnostic_renders_span_and_inst() {
+        let d = Diagnostic {
+            lint: Lint::DeadStore,
+            severity: Severity::Error,
+            block: "K.b0".to_owned(),
+            inst: Some(InstId::new(4)),
+            span: Some(Span::new(3, 5)),
+            message: "overwritten".to_owned(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "error[dead-store] K.b0:i4 @ 3:5: overwritten"
+        );
+        assert!(has_errors(std::slice::from_ref(&d)));
+
+        let text = render_text(std::slice::from_ref(&d));
+        assert!(text.contains("1 error, 0 warnings"), "{text}");
+
+        let json = render_json(&[d]);
+        assert!(json.contains("\"lint\": \"dead-store\""), "{json}");
+        assert!(json.contains("\"line\": 3"), "{json}");
+    }
+
+    #[test]
+    fn render_json_handles_missing_span() {
+        let d = Diagnostic {
+            lint: Lint::EmptyBlock,
+            severity: Severity::Error,
+            block: "f".to_owned(),
+            inst: None,
+            span: None,
+            message: "say \"hi\"".to_owned(),
+        };
+        let json = render_json(&[d]);
+        assert!(json.contains("\"inst\": null"), "{json}");
+        assert!(json.contains("\"span\": null"), "{json}");
+        assert!(json.contains("say \\\"hi\\\""), "{json}");
+    }
+
+    #[test]
+    fn json_escape_controls() {
+        assert_eq!(json_escape("a\tb"), "a\\u0009b");
+        assert_eq!(json_escape("a\nb"), "a\\nb");
+    }
+}

@@ -1,0 +1,236 @@
+//! Profile envelopes for the Perfect Club stand-ins.
+//!
+//! DESIGN.md and `workload::perfect` claim a qualitative profile for each
+//! stand-in — MDG is "abundant LLP, the paper's best case", TRACK is
+//! "small serial blocks", ARC2D is pressure-bound, BDNA is dominated by
+//! indirect accesses. Those claims drive which paper table each
+//! benchmark is allowed to reproduce, so drifting outside them (say, a
+//! kernel edit that halves MDG's parallelism) would silently invalidate
+//! the tables. The [`ProfileEnvelope`] bounds here are deliberately
+//! loose — roughly ±30% around the measured values — so they trip on
+//! *qualitative* drift, not on noise.
+
+use crate::diag::{Finding, Lint};
+use crate::profile::BenchmarkProfile;
+
+/// Bounds one aggregate of a [`BenchmarkProfile`] must respect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bound {
+    /// Aggregate field name (as in the JSON report).
+    pub field: &'static str,
+    /// Inclusive lower bound, if any.
+    pub min: Option<f64>,
+    /// Inclusive upper bound, if any.
+    pub max: Option<f64>,
+}
+
+/// The claimed profile envelope of one stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileEnvelope {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// One-line restatement of the DESIGN.md claim being enforced.
+    pub claim: &'static str,
+    /// Aggregate bounds.
+    pub bounds: &'static [Bound],
+}
+
+const fn bound(field: &'static str, min: Option<f64>, max: Option<f64>) -> Bound {
+    Bound { field, min, max }
+}
+
+/// Envelopes for all eight stand-ins.
+///
+/// Calibrated against the committed `results/profiles.json` (regenerate
+/// with `scripts/profiles.sh`); kept loose enough that only qualitative
+/// drift trips them.
+pub const ENVELOPES: [ProfileEnvelope; 8] = [
+    ProfileEnvelope {
+        name: "ADM",
+        claim: "medium blocks, moderate LLP",
+        bounds: &[
+            bound("mean_block_size", Some(12.0), Some(30.0)),
+            bound("mean_llp", Some(4.5), Some(10.0)),
+        ],
+    },
+    ProfileEnvelope {
+        name: "ARC2D",
+        claim: "wide stencils: dense loads, pressure-sensitive",
+        bounds: &[
+            bound("mean_llp", Some(8.0), None),
+            bound("mean_load_density", Some(0.25), None),
+            bound("peak_float_pressure", Some(5.0), None),
+        ],
+    },
+    ProfileEnvelope {
+        name: "BDNA",
+        claim: "indirect accesses limit disambiguation",
+        bounds: &[bound("unknown_access_fraction", Some(0.10), None)],
+    },
+    ProfileEnvelope {
+        name: "FLO52Q",
+        claim: "stencil/butterfly mix, modest wins",
+        bounds: &[bound("mean_block_size", Some(15.0), Some(40.0))],
+    },
+    ProfileEnvelope {
+        name: "MDG",
+        claim: "abundant LLP: the paper's best case",
+        bounds: &[
+            bound("mean_llp", Some(5.0), None),
+            bound("mean_parallelism", Some(2.5), None),
+        ],
+    },
+    ProfileEnvelope {
+        name: "MG3D",
+        claim: "large streaming blocks: dense, parallel loads",
+        bounds: &[
+            bound("max_block_size", Some(25.0), None),
+            bound("mean_load_density", Some(0.3), None),
+        ],
+    },
+    ProfileEnvelope {
+        name: "QCD2",
+        claim: "pressure-heavy compute blocks: the highest spill rate",
+        bounds: &[
+            bound("peak_float_pressure", Some(6.0), None),
+            bound("mean_load_density", None, Some(0.25)),
+        ],
+    },
+    ProfileEnvelope {
+        name: "TRACK",
+        claim: "small serial blocks: least LLP",
+        bounds: &[
+            bound("mean_block_size", None, Some(15.0)),
+            bound("mean_llp", None, Some(4.5)),
+        ],
+    },
+];
+
+/// The envelope claimed for `name`, if it is a known stand-in.
+#[must_use]
+pub fn envelope_for(name: &str) -> Option<&'static ProfileEnvelope> {
+    ENVELOPES.iter().find(|e| e.name == name)
+}
+
+fn aggregate(profile: &BenchmarkProfile, field: &str) -> Option<f64> {
+    match field {
+        "total_instructions" => Some(profile.total_instructions as f64),
+        "total_loads" => Some(profile.total_loads as f64),
+        "mean_block_size" => Some(profile.mean_block_size),
+        "max_block_size" => Some(profile.max_block_size as f64),
+        "mean_parallelism" => Some(profile.mean_parallelism),
+        "mean_load_density" => Some(profile.mean_load_density),
+        "mean_llp" => Some(profile.mean_llp),
+        "peak_float_pressure" => Some(profile.peak_float_pressure as f64),
+        "unknown_access_fraction" => Some(profile.unknown_access_fraction),
+        _ => None,
+    }
+}
+
+/// Checks `profile` against its stand-in's envelope. Unknown benchmarks
+/// (not Perfect Club stand-ins) have no envelope and produce no findings.
+#[must_use]
+pub fn check_envelope(profile: &BenchmarkProfile) -> Vec<Finding> {
+    let Some(envelope) = envelope_for(&profile.name) else {
+        return Vec::new();
+    };
+    let mut findings = Vec::new();
+    for b in envelope.bounds {
+        let Some(value) = aggregate(profile, b.field) else {
+            findings.push(Finding::block_level(
+                Lint::ProfileEnvelope,
+                format!("envelope references unknown aggregate {:?}", b.field),
+            ));
+            continue;
+        };
+        if let Some(min) = b.min {
+            if value < min {
+                findings.push(Finding::block_level(
+                    Lint::ProfileEnvelope,
+                    format!(
+                        "{} = {value:.4} fell below {min} — violates the claim \"{}\"",
+                        b.field, envelope.claim
+                    ),
+                ));
+            }
+        }
+        if let Some(max) = b.max {
+            if value > max {
+                findings.push(Finding::block_level(
+                    Lint::ProfileEnvelope,
+                    format!(
+                        "{} = {value:.4} rose above {max} — violates the claim \"{}\"",
+                        b.field, envelope.claim
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_dag::AliasModel;
+    use bsched_workload::perfect_club;
+
+    #[test]
+    fn every_stand_in_has_an_envelope() {
+        for bench in perfect_club() {
+            assert!(
+                envelope_for(bench.name()).is_some(),
+                "no envelope for {}",
+                bench.name()
+            );
+        }
+        assert!(envelope_for("NOT-A-BENCHMARK").is_none());
+    }
+
+    #[test]
+    fn shipped_stand_ins_sit_inside_their_envelopes() {
+        for bench in perfect_club() {
+            let profile = BenchmarkProfile::of(&bench, AliasModel::Fortran);
+            let findings = check_envelope(&profile);
+            assert!(
+                findings.is_empty(),
+                "{} drifted outside its envelope: {findings:?}",
+                bench.name()
+            );
+        }
+    }
+
+    #[test]
+    fn drift_is_detected() {
+        let bench = &perfect_club()[4]; // MDG
+        let mut profile = BenchmarkProfile::of(bench, AliasModel::Fortran);
+        profile.mean_llp = 0.5; // pretend the parallelism collapsed
+        let findings = check_envelope(&profile);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].lint, Lint::ProfileEnvelope);
+        assert!(findings[0].message.contains("mean_llp"), "{findings:?}");
+    }
+
+    #[test]
+    fn unknown_benchmark_is_unchecked() {
+        let bench = &perfect_club()[0];
+        let mut profile = BenchmarkProfile::of(bench, AliasModel::Fortran);
+        profile.name = "CUSTOM".to_owned();
+        assert!(check_envelope(&profile).is_empty());
+    }
+
+    #[test]
+    fn all_envelope_fields_resolve() {
+        let profile = BenchmarkProfile::of(&perfect_club()[0], AliasModel::Fortran);
+        for envelope in &ENVELOPES {
+            for b in envelope.bounds {
+                assert!(
+                    aggregate(&profile, b.field).is_some(),
+                    "unknown field {:?} in {} envelope",
+                    b.field,
+                    envelope.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! Correctness lints: classic dataflow over straight-line IR.
+//!
+//! Blocks here are straight-line (the paper's schedulers are strictly
+//! block-local), which makes the dataflow problems exact rather than
+//! fixed-point approximations: reaching definitions, store liveness and
+//! value reuse all reduce to forward/backward scans over program order.
+//! Memory questions are answered through the active
+//! [`AliasModel`], so the lints are exactly as precise as the DAG builder
+//! the schedulers use.
+
+use bsched_core::{BalancedWeights, Ratio, WeightAssigner};
+use bsched_dag::{build_dag, AliasModel, CodeDag};
+use bsched_ir::{BasicBlock, Function, InstId, MemAccess};
+
+use crate::diag::{Finding, Lint};
+
+/// Flags registers read before any definition in the block (reaching
+/// definitions over straight-line code: a use is uninitialized iff no
+/// earlier instruction defines the register).
+///
+/// Blocks are self-contained in this reproduction — the lowering
+/// materialises every base address and accumulator seed — so a read with
+/// no reaching definition is always a bug, not a live-in.
+#[must_use]
+pub fn uninitialized_reads(block: &BasicBlock) -> Vec<Finding> {
+    let mut defined = std::collections::HashSet::new();
+    let mut reported = std::collections::HashSet::new();
+    let mut findings = Vec::new();
+    for (id, inst) in block.iter_ids() {
+        for &u in inst.uses() {
+            if !defined.contains(&u) && reported.insert(u) {
+                findings.push(Finding::at(
+                    Lint::UninitializedRead,
+                    id,
+                    format!("register {u} is read before any definition in the block"),
+                ));
+            }
+        }
+        for &d in inst.defs() {
+            defined.insert(d);
+        }
+    }
+    findings
+}
+
+/// Flags stores whose value is overwritten before any load could observe
+/// it.
+///
+/// A store dies when a later store writes the exact same known location
+/// (covering at least the same bytes) and no load in between *may* read
+/// the stored bytes under `alias`. Memory is live-out of every block, so
+/// a store that survives to the end of the block is never flagged; and a
+/// store with an unknown offset is never proven dead.
+#[must_use]
+pub fn dead_stores(block: &BasicBlock, alias: AliasModel) -> Vec<Finding> {
+    let accs: Vec<(InstId, MemAccess)> = block
+        .iter_ids()
+        .filter_map(|(id, i)| i.mem().map(|m| (id, m)))
+        .collect();
+    let mut findings = Vec::new();
+    for (pos, &(id, acc)) in accs.iter().enumerate() {
+        if !acc.is_write() || acc.loc().offset().is_none() {
+            continue;
+        }
+        for &(later_id, later) in &accs[pos + 1..] {
+            if !later.is_write() {
+                if alias.conflicts(acc, later) {
+                    break; // a load may observe the stored value
+                }
+            } else if later.loc() == acc.loc() && later.width() >= acc.width() {
+                findings.push(Finding::at(
+                    Lint::DeadStore,
+                    id,
+                    format!(
+                        "value stored to {} is overwritten by {later_id} before any load can \
+                         observe it",
+                        acc.loc()
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+    findings
+}
+
+/// Flags non-store instructions whose results are never consumed.
+///
+/// An instruction is dead when every register it defines is redefined (or
+/// the block ends) before any use. Register values are *not* treated as
+/// live-out: the blocks analysed here are whole kernels whose outputs
+/// flow through memory, so an unconsumed value really is wasted work.
+/// The kernel lowering produces a known benign case — accumulator seed
+/// constants that every unrolled copy overwrites — which is why this
+/// lint defaults to warn, not error.
+#[must_use]
+pub fn dead_code(block: &BasicBlock) -> Vec<Finding> {
+    let insts = block.insts();
+    let mut findings = Vec::new();
+    for (id, inst) in block.iter_ids() {
+        if inst.is_store() || inst.defs().is_empty() {
+            continue;
+        }
+        let used = inst.defs().iter().any(|&d| {
+            for later in &insts[id.index() + 1..] {
+                if later.uses().contains(&d) {
+                    return true;
+                }
+                if later.defs().contains(&d) {
+                    return false; // redefined before any use
+                }
+            }
+            false
+        });
+        if !used {
+            findings.push(Finding::at(
+                Lint::DeadCode,
+                id,
+                format!("result of {} is never used", inst.opcode()),
+            ));
+        }
+    }
+    findings
+}
+
+/// Flags loads that repeat an earlier load of the same known location
+/// with no possibly-conflicting store in between (under `alias`): the
+/// second load is a common-subexpression-elimination opportunity the
+/// front end missed.
+///
+/// Unknown-offset loads never participate — `a[idx[i]]` twice may well
+/// read two different addresses.
+#[must_use]
+pub fn redundant_loads(block: &BasicBlock, alias: AliasModel) -> Vec<Finding> {
+    let accs: Vec<(InstId, MemAccess)> = block
+        .iter_ids()
+        .filter_map(|(id, i)| i.mem().map(|m| (id, m)))
+        .collect();
+    let mut findings = Vec::new();
+    for (pos, &(id, acc)) in accs.iter().enumerate() {
+        if acc.is_write() || acc.loc().offset().is_none() {
+            continue;
+        }
+        for &(earlier_id, earlier) in accs[..pos].iter().rev() {
+            if earlier.is_write() {
+                if alias.conflicts(earlier, acc) {
+                    break; // the value in memory may have changed
+                }
+            } else if earlier.loc() == acc.loc() && earlier.width() == acc.width() {
+                findings.push(Finding::at(
+                    Lint::RedundantLoad,
+                    id,
+                    format!(
+                        "load of {} repeats {earlier_id} with no intervening store",
+                        acc.loc()
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+    findings
+}
+
+/// Statically checks the paper's balanced-weight invariants on `block`:
+///
+/// * every weight is non-negative;
+/// * every load weighs at least its issue slot (≥ 1), since balanced
+///   weights only *add* parallelism contributions to the base slot;
+/// * every non-load weighs exactly 1 under the paper's single-cycle
+///   machine model;
+/// * the Fortran-alias dependence edges are a subset of the
+///   C-conservative edges (Fig. 8: the C model may only *add*
+///   constraints).
+#[must_use]
+pub fn weight_invariants(block: &BasicBlock) -> Vec<Finding> {
+    let fortran = build_dag(block, AliasModel::Fortran);
+    let conservative = build_dag(block, AliasModel::CConservative);
+    let weights = BalancedWeights::new().assign(&fortran);
+    let mut findings = Vec::new();
+    for id in fortran.node_ids() {
+        let w = weights.weight(id);
+        if w < Ratio::ZERO {
+            findings.push(Finding::at(
+                Lint::WeightInvariant,
+                id,
+                format!("balanced weight {w} is negative"),
+            ));
+        } else if fortran.is_load(id) {
+            if w < Ratio::ONE {
+                findings.push(Finding::at(
+                    Lint::WeightInvariant,
+                    id,
+                    format!("load weight {w} is below the issue-slot minimum of 1"),
+                ));
+            }
+        } else if w != Ratio::ONE {
+            findings.push(Finding::at(
+                Lint::WeightInvariant,
+                id,
+                format!("non-load weight {w} differs from the single-cycle latency 1"),
+            ));
+        }
+    }
+    for edge in fortran.edges() {
+        if !conservative.has_edge(edge.from, edge.to) {
+            findings.push(Finding::at(
+                Lint::WeightInvariant,
+                edge.to,
+                format!(
+                    "{} dependence {} -> {} exists under Fortran aliasing but not under \
+                     C-conservative aliasing",
+                    edge.kind, edge.from, edge.to
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// Runs every block-local correctness lint.
+#[must_use]
+pub fn block_lints(block: &BasicBlock, alias: AliasModel) -> Vec<Finding> {
+    if block.is_empty() {
+        return vec![Finding::block_level(
+            Lint::EmptyBlock,
+            "block contains no instructions",
+        )];
+    }
+    let mut findings = uninitialized_reads(block);
+    findings.extend(dead_stores(block, alias));
+    findings.extend(dead_code(block));
+    findings.extend(redundant_loads(block, alias));
+    findings.extend(weight_invariants(block));
+    findings
+}
+
+/// Relative frequency below which a block counts as effectively
+/// unreachable: its contribution to the frequency-weighted tables is
+/// noise.
+pub const COLD_FRACTION: f64 = 1e-6;
+
+/// Function-level lints: empty blocks and blocks whose profiled frequency
+/// is negligible (`< COLD_FRACTION` of the hottest block).
+///
+/// Returns `(block name, finding)` pairs because the findings span
+/// multiple blocks.
+#[must_use]
+pub fn function_lints(func: &Function) -> Vec<(String, Finding)> {
+    let mut findings = Vec::new();
+    let hottest = func
+        .blocks()
+        .iter()
+        .map(BasicBlock::frequency)
+        .fold(0.0_f64, f64::max);
+    for block in func.blocks() {
+        if block.is_empty() {
+            findings.push((
+                block.name().to_owned(),
+                Finding::block_level(Lint::EmptyBlock, "block contains no instructions"),
+            ));
+        }
+        if block.frequency() < COLD_FRACTION * hottest {
+            findings.push((
+                block.name().to_owned(),
+                Finding::block_level(
+                    Lint::ColdBlock,
+                    format!(
+                        "frequency {} is below {COLD_FRACTION} of the hottest block ({hottest}); \
+                         the block contributes nothing to the tables",
+                        block.frequency()
+                    ),
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// The DAG used by [`weight_invariants`], exposed so callers (the dot
+/// overlay, tests) can reuse it without rebuilding.
+#[must_use]
+pub fn dag_of(block: &BasicBlock, alias: AliasModel) -> CodeDag {
+    build_dag(block, alias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_ir::{BlockBuilder, Inst, Opcode, RegClass, RegionId, VirtReg};
+
+    fn lints_of(findings: &[Finding]) -> Vec<Lint> {
+        findings.iter().map(|f| f.lint).collect()
+    }
+
+    #[test]
+    fn clean_block_has_no_findings() {
+        let mut b = BlockBuilder::new("clean");
+        let base = b.def_int("base");
+        let x = b.load("x", base, 0);
+        let y = b.load("y", base, 8);
+        let s = b.fadd("s", x, y);
+        b.store(s, base, 16);
+        let block = b.finish();
+        assert!(block_lints(&block, AliasModel::Fortran).is_empty());
+    }
+
+    #[test]
+    fn uninitialized_read_is_flagged_once_per_register() {
+        let mut b = BlockBuilder::new("t");
+        let _base = b.def_int("base");
+        let ghost = VirtReg::new(RegClass::Float, 999).into();
+        b.push(Inst::new(
+            Opcode::FAdd,
+            vec![VirtReg::new(RegClass::Float, 0).into()],
+            vec![ghost, ghost],
+            None,
+        ));
+        let block = b.finish();
+        let findings = uninitialized_reads(&block);
+        assert_eq!(lints_of(&findings), vec![Lint::UninitializedRead]);
+        assert_eq!(findings[0].inst, Some(InstId::new(1)));
+        assert!(findings[0].message.contains("vf999"), "{:?}", findings[0]);
+    }
+
+    #[test]
+    fn dead_store_detected_and_killed_by_intervening_load() {
+        // st a[0]; st a[0] again -> first is dead.
+        let mut b = BlockBuilder::new("t");
+        let base = b.def_int("base");
+        let x = b.load("x", base, 8);
+        b.store(x, base, 0);
+        b.store(x, base, 0);
+        let block = b.finish();
+        let findings = dead_stores(&block, AliasModel::Fortran);
+        assert_eq!(lints_of(&findings), vec![Lint::DeadStore]);
+        assert_eq!(findings[0].inst, Some(InstId::new(2)));
+
+        // st a[0]; ld a[0]; st a[0] -> the load keeps the first store live.
+        let mut b = BlockBuilder::new("t");
+        let base = b.def_int("base");
+        let x = b.load("x", base, 8);
+        b.store(x, base, 0);
+        let y = b.load("y", base, 0);
+        b.store(y, base, 0);
+        assert!(dead_stores(&b.finish(), AliasModel::Fortran).is_empty());
+    }
+
+    #[test]
+    fn unknown_offset_store_is_never_proven_dead() {
+        let region = RegionId::new(7);
+        let mut b = BlockBuilder::new("t");
+        let base = b.def_int("base");
+        let x = b.load_region("x", region, base, Some(8));
+        b.store_region(region, x, base, None);
+        b.store_region(region, x, base, None);
+        assert!(dead_stores(&b.finish(), AliasModel::Fortran).is_empty());
+    }
+
+    #[test]
+    fn alias_model_changes_dead_store_verdict() {
+        // st a[0]; ld b[0]; st a[0]: under Fortran the regions are
+        // disjoint so the first store is dead; under C the load may read
+        // it.
+        let (ra, rb) = (RegionId::new(1), RegionId::new(2));
+        let mut b = BlockBuilder::new("t");
+        let abase = b.def_int("abase");
+        let bbase = b.def_int("bbase");
+        let x = b.load_region("x", ra, abase, Some(8));
+        b.store_region(ra, x, abase, Some(0));
+        let _ = b.load_region("y", rb, bbase, Some(0));
+        b.store_region(ra, x, abase, Some(0));
+        let block = b.finish();
+        assert_eq!(dead_stores(&block, AliasModel::Fortran).len(), 1);
+        assert!(dead_stores(&block, AliasModel::CConservative).is_empty());
+    }
+
+    #[test]
+    fn dead_code_spots_unused_results() {
+        let mut b = BlockBuilder::new("t");
+        let base = b.def_int("base");
+        let x = b.load("x", base, 0);
+        let _unused = b.fadd("unused", x, x);
+        b.store(x, base, 8);
+        let findings = dead_code(&b.finish());
+        assert_eq!(lints_of(&findings), vec![Lint::DeadCode]);
+        assert_eq!(findings[0].inst, Some(InstId::new(2)));
+    }
+
+    #[test]
+    fn redefinition_before_use_is_dead_code() {
+        // Physical-register style reuse: f0 <- ..., f0 <- ... with only
+        // the second value read.
+        let f0 = VirtReg::new(RegClass::Float, 0).into();
+        let block = BasicBlock::new(
+            "t",
+            vec![
+                Inst::new(Opcode::FMove, vec![f0], vec![], None),
+                Inst::new(Opcode::FMove, vec![f0], vec![], None),
+                Inst::new(
+                    Opcode::FAdd,
+                    vec![VirtReg::new(RegClass::Float, 1).into()],
+                    vec![f0, f0],
+                    None,
+                ),
+            ],
+        );
+        let findings = dead_code(&block);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert_eq!(findings[0].inst, Some(InstId::new(0)));
+    }
+
+    #[test]
+    fn redundant_load_requires_no_intervening_store() {
+        let mut b = BlockBuilder::new("t");
+        let base = b.def_int("base");
+        let x = b.load("x", base, 0);
+        let y = b.load("y", base, 0);
+        b.store(x, base, 8);
+        let _ = y;
+        let findings = redundant_loads(&b.finish(), AliasModel::Fortran);
+        assert_eq!(lints_of(&findings), vec![Lint::RedundantLoad]);
+        assert_eq!(findings[0].inst, Some(InstId::new(2)));
+
+        // A store in between (same region, overlapping) clears it.
+        let mut b = BlockBuilder::new("t");
+        let base = b.def_int("base");
+        let x = b.load("x", base, 0);
+        b.store(x, base, 0);
+        let _ = b.load("y", base, 0);
+        assert!(redundant_loads(&b.finish(), AliasModel::Fortran).is_empty());
+    }
+
+    #[test]
+    fn unknown_offset_loads_are_not_redundant() {
+        let region = RegionId::new(7);
+        let mut b = BlockBuilder::new("t");
+        let base = b.def_int("base");
+        let _ = b.load_region("x", region, base, None);
+        let _ = b.load_region("y", region, base, None);
+        assert!(redundant_loads(&b.finish(), AliasModel::Fortran).is_empty());
+    }
+
+    #[test]
+    fn weight_invariants_hold_on_a_real_kernel() {
+        let block =
+            bsched_workload::lower_kernel(&bsched_workload::kernels::daxpy().with_unroll(4), 100.0);
+        assert!(weight_invariants(&block).is_empty());
+    }
+
+    #[test]
+    fn empty_block_is_flagged() {
+        let block = BasicBlock::new("empty", Vec::new());
+        let findings = block_lints(&block, AliasModel::Fortran);
+        assert_eq!(lints_of(&findings), vec![Lint::EmptyBlock]);
+    }
+
+    #[test]
+    fn cold_block_is_flagged_at_function_level() {
+        let mut hot = BlockBuilder::new("hot");
+        let base = hot.def_int("base");
+        let x = hot.load("x", base, 0);
+        hot.store(x, base, 8);
+        let hot = hot.finish().with_frequency(1e9);
+        let mut cold = BlockBuilder::new("cold");
+        let base = cold.def_int("base");
+        let x = cold.load("x", base, 0);
+        cold.store(x, base, 8);
+        let cold = cold.finish().with_frequency(1.0);
+        let func = Function::new("f", vec![hot, cold]);
+        let findings = function_lints(&func);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].0, "cold");
+        assert_eq!(findings[0].1.lint, Lint::ColdBlock);
+    }
+}

@@ -1,0 +1,372 @@
+//! Profile analyses: the quantities that drive the paper's tables,
+//! computed per block and aggregated per benchmark.
+//!
+//! The paper's results hinge on a handful of static block properties —
+//! load-level parallelism (§1), load density, block size and register
+//! pressure (§4.2 characterises each Perfect Club program by exactly
+//! these). This module measures them so the stand-ins' claimed profiles
+//! can be machine-checked (see [`crate::envelope`]) and exported as a
+//! machine-readable report (`results/profiles.json`).
+
+use std::collections::HashMap;
+
+use bsched_dag::{build_dag, AliasModel, DagProfile};
+use bsched_ir::{BasicBlock, Reg, RegClass};
+use bsched_workload::Benchmark;
+
+use crate::diag::json_escape;
+
+/// Static profile of one basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockProfile {
+    /// Block name.
+    pub name: String,
+    /// Profiled execution frequency.
+    pub frequency: f64,
+    /// Instruction count — also the resource lower bound on a
+    /// single-issue machine: the schedule cannot be shorter than one slot
+    /// per instruction.
+    pub instructions: usize,
+    /// Load count.
+    pub loads: usize,
+    /// Store count.
+    pub stores: usize,
+    /// Collapsed dependence-edge count under the profiled alias model.
+    pub edges: usize,
+    /// Longest dependence chain in nodes — the critical-path lower bound
+    /// under unit latencies.
+    pub critical_path: u32,
+    /// `max(critical_path, instructions)`: no schedule on the paper's
+    /// single-issue machine can beat this length.
+    pub schedule_lower_bound: u32,
+    /// `instructions / critical_path` — average width available.
+    pub parallelism: f64,
+    /// `loads / instructions`.
+    pub load_density: f64,
+    /// Maximum number of loads on any single dependence path.
+    pub max_serial_loads: u32,
+    /// Load-level parallelism: `loads / max_serial_loads` — how many
+    /// loads the block offers per load that must serialise. 0 for
+    /// load-free blocks.
+    pub llp: f64,
+    /// MaxLive estimate for the integer file.
+    pub max_live_int: usize,
+    /// MaxLive estimate for the floating-point file.
+    pub max_live_float: usize,
+    /// Memory accesses whose offset is unknown at compile time.
+    pub unknown_accesses: usize,
+    /// Total memory accesses.
+    pub mem_accesses: usize,
+}
+
+impl BlockProfile {
+    /// Profiles `block` under `alias`.
+    #[must_use]
+    pub fn of(block: &BasicBlock, alias: AliasModel) -> Self {
+        let dag = build_dag(block, alias);
+        let p = DagProfile::of(&dag);
+        let stores = block.insts().iter().filter(|i| i.is_store()).count();
+        let mem_accesses = block.insts().iter().filter(|i| i.mem().is_some()).count();
+        let unknown_accesses = block
+            .insts()
+            .iter()
+            .filter(|i| i.mem().is_some_and(|m| m.loc().offset().is_none()))
+            .count();
+        Self {
+            name: block.name().to_owned(),
+            frequency: block.frequency(),
+            instructions: p.instructions,
+            loads: p.loads,
+            stores,
+            edges: p.edges,
+            critical_path: p.critical_path,
+            schedule_lower_bound: p
+                .critical_path
+                .max(u32::try_from(p.instructions).unwrap_or(u32::MAX)),
+            parallelism: p.parallelism,
+            load_density: if p.instructions == 0 {
+                0.0
+            } else {
+                p.loads as f64 / p.instructions as f64
+            },
+            max_serial_loads: p.max_serial_loads,
+            llp: if p.max_serial_loads == 0 {
+                0.0
+            } else {
+                p.loads as f64 / f64::from(p.max_serial_loads)
+            },
+            max_live_int: max_live(block, RegClass::Int),
+            max_live_float: max_live(block, RegClass::Float),
+            unknown_accesses,
+            mem_accesses,
+        }
+    }
+}
+
+/// MaxLive estimate for one register class: the peak number of
+/// simultaneously live registers, taking each register's live range as
+/// first definition (or first use, for upward-exposed reads) to last use.
+///
+/// For SSA-form virtual blocks — everything the lowering produces — this
+/// is exact; when physical registers are reused the first-def/last-use
+/// range over-approximates, which is the safe direction for a pressure
+/// *estimate*. Registers defined but never used occupy no range.
+#[must_use]
+pub fn max_live(block: &BasicBlock, class: RegClass) -> usize {
+    pressure_profile(block, class)
+        .into_iter()
+        .max()
+        .map_or(0, |p| p as usize)
+}
+
+/// Live-register count of `class` at each instruction of `block` — the
+/// curve whose peak [`max_live`] reports. Useful for visualisation (the
+/// `bsched dot --overlay` heat map) and for spotting *where* a block's
+/// pressure concentrates.
+#[must_use]
+pub fn pressure_profile(block: &BasicBlock, class: RegClass) -> Vec<u32> {
+    let n = block.len();
+    let mut first_def: HashMap<Reg, usize> = HashMap::new();
+    let mut last_use: HashMap<Reg, usize> = HashMap::new();
+    for (idx, inst) in block.insts().iter().enumerate() {
+        for &u in inst.uses() {
+            if u.class() == class {
+                last_use.insert(u, idx);
+                // Upward-exposed use: live from block entry.
+                first_def.entry(u).or_insert(0);
+            }
+        }
+        for &d in inst.defs() {
+            if d.class() == class {
+                first_def.entry(d).or_insert(idx);
+            }
+        }
+    }
+    // Sweep: +1 where a range opens, -1 one past its last use. A register
+    // is live on [first_def, last_use].
+    let mut delta = vec![0_i64; n + 1];
+    for (reg, &start) in &first_def {
+        if let Some(&end) = last_use.get(reg) {
+            if end >= start {
+                delta[start] += 1;
+                delta[end + 1] -= 1;
+            }
+        }
+    }
+    let mut live = 0_i64;
+    let mut out = Vec::with_capacity(n);
+    for &d in delta.iter().take(n) {
+        live += d;
+        out.push(u32::try_from(live).unwrap_or(0));
+    }
+    out
+}
+
+/// Aggregated profile of one benchmark stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (`ADM` … `TRACK`).
+    pub name: String,
+    /// Per-block profiles, in function order.
+    pub blocks: Vec<BlockProfile>,
+    /// Sum of block instruction counts.
+    pub total_instructions: usize,
+    /// Sum of block load counts.
+    pub total_loads: usize,
+    /// Unweighted mean block size.
+    pub mean_block_size: f64,
+    /// Largest block.
+    pub max_block_size: usize,
+    /// Unweighted mean of per-block parallelism.
+    pub mean_parallelism: f64,
+    /// `total_loads / total_instructions`.
+    pub mean_load_density: f64,
+    /// Unweighted mean of per-block LLP.
+    pub mean_llp: f64,
+    /// Max over blocks of the FP MaxLive estimate.
+    pub peak_float_pressure: usize,
+    /// Unknown-offset accesses as a fraction of all memory accesses.
+    pub unknown_access_fraction: f64,
+}
+
+impl BenchmarkProfile {
+    /// Profiles every block of `bench` under `alias` and aggregates.
+    #[must_use]
+    pub fn of(bench: &Benchmark, alias: AliasModel) -> Self {
+        let blocks: Vec<BlockProfile> = bench
+            .function()
+            .blocks()
+            .iter()
+            .map(|b| BlockProfile::of(b, alias))
+            .collect();
+        let nblocks = blocks.len().max(1) as f64;
+        let total_instructions: usize = blocks.iter().map(|b| b.instructions).sum();
+        let total_loads: usize = blocks.iter().map(|b| b.loads).sum();
+        let mem: usize = blocks.iter().map(|b| b.mem_accesses).sum();
+        let unknown: usize = blocks.iter().map(|b| b.unknown_accesses).sum();
+        Self {
+            name: bench.name().to_owned(),
+            total_instructions,
+            total_loads,
+            mean_block_size: total_instructions as f64 / nblocks,
+            max_block_size: blocks.iter().map(|b| b.instructions).max().unwrap_or(0),
+            mean_parallelism: blocks.iter().map(|b| b.parallelism).sum::<f64>() / nblocks,
+            mean_load_density: if total_instructions == 0 {
+                0.0
+            } else {
+                total_loads as f64 / total_instructions as f64
+            },
+            mean_llp: blocks.iter().map(|b| b.llp).sum::<f64>() / nblocks,
+            peak_float_pressure: blocks.iter().map(|b| b.max_live_float).max().unwrap_or(0),
+            unknown_access_fraction: if mem == 0 {
+                0.0
+            } else {
+                unknown as f64 / mem as f64
+            },
+            blocks,
+        }
+    }
+}
+
+fn fnum(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+fn block_json(b: &BlockProfile, indent: &str) -> String {
+    format!(
+        "{indent}{{\"name\": \"{}\", \"frequency\": {}, \"instructions\": {}, \"loads\": {}, \
+         \"stores\": {}, \"edges\": {}, \"critical_path\": {}, \"schedule_lower_bound\": {}, \
+         \"parallelism\": {}, \"load_density\": {}, \"max_serial_loads\": {}, \"llp\": {}, \
+         \"max_live_int\": {}, \"max_live_float\": {}, \"unknown_accesses\": {}, \
+         \"mem_accesses\": {}}}",
+        json_escape(&b.name),
+        fnum(b.frequency),
+        b.instructions,
+        b.loads,
+        b.stores,
+        b.edges,
+        b.critical_path,
+        b.schedule_lower_bound,
+        fnum(b.parallelism),
+        fnum(b.load_density),
+        b.max_serial_loads,
+        fnum(b.llp),
+        b.max_live_int,
+        b.max_live_float,
+        b.unknown_accesses,
+        b.mem_accesses,
+    )
+}
+
+/// Renders one benchmark profile as a JSON object.
+#[must_use]
+pub fn benchmark_json(p: &BenchmarkProfile) -> String {
+    let blocks: Vec<String> = p.blocks.iter().map(|b| block_json(b, "      ")).collect();
+    format!(
+        "  {{\n    \"name\": \"{}\",\n    \"total_instructions\": {},\n    \"total_loads\": {},\n    \
+         \"mean_block_size\": {},\n    \"max_block_size\": {},\n    \"mean_parallelism\": {},\n    \
+         \"mean_load_density\": {},\n    \"mean_llp\": {},\n    \"peak_float_pressure\": {},\n    \
+         \"unknown_access_fraction\": {},\n    \"blocks\": [\n{}\n    ]\n  }}",
+        json_escape(&p.name),
+        p.total_instructions,
+        p.total_loads,
+        fnum(p.mean_block_size),
+        p.max_block_size,
+        fnum(p.mean_parallelism),
+        fnum(p.mean_load_density),
+        fnum(p.mean_llp),
+        p.peak_float_pressure,
+        fnum(p.unknown_access_fraction),
+        blocks.join(",\n"),
+    )
+}
+
+/// Renders the whole suite report as a JSON array, with a trailing
+/// newline (the exact bytes committed to `results/profiles.json`).
+#[must_use]
+pub fn suite_json(profiles: &[BenchmarkProfile]) -> String {
+    let body: Vec<String> = profiles.iter().map(benchmark_json).collect();
+    format!("[\n{}\n]\n", body.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_ir::BlockBuilder;
+    use bsched_workload::perfect_club;
+
+    #[test]
+    fn block_profile_of_simple_chain() {
+        let mut b = BlockBuilder::new("t");
+        let base = b.def_int("base");
+        let x = b.load("x", base, 0);
+        let y = b.load("y", base, 8);
+        let s = b.fadd("s", x, y);
+        b.store(s, base, 16);
+        let p = BlockProfile::of(&b.finish(), AliasModel::Fortran);
+        assert_eq!(p.instructions, 5);
+        assert_eq!(p.loads, 2);
+        assert_eq!(p.stores, 1);
+        assert_eq!(p.mem_accesses, 3);
+        assert_eq!(p.unknown_accesses, 0);
+        // base -> load -> add -> store is the longest chain.
+        assert_eq!(p.critical_path, 4);
+        assert_eq!(p.schedule_lower_bound, 5, "resource bound dominates");
+        assert_eq!(p.max_serial_loads, 1);
+        assert!((p.llp - 2.0).abs() < 1e-12, "two parallel loads");
+        assert!((p.load_density - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_live_counts_overlapping_ranges() {
+        let mut b = BlockBuilder::new("t");
+        let base = b.def_int("base");
+        let x = b.load("x", base, 0); // live 1..3
+        let y = b.load("y", base, 8); // live 2..3
+        let s = b.fadd("s", x, y); // live 3..4
+        b.store(s, base, 16);
+        let block = b.finish();
+        // At the fadd, x and y are still live (read there) while s is
+        // born — three FP registers coexist.
+        assert_eq!(max_live(&block, RegClass::Float), 3);
+        assert_eq!(max_live(&block, RegClass::Int), 1, "only the base");
+    }
+
+    #[test]
+    fn never_used_def_occupies_no_range() {
+        let mut b = BlockBuilder::new("t");
+        let _dead = b.fconst("dead", 0.0);
+        let block = b.finish();
+        assert_eq!(max_live(&block, RegClass::Float), 0);
+    }
+
+    #[test]
+    fn benchmark_profile_aggregates() {
+        let bench = &perfect_club()[0];
+        let p = BenchmarkProfile::of(bench, AliasModel::Fortran);
+        assert_eq!(p.name, "ADM");
+        assert_eq!(p.blocks.len(), bench.function().blocks().len());
+        assert_eq!(
+            p.total_instructions,
+            p.blocks.iter().map(|b| b.instructions).sum::<usize>()
+        );
+        assert!(p.mean_parallelism > 1.0);
+        assert!(p.max_block_size >= p.blocks[0].instructions);
+    }
+
+    #[test]
+    fn suite_json_is_valid_shape() {
+        let bench = &perfect_club()[0];
+        let p = BenchmarkProfile::of(bench, AliasModel::Fortran);
+        let json = suite_json(&[p]);
+        assert!(json.starts_with("[\n"), "{json}");
+        assert!(json.ends_with("]\n"), "{json}");
+        assert!(json.contains("\"name\": \"ADM\""));
+        assert!(json.contains("\"mean_llp\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
+}

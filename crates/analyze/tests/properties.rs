@@ -1,0 +1,78 @@
+//! Property tests: the analyzer must never panic on any generated
+//! block, and must never report a *correctness* error on a block that
+//! the independent `bsched-verify` validator accepts.
+
+use bsched_analyze::{max_live, pressure_profile, Analyzer, BlockProfile, Lint};
+use bsched_dag::AliasModel;
+use bsched_ir::{InstId, RegClass};
+use bsched_stats::Pcg32;
+use bsched_verify::verify_schedule;
+use bsched_workload::{random_block, GeneratorConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (5usize..60, 0.05f64..0.6, 0.0f64..0.5, 0.0f64..0.3).prop_map(
+        |(size, load_fraction, chain_fraction, store_fraction)| GeneratorConfig {
+            size,
+            load_fraction,
+            chain_fraction,
+            store_fraction,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The analyzer completes on every generated block under both alias
+    /// models — no pass panics, whatever the block shape.
+    #[test]
+    fn analyzer_never_panics(cfg in arb_config(), seed in 0u64..500) {
+        let block = random_block(&cfg, &mut Pcg32::seed_from_u64(seed));
+        for alias in [AliasModel::Fortran, AliasModel::CConservative] {
+            let diags = Analyzer::new(alias).analyze_block(&block, None);
+            // Diagnostics must point inside the block.
+            for d in &diags {
+                if let Some(id) = d.inst {
+                    prop_assert!(id.index() < block.len(), "{d}");
+                }
+            }
+            let _ = BlockProfile::of(&block, alias);
+        }
+    }
+
+    /// No false positives: a block that the independent validator
+    /// accepts (program order is a legal schedule of a well-formed
+    /// block) must carry none of the lints that claim the block itself
+    /// is malformed. Dead stores and redundant loads are excluded —
+    /// random blocks legitimately contain those.
+    #[test]
+    fn verified_blocks_have_no_malformation_lints(cfg in arb_config(), seed in 500u64..1000) {
+        let block = random_block(&cfg, &mut Pcg32::seed_from_u64(seed));
+        let order: Vec<InstId> = (0..block.len()).map(InstId::from_usize).collect();
+        prop_assert!(verify_schedule(&block, &order, AliasModel::Fortran).is_ok());
+        let diags = Analyzer::new(AliasModel::Fortran).analyze_block(&block, None);
+        for d in &diags {
+            prop_assert!(
+                !matches!(
+                    d.lint,
+                    Lint::UninitializedRead | Lint::WeightInvariant | Lint::EmptyBlock
+                ),
+                "false positive on a verified block: {d}"
+            );
+        }
+    }
+
+    /// The pressure curve is consistent with its own peak, and the peak
+    /// is bounded by the number of instructions plus live-ins.
+    #[test]
+    fn pressure_profile_matches_max_live(cfg in arb_config(), seed in 0u64..300) {
+        let block = random_block(&cfg, &mut Pcg32::seed_from_u64(seed));
+        for class in [RegClass::Int, RegClass::Float] {
+            let curve = pressure_profile(&block, class);
+            prop_assert_eq!(curve.len(), block.len());
+            let peak = curve.iter().copied().max().unwrap_or(0) as usize;
+            prop_assert_eq!(peak, max_live(&block, class));
+        }
+    }
+}

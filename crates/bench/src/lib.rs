@@ -339,16 +339,18 @@ pub fn run_cells_checked(jobs: &[CellJob<'_>]) -> Vec<CellOutcome> {
         bsched_par::parallel_map_catch(&tasks, compile_one)
             .into_iter()
             .enumerate()
-            .map(|(k, caught)| match caught.unwrap_or_else(|p| Err(p.to_string())) {
-                Ok(program) => Ok(program),
-                // Retry once serially: rules out transient causes
-                // (resource exhaustion under full fan-out) before the
-                // cell is written off.
-                Err(_) => bsched_par::parallel_map_catch(&tasks[k..=k], compile_one)
-                    .pop()
-                    .expect("one result per item")
-                    .unwrap_or_else(|p| Err(p.to_string())),
-            })
+            .map(
+                |(k, caught)| match caught.unwrap_or_else(|p| Err(p.to_string())) {
+                    Ok(program) => Ok(program),
+                    // Retry once serially: rules out transient causes
+                    // (resource exhaustion under full fan-out) before the
+                    // cell is written off.
+                    Err(_) => bsched_par::parallel_map_catch(&tasks[k..=k], compile_one)
+                        .pop()
+                        .expect("one result per item")
+                        .unwrap_or_else(|p| Err(p.to_string())),
+                },
+            )
             .collect();
 
     let eval_one = |i: usize, &(balanced, traditional): &(usize, usize)| -> Result<Cell, String> {
@@ -367,19 +369,22 @@ pub fn run_cells_checked(jobs: &[CellJob<'_>]) -> Vec<CellOutcome> {
     bsched_par::parallel_map_catch(&refs, eval_one)
         .into_iter()
         .enumerate()
-        .map(|(i, caught)| match caught.unwrap_or_else(|p| Err(p.to_string())) {
-            Ok(cell) => CellOutcome::Ok(cell),
-            Err(_) => {
-                // Same serial retry as the compile stage.
-                let retried = bsched_par::parallel_map_catch(&refs[i..=i], |_, r| eval_one(i, r))
-                    .pop()
-                    .expect("one result per item");
-                match retried.unwrap_or_else(|p| Err(p.to_string())) {
-                    Ok(cell) => CellOutcome::Ok(cell),
-                    Err(reason) => CellOutcome::Failed { reason },
+        .map(
+            |(i, caught)| match caught.unwrap_or_else(|p| Err(p.to_string())) {
+                Ok(cell) => CellOutcome::Ok(cell),
+                Err(_) => {
+                    // Same serial retry as the compile stage.
+                    let retried =
+                        bsched_par::parallel_map_catch(&refs[i..=i], |_, r| eval_one(i, r))
+                            .pop()
+                            .expect("one result per item");
+                    match retried.unwrap_or_else(|p| Err(p.to_string())) {
+                        Ok(cell) => CellOutcome::Ok(cell),
+                        Err(reason) => CellOutcome::Failed { reason },
+                    }
                 }
-            }
-        })
+            },
+        )
         .collect()
 }
 
@@ -400,7 +405,10 @@ pub fn report_cell_failures(jobs: &[CellJob<'_>], outcomes: &[CellOutcome]) -> u
         }
     }
     if failures > 0 {
-        eprintln!("{failures} of {} cells failed; the rest are reported above", jobs.len());
+        eprintln!(
+            "{failures} of {} cells failed; the rest are reported above",
+            jobs.len()
+        );
     }
     failures
 }
@@ -458,7 +466,7 @@ pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
         cells
             .iter()
             .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .map(|(c, w)| format!("{c:>w$}"))
             .collect::<Vec<_>>()
             .join("  ")
     };
@@ -478,7 +486,9 @@ mod tests {
     static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn env_lock() -> std::sync::MutexGuard<'static, ()> {
-        ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        ENV_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     #[test]
@@ -530,7 +540,10 @@ mod tests {
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.improvement.mean_percent, p.improvement.mean_percent);
-            assert_eq!(s.traditional.bootstrap_runtimes, p.traditional.bootstrap_runtimes);
+            assert_eq!(
+                s.traditional.bootstrap_runtimes,
+                p.traditional.bootstrap_runtimes
+            );
             assert_eq!(s.balanced.bootstrap_runtimes, p.balanced.bootstrap_runtimes);
             assert_eq!(s.balanced.mean_interlocks, p.balanced.mean_interlocks);
         }

@@ -593,8 +593,14 @@ mod tests {
     fn runs_stats_empty_batch() {
         let block = block_with_loads(1);
         let rng = Pcg32::seed_from_u64(0);
-        let stats =
-            simulate_runs_stats(&block, &FixedLatency::new(2), ProcessorModel::Unlimited, 1, 0, &rng);
+        let stats = simulate_runs_stats(
+            &block,
+            &FixedLatency::new(2),
+            ProcessorModel::Unlimited,
+            1,
+            0,
+            &rng,
+        );
         assert!(stats.elapsed.is_empty());
         assert_eq!(stats.mean_interlocks(), 0.0);
     }

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use bsched_ir::{BasicBlock, InstId, Opcode};
+use bsched_ir::{BasicBlock, Inst, InstId, Opcode};
 
 /// Kind of dependence edge between two instructions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,9 +82,9 @@ impl CodeDag {
     #[must_use]
     pub fn new(block: &BasicBlock) -> Self {
         let n = block.len();
-        let is_load = block.insts().iter().map(|i| i.is_load()).collect();
-        let opcodes = block.insts().iter().map(|i| i.opcode()).collect();
-        let pressure_delta = block.insts().iter().map(|i| i.pressure_delta()).collect();
+        let is_load = block.insts().iter().map(Inst::is_load).collect();
+        let opcodes = block.insts().iter().map(Inst::opcode).collect();
+        let pressure_delta = block.insts().iter().map(Inst::pressure_delta).collect();
         let names = block
             .iter_ids()
             .map(|(id, i)| i.name().map_or_else(|| id.to_string(), str::to_owned))

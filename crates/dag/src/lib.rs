@@ -57,7 +57,7 @@ pub use build::{build_dag, AliasModel};
 pub use closure::Closures;
 pub use components::connected_components;
 pub use dag::{CodeDag, DepKind, Edge};
-pub use dot::to_dot;
+pub use dot::{to_dot, to_dot_annotated, DotOverlay};
 pub use paths::{chances_exact, chances_level_approx, load_levels, ChancesMethod};
 pub use unionfind::UnionFind;
 pub use workspace::DagWorkspace;

@@ -121,7 +121,7 @@ impl BlockBuilder {
         // A conservative default: each distinct base integer register gets
         // its own region numbered after the register index. The workload
         // generator always uses load_region for precise aliasing.
-        let region = RegionId::new(1_000_000 + base.as_virt().map_or(0, |v| v.index()));
+        let region = RegionId::new(1_000_000 + base.as_virt().map_or(0, VirtReg::index));
         self.load_region(name, region, base, Some(offset))
     }
 
@@ -172,7 +172,7 @@ impl BlockBuilder {
     /// Emits an FP store of `value` to `base + offset` (anonymous region;
     /// see [`BlockBuilder::load`]).
     pub fn store(&mut self, value: Reg, base: Reg, offset: i64) -> &mut Self {
-        let region = RegionId::new(1_000_000 + base.as_virt().map_or(0, |v| v.index()));
+        let region = RegionId::new(1_000_000 + base.as_virt().map_or(0, VirtReg::index));
         self.store_region(region, value, base, Some(offset))
     }
 

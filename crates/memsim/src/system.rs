@@ -211,7 +211,7 @@ mod tests {
     #[test]
     fn paper_systems_match_table2_rows() {
         let systems = MemorySystem::paper_systems();
-        let names: Vec<String> = systems.iter().map(|s| s.name()).collect();
+        let names: Vec<String> = systems.iter().map(LatencyModel::name).collect();
         assert_eq!(
             names,
             vec![

@@ -182,11 +182,7 @@ where
 /// worker thread can never unwind — the work queue always drains, the
 /// scope join never sees a dead thread, and the `IN_PARALLEL` flag never
 /// outlives its worker.
-fn run_isolated<T, R, F>(
-    threads: usize,
-    items: &[T],
-    f: F,
-) -> Vec<Result<R, Box<dyn Any + Send>>>
+fn run_isolated<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<Result<R, Box<dyn Any + Send>>>
 where
     T: Sync,
     R: Send,
@@ -281,9 +277,14 @@ mod tests {
         let sums = parallel_map_with(4, &outer, |_, &o| {
             assert!(in_parallel_worker());
             let inner: Vec<usize> = (0..50).collect();
-            parallel_map_with(4, &inner, |_, &x| x + o).iter().sum::<usize>()
+            parallel_map_with(4, &inner, |_, &x| x + o)
+                .iter()
+                .sum::<usize>()
         });
-        let expected: Vec<usize> = outer.iter().map(|o| (0..50).sum::<usize>() + 50 * o).collect();
+        let expected: Vec<usize> = outer
+            .iter()
+            .map(|o| (0..50).sum::<usize>() + 50 * o)
+            .collect();
         assert_eq!(sums, expected);
         assert!(!in_parallel_worker(), "flag must not leak to the caller");
     }

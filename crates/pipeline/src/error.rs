@@ -1,8 +1,38 @@
 //! One error type for the whole compile–simulate flow.
 
+use bsched_analyze::Diagnostic;
 use bsched_regalloc::AllocError;
 use bsched_verify::VerifyError;
 use bsched_workload::{LowerError, ParseError};
+
+/// Static-analysis diagnostics that stopped compilation: the
+/// pre-scheduling gate (see `Pipeline::analysis`) found lints at or above
+/// its blocking severity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeError {
+    /// Name of the rejected block.
+    pub block: String,
+    /// Every blocking diagnostic, most severe first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} blocking diagnostic{} in {}",
+            self.diagnostics.len(),
+            if self.diagnostics.len() == 1 { "" } else { "s" },
+            self.block
+        )?;
+        if let Some(first) = self.diagnostics.first() {
+            write!(f, ": {first}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
 
 /// Any failure between kernel text and a measured table cell.
 ///
@@ -21,6 +51,8 @@ pub enum PipelineError {
     Parse(ParseError),
     /// A kernel could not be lowered to the IR.
     Lower(LowerError),
+    /// The pre-scheduling static-analysis gate rejected a block.
+    Analyze(AnalyzeError),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -30,6 +62,7 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Verify(e) => write!(f, "validation: {e}"),
             PipelineError::Parse(e) => write!(f, "parse: {e}"),
             PipelineError::Lower(e) => write!(f, "lowering: {e}"),
+            PipelineError::Analyze(e) => write!(f, "analysis: {e}"),
         }
     }
 }
@@ -41,7 +74,14 @@ impl std::error::Error for PipelineError {
             PipelineError::Verify(e) => Some(e),
             PipelineError::Parse(e) => Some(e),
             PipelineError::Lower(e) => Some(e),
+            PipelineError::Analyze(e) => Some(e),
         }
+    }
+}
+
+impl From<AnalyzeError> for PipelineError {
+    fn from(e: AnalyzeError) -> Self {
+        PipelineError::Analyze(e)
     }
 }
 
@@ -80,13 +120,43 @@ mod tests {
             e.to_string(),
             "register allocation: input block already uses physical registers"
         );
-        let e: PipelineError = VerifyError::LengthMismatch { expected: 2, got: 1 }.into();
+        let e: PipelineError = VerifyError::LengthMismatch {
+            expected: 2,
+            got: 1,
+        }
+        .into();
         assert!(e.to_string().starts_with("validation: "));
         let e: PipelineError = LowerError::InvalidFrequency { value: -1.0 }.into();
         assert!(e.to_string().starts_with("lowering: "));
-        let e: PipelineError =
-            bsched_workload::parse_kernel("kernel").map(|_| ()).unwrap_err().into();
+        let e: PipelineError = bsched_workload::parse_kernel("kernel")
+            .map(|_| ())
+            .unwrap_err()
+            .into();
         assert!(e.to_string().starts_with("parse: "));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn analyze_error_reports_count_and_first_diagnostic() {
+        let diag = Diagnostic {
+            lint: bsched_analyze::Lint::DeadStore,
+            severity: bsched_analyze::Severity::Error,
+            block: "k".to_owned(),
+            inst: Some(bsched_ir::InstId::new(2)),
+            span: None,
+            message: "overwritten".to_owned(),
+        };
+        let e: PipelineError = AnalyzeError {
+            block: "k".to_owned(),
+            diagnostics: vec![diag],
+        }
+        .into();
+        let rendered = e.to_string();
+        assert!(
+            rendered.starts_with("analysis: 1 blocking diagnostic in k: "),
+            "{rendered}"
+        );
+        assert!(rendered.contains("dead-store"), "{rendered}");
         assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -119,7 +119,11 @@ fn block_stats(
 /// Folds per-block statistics into a [`ProgramEval`], always in block
 /// order so floating-point accumulation is identical however the
 /// per-block work was scheduled.
-fn combine(program: &CompiledProgram, per_block: Vec<(Vec<f64>, f64)>, config: &EvalConfig) -> ProgramEval {
+fn combine(
+    program: &CompiledProgram,
+    per_block: Vec<(Vec<f64>, f64)>,
+    config: &EvalConfig,
+) -> ProgramEval {
     let mut bootstrap_runtimes = vec![0.0; config.resamples];
     let mut mean_interlocks = 0.0;
     for (cb, (means, interlocks)) in program.blocks.iter().zip(per_block) {

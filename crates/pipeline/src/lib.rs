@@ -52,8 +52,10 @@ pub mod error;
 pub mod eval;
 pub mod pipeline;
 
-pub use error::PipelineError;
+pub use error::{AnalyzeError, PipelineError};
 pub use eval::{
     compare, evaluate, evaluate_serial, try_evaluate, try_evaluate_serial, EvalConfig, ProgramEval,
 };
-pub use pipeline::{AllocationStrategy, CompiledBlock, CompiledProgram, Pipeline, SchedulerChoice};
+pub use pipeline::{
+    AllocationStrategy, AnalysisGate, CompiledBlock, CompiledProgram, Pipeline, SchedulerChoice,
+};

@@ -1,5 +1,6 @@
 //! Compilation: two list-scheduling passes around register allocation.
 
+use bsched_analyze::{Analyzer, Severity};
 use bsched_core::{
     AverageParallelismWeights, BalancedWeights, Direction, ListScheduler, Ratio, Rounding,
     TraditionalWeights, WeightAssigner,
@@ -9,7 +10,52 @@ use bsched_ir::{BasicBlock, Function};
 use bsched_regalloc::{allocate, allocate_usage_count, rename_registers, AllocatorConfig};
 use bsched_verify::{verify_allocation, verify_schedule, ValidationLevel};
 
-use crate::error::PipelineError;
+use crate::error::{AnalyzeError, PipelineError};
+
+/// Whether the static analyzer gates compilation (`bsched-analyze`).
+///
+/// The gate runs the correctness lints on each *input* block before the
+/// first scheduling pass — catching malformed programs before they turn
+/// into meaningless table cells. It must stay `Copy` (the [`Pipeline`]
+/// is `Copy`), so it carries a policy, not a lint configuration; callers
+/// needing per-lint control run an [`Analyzer`] themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AnalysisGate {
+    /// No pre-scheduling analysis (default: compiled output is
+    /// byte-identical to a build without the analyzer).
+    #[default]
+    Off,
+    /// Fail compilation when any error-level lint fires.
+    Check,
+    /// Fail compilation when any lint fires at warn level or above.
+    Strict,
+}
+
+impl AnalysisGate {
+    /// Reads the `BSCHED_ANALYZE` environment variable
+    /// (`off`/`check`/`strict`; unset or unrecognised means [`Off`](AnalysisGate::Off)).
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("BSCHED_ANALYZE") {
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "check" | "1" => AnalysisGate::Check,
+                "strict" => AnalysisGate::Strict,
+                _ => AnalysisGate::Off,
+            },
+            Err(_) => AnalysisGate::Off,
+        }
+    }
+
+    /// The lowest severity that blocks compilation, or `None` when off.
+    #[must_use]
+    pub fn blocking_severity(self) -> Option<Severity> {
+        match self {
+            AnalysisGate::Off => None,
+            AnalysisGate::Check => Some(Severity::Error),
+            AnalysisGate::Strict => Some(Severity::Warn),
+        }
+    }
+}
 
 /// Which register allocator the pipeline runs (§4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -160,6 +206,10 @@ pub struct Pipeline {
     /// variable; at [`ValidationLevel::Off`] the compiled output is
     /// byte-identical to a build without the validators.
     pub validation: ValidationLevel,
+    /// Whether `bsched-analyze`'s correctness lints gate compilation.
+    /// Defaults to the `BSCHED_ANALYZE` environment variable (off when
+    /// unset).
+    pub analysis: AnalysisGate,
 }
 
 impl Default for Pipeline {
@@ -173,6 +223,7 @@ impl Default for Pipeline {
             second_pass: true,
             rename_after_alloc: false,
             validation: ValidationLevel::from_env(),
+            analysis: AnalysisGate::from_env(),
         }
     }
 }
@@ -193,6 +244,24 @@ impl Pipeline {
         block: &BasicBlock,
         choice: &SchedulerChoice,
     ) -> Result<CompiledBlock, PipelineError> {
+        // Optional pre-scheduling gate: reject blocks the static
+        // analyzer can prove degenerate before spending any scheduling
+        // or simulation work on them.
+        if let Some(threshold) = self.analysis.blocking_severity() {
+            let diags = Analyzer::new(self.alias).analyze_block(block, None);
+            let blocking: Vec<_> = diags
+                .into_iter()
+                .filter(|d| d.severity >= threshold)
+                .collect();
+            if !blocking.is_empty() {
+                return Err(AnalyzeError {
+                    block: block.name().to_owned(),
+                    diagnostics: blocking,
+                }
+                .into());
+            }
+        }
+
         let assigner = choice.assigner();
         let scheduler = ListScheduler::new()
             .with_direction(self.direction)
@@ -376,7 +445,10 @@ mod tests {
             SchedulerChoice::traditional(Ratio::from_int(2)),
             SchedulerChoice::Average,
         ];
-        for allocation in [AllocationStrategy::BeladyScan, AllocationStrategy::UsageCount] {
+        for allocation in [
+            AllocationStrategy::BeladyScan,
+            AllocationStrategy::UsageCount,
+        ] {
             for rename_after_alloc in [false, true] {
                 let pipeline = Pipeline {
                     allocation,
@@ -393,6 +465,67 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn analysis_gate_blocks_bad_blocks_and_passes_clean_ones() {
+        let pipeline = Pipeline {
+            analysis: AnalysisGate::Check,
+            ..Pipeline::default()
+        };
+        // A clean block sails through.
+        pipeline
+            .compile_block(&pressure_block(6), &SchedulerChoice::balanced())
+            .unwrap();
+
+        // A dead store (error-level lint) is rejected before scheduling.
+        let mut b = BlockBuilder::new("bad");
+        let region = b.fresh_region();
+        let base = b.def_int("base");
+        let x = b.load_region("x", region, base, Some(8));
+        b.store_region(region, x, base, Some(0));
+        b.store_region(region, x, base, Some(0));
+        let err = pipeline
+            .compile_block(&b.finish(), &SchedulerChoice::balanced())
+            .unwrap_err();
+        match err {
+            PipelineError::Analyze(e) => {
+                assert_eq!(e.block, "bad");
+                assert_eq!(e.diagnostics.len(), 1);
+                assert_eq!(e.diagnostics[0].lint.id(), "dead-store");
+            }
+            other => panic!("expected analysis rejection, got {other}"),
+        }
+    }
+
+    #[test]
+    fn analysis_gate_off_ignores_bad_blocks() {
+        let mut b = BlockBuilder::new("bad");
+        let region = b.fresh_region();
+        let base = b.def_int("base");
+        let x = b.load_region("x", region, base, Some(8));
+        b.store_region(region, x, base, Some(0));
+        b.store_region(region, x, base, Some(0));
+        let pipeline = Pipeline {
+            analysis: AnalysisGate::Off,
+            ..Pipeline::default()
+        };
+        pipeline
+            .compile_block(&b.finish(), &SchedulerChoice::balanced())
+            .unwrap();
+    }
+
+    #[test]
+    fn analysis_gate_severities() {
+        assert_eq!(AnalysisGate::Off.blocking_severity(), None);
+        assert_eq!(
+            AnalysisGate::Check.blocking_severity(),
+            Some(Severity::Error)
+        );
+        assert_eq!(
+            AnalysisGate::Strict.blocking_severity(),
+            Some(Severity::Warn)
+        );
     }
 
     #[test]

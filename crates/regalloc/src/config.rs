@@ -165,8 +165,10 @@ mod tests {
             fp_regs: 16,
             policy: PoolPolicy::Fifo,
         };
-        assert!(matches!(no_pool.check(), Err(AllocError::InvalidConfig { detail })
-            if detail.contains("spill pool")));
+        assert!(
+            matches!(no_pool.check(), Err(AllocError::InvalidConfig { detail })
+            if detail.contains("spill pool"))
+        );
     }
 
     #[test]

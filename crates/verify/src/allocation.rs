@@ -93,7 +93,11 @@ pub fn verify_allocation(
             match reg_value.get(&phys) {
                 Some(&held) if held == want => {}
                 Some(_) => {
-                    return Err(VerifyError::StaleValue { at, reg: phys, expected: want });
+                    return Err(VerifyError::StaleValue {
+                        at,
+                        reg: phys,
+                        expected: want,
+                    });
                 }
                 // A physical register the original program itself reads
                 // (a live-in) holds "itself" on entry.
@@ -118,7 +122,10 @@ pub fn verify_allocation(
 }
 
 fn shape(at: usize, detail: impl Into<String>) -> VerifyError {
-    VerifyError::ShapeMismatch { at, detail: detail.into() }
+    VerifyError::ShapeMismatch {
+        at,
+        detail: detail.into(),
+    }
 }
 
 /// Every register was pre-checked physical before the value-flow walk.
@@ -137,11 +144,18 @@ fn check_registers_physical_and_in_range(
 ) -> Result<(), VerifyError> {
     for &reg in inst.defs().iter().chain(inst.uses()) {
         let Reg::Phys(phys) = reg else {
-            return Err(shape(at, format!("virtual register {reg} survived allocation")));
+            return Err(shape(
+                at,
+                format!("virtual register {reg} survived allocation"),
+            ));
         };
         let file_size = config.regs_of(phys.class());
         if phys.index() >= file_size {
-            return Err(VerifyError::RegisterOutOfRange { at, reg: phys, file_size });
+            return Err(VerifyError::RegisterOutOfRange {
+                at,
+                reg: phys,
+                file_size,
+            });
         }
     }
     Ok(())
@@ -166,7 +180,11 @@ fn check_shape(at: usize, orig: &Inst, inst: &Inst) -> Result<(), VerifyError> {
     if inst.opcode() != orig.opcode() {
         return Err(shape(
             at,
-            format!("opcode {} was {}", inst.opcode().mnemonic(), orig.opcode().mnemonic()),
+            format!(
+                "opcode {} was {}",
+                inst.opcode().mnemonic(),
+                orig.opcode().mnemonic()
+            ),
         ));
     }
     if inst.defs().len() != orig.defs().len() || inst.uses().len() != orig.uses().len() {
@@ -211,10 +229,18 @@ mod tests {
         PhysReg::new(RegClass::Float, i).into()
     }
     fn read(region: RegionId, offset: i64) -> Option<MemAccess> {
-        Some(MemAccess::new(MemLoc::known(region, offset), AccessKind::Read, 8))
+        Some(MemAccess::new(
+            MemLoc::known(region, offset),
+            AccessKind::Read,
+            8,
+        ))
     }
     fn write(region: RegionId, offset: i64) -> Option<MemAccess> {
-        Some(MemAccess::new(MemLoc::known(region, offset), AccessKind::Write, 8))
+        Some(MemAccess::new(
+            MemLoc::known(region, offset),
+            AccessKind::Write,
+            8,
+        ))
     }
 
     /// base = li; f0 = load [base+0]; f1 = f0 + f0; store f1, [base+8].
@@ -256,10 +282,20 @@ mod tests {
             "a",
             vec![
                 Inst::new(Opcode::Li, vec![pi(0)], vec![], None),
-                Inst::new(Opcode::SpillStore, vec![], vec![pi(0)], write(SPILL_REGION, 0)),
+                Inst::new(
+                    Opcode::SpillStore,
+                    vec![],
+                    vec![pi(0)],
+                    write(SPILL_REGION, 0),
+                ),
                 Inst::new(Opcode::Ldc1, vec![pf(0)], vec![pi(0)], read(DATA, 0)),
                 Inst::new(Opcode::FAdd, vec![pf(1)], vec![pf(0), pf(0)], None),
-                Inst::new(Opcode::SpillLoad, vec![pi(5)], vec![], read(SPILL_REGION, 0)),
+                Inst::new(
+                    Opcode::SpillLoad,
+                    vec![pi(5)],
+                    vec![],
+                    read(SPILL_REGION, 0),
+                ),
                 Inst::new(Opcode::Sdc1, vec![], vec![pf(1), pi(5)], write(DATA, 8)),
             ],
         );
@@ -318,7 +354,13 @@ mod tests {
             ],
         );
         let err = verify_allocation(&original(), &allocated, &config()).unwrap_err();
-        assert_eq!(err, VerifyError::UseBeforeDef { at: 1, reg: PhysReg::new(RegClass::Int, 3) });
+        assert_eq!(
+            err,
+            VerifyError::UseBeforeDef {
+                at: 1,
+                reg: PhysReg::new(RegClass::Int, 3)
+            }
+        );
     }
 
     #[test]
@@ -329,7 +371,12 @@ mod tests {
                 Inst::new(Opcode::Li, vec![pi(0)], vec![], None),
                 Inst::new(Opcode::Ldc1, vec![pf(0)], vec![pi(0)], read(DATA, 0)),
                 Inst::new(Opcode::FAdd, vec![pf(1)], vec![pf(0), pf(0)], None),
-                Inst::new(Opcode::SpillLoad, vec![pi(5)], vec![], read(SPILL_REGION, 16)),
+                Inst::new(
+                    Opcode::SpillLoad,
+                    vec![pi(5)],
+                    vec![],
+                    read(SPILL_REGION, 16),
+                ),
                 Inst::new(Opcode::Sdc1, vec![], vec![pf(1), pi(5)], write(DATA, 8)),
             ],
         );
@@ -362,19 +409,15 @@ mod tests {
     #[test]
     fn shape_changes_are_detected() {
         // Surviving virtual register.
-        let allocated = BasicBlock::new(
-            "a",
-            vec![Inst::new(Opcode::Li, vec![vi(0)], vec![], None)],
-        );
+        let allocated =
+            BasicBlock::new("a", vec![Inst::new(Opcode::Li, vec![vi(0)], vec![], None)]);
         assert!(matches!(
             verify_allocation(&original(), &allocated, &config()),
             Err(VerifyError::ShapeMismatch { at: 0, .. })
         ));
         // Dropped instructions.
-        let allocated = BasicBlock::new(
-            "a",
-            vec![Inst::new(Opcode::Li, vec![pi(0)], vec![], None)],
-        );
+        let allocated =
+            BasicBlock::new("a", vec![Inst::new(Opcode::Li, vec![pi(0)], vec![], None)]);
         assert!(matches!(
             verify_allocation(&original(), &allocated, &config()),
             Err(VerifyError::ShapeMismatch { at: 1, .. })

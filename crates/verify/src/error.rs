@@ -88,13 +88,19 @@ impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             VerifyError::LengthMismatch { expected, got } => {
-                write!(f, "schedule covers {got} instructions, block has {expected}")
+                write!(
+                    f,
+                    "schedule covers {got} instructions, block has {expected}"
+                )
             }
             VerifyError::NotAPermutation { id } => {
                 write!(f, "schedule repeats or invents instruction {id}")
             }
             VerifyError::DependenceViolated { from, to, kind } => {
-                write!(f, "{kind} dependence {from} -> {to} points backward in the schedule")
+                write!(
+                    f,
+                    "{kind} dependence {from} -> {to} points backward in the schedule"
+                )
             }
             VerifyError::ShapeMismatch { at, detail } => {
                 write!(f, "allocated instruction {at}: {detail}")
@@ -115,7 +121,10 @@ impl std::fmt::Display for VerifyError {
                 )
             }
             VerifyError::UnmatchedReload { at, slot } => {
-                write!(f, "reload at {at} reads spill slot {slot}, which was never stored")
+                write!(
+                    f,
+                    "reload at {at} reads spill slot {slot}, which was never stored"
+                )
             }
             VerifyError::Timeline { detail } => write!(f, "simulator timeline: {detail}"),
         }
@@ -130,9 +139,14 @@ mod tests {
 
     #[test]
     fn errors_render_their_context() {
-        let e = VerifyError::LengthMismatch { expected: 4, got: 3 };
+        let e = VerifyError::LengthMismatch {
+            expected: 4,
+            got: 3,
+        };
         assert_eq!(e.to_string(), "schedule covers 3 instructions, block has 4");
-        let e = VerifyError::Timeline { detail: "x".to_owned() };
+        let e = VerifyError::Timeline {
+            detail: "x".to_owned(),
+        };
         assert_eq!(e.to_string(), "simulator timeline: x");
         let e = VerifyError::UnmatchedReload { at: 7, slot: 16 };
         assert!(e.to_string().contains("slot 16"));

@@ -72,7 +72,9 @@ mod tests {
 
     #[test]
     fn env_var_selects_level() {
-        let _guard = ENV_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _guard = ENV_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for (text, level) in [
             ("off", ValidationLevel::Off),
             ("0", ValidationLevel::Off),
@@ -83,14 +85,24 @@ mod tests {
             (" Full ", ValidationLevel::Full),
         ] {
             std::env::set_var("BSCHED_VALIDATE", text);
-            assert_eq!(ValidationLevel::from_env(), level, "BSCHED_VALIDATE={text:?}");
+            assert_eq!(
+                ValidationLevel::from_env(),
+                level,
+                "BSCHED_VALIDATE={text:?}"
+            );
         }
         for fallback in ["", "garbage", "2"] {
             std::env::set_var("BSCHED_VALIDATE", fallback);
-            assert_eq!(ValidationLevel::from_env(), ValidationLevel::build_default());
+            assert_eq!(
+                ValidationLevel::from_env(),
+                ValidationLevel::build_default()
+            );
         }
         std::env::remove_var("BSCHED_VALIDATE");
-        assert_eq!(ValidationLevel::from_env(), ValidationLevel::build_default());
+        assert_eq!(
+            ValidationLevel::from_env(),
+            ValidationLevel::build_default()
+        );
         assert_eq!(ValidationLevel::default(), ValidationLevel::build_default());
     }
 }

@@ -104,13 +104,27 @@ mod tests {
     fn duplicates_and_length_are_rejected() {
         let block = demo_block();
         let err = verify_schedule(&block, &ids(&[0, 1, 2, 3]), AliasModel::Fortran).unwrap_err();
-        assert_eq!(err, VerifyError::LengthMismatch { expected: 5, got: 4 });
-        let err =
-            verify_schedule(&block, &ids(&[0, 1, 2, 3, 3]), AliasModel::Fortran).unwrap_err();
-        assert_eq!(err, VerifyError::NotAPermutation { id: InstId::from_usize(3) });
-        let err =
-            verify_schedule(&block, &ids(&[0, 1, 2, 3, 9]), AliasModel::Fortran).unwrap_err();
-        assert_eq!(err, VerifyError::NotAPermutation { id: InstId::from_usize(9) });
+        assert_eq!(
+            err,
+            VerifyError::LengthMismatch {
+                expected: 5,
+                got: 4
+            }
+        );
+        let err = verify_schedule(&block, &ids(&[0, 1, 2, 3, 3]), AliasModel::Fortran).unwrap_err();
+        assert_eq!(
+            err,
+            VerifyError::NotAPermutation {
+                id: InstId::from_usize(3)
+            }
+        );
+        let err = verify_schedule(&block, &ids(&[0, 1, 2, 3, 9]), AliasModel::Fortran).unwrap_err();
+        assert_eq!(
+            err,
+            VerifyError::NotAPermutation {
+                id: InstId::from_usize(9)
+            }
+        );
     }
 
     #[test]

@@ -39,11 +39,16 @@ pub mod kernels;
 pub mod lower;
 pub mod parse;
 pub mod perfect;
+pub mod span;
 pub mod superblock;
 
 pub use generator::{random_block, GeneratorConfig};
 pub use kernel::{ArrayDecl, ArrayRef, BinOp, Expr, Index, Kernel, Stmt};
-pub use lower::{lower_kernel, try_lower_kernel, LowerError, ELEM_BYTES};
+pub use lower::{
+    lower_kernel, try_lower_kernel, try_lower_kernel_mapped, try_lower_parsed, LowerError,
+    ELEM_BYTES,
+};
 pub use parse::{parse_kernel, parse_program, ParseError, ParsedKernel};
 pub use perfect::{perfect_club, Benchmark};
+pub use span::{SourceMap, Span};
 pub use superblock::{fuse_blocks, superblocks_of};

@@ -10,6 +10,8 @@
 use bsched_ir::{BasicBlock, BlockBuilder, Reg, RegionId};
 
 use crate::kernel::{BinOp, Expr, Index, Kernel, Stmt};
+use crate::parse::ParsedKernel;
+use crate::span::{SourceMap, Span};
 
 /// Element size in bytes (double precision, as the Fortran codes use).
 pub const ELEM_BYTES: i64 = 8;
@@ -42,7 +44,10 @@ impl std::fmt::Display for LowerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LowerError::UnknownArray { index, declared } => {
-                write!(f, "kernel references array {index}, but declares only {declared}")
+                write!(
+                    f,
+                    "kernel references array {index}, but declares only {declared}"
+                )
             }
             LowerError::UnknownAccumulator { index, declared } => {
                 write!(
@@ -51,7 +56,10 @@ impl std::fmt::Display for LowerError {
                 )
             }
             LowerError::InvalidFrequency { value } => {
-                write!(f, "block frequency must be positive and finite, got {value}")
+                write!(
+                    f,
+                    "block frequency must be positive and finite, got {value}"
+                )
             }
         }
     }
@@ -107,6 +115,25 @@ fn check_expr(kernel: &Kernel, expr: &Expr) -> Result<(), LowerError> {
 /// an undeclared array or accumulator — everything is checked up front,
 /// so a failed call builds nothing.
 pub fn try_lower_kernel(kernel: &Kernel, frequency: f64) -> Result<BasicBlock, LowerError> {
+    Ok(try_lower_kernel_mapped(kernel, frequency, &[])?.0)
+}
+
+/// [`try_lower_kernel`] that also maps every emitted instruction back to
+/// the source statement it came from.
+///
+/// `stmt_spans` is aligned with `kernel.body` (the parser produces it as
+/// [`ParsedKernel::stmt_spans`]); statements beyond its length — and the
+/// lowering's own prelude instructions — map to `None` in the returned
+/// [`SourceMap`].
+///
+/// # Errors
+///
+/// Same contract as [`try_lower_kernel`].
+pub fn try_lower_kernel_mapped(
+    kernel: &Kernel,
+    frequency: f64,
+    stmt_spans: &[Span],
+) -> Result<(BasicBlock, SourceMap), LowerError> {
     if !frequency.is_finite() || frequency <= 0.0 {
         return Err(LowerError::InvalidFrequency { value: frequency });
     }
@@ -122,7 +149,16 @@ pub fn try_lower_kernel(kernel: &Kernel, frequency: f64) -> Result<BasicBlock, L
             }
         }
     }
-    Ok(lower_checked(kernel, frequency))
+    Ok(lower_checked(kernel, frequency, stmt_spans))
+}
+
+/// Lowers a [`ParsedKernel`] with full source tracking.
+///
+/// # Errors
+///
+/// Same contract as [`try_lower_kernel`].
+pub fn try_lower_parsed(parsed: &ParsedKernel) -> Result<(BasicBlock, SourceMap), LowerError> {
+    try_lower_kernel_mapped(&parsed.kernel, parsed.frequency, &parsed.stmt_spans)
 }
 
 /// [`try_lower_kernel`] for kernels known to be well-formed.
@@ -136,7 +172,7 @@ pub fn lower_kernel(kernel: &Kernel, frequency: f64) -> BasicBlock {
     try_lower_kernel(kernel, frequency).unwrap_or_else(|e| panic!("{}: {e}", kernel.name))
 }
 
-fn lower_checked(kernel: &Kernel, frequency: f64) -> BasicBlock {
+fn lower_checked(kernel: &Kernel, frequency: f64, stmt_spans: &[Span]) -> (BasicBlock, SourceMap) {
     let mut b = BlockBuilder::new(kernel.name.clone());
     b.set_frequency(frequency);
 
@@ -155,9 +191,13 @@ fn lower_checked(kernel: &Kernel, frequency: f64) -> BasicBlock {
         .map(|k| b.fconst(&format!("acc{k}"), 0.0))
         .collect();
 
+    // Prelude instructions (bases, accumulator seeds) have no statement.
+    let mut spans: Vec<Option<Span>> = vec![None; b.len()];
+
     for copy in 0..kernel.unroll {
         let shift = i64::from(copy) * kernel.stride;
-        for stmt in &kernel.body {
+        for (stmt_idx, stmt) in kernel.body.iter().enumerate() {
+            let before = b.len();
             match stmt {
                 Stmt::Store(arr, idx, expr) => {
                     let v = lower_expr(&mut b, kernel, &regions, &bases, &accs, expr, shift);
@@ -176,9 +216,11 @@ fn lower_checked(kernel: &Kernel, frequency: f64) -> BasicBlock {
                     accs[*k] = v;
                 }
             }
+            spans.resize(b.len(), stmt_spans.get(stmt_idx).copied());
+            debug_assert!(b.len() >= before);
         }
     }
-    b.finish()
+    (b.finish(), SourceMap::new(spans))
 }
 
 fn shifted(idx: Index, shift: i64) -> Option<i64> {
@@ -360,7 +402,10 @@ mod tests {
         );
         assert_eq!(
             try_lower_kernel(&k, 1.0),
-            Err(LowerError::UnknownArray { index: 3, declared: 1 })
+            Err(LowerError::UnknownArray {
+                index: 3,
+                declared: 1
+            })
         );
         // Load of an undeclared array, nested inside an expression.
         let k = Kernel::new(
@@ -377,14 +422,13 @@ mod tests {
             Err(LowerError::UnknownArray { index: 7, .. })
         ));
         // Undeclared accumulator.
-        let k = Kernel::new(
-            "bad",
-            vec!["x"],
-            vec![Stmt::SetAcc(2, Expr::Const(0.0))],
-        );
+        let k = Kernel::new("bad", vec!["x"], vec![Stmt::SetAcc(2, Expr::Const(0.0))]);
         assert_eq!(
             try_lower_kernel(&k, 1.0),
-            Err(LowerError::UnknownAccumulator { index: 2, declared: 0 })
+            Err(LowerError::UnknownAccumulator {
+                index: 2,
+                declared: 0
+            })
         );
     }
 
@@ -406,6 +450,33 @@ mod tests {
     fn panicking_wrapper_names_the_kernel() {
         let k = Kernel::new("bad", vec!["x"], vec![Stmt::SetAcc(0, Expr::Const(0.0))]);
         let _ = lower_kernel(&k, 1.0);
+    }
+
+    #[test]
+    fn source_map_covers_every_instruction() {
+        // Two statements, unrolled twice: the prelude (two bases) maps to
+        // None, every other instruction to its statement's span — the
+        // same span in both unrolled copies.
+        let src = "kernel k {\n  arrays x, y;\n  unroll 2;\n  y[0] = x[0] + 1;\n  x[1] = 2;\n}";
+        let parsed = crate::parse::parse_kernel(src).unwrap();
+        let (block, map) = try_lower_parsed(&parsed).unwrap();
+        assert_eq!(map.len(), block.len());
+        let s1 = crate::span::Span::new(4, 3);
+        let s2 = crate::span::Span::new(5, 3);
+        let spans: Vec<Option<crate::span::Span>> =
+            block.iter_ids().map(|(id, _)| map.get(id)).collect();
+        assert_eq!(&spans[..2], &[None, None], "array bases have no span");
+        assert!(spans[2..].iter().all(Option::is_some));
+        // Both statements appear, and each statement's span covers a
+        // contiguous run per unrolled copy.
+        assert_eq!(spans.iter().filter(|s| **s == Some(s1)).count(), 8);
+        assert_eq!(spans.iter().filter(|s| **s == Some(s2)).count(), 4);
+        // Store instructions carry their statement's span.
+        for (id, inst) in block.iter_ids() {
+            if inst.is_store() {
+                assert!(map.get(id).is_some());
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 use std::fmt;
 
 use crate::kernel::{ArrayRef, BinOp, Expr, Index, Kernel, Stmt};
+use crate::span::Span;
 
 /// A parse error with 1-based line/column location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +66,12 @@ impl std::error::Error for ParseError {}
 struct Pos {
     line: u32,
     column: u32,
+}
+
+impl Pos {
+    fn span(self) -> Span {
+        Span::new(self.line, self.column)
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -403,13 +410,17 @@ impl Parser {
     }
 }
 
-/// A parsed kernel plus its profiled block frequency.
+/// A parsed kernel plus its profiled block frequency and source spans.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParsedKernel {
     /// The kernel.
     pub kernel: Kernel,
     /// Execution frequency (`frequency` declaration, default 1.0).
     pub frequency: f64,
+    /// Where the `kernel` keyword of this definition starts.
+    pub span: Span,
+    /// Where each body statement starts, aligned with `kernel.body`.
+    pub stmt_spans: Vec<Span>,
 }
 
 /// Parses one kernel definition.
@@ -469,6 +480,7 @@ pub fn parse_program(src: &str) -> Result<Vec<ParsedKernel>, ParseError> {
 fn parse_one(p: &mut Parser) -> Result<ParsedKernel, ParseError> {
     p.arrays.clear();
     p.accs.clear();
+    let header = p.pos().span();
     p.expect_keyword("kernel")?;
     let name = p.expect_ident()?;
     p.expect_punct('{')?;
@@ -477,6 +489,7 @@ fn parse_one(p: &mut Parser) -> Result<ParsedKernel, ParseError> {
     let mut stride: i64 = 1;
     let mut frequency: f64 = 1.0;
     let mut body = Vec::new();
+    let mut stmt_spans = Vec::new();
 
     while *p.peek() != Tok::Punct('}') {
         let pos = p.pos();
@@ -538,7 +551,10 @@ fn parse_one(p: &mut Parser) -> Result<ParsedKernel, ParseError> {
                     pos,
                 ));
             }
-            _ => body.push(p.stmt()?),
+            _ => {
+                stmt_spans.push(pos.span());
+                body.push(p.stmt()?);
+            }
         }
     }
     p.expect_punct('}')?;
@@ -549,7 +565,12 @@ fn parse_one(p: &mut Parser) -> Result<ParsedKernel, ParseError> {
         .with_unroll(unroll)
         .with_stride(stride)
         .with_accumulators(accs);
-    Ok(ParsedKernel { kernel, frequency })
+    Ok(ParsedKernel {
+        kernel,
+        frequency,
+        span: header,
+        stmt_spans,
+    })
 }
 
 #[cfg(test)]
@@ -708,6 +729,18 @@ mod tests {
             .unwrap_err()
             .message()
             .contains("unknown array"));
+    }
+
+    #[test]
+    fn statement_and_header_spans_are_recorded() {
+        let src = "kernel k {\n  arrays a;\n  a[0] = 1;\n  a[1] = 2;\n}";
+        let parsed = parse_kernel(src).unwrap();
+        assert_eq!(parsed.span, Span::new(1, 1));
+        assert_eq!(
+            parsed.stmt_spans,
+            vec![Span::new(3, 3), Span::new(4, 3)],
+            "one span per body statement, at the statement start"
+        );
     }
 
     #[test]

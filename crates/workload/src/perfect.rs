@@ -206,6 +206,7 @@ pub fn perfect_club() -> Vec<Benchmark> {
 mod tests {
     use super::*;
     use bsched_dag::{build_dag, AliasModel};
+    use bsched_ir::BasicBlock;
 
     #[test]
     fn eight_benchmarks_in_table_order() {
@@ -244,14 +245,14 @@ mod tests {
             .function()
             .blocks()
             .iter()
-            .map(|b| b.len())
+            .map(BasicBlock::len)
             .max()
             .unwrap();
         let mg3d_max = mg3d()
             .function()
             .blocks()
             .iter()
-            .map(|b| b.len())
+            .map(BasicBlock::len)
             .max()
             .unwrap();
         assert!(mg3d_max > 2 * track_max, "{mg3d_max} vs {track_max}");

@@ -1,0 +1,94 @@
+//! Source positions threaded from kernel text to IR instructions.
+//!
+//! The parser records where every statement (and every kernel header)
+//! starts; lowering propagates those positions onto the instructions it
+//! emits. Downstream diagnostics — the `bsched-analyze` lints — use the
+//! resulting [`SourceMap`] to point at the offending kernel source line
+//! instead of at an anonymous instruction id.
+
+use std::fmt;
+
+use bsched_ir::InstId;
+
+/// A 1-based line/column position in kernel source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub column: u32,
+}
+
+impl Span {
+    /// Creates a span at `line:column` (both 1-based).
+    #[must_use]
+    pub const fn new(line: u32, column: u32) -> Self {
+        Self { line, column }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Maps each instruction of one lowered basic block back to the kernel
+/// source statement it came from.
+///
+/// Prelude instructions the lowering invents (array-base materialisation,
+/// accumulator initialisation) have no source statement and map to
+/// `None`; every instruction emitted while lowering statement *k* maps to
+/// that statement's span, across all unrolled copies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceMap {
+    spans: Vec<Option<Span>>,
+}
+
+impl SourceMap {
+    /// Wraps a per-instruction span vector (one entry per instruction of
+    /// the lowered block, in program order).
+    #[must_use]
+    pub fn new(spans: Vec<Option<Span>>) -> Self {
+        Self { spans }
+    }
+
+    /// The source span of instruction `id`, if it came from a statement.
+    #[must_use]
+    pub fn get(&self, id: InstId) -> Option<Span> {
+        self.spans.get(id.index()).copied().flatten()
+    }
+
+    /// Number of instructions covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` when the map covers no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_displays_line_colon_column() {
+        assert_eq!(Span::new(3, 7).to_string(), "3:7");
+    }
+
+    #[test]
+    fn source_map_lookup() {
+        let map = SourceMap::new(vec![None, Some(Span::new(2, 5)), None]);
+        assert_eq!(map.len(), 3);
+        assert!(!map.is_empty());
+        assert_eq!(map.get(InstId::new(0)), None);
+        assert_eq!(map.get(InstId::new(1)), Some(Span::new(2, 5)));
+        assert_eq!(map.get(InstId::new(7)), None, "out of range is None");
+        assert!(SourceMap::default().is_empty());
+    }
+}

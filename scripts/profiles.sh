@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates results/profiles.json — the static profile of every
+# Perfect Club stand-in (block sizes, LLP, load density, pressure) as
+# reported by `bsched analyze --benchmarks --format json`.
+#
+# The committed file is what the profile-envelope lint and EXPERIMENTS.md
+# commentary are calibrated against, so it should only change when the
+# stand-in kernels themselves change. In check mode the script fails if
+# the tree would regenerate something different from what is committed.
+#
+# Usage: scripts/profiles.sh [--check]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=results/profiles.json
+cargo build --release -q --bin bsched
+
+if [ "${1:-}" = "--check" ]; then
+    tmp=$(mktemp /tmp/bsched-profiles.XXXXXX.json)
+    trap 'rm -f "$tmp"' EXIT
+    ./target/release/bsched analyze --benchmarks --format json > "$tmp"
+    if ! diff -u "$out" "$tmp"; then
+        echo "error: $out is stale — rerun scripts/profiles.sh and commit" >&2
+        exit 1
+    fi
+    echo "$out is up to date" >&2
+else
+    mkdir -p results
+    ./target/release/bsched analyze --benchmarks --format json > "$out"
+    echo "wrote $out" >&2
+fi

@@ -6,15 +6,21 @@
 //! $ bsched schedule kernel.bsk [--scheduler balanced|average|traditional=<lat>] [--alias fortran|c]
 //! $ bsched compare  kernel.bsk --system "L80(2,10)" [--optimistic 2] [--processor unlimited|max8|len8] [--runs 30]
 //! $ bsched simulate kernel.bsk --system "N(3,5)" [--scheduler …] [--seed 7]
-//! $ bsched dot      kernel.bsk            # Graphviz of the code DAG
+//! $ bsched dot      kernel.bsk [--overlay]     # Graphviz of the code DAG
+//! $ bsched analyze  kernel.bsk [--format json] # dataflow lints with source spans
+//! $ bsched analyze  --benchmarks --format json # stand-in profiles (results/profiles.json)
 //! ```
 
 use std::process::ExitCode;
 
+use balanced_scheduling::analyze::{
+    has_errors, max_live, pressure_profile, render_json, render_text, suite_json,
+};
 use balanced_scheduling::cpusim::{render_timeline, simulate_block_traced};
-use balanced_scheduling::dag::to_dot;
+use balanced_scheduling::dag::{to_dot, to_dot_annotated, CodeDag, DotOverlay};
+use balanced_scheduling::ir::RegClass;
 use balanced_scheduling::prelude::*;
-use balanced_scheduling::workload::{lower_kernel, parse_program};
+use balanced_scheduling::workload::{lower_kernel, parse_program, try_lower_parsed};
 
 fn main() -> ExitCode {
     match run() {
@@ -31,12 +37,19 @@ const USAGE: &str = "usage:
   bsched stats    <kernel.bsk> [--alias fortran|c]
   bsched compare  <kernel.bsk> --system SYS [--optimistic LAT] [--processor P] [--runs N] [--seed N]
   bsched simulate <kernel.bsk> --system SYS [--scheduler S] [--processor P] [--seed N]
-  bsched dot      <kernel.bsk> [--alias fortran|c]
+  bsched dot      <kernel.bsk> [--alias fortran|c] [--overlay]
+  bsched analyze  <kernel.bsk> [--alias fortran|c] [--format text|json]
+                  [--allow LINT] [--warn LINT] [--deny LINT|warnings]
+  bsched analyze  --benchmarks [--format text|json] [--alias …] [--deny …]
 
-  S   = balanced | balanced-approx | average | traditional=<latency>
-  SYS = L80(2,5) | N(3,5) | L80-N(30,5) | fixed(4) | …
-  P   = unlimited | max8 | len8
-  LAT = 2 | 2.6 | 13/5 | …";
+  S    = balanced | balanced-approx | average | traditional=<latency>
+  SYS  = L80(2,5) | N(3,5) | L80-N(30,5) | fixed(4) | …
+  P    = unlimited | max8 | len8
+  LAT  = 2 | 2.6 | 13/5 | …
+  LINT = dead-store | uninitialized-read | redundant-load | …  (see README)";
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: [&str; 2] = ["benchmarks", "overlay"];
 
 /// Minimal `--flag value` argument scanner.
 struct Args {
@@ -51,6 +64,10 @@ impl Args {
         let mut it = argv.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&name) {
+                    flags.push((name.to_owned(), String::new()));
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| format!("missing value for --{name}\n{USAGE}"))?;
@@ -69,6 +86,19 @@ impl Args {
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
     }
+
+    fn is_set(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// Every `(name, value)` pair whose name is in `names`, in the order
+    /// given on the command line (so later severity overrides win).
+    fn flags_among<'a>(&'a self, names: &'a [&str]) -> impl Iterator<Item = (&'a str, &'a str)> {
+        self.flags
+            .iter()
+            .filter(move |(n, _)| names.contains(&n.as_str()))
+            .map(|(n, v)| (n.as_str(), v.as_str()))
+    }
 }
 
 fn run() -> Result<(), String> {
@@ -77,6 +107,11 @@ fn run() -> Result<(), String> {
         return Err(USAGE.to_owned());
     };
     let args = Args::parse(rest)?;
+    if command == "analyze" {
+        // `analyze --benchmarks` works on the built-in stand-ins and
+        // takes no kernel file, so it skips the shared file loading.
+        return analyze_cmd(&args);
+    }
     let file = args
         .positional
         .first()
@@ -105,7 +140,12 @@ fn run() -> Result<(), String> {
         "dot" => {
             for block in &blocks {
                 let dag = build_dag(block, alias_of(&args)?);
-                print!("{}", to_dot(&dag, block.name()));
+                if args.is_set("overlay") {
+                    let overlay = overlay_of(&dag, block);
+                    print!("{}", to_dot_annotated(&dag, block.name(), &overlay));
+                } else {
+                    print!("{}", to_dot(&dag, block.name()));
+                }
             }
             Ok(())
         }
@@ -125,6 +165,122 @@ fn run() -> Result<(), String> {
         }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
+}
+
+/// Builds the `dot --overlay` annotations: balanced weights as a second
+/// label line on every node, combined int+float register pressure as a
+/// heat fill, and the block's MaxLive as the graph caption.
+fn overlay_of(dag: &CodeDag, block: &BasicBlock) -> DotOverlay {
+    let weights = BalancedWeights::new().assign(dag);
+    let int = pressure_profile(block, RegClass::Int);
+    let float = pressure_profile(block, RegClass::Float);
+    let at = |profile: &[u32], idx: usize| profile.get(idx).copied().unwrap_or(0);
+    DotOverlay {
+        node_notes: dag
+            .node_ids()
+            .map(|id| (id, format!("w={}", weights.weight(id))))
+            .collect(),
+        pressure: dag
+            .node_ids()
+            .map(|id| (id, at(&int, id.index()) + at(&float, id.index())))
+            .collect(),
+        caption: format!(
+            "{}: MaxLive {} int / {} float",
+            block.name(),
+            max_live(block, RegClass::Int),
+            max_live(block, RegClass::Float),
+        ),
+    }
+}
+
+fn lint_config_of(args: &Args) -> Result<LintConfig, String> {
+    let mut config = LintConfig::new();
+    for (name, value) in args.flags_among(&["allow", "warn", "deny"]) {
+        if name == "deny" && value == "warnings" {
+            config = config.deny_warnings();
+            continue;
+        }
+        let lint = Lint::from_id(value).ok_or_else(|| {
+            format!(
+                "unknown lint {value:?} (known: {})",
+                Lint::ALL.map(Lint::id).join(", ")
+            )
+        })?;
+        config = match name {
+            "allow" => config.allow(lint),
+            "warn" => config.warn(lint),
+            _ => config.deny(lint),
+        };
+    }
+    Ok(config)
+}
+
+/// `bsched analyze`: run the dataflow lints over a kernel file (with
+/// source spans) or, with `--benchmarks`, over the Perfect Club
+/// stand-ins (profiles + envelope checks). Exits non-zero when any
+/// error-level diagnostic survives the configuration.
+fn analyze_cmd(args: &Args) -> Result<(), String> {
+    let analyzer = Analyzer::new(alias_of(args)?).with_config(lint_config_of(args)?);
+    let format = args.flag("format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(format!("unknown format {format:?} (text|json)"));
+    }
+
+    let mut all: Vec<Diagnostic> = Vec::new();
+    if args.is_set("benchmarks") {
+        let mut profiles = Vec::new();
+        for bench in perfect_club() {
+            let report = analyzer.analyze_benchmark(&bench);
+            if format == "text" {
+                let p = &report.profile;
+                println!(
+                    "{:8} {:4} insts {:4} loads  mean block {:5.1}  llp {:5.2}  peak fp {}",
+                    p.name,
+                    p.total_instructions,
+                    p.total_loads,
+                    p.mean_block_size,
+                    p.mean_llp,
+                    p.peak_float_pressure,
+                );
+            }
+            all.extend(report.diagnostics);
+            profiles.push(report.profile);
+        }
+        if format == "json" {
+            // stdout carries the machine-readable profile suite (what
+            // results/profiles.json records); diagnostics go to stderr.
+            print!("{}", suite_json(&profiles));
+            if !all.is_empty() {
+                eprint!("{}", render_text(&all));
+            }
+        } else {
+            print!("{}", render_text(&all));
+        }
+    } else {
+        let file = args
+            .positional
+            .first()
+            .ok_or_else(|| format!("missing kernel file (or --benchmarks)\n{USAGE}"))?;
+        let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let kernels = parse_program(&src).map_err(|e| format!("{file}:{e}"))?;
+        for parsed in &kernels {
+            let (block, map) = try_lower_parsed(parsed).map_err(|e| format!("{file}: {e}"))?;
+            all.extend(analyzer.analyze_block(&block, Some(&map)));
+        }
+        if format == "json" {
+            println!("{}", render_json(&all));
+        } else {
+            print!("{}", render_text(&all));
+        }
+    }
+    let errors = all.iter().filter(|d| d.severity == Severity::Error).count();
+    if has_errors(&all) {
+        return Err(format!(
+            "{errors} error-level diagnostic{}",
+            if errors == 1 { "" } else { "s" }
+        ));
+    }
+    Ok(())
 }
 
 fn alias_of(args: &Args) -> Result<AliasModel, String> {

@@ -22,6 +22,7 @@
 //! | [`stats`] | `bsched-stats` | RNG, bootstrap, confidence intervals |
 //! | [`pipeline`] | `bsched-pipeline` | compile → simulate → compare |
 //! | [`verify`] | `bsched-verify` | independent schedule/allocation/timeline validators |
+//! | [`analyze`] | `bsched-analyze` | dataflow lints, profile reports, envelope checks |
 //!
 //! # Quick start
 //!
@@ -46,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub use bsched_analyze as analyze;
 pub use bsched_core as sched;
 pub use bsched_cpusim as cpusim;
 pub use bsched_dag as dag;
@@ -59,6 +61,7 @@ pub use bsched_workload as workload;
 
 /// The most common types, importable in one line.
 pub mod prelude {
+    pub use bsched_analyze::{Analyzer, Diagnostic, Lint, LintConfig, Severity};
     pub use bsched_core::{
         BalancedWeights, Direction, ListScheduler, Ratio, Rounding, Schedule, TraditionalWeights,
         WeightAssigner,
@@ -70,7 +73,8 @@ pub mod prelude {
         CacheModel, FixedLatency, LatencyModel, MemorySystem, MixedModel, NetworkModel,
     };
     pub use bsched_pipeline::{
-        compare, evaluate, CompiledProgram, EvalConfig, Pipeline, PipelineError, SchedulerChoice,
+        compare, evaluate, AnalysisGate, CompiledProgram, EvalConfig, Pipeline, PipelineError,
+        SchedulerChoice,
     };
     pub use bsched_regalloc::{allocate, AllocatorConfig, PoolPolicy};
     pub use bsched_stats::{Improvement, Pcg32};

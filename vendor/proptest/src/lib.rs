@@ -170,14 +170,9 @@ pub mod strategy {
         )*};
     }
 
-    tuple_strategy!(
-        (A.0)
-        (A.0, B.1)
-        (A.0, B.1, C.2)
-        (A.0, B.1, C.2, D.3)
-        (A.0, B.1, C.2, D.3, E.4)
-        (A.0, B.1, C.2, D.3, E.4, F.5)
-    );
+    tuple_strategy!((A.0)(A.0, B.1)(A.0, B.1, C.2)(A.0, B.1, C.2, D.3)(
+        A.0, B.1, C.2, D.3, E.4
+    )(A.0, B.1, C.2, D.3, E.4, F.5));
 
     /// `Just(v)`: always generates a clone of `v`.
     #[derive(Debug, Clone)]
