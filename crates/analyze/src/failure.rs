@@ -1,0 +1,125 @@
+//! The shared failure vocabulary.
+//!
+//! Every way a table cell can degrade has exactly one stable kebab-case
+//! id, used identically by the text tables (`FAILED(<kind>: …)`), the
+//! structured `CellReport` in `bsched-bench`, the evaluation journal,
+//! and `bsched analyze --format json` — so tooling never has to parse
+//! prose to classify a failure.
+
+use std::fmt;
+
+use crate::diag::json_escape;
+
+/// Classification of a degraded or failed evaluation outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FailureKind {
+    /// Kernel source failed to parse.
+    Parse,
+    /// Lowering to the IR failed.
+    Lower,
+    /// Register allocation failed (spill-pool exhaustion etc.).
+    Alloc,
+    /// An independent validator rejected a stage's output.
+    Verify,
+    /// The static-analysis gate rejected a block.
+    Analysis,
+    /// A simulation run blew through its per-run cycle budget.
+    BudgetExceeded,
+    /// A watchdog cancelled the evaluation mid-flight.
+    Cancelled,
+    /// The wall-clock timeout for a cell expired.
+    Timeout,
+    /// The cell was never attempted (or abandoned) because sibling
+    /// failures quarantined it.
+    Quarantined,
+    /// The evaluation worker panicked.
+    Panic,
+    /// An injected fault fired during the attempt, so its numbers may be
+    /// perturbed; the harness discards the value rather than report it.
+    Tainted,
+}
+
+impl FailureKind {
+    /// Every kind, in a fixed order.
+    pub const ALL: [FailureKind; 11] = [
+        FailureKind::Parse,
+        FailureKind::Lower,
+        FailureKind::Alloc,
+        FailureKind::Verify,
+        FailureKind::Analysis,
+        FailureKind::BudgetExceeded,
+        FailureKind::Cancelled,
+        FailureKind::Timeout,
+        FailureKind::Quarantined,
+        FailureKind::Panic,
+        FailureKind::Tainted,
+    ];
+
+    /// The stable kebab-case id.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            FailureKind::Parse => "parse",
+            FailureKind::Lower => "lower",
+            FailureKind::Alloc => "alloc",
+            FailureKind::Verify => "verify",
+            FailureKind::Analysis => "analysis",
+            FailureKind::BudgetExceeded => "budget-exceeded",
+            FailureKind::Cancelled => "cancelled",
+            FailureKind::Timeout => "timeout",
+            FailureKind::Quarantined => "quarantined",
+            FailureKind::Panic => "panic",
+            FailureKind::Tainted => "tainted",
+        }
+    }
+
+    /// Looks a kind up by its [`id`](FailureKind::id).
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<FailureKind> {
+        FailureKind::ALL.into_iter().find(|k| k.id() == id)
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// Renders one failure as a JSON object with a stable field order:
+/// `{"kind": "...", "detail": "..."}`.
+#[must_use]
+pub fn failure_json(kind: FailureKind, detail: &str) -> String {
+    format!(
+        "{{\"kind\": \"{}\", \"detail\": \"{}\"}}",
+        kind,
+        json_escape(detail)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_and_are_kebab() {
+        for kind in FailureKind::ALL {
+            assert_eq!(FailureKind::from_id(kind.id()), Some(kind));
+            assert!(
+                kind.id()
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{kind}"
+            );
+        }
+        assert_eq!(FailureKind::from_id("flaky"), None);
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        assert_eq!(
+            failure_json(FailureKind::Timeout, "cell \"X\" took 5s"),
+            "{\"kind\": \"timeout\", \"detail\": \"cell \\\"X\\\" took 5s\"}"
+        );
+    }
+}

@@ -44,6 +44,7 @@
 pub mod analyzer;
 pub mod diag;
 pub mod envelope;
+pub mod failure;
 pub mod lints;
 pub mod profile;
 
@@ -52,6 +53,7 @@ pub use diag::{
     has_errors, render_json, render_text, Diagnostic, Finding, Lint, LintConfig, Severity,
 };
 pub use envelope::{check_envelope, envelope_for, ProfileEnvelope, ENVELOPES};
+pub use failure::{failure_json, FailureKind};
 pub use profile::{
     benchmark_json, max_live, pressure_profile, suite_json, BenchmarkProfile, BlockProfile,
 };

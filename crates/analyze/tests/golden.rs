@@ -40,7 +40,10 @@ kernel bad_dead_store {
     assert!(dead[0].message.contains("overwritten"), "{diags:?}");
     // Nothing else reaches error level in this kernel.
     assert_eq!(
-        diags.iter().filter(|d| d.severity == Severity::Error).count(),
+        diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count(),
         1,
         "{diags:?}"
     );
@@ -108,10 +111,7 @@ kernel aliasprobe {
         "{fortran:?}"
     );
     let c = analyze_source(src, AliasModel::CConservative);
-    assert!(
-        c.iter().all(|d| d.lint != Lint::RedundantLoad),
-        "{c:?}"
-    );
+    assert!(c.iter().all(|d| d.lint != Lint::RedundantLoad), "{c:?}");
 }
 
 #[test]

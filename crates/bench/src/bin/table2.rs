@@ -6,7 +6,7 @@
 //! (`BSCHED_RUNS=5` for a quick pass).
 
 use bsched_bench::{
-    failure_label, print_table, report_cell_failures, run_cells_checked, table2_rows, CellJob,
+    failure_label, print_table, report_cell_reports, run_cells_reported, table2_rows, CellJob,
 };
 use bsched_cpusim::ProcessorModel;
 use bsched_memsim::LatencyModel;
@@ -42,15 +42,15 @@ fn main() {
             })
         })
         .collect();
-    let results = run_cells_checked(&jobs);
+    let results = run_cells_reported(&jobs);
 
     let mut rows = Vec::new();
     for (row, row_cells) in system_rows.iter().zip(results.chunks(benchmarks.len())) {
         let mut cells = vec![row.system.name(), row.optimistic.to_string()];
         let mut sum = 0.0;
         let mut survivors = 0usize;
-        for outcome in row_cells {
-            match outcome.as_ok() {
+        for report in row_cells {
+            match report.cell() {
                 Some(cell) => {
                     sum += cell.improvement.mean_percent;
                     survivors += 1;
@@ -61,7 +61,7 @@ fn main() {
                         cells.push(format!("{:.1}", cell.improvement.mean_percent));
                     }
                 }
-                None => cells.push(failure_label(outcome.failure().unwrap_or("unknown"))),
+                None => cells.push(failure_label(report.failure_reason().unwrap_or("unknown"))),
             }
         }
         // The row mean averages the surviving cells only.
@@ -82,7 +82,7 @@ fn main() {
         &header,
         &rows,
     );
-    if report_cell_failures(&jobs, &results) > 0 {
+    if report_cell_reports(&results) > 0 {
         std::process::exit(1);
     }
 }

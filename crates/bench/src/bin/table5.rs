@@ -5,7 +5,7 @@
 //! Usage: `cargo run --release -p bsched-bench --bin table5`
 
 use bsched_bench::{
-    failure_label, print_table, report_cell_failures, run_cells_checked, CellJob, CellOutcome,
+    failure_label, print_table, report_cell_reports, run_cells_reported, CellJob, CellReport,
     SystemRow,
 };
 use bsched_core::Ratio;
@@ -39,29 +39,29 @@ fn main() {
             })
         })
         .collect();
-    let results = run_cells_checked(&jobs);
+    let results = run_cells_reported(&jobs);
 
     let mut rows = Vec::new();
     for (bench, row_cells) in benchmarks.iter().zip(results.chunks(models.len())) {
         let mut cells = vec![bench.name().to_owned()];
         // TIns/BIns are compile-time statistics, identical across
         // processor models; any surviving cell can supply them.
-        match row_cells.iter().find_map(CellOutcome::as_ok) {
+        match row_cells.iter().find_map(CellReport::cell) {
             Some(cell) => {
                 cells.push(format!("{:.0}", cell.traditional.dynamic_instructions));
                 cells.push(format!("{:.0}", cell.balanced.dynamic_instructions));
             }
             None => cells.extend(["-".to_owned(), "-".to_owned()]),
         }
-        for outcome in row_cells {
-            match outcome.as_ok() {
+        for report in row_cells {
+            match report.cell() {
                 Some(cell) => {
                     cells.push(format!("{:.1}", cell.improvement.mean_percent));
                     cells.push(format!("{:.1}", cell.traditional.interlock_percent()));
                     cells.push(format!("{:.1}", cell.balanced.interlock_percent()));
                 }
                 None => {
-                    cells.push(failure_label(outcome.failure().unwrap_or("unknown")));
+                    cells.push(failure_label(report.failure_reason().unwrap_or("unknown")));
                     cells.extend(["-".to_owned(), "-".to_owned()]);
                 }
             }
@@ -75,7 +75,7 @@ fn main() {
         &header,
         &rows,
     );
-    if report_cell_failures(&jobs, &results) > 0 {
+    if report_cell_reports(&results) > 0 {
         std::process::exit(1);
     }
 }

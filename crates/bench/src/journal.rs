@@ -1,0 +1,678 @@
+//! Crash-safe evaluation journal.
+//!
+//! [`run_cells_reported`](crate::run_cells_reported) records every
+//! terminal cell outcome to a JSONL file (one object per line) named by
+//! `BSCHED_JOURNAL`. Each write rewrites the whole file to a sibling
+//! temp file and renames it over the original, so the journal on disk is
+//! always a complete, parseable prefix of the run — killing the process
+//! at any instant loses at most the in-flight cell. A re-run with the
+//! same configuration loads the journal and *resumes*: recorded cells
+//! are returned verbatim instead of re-evaluated.
+//!
+//! The first line is a header carrying a fingerprint of everything that
+//! determines cell values (master seed, runs, fault plan, and the shape
+//! of the job list). A journal whose fingerprint does not match the
+//! current run is discarded, never merged — resuming must be
+//! bit-identical to not having crashed.
+//!
+//! Floats are serialised as 16-hex-digit [`f64::to_bits`] strings, not
+//! decimal, so a resumed cell is bit-for-bit the cell that was measured.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use bsched_analyze::FailureKind;
+use bsched_pipeline::ProgramEval;
+use bsched_stats::{ConfidenceInterval, Improvement};
+
+use crate::Cell;
+
+/// Magic first-field value identifying a journal file and its version.
+const MAGIC: &str = "bsched-journal-v1";
+
+/// One recorded terminal outcome.
+#[derive(Debug, Clone)]
+pub enum JournalEntry {
+    /// The cell evaluated cleanly (possibly after retries).
+    Ok(Cell),
+    /// The cell degraded to a typed failure.
+    Failed {
+        /// Stable failure-vocabulary id.
+        kind: FailureKind,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+struct State {
+    /// Serialised cell lines, in write order (header not included).
+    lines: Vec<String>,
+    /// Key → entry for lookup; mirrors `lines`.
+    entries: HashMap<String, JournalEntry>,
+}
+
+/// A crash-safe, resumable record of per-cell outcomes.
+pub struct Journal {
+    path: PathBuf,
+    header: String,
+    state: Mutex<State>,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path` for a run identified by
+    /// `fingerprint`. An existing journal with a matching fingerprint is
+    /// loaded for resumption; a mismatched or unparseable one is
+    /// discarded. Unparseable *lines* are skipped individually.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors creating the parent directory or writing
+    /// the initial header.
+    pub fn open(path: impl Into<PathBuf>, fingerprint: &str) -> std::io::Result<Journal> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let header = format!(
+            "{{\"journal\":{},\"fingerprint\":{}}}",
+            esc(MAGIC),
+            esc(fingerprint)
+        );
+        let mut state = State {
+            lines: Vec::new(),
+            entries: HashMap::new(),
+        };
+        if let Ok(existing) = std::fs::read_to_string(&path) {
+            let mut lines = existing.lines();
+            if lines
+                .next()
+                .is_some_and(|first| header_matches(first, fingerprint))
+            {
+                for line in lines {
+                    if let Some((key, entry)) = parse_cell_line(line) {
+                        state.entries.insert(key, entry);
+                        state.lines.push(line.to_owned());
+                    }
+                }
+            }
+        }
+        let journal = Journal {
+            path,
+            header,
+            state: Mutex::new(state),
+        };
+        journal.rewrite(&journal.state.lock().unwrap().lines)?;
+        Ok(journal)
+    }
+
+    /// Opens the journal named by `BSCHED_JOURNAL`, if set. I/O failures
+    /// are reported to stderr and disable journaling rather than abort
+    /// the run.
+    #[must_use]
+    pub fn from_env(fingerprint: &str) -> Option<Journal> {
+        let path = std::env::var("BSCHED_JOURNAL").ok()?;
+        if path.trim().is_empty() {
+            return None;
+        }
+        match Journal::open(path.clone(), fingerprint) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("warning: BSCHED_JOURNAL={path}: {e}; journaling disabled");
+                None
+            }
+        }
+    }
+
+    /// The journal's on-disk path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The recorded entry for `key`, if any.
+    #[must_use]
+    pub fn lookup(&self, key: &str) -> Option<JournalEntry> {
+        self.state.lock().unwrap().entries.get(key).cloned()
+    }
+
+    /// Number of recorded entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records a terminal outcome for `key` and atomically rewrites the
+    /// file. Re-recording a key overwrites its lookup entry but keeps
+    /// the newest line. Write errors are reported to stderr — losing the
+    /// journal must not fail the run itself.
+    pub fn record(&self, key: &str, entry: &JournalEntry) {
+        let line = render_cell_line(key, entry);
+        let mut state = self.state.lock().unwrap();
+        if state.entries.contains_key(key) {
+            state
+                .lines
+                .retain(|l| parse_cell_line(l).is_none_or(|(k, _)| k != key));
+        }
+        state.entries.insert(key.to_owned(), entry.clone());
+        state.lines.push(line);
+        if let Err(e) = self.rewrite(&state.lines) {
+            eprintln!("warning: journal {}: {e}", self.path.display());
+        }
+    }
+
+    /// Deletes the journal file (called after a complete, clean pass so
+    /// the next run starts fresh).
+    pub fn remove(self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+
+    fn rewrite(&self, lines: &[String]) -> std::io::Result<()> {
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            writeln!(f, "{}", self.header)?;
+            for line in lines {
+                writeln!(f, "{line}")?;
+            }
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)
+    }
+}
+
+fn header_matches(line: &str, fingerprint: &str) -> bool {
+    let Some(Json::Obj(fields)) = parse_json(line) else {
+        return false;
+    };
+    get_str(&fields, "journal") == Some(MAGIC)
+        && get_str(&fields, "fingerprint") == Some(fingerprint)
+}
+
+// ---------------------------------------------------------------------
+// Serialisation
+// ---------------------------------------------------------------------
+
+/// Escapes `s` as a JSON string literal (RFC 8259).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One f64, bit-exact, as a 16-hex-digit JSON string.
+fn hex(v: f64) -> String {
+    format!("\"{:016x}\"", v.to_bits())
+}
+
+fn hex_list(vs: &[f64]) -> String {
+    let inner: Vec<String> = vs.iter().map(|v| hex(*v)).collect();
+    format!("[{}]", inner.join(","))
+}
+
+fn eval_json(e: &ProgramEval) -> String {
+    format!(
+        "{{\"boot\":{},\"mean\":{},\"dyn\":{},\"ilk\":{}}}",
+        hex_list(&e.bootstrap_runtimes),
+        hex(e.mean_runtime),
+        hex(e.dynamic_instructions),
+        hex(e.mean_interlocks)
+    )
+}
+
+fn render_cell_line(key: &str, entry: &JournalEntry) -> String {
+    match entry {
+        JournalEntry::Ok(cell) => format!(
+            "{{\"key\":{},\"status\":\"ok\",\"imp\":{{\"mean\":{},\"low\":{},\"high\":{},\"level\":{}}},\"trad\":{},\"bal\":{},\"tspill\":{},\"bspill\":{}}}",
+            esc(key),
+            hex(cell.improvement.mean_percent),
+            hex(cell.improvement.interval.low),
+            hex(cell.improvement.interval.high),
+            hex(cell.improvement.interval.level),
+            eval_json(&cell.traditional),
+            eval_json(&cell.balanced),
+            hex(cell.traditional_spill_percent),
+            hex(cell.balanced_spill_percent)
+        ),
+        JournalEntry::Failed { kind, reason } => format!(
+            "{{\"key\":{},\"status\":\"failed\",\"kind\":{},\"reason\":{}}}",
+            esc(key),
+            esc(kind.id()),
+            esc(reason)
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialisation — a minimal recursive-descent JSON reader. The crate
+// policy is no external dependencies, and the journal only ever contains
+// objects, arrays and strings (floats travel as hex strings), so this
+// stays small. Unparseable input yields `None`, never a panic: a torn
+// or hand-edited line is simply not resumed.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+fn parse_json(src: &str) -> Option<Json> {
+    let bytes = src.as_bytes();
+    let mut at = 0usize;
+    let value = parse_value(bytes, &mut at)?;
+    skip_ws(bytes, &mut at);
+    if at == bytes.len() {
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn skip_ws(bytes: &[u8], at: &mut usize) {
+    while *at < bytes.len() && matches!(bytes[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], at: &mut usize) -> Option<Json> {
+    skip_ws(bytes, at);
+    match bytes.get(*at)? {
+        b'"' => parse_string(bytes, at).map(Json::Str),
+        b'{' => parse_object(bytes, at),
+        b'[' => parse_array(bytes, at),
+        b't' => parse_literal(bytes, at, "true", Json::Bool(true)),
+        b'f' => parse_literal(bytes, at, "false", Json::Bool(false)),
+        b'n' => parse_literal(bytes, at, "null", Json::Null),
+        _ => parse_number(bytes, at),
+    }
+}
+
+fn parse_literal(bytes: &[u8], at: &mut usize, word: &str, value: Json) -> Option<Json> {
+    if bytes[*at..].starts_with(word.as_bytes()) {
+        *at += word.len();
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn parse_number(bytes: &[u8], at: &mut usize) -> Option<Json> {
+    let start = *at;
+    while *at < bytes.len() && matches!(bytes[*at], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *at += 1;
+    }
+    std::str::from_utf8(&bytes[start..*at])
+        .ok()?
+        .parse::<f64>()
+        .ok()
+        .map(Json::Num)
+}
+
+fn parse_string(bytes: &[u8], at: &mut usize) -> Option<String> {
+    if bytes.get(*at) != Some(&b'"') {
+        return None;
+    }
+    *at += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*at)? {
+            b'"' => {
+                *at += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *at += 1;
+                match bytes.get(*at)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let digits = bytes.get(*at + 1..*at + 5)?;
+                        let code =
+                            u32::from_str_radix(std::str::from_utf8(digits).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        *at += 4;
+                    }
+                    _ => return None,
+                }
+                *at += 1;
+            }
+            _ => {
+                // Advance over one UTF-8 scalar, not one byte.
+                let rest = std::str::from_utf8(&bytes[*at..]).ok()?;
+                let c = rest.chars().next()?;
+                out.push(c);
+                *at += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], at: &mut usize) -> Option<Json> {
+    *at += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, at);
+    if bytes.get(*at) == Some(&b']') {
+        *at += 1;
+        return Some(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, at)?);
+        skip_ws(bytes, at);
+        match bytes.get(*at)? {
+            b',' => *at += 1,
+            b']' => {
+                *at += 1;
+                return Some(Json::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], at: &mut usize) -> Option<Json> {
+    *at += 1; // '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, at);
+    if bytes.get(*at) == Some(&b'}') {
+        *at += 1;
+        return Some(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, at);
+        let key = parse_string(bytes, at)?;
+        skip_ws(bytes, at);
+        if bytes.get(*at) != Some(&b':') {
+            return None;
+        }
+        *at += 1;
+        let value = parse_value(bytes, at)?;
+        fields.push((key, value));
+        skip_ws(bytes, at);
+        match bytes.get(*at)? {
+            b',' => *at += 1,
+            b'}' => {
+                *at += 1;
+                return Some(Json::Obj(fields));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_str<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a str> {
+    match get(fields, key)? {
+        Json::Str(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn unhex(v: &Json) -> Option<f64> {
+    match v {
+        Json::Str(s) if s.len() == 16 => u64::from_str_radix(s, 16).ok().map(f64::from_bits),
+        _ => None,
+    }
+}
+
+fn get_f64(fields: &[(String, Json)], key: &str) -> Option<f64> {
+    unhex(get(fields, key)?)
+}
+
+fn parse_eval(v: &Json) -> Option<ProgramEval> {
+    let Json::Obj(fields) = v else { return None };
+    let Json::Arr(boot) = get(fields, "boot")? else {
+        return None;
+    };
+    Some(ProgramEval {
+        bootstrap_runtimes: boot.iter().map(unhex).collect::<Option<Vec<f64>>>()?,
+        mean_runtime: get_f64(fields, "mean")?,
+        dynamic_instructions: get_f64(fields, "dyn")?,
+        mean_interlocks: get_f64(fields, "ilk")?,
+    })
+}
+
+fn parse_cell_line(line: &str) -> Option<(String, JournalEntry)> {
+    let Json::Obj(fields) = parse_json(line)? else {
+        return None;
+    };
+    let key = get_str(&fields, "key")?.to_owned();
+    match get_str(&fields, "status")? {
+        "ok" => {
+            let Json::Obj(imp) = get(&fields, "imp")? else {
+                return None;
+            };
+            let cell = Cell {
+                improvement: Improvement {
+                    mean_percent: get_f64(imp, "mean")?,
+                    interval: ConfidenceInterval {
+                        low: get_f64(imp, "low")?,
+                        high: get_f64(imp, "high")?,
+                        level: get_f64(imp, "level")?,
+                    },
+                },
+                traditional: parse_eval(get(&fields, "trad")?)?,
+                balanced: parse_eval(get(&fields, "bal")?)?,
+                traditional_spill_percent: get_f64(&fields, "tspill")?,
+                balanced_spill_percent: get_f64(&fields, "bspill")?,
+            };
+            Some((key, JournalEntry::Ok(cell)))
+        }
+        "failed" => Some((
+            key,
+            JournalEntry::Failed {
+                kind: FailureKind::from_id(get_str(&fields, "kind")?)?,
+                reason: get_str(&fields, "reason")?.to_owned(),
+            },
+        )),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cell() -> Cell {
+        Cell {
+            improvement: Improvement {
+                mean_percent: 9.875,
+                interval: ConfidenceInterval {
+                    low: -1.5,
+                    high: 12.25,
+                    level: 0.95,
+                },
+            },
+            traditional: ProgramEval {
+                // PI/3 has no short decimal form — proves bit-exactness.
+                bootstrap_runtimes: vec![100.0, 101.5, std::f64::consts::PI / 3.0],
+                mean_runtime: 100.75,
+                dynamic_instructions: 42.0,
+                mean_interlocks: 7.125,
+            },
+            balanced: ProgramEval {
+                bootstrap_runtimes: vec![90.0, 91.5],
+                mean_runtime: 90.75,
+                dynamic_instructions: 42.0,
+                mean_interlocks: 3.0,
+            },
+            traditional_spill_percent: 1.25,
+            balanced_spill_percent: 2.5,
+        }
+    }
+
+    fn assert_cells_identical(a: &Cell, b: &Cell) {
+        assert_eq!(
+            a.improvement.mean_percent.to_bits(),
+            b.improvement.mean_percent.to_bits()
+        );
+        assert_eq!(
+            a.improvement.interval.low.to_bits(),
+            b.improvement.interval.low.to_bits()
+        );
+        assert_eq!(
+            a.improvement.interval.high.to_bits(),
+            b.improvement.interval.high.to_bits()
+        );
+        assert_eq!(
+            a.improvement.interval.level.to_bits(),
+            b.improvement.interval.level.to_bits()
+        );
+        for (x, y) in [(&a.traditional, &b.traditional), (&a.balanced, &b.balanced)] {
+            assert_eq!(
+                x.bootstrap_runtimes
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                y.bootstrap_runtimes
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>()
+            );
+            assert_eq!(x.mean_runtime.to_bits(), y.mean_runtime.to_bits());
+            assert_eq!(
+                x.dynamic_instructions.to_bits(),
+                y.dynamic_instructions.to_bits()
+            );
+            assert_eq!(x.mean_interlocks.to_bits(), y.mean_interlocks.to_bits());
+        }
+        assert_eq!(
+            a.traditional_spill_percent.to_bits(),
+            b.traditional_spill_percent.to_bits()
+        );
+        assert_eq!(
+            a.balanced_spill_percent.to_bits(),
+            b.balanced_spill_percent.to_bits()
+        );
+    }
+
+    #[test]
+    fn cell_lines_roundtrip_bit_exactly() {
+        let cell = sample_cell();
+        let line = render_cell_line("MDG|N(2,2) @ 2|UNLIMITED", &JournalEntry::Ok(cell.clone()));
+        let (key, entry) = parse_cell_line(&line).expect("roundtrip");
+        assert_eq!(key, "MDG|N(2,2) @ 2|UNLIMITED");
+        match entry {
+            JournalEntry::Ok(parsed) => assert_cells_identical(&cell, &parsed),
+            JournalEntry::Failed { .. } => panic!("expected ok"),
+        }
+    }
+
+    #[test]
+    fn failed_lines_roundtrip() {
+        let entry = JournalEntry::Failed {
+            kind: FailureKind::Timeout,
+            reason: "timed out after 5s \"hard\"".to_owned(),
+        };
+        let line = render_cell_line("k", &entry);
+        let (key, parsed) = parse_cell_line(&line).expect("roundtrip");
+        assert_eq!(key, "k");
+        match parsed {
+            JournalEntry::Failed { kind, reason } => {
+                assert_eq!(kind, FailureKind::Timeout);
+                assert_eq!(reason, "timed out after 5s \"hard\"");
+            }
+            JournalEntry::Ok(_) => panic!("expected failed"),
+        }
+    }
+
+    #[test]
+    fn torn_and_garbage_lines_are_skipped() {
+        assert_eq!(parse_cell_line("").map(|(k, _)| k), None);
+        assert_eq!(
+            parse_cell_line("{\"key\":\"x\",\"status\":\"ok\",").map(|(k, _)| k),
+            None
+        );
+        assert_eq!(parse_cell_line("not json at all").map(|(k, _)| k), None);
+        assert_eq!(
+            parse_cell_line("{\"key\":\"x\",\"status\":\"weird\"}").map(|(k, _)| k),
+            None
+        );
+    }
+
+    #[test]
+    fn journal_survives_reopen_and_rejects_other_fingerprints() {
+        let dir = std::env::temp_dir().join(format!(
+            "bsched-journal-test-{}-{:x}",
+            std::process::id(),
+            std::ptr::from_ref(&MAGIC) as usize
+        ));
+        let path = dir.join("results/.journal.jsonl");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let j = Journal::open(&path, "fp-a").expect("open");
+        assert!(j.is_empty());
+        j.record("cell-1", &JournalEntry::Ok(sample_cell()));
+        j.record(
+            "cell-2",
+            &JournalEntry::Failed {
+                kind: FailureKind::Panic,
+                reason: "boom".to_owned(),
+            },
+        );
+        assert_eq!(j.len(), 2);
+        drop(j);
+
+        let j = Journal::open(&path, "fp-a").expect("reopen");
+        assert_eq!(j.len(), 2, "matching fingerprint resumes");
+        assert!(matches!(j.lookup("cell-1"), Some(JournalEntry::Ok(_))));
+        assert!(matches!(
+            j.lookup("cell-2"),
+            Some(JournalEntry::Failed {
+                kind: FailureKind::Panic,
+                ..
+            })
+        ));
+        drop(j);
+
+        let j = Journal::open(&path, "fp-b").expect("reopen changed");
+        assert!(j.is_empty(), "changed fingerprint discards the journal");
+        drop(j);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn header_mismatch_and_match() {
+        let good = format!("{{\"journal\":\"{MAGIC}\",\"fingerprint\":\"abc\"}}");
+        assert!(header_matches(&good, "abc"));
+        assert!(!header_matches(&good, "xyz"));
+        assert!(!header_matches("{}", "abc"));
+        assert!(!header_matches("", "abc"));
+    }
+}

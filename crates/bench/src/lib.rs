@@ -25,8 +25,15 @@
 
 #![warn(missing_docs)]
 
+pub mod journal;
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use bsched_analyze::FailureKind;
 use bsched_core::Ratio;
 use bsched_cpusim::ProcessorModel;
+use bsched_faults::{fault_point, Site};
 use bsched_memsim::{CacheModel, LatencyModel, MemorySystem, MixedModel, NetworkModel};
 use bsched_pipeline::{
     compare, evaluate, try_evaluate, CompiledProgram, EvalConfig, Pipeline, PipelineError,
@@ -34,6 +41,8 @@ use bsched_pipeline::{
 };
 use bsched_stats::Improvement;
 use bsched_workload::Benchmark;
+
+use journal::{Journal, JournalEntry};
 
 /// One Table 2 row: a memory system plus the optimistic latency the
 /// traditional baseline assumes for it.
@@ -256,13 +265,164 @@ pub fn failure_label(reason: &str) -> String {
     format!("FAILED({short})")
 }
 
-/// Test hook: `BSCHED_INJECT_PANIC=<benchmark name>` makes every cell of
-/// that benchmark panic inside the evaluation stage, exercising the
-/// degradation path end to end.
-fn maybe_inject_panic(bench_name: &str) {
-    if std::env::var("BSCHED_INJECT_PANIC").as_deref() == Ok(bench_name) {
-        panic!("injected failure (BSCHED_INJECT_PANIC={bench_name})");
+/// How one cell reached its terminal state in [`run_cells_reported`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Evaluated cleanly on the first attempt.
+    Ok,
+    /// Failed at least once, then evaluated cleanly on a bounded retry.
+    Recovered {
+        /// Total attempts including the successful one (≥ 2).
+        attempts: u32,
+    },
+    /// Every attempt failed; the last error is reported.
+    Failed {
+        /// Stable failure-vocabulary id.
+        kind: FailureKind,
+        /// Human-readable reason from the last attempt.
+        reason: String,
+    },
+    /// Retries were skipped because the benchmark already accumulated
+    /// [`QUARANTINE_THRESHOLD`] unrecovered failures this run.
+    Quarantined {
+        /// Why the cell was quarantined, including its own first error.
+        reason: String,
+    },
+}
+
+/// One cell's structured outcome from [`run_cells_reported`]: terminal
+/// status, the evaluated cell when one exists, and whether it was
+/// resumed from a prior run's journal instead of re-evaluated.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// Stable identity: `<benchmark>|<system @ optimistic>|<processor>`.
+    pub key: String,
+    /// True when the value came from the `BSCHED_JOURNAL` file.
+    pub resumed: bool,
+    /// Terminal status.
+    pub status: CellStatus,
+    /// The evaluated cell, for `Ok`/`Recovered` (and resumed) outcomes.
+    pub cell: Option<Cell>,
+}
+
+impl CellReport {
+    /// The cell, if the evaluation produced one.
+    #[must_use]
+    pub fn cell(&self) -> Option<&Cell> {
+        self.cell.as_ref()
     }
+
+    /// The failure reason, if the cell degraded.
+    #[must_use]
+    pub fn failure_reason(&self) -> Option<&str> {
+        match &self.status {
+            CellStatus::Ok | CellStatus::Recovered { .. } => None,
+            CellStatus::Failed { reason, .. } | CellStatus::Quarantined { reason } => Some(reason),
+        }
+    }
+
+    /// The failure-vocabulary id, if the cell degraded.
+    #[must_use]
+    pub fn failure_kind(&self) -> Option<FailureKind> {
+        match &self.status {
+            CellStatus::Ok | CellStatus::Recovered { .. } => None,
+            CellStatus::Failed { kind, .. } => Some(*kind),
+            CellStatus::Quarantined { .. } => Some(FailureKind::Quarantined),
+        }
+    }
+}
+
+/// Unrecovered failures per benchmark before its remaining failed cells
+/// are quarantined (reported without burning retries).
+pub const QUARANTINE_THRESHOLD: u32 = 2;
+
+/// Stable identity of one cell, used as the fault-injection context key
+/// and the journal key.
+#[must_use]
+pub fn cell_key(job: &CellJob<'_>) -> String {
+    format!("{}|{}|{}", job.bench.name(), job.row.label(), job.processor)
+}
+
+/// Why one attempt at a cell did not produce a clean value.
+#[derive(Debug)]
+enum CellError {
+    /// A program this cell depends on failed to compile.
+    Compile { kind: FailureKind, reason: String },
+    /// Evaluation returned a typed pipeline error.
+    Pipeline(PipelineError),
+    /// The evaluation worker panicked.
+    Panic(String),
+    /// The wall-clock watchdog fired.
+    Timeout(Duration),
+    /// A result-perturbing fault fired during the attempt, so the value
+    /// (though produced) must not be reported.
+    Tainted(String),
+}
+
+impl CellError {
+    fn kind(&self) -> FailureKind {
+        match self {
+            CellError::Compile { kind, .. } => *kind,
+            CellError::Pipeline(e) => e.failure_kind(),
+            CellError::Panic(_) => FailureKind::Panic,
+            CellError::Timeout(_) => FailureKind::Timeout,
+            CellError::Tainted(_) => FailureKind::Tainted,
+        }
+    }
+
+    fn reason(&self) -> String {
+        match self {
+            CellError::Compile { reason, .. } => reason.clone(),
+            CellError::Pipeline(e) => e.to_string(),
+            CellError::Panic(msg) => format!("panicked: {msg}"),
+            CellError::Timeout(limit) => format!("timed out after {limit:?}"),
+            CellError::Tainted(sites) => format!("fault injected: {sites}"),
+        }
+    }
+}
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The per-cell wall-clock limit from `BSCHED_TIMEOUT_MS` (`0`/`off`/
+/// unset disables the watchdog).
+fn timeout_from_env() -> Option<Duration> {
+    match std::env::var("BSCHED_TIMEOUT_MS").ok()?.trim() {
+        "" | "0" | "off" => None,
+        v => v.parse::<u64>().ok().map(Duration::from_millis),
+    }
+}
+
+/// Fingerprint of everything that determines cell values this run: the
+/// journal refuses to resume across a change in any of these.
+fn run_fingerprint(keys: &[String]) -> String {
+    let cfg = eval_config(ProcessorModel::Unlimited);
+    // FNV-1a over the ordered key list captures the job-list shape.
+    let mut shape: u64 = 0xcbf2_9ce4_8422_2325;
+    for key in keys {
+        for b in key.as_bytes() {
+            shape = (shape ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+        }
+        shape = (shape ^ u64::from(b'\n')).wrapping_mul(0x100_0000_01b3);
+    }
+    let plan = bsched_faults::installed_plan().map_or_else(|| "none".to_owned(), |p| p.to_string());
+    format!(
+        "v1;seed={};runs={};cells={};shape={shape:016x};faults={plan}",
+        cfg.seed,
+        cfg.runs,
+        keys.len()
+    )
 }
 
 /// Runs every job, in parallel across `BSCHED_THREADS` workers (default:
@@ -292,11 +452,64 @@ pub fn run_cells(jobs: &[CellJob<'_>]) -> Vec<Cell> {
 }
 
 /// [`run_cells`] with per-cell fault isolation: a panic, compile error,
-/// or validation finding in one cell is retried once serially and, if it
+/// or validation finding in one cell is retried with backoff and, if it
 /// persists, reported as [`CellOutcome::Failed`] — every other cell
-/// still evaluates.
+/// still evaluates. Thin compatibility wrapper over
+/// [`run_cells_reported`], which also exposes retry/quarantine/resume
+/// detail.
 #[must_use]
 pub fn run_cells_checked(jobs: &[CellJob<'_>]) -> Vec<CellOutcome> {
+    run_cells_reported(jobs)
+        .into_iter()
+        .map(|report| match (report.cell, report.status) {
+            (Some(cell), _) => CellOutcome::Ok(cell),
+            (None, CellStatus::Failed { reason, .. } | CellStatus::Quarantined { reason }) => {
+                CellOutcome::Failed { reason }
+            }
+            (None, status) => CellOutcome::Failed {
+                reason: format!("cell produced no value in status {status:?}"),
+            },
+        })
+        .collect()
+}
+
+/// The full watchdog/recovery harness: runs every job with per-cell
+/// fault isolation, bounded retry with exponential backoff, quarantine,
+/// optional wall-clock timeouts, and crash-safe journaling.
+///
+/// Behaviour knobs (all environment variables):
+///
+/// - `BSCHED_RETRIES` (default 1) — serial retries after the parallel
+///   first attempt; backoff before retry *r* is
+///   `BSCHED_BACKOFF_MS × 2^(r-1)` ms (default base 25, capped at 2 s).
+/// - `BSCHED_TIMEOUT_MS` (default off) — per-attempt wall-clock budget,
+///   enforced by [`bsched_par::run_with_timeout`] with cooperative
+///   cancellation of the abandoned simulation.
+/// - `BSCHED_JOURNAL` (default off) — path of a crash-safe
+///   [`journal`](journal::Journal); cells recorded by a previous run
+///   with the same fingerprint are resumed, not re-evaluated.
+/// - `BSCHED_FAULTS` (default off) — a [`bsched_faults::FaultPlan`]
+///   spec; installed once per process.
+///
+/// Invariants:
+///
+/// - With no fault plan installed, results are bit-identical to
+///   [`run_cell`] in a loop, for any thread count, retry count, or
+///   resume pattern.
+/// - An attempt during which a result-perturbing fault (latency jitter,
+///   simulator stall) fired is *tainted*: its value is discarded and the
+///   cell either recovers on a clean retry or reports a typed
+///   [`CellStatus::Failed`] — never a silently wrong number.
+/// - After a benchmark accumulates [`QUARANTINE_THRESHOLD`] unrecovered
+///   failures, its remaining failed cells skip retries and report
+///   [`CellStatus::Quarantined`].
+#[must_use]
+pub fn run_cells_reported(jobs: &[CellJob<'_>]) -> Vec<CellReport> {
+    bsched_faults::init_from_env();
+    let keys: Vec<String> = jobs.iter().map(cell_key).collect();
+    let journal = Journal::from_env(&run_fingerprint(&keys));
+    let timeout = timeout_from_env();
+
     // Compilation is independent of the memory system and processor
     // model: the balanced schedule depends only on the benchmark, the
     // traditional schedule only on (benchmark, optimistic latency).
@@ -310,7 +523,7 @@ pub fn run_cells_checked(jobs: &[CellJob<'_>]) -> Vec<CellOutcome> {
         Balanced(usize),
         Traditional(usize, Ratio),
     }
-    let mut index: std::collections::HashMap<Key, usize> = std::collections::HashMap::new();
+    let mut index: HashMap<Key, usize> = HashMap::new();
     let mut tasks: Vec<(&Benchmark, SchedulerChoice)> = Vec::new();
     let mut refs: Vec<(usize, usize)> = Vec::with_capacity(jobs.len());
     for job in jobs {
@@ -330,62 +543,279 @@ pub fn run_cells_checked(jobs: &[CellJob<'_>]) -> Vec<CellOutcome> {
 
     // Compile each distinct program once, with panics and errors caught
     // per program; a failed compile only poisons the cells that need it.
-    let compile_one = |_: usize, task: &(&Benchmark, SchedulerChoice)| {
-        Pipeline::default()
-            .compile(task.0.function(), &task.1)
-            .map_err(|e| e.to_string())
+    // Each compile runs under a `compile|<benchmark>|<scheduler>` fault
+    // context so plans can target it (parser reject, spill exhaustion).
+    let compile_one = |task: &(&Benchmark, SchedulerChoice), attempt: u32| {
+        let ctx = format!("compile|{}|{}", task.0.name(), task.1.name());
+        bsched_faults::with_cell_context(&ctx, attempt, || {
+            Pipeline::default()
+                .compile(task.0.function(), &task.1)
+                .map_err(|e| (e.failure_kind(), e.to_string()))
+        })
     };
-    let compiled: Vec<Result<CompiledProgram, String>> =
-        bsched_par::parallel_map_catch(&tasks, compile_one)
+    let compiled: Vec<Result<CompiledProgram, (FailureKind, String)>> =
+        bsched_par::parallel_map_catch(&tasks, |_, task| compile_one(task, 1))
             .into_iter()
             .enumerate()
-            .map(
-                |(k, caught)| match caught.unwrap_or_else(|p| Err(p.to_string())) {
+            .map(|(k, caught)| {
+                let first = caught.unwrap_or_else(|p| Err((FailureKind::Panic, p.to_string())));
+                match first {
                     Ok(program) => Ok(program),
                     // Retry once serially: rules out transient causes
-                    // (resource exhaustion under full fan-out) before the
-                    // cell is written off.
-                    Err(_) => bsched_par::parallel_map_catch(&tasks[k..=k], compile_one)
-                        .pop()
-                        .expect("one result per item")
-                        .unwrap_or_else(|p| Err(p.to_string())),
-                },
-            )
+                    // (an injected fault with a limit, resource
+                    // exhaustion under full fan-out) before every
+                    // dependent cell is written off.
+                    Err(_) => bsched_par::parallel_map_catch(&tasks[k..=k], |_, task| {
+                        compile_one(task, 2)
+                    })
+                    .pop()
+                    .expect("one result per item")
+                    .unwrap_or_else(|p| Err((FailureKind::Panic, p.to_string()))),
+                }
+            })
             .collect();
 
-    let eval_one = |i: usize, &(balanced, traditional): &(usize, usize)| -> Result<Cell, String> {
+    // One attempt at one cell, under its fault context. Any fire of a
+    // result-perturbing site during the attempt taints it.
+    let attempt = |i: usize, attempt_no: u32| -> Result<Cell, CellError> {
+        let (bi, ti) = refs[i];
         let job = &jobs[i];
-        maybe_inject_panic(job.bench.name());
-        let scheduler_of = |k: usize| &tasks[k].1;
-        let balanced = compiled[balanced]
-            .as_ref()
-            .map_err(|e| format!("compiling {}: {e}", scheduler_of(balanced).name()))?;
-        let traditional = compiled[traditional]
-            .as_ref()
-            .map_err(|e| format!("compiling {}: {e}", scheduler_of(traditional).name()))?;
-        try_run_cell_compiled(balanced, traditional, job.row, job.processor)
-            .map_err(|e| e.to_string())
+        let key = &keys[i];
+        bsched_faults::with_cell_context(key, attempt_no, || {
+            // Both the slow-cell and eval-panic sites live *inside* the
+            // timed region, so the wall-clock watchdog covers them.
+            fn eval_body(
+                key: &str,
+                balanced: &CompiledProgram,
+                traditional: &CompiledProgram,
+                row: &SystemRow,
+                processor: ProcessorModel,
+            ) -> Result<Cell, PipelineError> {
+                if let Some(fault) = fault_point!(Site::SlowCell) {
+                    std::thread::sleep(Duration::from_millis(fault.arg.min(10_000)));
+                }
+                if fault_point!(Site::EvalPanic).is_some() {
+                    panic!("injected failure (eval-panic in {key})");
+                }
+                try_run_cell_compiled(balanced, traditional, row, processor)
+            }
+            let balanced = compiled[bi]
+                .as_ref()
+                .map_err(|(kind, e)| CellError::Compile {
+                    kind: *kind,
+                    reason: format!("compiling {}: {e}", tasks[bi].1.name()),
+                })?;
+            let traditional = compiled[ti]
+                .as_ref()
+                .map_err(|(kind, e)| CellError::Compile {
+                    kind: *kind,
+                    reason: format!("compiling {}: {e}", tasks[ti].1.name()),
+                })?;
+            let cell = match timeout {
+                Some(limit) => {
+                    // The watchdog thread needs owned inputs; cloning the
+                    // compiled programs costs nothing next to the limit
+                    // we are prepared to wait.
+                    let key = key.clone();
+                    let b = balanced.clone();
+                    let t = traditional.clone();
+                    let row = job.row.clone();
+                    let processor = job.processor;
+                    bsched_par::run_with_timeout(limit, move || {
+                        eval_body(&key, &b, &t, &row, processor)
+                    })
+                    .map_err(|t| CellError::Timeout(t.limit))?
+                    .map_err(CellError::Pipeline)?
+                }
+                None => eval_body(key, balanced, traditional, job.row, job.processor)
+                    .map_err(CellError::Pipeline)?,
+            };
+            let perturbing: Vec<&str> = bsched_faults::take_fired(key, attempt_no)
+                .iter()
+                .filter(|f| matches!(f.site, Site::LatencyJitter | Site::SimStall))
+                .map(|f| f.site.id())
+                .collect();
+            if perturbing.is_empty() {
+                Ok(cell)
+            } else {
+                Err(CellError::Tainted(perturbing.join(", ")))
+            }
+        })
     };
-    bsched_par::parallel_map_catch(&refs, eval_one)
-        .into_iter()
-        .enumerate()
-        .map(
-            |(i, caught)| match caught.unwrap_or_else(|p| Err(p.to_string())) {
-                Ok(cell) => CellOutcome::Ok(cell),
-                Err(_) => {
-                    // Same serial retry as the compile stage.
-                    let retried =
-                        bsched_par::parallel_map_catch(&refs[i..=i], |_, r| eval_one(i, r))
-                            .pop()
-                            .expect("one result per item");
-                    match retried.unwrap_or_else(|p| Err(p.to_string())) {
-                        Ok(cell) => CellOutcome::Ok(cell),
-                        Err(reason) => CellOutcome::Failed { reason },
+    let caught_to_err = |p: bsched_par::CaughtPanic| CellError::Panic(p.message().to_owned());
+
+    // First attempt: every not-yet-journaled cell, in parallel. Clean
+    // results are journaled as they land — a kill mid-table loses at
+    // most the in-flight cells.
+    let pending: Vec<usize> = (0..jobs.len())
+        .filter(|&i| {
+            journal
+                .as_ref()
+                .is_none_or(|j| j.lookup(&keys[i]).is_none())
+        })
+        .collect();
+    let mut firsts: Vec<Option<Result<Cell, CellError>>> = (0..jobs.len()).map(|_| None).collect();
+    let first_results = bsched_par::parallel_map_catch(&pending, |_, &i| {
+        let result = attempt(i, 1);
+        if let (Ok(cell), Some(j)) = (&result, journal.as_ref()) {
+            j.record(&keys[i], &JournalEntry::Ok(cell.clone()));
+        }
+        result
+    });
+    for (&slot, caught) in pending.iter().zip(first_results) {
+        firsts[slot] = Some(caught.unwrap_or_else(|p| Err(caught_to_err(p))));
+    }
+
+    // Recovery pass: serial, in job order, so retry/quarantine decisions
+    // are deterministic for any thread count.
+    let retries = env_u32("BSCHED_RETRIES", 1);
+    let backoff_ms = env_u64("BSCHED_BACKOFF_MS", 25);
+    let mut strikes: HashMap<String, u32> = HashMap::new();
+    let mut reports = Vec::with_capacity(jobs.len());
+    let record_failed = |key: &str, kind: FailureKind, reason: &str| {
+        if let Some(j) = journal.as_ref() {
+            j.record(
+                key,
+                &JournalEntry::Failed {
+                    kind,
+                    reason: reason.to_owned(),
+                },
+            );
+        }
+    };
+    for (i, first) in firsts.into_iter().enumerate() {
+        let key = keys[i].clone();
+        let report = match first {
+            None => {
+                // Resumed from the journal.
+                let entry = journal
+                    .as_ref()
+                    .and_then(|j| j.lookup(&key))
+                    .expect("unattempted cells come from the journal");
+                match entry {
+                    JournalEntry::Ok(cell) => CellReport {
+                        key,
+                        resumed: true,
+                        status: CellStatus::Ok,
+                        cell: Some(cell),
+                    },
+                    JournalEntry::Failed { kind, reason } => CellReport {
+                        key,
+                        resumed: true,
+                        status: if kind == FailureKind::Quarantined {
+                            CellStatus::Quarantined { reason }
+                        } else {
+                            CellStatus::Failed { kind, reason }
+                        },
+                        cell: None,
+                    },
+                }
+            }
+            Some(Ok(cell)) => CellReport {
+                key,
+                resumed: false,
+                status: CellStatus::Ok,
+                cell: Some(cell),
+            },
+            Some(Err(mut err)) => {
+                let bench = jobs[i].bench.name().to_owned();
+                let prior = strikes.get(&bench).copied().unwrap_or(0);
+                if prior >= QUARANTINE_THRESHOLD {
+                    let reason = format!(
+                        "{bench} quarantined after {prior} unrecovered failures; this cell's first error: {}",
+                        err.reason()
+                    );
+                    record_failed(&key, FailureKind::Quarantined, &reason);
+                    CellReport {
+                        key,
+                        resumed: false,
+                        status: CellStatus::Quarantined { reason },
+                        cell: None,
+                    }
+                } else {
+                    let mut recovered = None;
+                    for retry in 0..retries {
+                        let delay = backoff_ms.saturating_mul(1 << retry.min(6)).min(2_000);
+                        if delay > 0 {
+                            std::thread::sleep(Duration::from_millis(delay));
+                        }
+                        let caught =
+                            bsched_par::parallel_map_catch(&[i], |_, &i| attempt(i, retry + 2))
+                                .pop()
+                                .expect("one result per item");
+                        match caught.unwrap_or_else(|p| Err(caught_to_err(p))) {
+                            Ok(cell) => {
+                                recovered = Some((cell, retry + 2));
+                                break;
+                            }
+                            Err(e) => err = e,
+                        }
+                    }
+                    match recovered {
+                        Some((cell, attempts)) => {
+                            if let Some(j) = journal.as_ref() {
+                                j.record(&key, &JournalEntry::Ok(cell.clone()));
+                            }
+                            CellReport {
+                                key,
+                                resumed: false,
+                                status: CellStatus::Recovered { attempts },
+                                cell: Some(cell),
+                            }
+                        }
+                        None => {
+                            *strikes.entry(bench).or_insert(0) += 1;
+                            let (kind, reason) = (err.kind(), err.reason());
+                            record_failed(&key, kind, &reason);
+                            CellReport {
+                                key,
+                                resumed: false,
+                                status: CellStatus::Failed { kind, reason },
+                                cell: None,
+                            }
+                        }
                     }
                 }
-            },
-        )
-        .collect()
+            }
+        };
+        reports.push(report);
+    }
+    reports
+}
+
+/// Prints resume/retry/failure detail from a [`run_cells_reported`] pass
+/// to stderr and returns the failure count; table binaries exit non-zero
+/// when it is positive.
+pub fn report_cell_reports(reports: &[CellReport]) -> usize {
+    let resumed = reports.iter().filter(|r| r.resumed).count();
+    if resumed > 0 {
+        eprintln!(
+            "resumed {resumed} of {} cells from the journal",
+            reports.len()
+        );
+    }
+    for report in reports {
+        if let CellStatus::Recovered { attempts } = report.status {
+            eprintln!("RECOVERED cell on attempt {attempts}: {}", report.key);
+        }
+    }
+    let mut failures = 0;
+    for report in reports {
+        if let Some(reason) = report.failure_reason() {
+            failures += 1;
+            let kind = report
+                .failure_kind()
+                .map_or_else(String::new, |k| format!(" [{k}]"));
+            eprintln!("FAILED cell{kind}: {}: {reason}", report.key);
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "{failures} of {} cells failed; the rest are reported above",
+            reports.len()
+        );
+    }
+    failures
 }
 
 /// Prints every failed cell to stderr (benchmark, system, processor and
@@ -479,6 +909,7 @@ pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bsched_faults::{FaultPlan, FaultSpec};
     use bsched_workload::{perfect, perfect_club};
 
     /// Serialises the tests that read or write `BSCHED_*` environment
@@ -595,6 +1026,7 @@ mod tests {
     fn injected_panic_fails_the_same_cells_serial_and_parallel() {
         let _guard = env_lock();
         std::env::set_var("BSCHED_RUNS", "2");
+        std::env::set_var("BSCHED_BACKOFF_MS", "0");
         let benchmarks = perfect_club();
         let rows = table2_rows();
         let row = &rows[8]; // N(2,2)
@@ -606,13 +1038,24 @@ mod tests {
                 processor: ProcessorModel::Unlimited,
             })
             .collect();
-        std::env::set_var("BSCHED_INJECT_PANIC", benchmarks[2].name());
+        // An unbounded eval-panic plan keyed to one benchmark: every
+        // attempt at its cell panics, so retries exhaust and exactly
+        // that cell degrades.
+        bsched_faults::install(
+            FaultPlan::seeded(7)
+                .with(FaultSpec::always(Site::EvalPanic).with_key(benchmarks[2].name())),
+        );
         std::env::set_var("BSCHED_THREADS", "1");
         let serial = run_cells_checked(&jobs);
         std::env::set_var("BSCHED_THREADS", "4");
+        bsched_faults::install(
+            FaultPlan::seeded(7)
+                .with(FaultSpec::always(Site::EvalPanic).with_key(benchmarks[2].name())),
+        );
         let parallel = run_cells_checked(&jobs);
+        bsched_faults::clear();
         std::env::remove_var("BSCHED_THREADS");
-        std::env::remove_var("BSCHED_INJECT_PANIC");
+        std::env::remove_var("BSCHED_BACKOFF_MS");
         std::env::remove_var("BSCHED_RUNS");
         assert_eq!(serial.len(), parallel.len());
         for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
@@ -627,11 +1070,200 @@ mod tests {
                 (CellOutcome::Failed { reason: s }, CellOutcome::Failed { reason: p }) => {
                     assert_eq!(i, 2, "only the injected cell may fail");
                     assert_eq!(s, p);
-                    assert!(s.contains("injected failure"));
+                    assert!(s.contains("injected failure"), "{s}");
                 }
                 _ => panic!("cell {i}: serial and parallel outcomes disagree"),
             }
         }
+    }
+
+    #[test]
+    fn transient_panic_recovers_on_retry_bit_identically() {
+        let _guard = env_lock();
+        std::env::set_var("BSCHED_RUNS", "2");
+        std::env::set_var("BSCHED_BACKOFF_MS", "0");
+        let bench = perfect::track();
+        let rows = table2_rows();
+        let jobs = [CellJob {
+            bench: &bench,
+            row: &rows[8],
+            processor: ProcessorModel::Unlimited,
+        }];
+        bsched_faults::clear();
+        let clean = run_cells_reported(&jobs);
+        // limit=1 → the fault fires exactly once; the retry runs clean.
+        bsched_faults::install(
+            FaultPlan::seeded(3).with(
+                FaultSpec::always(Site::EvalPanic)
+                    .with_key("TRACK")
+                    .with_limit(1),
+            ),
+        );
+        let faulted = run_cells_reported(&jobs);
+        bsched_faults::clear();
+        std::env::remove_var("BSCHED_BACKOFF_MS");
+        std::env::remove_var("BSCHED_RUNS");
+        assert_eq!(clean[0].status, CellStatus::Ok);
+        assert_eq!(faulted[0].status, CellStatus::Recovered { attempts: 2 });
+        let (a, b) = (clean[0].cell().unwrap(), faulted[0].cell().unwrap());
+        assert_eq!(
+            a.improvement.mean_percent.to_bits(),
+            b.improvement.mean_percent.to_bits(),
+            "recovered cell must be bit-identical to the fault-free run"
+        );
+        assert_eq!(a.balanced.bootstrap_runtimes, b.balanced.bootstrap_runtimes);
+    }
+
+    #[test]
+    fn tainted_jitter_is_never_reported_as_a_clean_number() {
+        let _guard = env_lock();
+        std::env::set_var("BSCHED_RUNS", "2");
+        std::env::set_var("BSCHED_BACKOFF_MS", "0");
+        let bench = perfect::track();
+        let rows = table2_rows();
+        let jobs = [CellJob {
+            bench: &bench,
+            row: &rows[8], // N(2,2): unbounded support, jitter perturbs
+            processor: ProcessorModel::Unlimited,
+        }];
+        // Unbounded jitter plan: every attempt is tainted, so the cell
+        // must degrade to a typed failure rather than report perturbed
+        // numbers.
+        bsched_faults::install(
+            FaultPlan::seeded(11).with(
+                FaultSpec::always(Site::LatencyJitter)
+                    .with_key("TRACK")
+                    .with_arg(500),
+            ),
+        );
+        let reports = run_cells_reported(&jobs);
+        bsched_faults::clear();
+        std::env::remove_var("BSCHED_BACKOFF_MS");
+        std::env::remove_var("BSCHED_RUNS");
+        assert_eq!(reports[0].failure_kind(), Some(FailureKind::Tainted));
+        let reason = reports[0].failure_reason().expect("tainted cell fails");
+        assert!(reason.contains("latency-jitter"), "{reason}");
+        assert!(
+            reports[0].cell().is_none(),
+            "no value may escape a tainted cell"
+        );
+    }
+
+    #[test]
+    fn repeated_failures_quarantine_the_benchmark() {
+        let _guard = env_lock();
+        std::env::set_var("BSCHED_RUNS", "2");
+        std::env::set_var("BSCHED_BACKOFF_MS", "0");
+        let bad = corrupted_benchmark();
+        let rows = table2_rows();
+        let jobs: Vec<CellJob> = rows[..4]
+            .iter()
+            .map(|row| CellJob {
+                bench: &bad,
+                row,
+                processor: ProcessorModel::Unlimited,
+            })
+            .collect();
+        bsched_faults::clear();
+        let reports = run_cells_reported(&jobs);
+        std::env::remove_var("BSCHED_BACKOFF_MS");
+        std::env::remove_var("BSCHED_RUNS");
+        assert!(matches!(
+            reports[0].status,
+            CellStatus::Failed {
+                kind: FailureKind::Alloc,
+                ..
+            }
+        ));
+        assert!(matches!(
+            reports[1].status,
+            CellStatus::Failed {
+                kind: FailureKind::Alloc,
+                ..
+            }
+        ));
+        assert!(
+            matches!(reports[2].status, CellStatus::Quarantined { .. }),
+            "third failure of the same benchmark is quarantined: {:?}",
+            reports[2].status
+        );
+        assert!(matches!(reports[3].status, CellStatus::Quarantined { .. }));
+        assert_eq!(reports[2].failure_kind(), Some(FailureKind::Quarantined));
+        assert_eq!(report_cell_reports(&reports), 4);
+    }
+
+    #[test]
+    fn slow_cell_times_out_as_a_typed_failure() {
+        let _guard = env_lock();
+        std::env::set_var("BSCHED_RUNS", "2");
+        std::env::set_var("BSCHED_TIMEOUT_MS", "100");
+        std::env::set_var("BSCHED_RETRIES", "0");
+        let bench = perfect::track();
+        let rows = table2_rows();
+        let jobs = [CellJob {
+            bench: &bench,
+            row: &rows[8],
+            processor: ProcessorModel::Unlimited,
+        }];
+        bsched_faults::install(
+            FaultPlan::seeded(5).with(
+                FaultSpec::always(Site::SlowCell)
+                    .with_key("TRACK")
+                    .with_arg(2_000),
+            ),
+        );
+        let reports = run_cells_reported(&jobs);
+        bsched_faults::clear();
+        std::env::remove_var("BSCHED_RETRIES");
+        std::env::remove_var("BSCHED_TIMEOUT_MS");
+        std::env::remove_var("BSCHED_RUNS");
+        assert_eq!(reports[0].failure_kind(), Some(FailureKind::Timeout));
+        assert!(
+            reports[0].failure_reason().unwrap().contains("timed out"),
+            "{:?}",
+            reports[0].status
+        );
+    }
+
+    #[test]
+    fn journal_resumes_recorded_cells_bit_identically() {
+        let _guard = env_lock();
+        std::env::set_var("BSCHED_RUNS", "2");
+        let bench = perfect::track();
+        let rows = table2_rows();
+        let jobs: Vec<CellJob> = rows[..2]
+            .iter()
+            .map(|row| CellJob {
+                bench: &bench,
+                row,
+                processor: ProcessorModel::Unlimited,
+            })
+            .collect();
+        let path =
+            std::env::temp_dir().join(format!("bsched-bench-journal-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("BSCHED_JOURNAL", &path);
+        bsched_faults::clear();
+        let fresh = run_cells_reported(&jobs);
+        let resumed = run_cells_reported(&jobs);
+        std::env::remove_var("BSCHED_JOURNAL");
+        std::env::remove_var("BSCHED_RUNS");
+        let _ = std::fs::remove_file(&path);
+        for (f, r) in fresh.iter().zip(&resumed) {
+            assert!(!f.resumed);
+            assert!(r.resumed, "second pass must resume from the journal");
+            let (a, b) = (f.cell().unwrap(), r.cell().unwrap());
+            assert_eq!(
+                a.improvement.mean_percent.to_bits(),
+                b.improvement.mean_percent.to_bits()
+            );
+            assert_eq!(a.balanced.bootstrap_runtimes, b.balanced.bootstrap_runtimes);
+            assert_eq!(
+                a.traditional.bootstrap_runtimes,
+                b.traditional.bootstrap_runtimes
+            );
+        }
+        assert_eq!(report_cell_reports(&resumed), 0);
     }
 
     #[test]

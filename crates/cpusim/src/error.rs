@@ -1,0 +1,54 @@
+//! Typed simulation failures raised by the watchdog layer.
+
+use std::fmt;
+
+/// Why a guarded simulation was stopped before completing.
+///
+/// Only the `try_` entry points ([`crate::try_simulate_runs_stats`])
+/// return these; the classic entry points preserve their infallible
+/// signatures by running with an unlimited budget and no cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// A single run's issue clock passed the per-run cycle budget — the
+    /// simulation was runaway (e.g. an injected stall fault) and was
+    /// killed rather than left to spin.
+    BudgetExceeded {
+        /// The configured per-run budget, in cycles.
+        budget: u64,
+        /// The cycle the run had reached when it was killed.
+        cycle: u64,
+    },
+    /// The thread's [`bsched_faults::CancelToken`] tripped between runs
+    /// — a wall-clock watchdog gave up on this cell.
+    Cancelled,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BudgetExceeded { budget, cycle } => write!(
+                f,
+                "cycle budget exceeded: run reached cycle {cycle} with a budget of {budget}"
+            ),
+            SimError::Cancelled => write!(f, "simulation cancelled by watchdog"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_numbers() {
+        let e = SimError::BudgetExceeded {
+            budget: 100,
+            cycle: 250,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("250"), "{s}");
+        assert!(SimError::Cancelled.to_string().contains("cancelled"));
+    }
+}

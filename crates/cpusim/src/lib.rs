@@ -39,15 +39,18 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod processor;
 pub mod result;
 pub mod sim;
 pub mod timeline;
 
+pub use error::SimError;
 pub use processor::ProcessorModel;
 pub use result::{InterlockBreakdown, SimResult};
 pub use sim::{
     simulate_block, simulate_block_custom, simulate_block_traced, simulate_block_wide,
-    simulate_runs, simulate_runs_stats, simulate_runs_wide, IssueEvent, RunStats,
+    simulate_runs, simulate_runs_stats, simulate_runs_wide, try_simulate_runs_stats, IssueEvent,
+    RunStats,
 };
 pub use timeline::render_timeline;

@@ -2,10 +2,12 @@
 
 use std::collections::HashMap;
 
+use bsched_faults::{fault_point, Site};
 use bsched_ir::{BasicBlock, InstId, OpLatencies, Reg};
 use bsched_memsim::LatencyModel;
 use bsched_stats::Pcg32;
 
+use crate::error::SimError;
 use crate::processor::ProcessorModel;
 use crate::result::{InterlockBreakdown, SimResult};
 
@@ -217,6 +219,60 @@ pub fn simulate_runs_stats(
     }
 }
 
+/// Watchdog-guarded [`simulate_runs_stats`]: identical samples on the
+/// happy path (bit for bit — same `rng.split` schedule), but each run is
+/// bounded by a per-run cycle `budget` and the batch checks the thread's
+/// cancellation token between runs.
+///
+/// `budget: None` means unlimited. A run whose issue clock passes the
+/// budget fails the whole batch with [`SimError::BudgetExceeded`]; a
+/// tripped [`bsched_faults::CancelToken`] fails it with
+/// [`SimError::Cancelled`].
+///
+/// # Errors
+///
+/// See above — the two [`SimError`] variants.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn try_simulate_runs_stats(
+    block: &BasicBlock,
+    mem: &dyn LatencyModel,
+    model: ProcessorModel,
+    width: u32,
+    runs: u32,
+    budget: Option<u64>,
+    rng: &Pcg32,
+) -> Result<RunStats, SimError> {
+    assert!(width >= 1, "issue width must be at least 1");
+    let budget = budget.unwrap_or(u64::MAX);
+    let mut elapsed = Vec::with_capacity(runs as usize);
+    let mut interlocks = Vec::with_capacity(runs as usize);
+    for r in 0..runs {
+        if bsched_faults::cancelled() {
+            return Err(SimError::Cancelled);
+        }
+        let mut run_rng = rng.split(u64::from(r));
+        let (result, cycles) = simulate_inner_guarded(
+            block,
+            mem,
+            model,
+            width,
+            OpLatencies::unit(),
+            &mut run_rng,
+            None,
+            budget,
+        )?;
+        elapsed.push(cycles as f64);
+        interlocks.push(result.interlocks as f64);
+    }
+    Ok(RunStats {
+        elapsed,
+        interlocks,
+    })
+}
+
 /// Maps a symbolic memory location to a flat simulated address: each
 /// region gets a 16 GiB band, offsets (possibly negative, e.g. `a[-1]`)
 /// land inside it. Unknown offsets map to `None` so address-aware models
@@ -246,9 +302,31 @@ fn simulate_inner_custom(
     width: u32,
     op_latencies: OpLatencies,
     rng: &mut Pcg32,
-    mut trace: Option<&mut Vec<IssueEvent>>,
+    trace: Option<&mut Vec<IssueEvent>>,
 ) -> (SimResult, u64) {
+    simulate_inner_guarded(block, mem, model, width, op_latencies, rng, trace, u64::MAX)
+        .expect("an unlimited budget cannot be exceeded")
+}
+
+/// The single simulation loop. `budget` bounds one run's issue clock:
+/// the moment an instruction's issue cycle passes it the run aborts with
+/// [`SimError::BudgetExceeded`]. Every public infallible entry point
+/// calls this with `budget = u64::MAX`, which can never trip.
+#[allow(clippy::too_many_arguments)]
+fn simulate_inner_guarded(
+    block: &BasicBlock,
+    mem: &dyn LatencyModel,
+    model: ProcessorModel,
+    width: u32,
+    op_latencies: OpLatencies,
+    rng: &mut Pcg32,
+    mut trace: Option<&mut Vec<IssueEvent>>,
+    budget: u64,
+) -> Result<(SimResult, u64), SimError> {
     mem.begin_run();
+    // Hoisted so the fault hooks cost one relaxed load per run, not one
+    // per instruction, when no plan is installed.
+    let faults_on = bsched_faults::active();
     let mut reg_ready: HashMap<Reg, u64> = HashMap::new();
     let mut outstanding: Vec<Outstanding> = Vec::new();
     let mut breakdown = InterlockBreakdown::default();
@@ -271,6 +349,17 @@ fn simulate_inner_custom(
             .unwrap_or(0);
         let mut issue = earliest.max(operand_ready);
         breakdown.operand += issue - earliest;
+
+        // Injected processor stall: the machine simply loses `arg`
+        // cycles before this issue (watchdog fodder — large stalls trip
+        // the cycle budget below).
+        if faults_on {
+            if let Some(fault) = fault_point!(Site::SimStall) {
+                let stall = fault.arg.clamp(1, 1 << 50);
+                issue = issue.saturating_add(stall);
+                breakdown.operand = breakdown.operand.saturating_add(stall);
+            }
+        }
 
         // Processor-model constraints.
         match model {
@@ -314,10 +403,30 @@ fn simulate_inner_custom(
             }
         }
 
+        if issue > budget {
+            return Err(SimError::BudgetExceeded {
+                budget,
+                cycle: issue,
+            });
+        }
+
         // Issue.
         let complete = if inst.is_load() {
-            let latency = mem.sample_at(address_of(inst), rng).max(1);
-            let complete = issue + latency;
+            let mut latency = mem.sample_at(address_of(inst), rng).max(1);
+            // Adversarial jitter stays inside the model's declared
+            // support, so the timeline validator's bounds still hold —
+            // the *number* changes, never the invariant.
+            if faults_on {
+                if let Some(fault) = fault_point!(Site::LatencyJitter) {
+                    latency = bsched_faults::jitter_latency(
+                        latency,
+                        fault.arg,
+                        mem.min_latency(),
+                        mem.max_latency(),
+                    );
+                }
+            }
+            let complete = issue.saturating_add(latency);
             outstanding.push(Outstanding {
                 issued: issue,
                 completes: complete,
@@ -351,14 +460,14 @@ fn simulate_inner_custom(
     }
 
     let elapsed = cycle + u64::from(slots_used > 0);
-    (
+    Ok((
         SimResult {
             instructions,
             interlocks: breakdown.total(),
             breakdown,
         },
         elapsed,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -720,6 +829,155 @@ mod tests {
             0,
             &mut rng,
         );
+    }
+
+    /// Fault-plan tests share the process-global plan registry; keep
+    /// them serialized and keyed to a context no other test uses.
+    static FAULT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+        FAULT_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn guarded_runs_match_unguarded_bit_for_bit() {
+        let block = block_with_loads(8);
+        let mem: MemorySystem = NetworkModel::new(3.0, 2.0).into();
+        let rng = Pcg32::seed_from_u64(42);
+        let plain = simulate_runs_stats(&block, &mem, ProcessorModel::Unlimited, 1, 30, &rng);
+        let guarded =
+            try_simulate_runs_stats(&block, &mem, ProcessorModel::Unlimited, 1, 30, None, &rng)
+                .unwrap();
+        assert_eq!(plain, guarded);
+    }
+
+    #[test]
+    fn budget_kills_a_runaway_run() {
+        let block = block_with_loads(1);
+        let rng = Pcg32::seed_from_u64(0);
+        let err = try_simulate_runs_stats(
+            &block,
+            &FixedLatency::new(10),
+            ProcessorModel::Unlimited,
+            1,
+            5,
+            Some(1),
+            &rng,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, crate::SimError::BudgetExceeded { budget: 1, .. }),
+            "{err:?}"
+        );
+        // A budget the block fits under changes nothing.
+        let ok = try_simulate_runs_stats(
+            &block,
+            &FixedLatency::new(10),
+            ProcessorModel::Unlimited,
+            1,
+            5,
+            Some(1_000),
+            &rng,
+        )
+        .unwrap();
+        assert_eq!(ok.elapsed.len(), 5);
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_batch() {
+        let block = block_with_loads(2);
+        let rng = Pcg32::seed_from_u64(0);
+        let token = bsched_faults::CancelToken::new();
+        token.cancel();
+        let err = bsched_faults::with_cancel_token(token, || {
+            try_simulate_runs_stats(
+                &block,
+                &FixedLatency::new(2),
+                ProcessorModel::Unlimited,
+                1,
+                5,
+                None,
+                &rng,
+            )
+        })
+        .unwrap_err();
+        assert_eq!(err, crate::SimError::Cancelled);
+    }
+
+    #[test]
+    fn injected_stall_trips_the_budget() {
+        use bsched_faults::{FaultPlan, FaultSpec, Site};
+        let _g = fault_lock();
+        let block = block_with_loads(2);
+        let rng = Pcg32::seed_from_u64(0);
+        bsched_faults::install(
+            FaultPlan::seeded(1).with(FaultSpec::always(Site::SimStall).with_key("__chaos__")),
+        );
+        let err = bsched_faults::with_cell_context("__chaos__", 0, || {
+            try_simulate_runs_stats(
+                &block,
+                &FixedLatency::new(2),
+                ProcessorModel::Unlimited,
+                1,
+                3,
+                Some(1_000_000),
+                &rng,
+            )
+        })
+        .unwrap_err();
+        bsched_faults::clear();
+        assert!(
+            matches!(err, crate::SimError::BudgetExceeded { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn injected_jitter_is_clamped_to_the_declared_support() {
+        use bsched_faults::{FaultPlan, FaultSpec, Site};
+        let _g = fault_lock();
+        let block = block_with_loads(4);
+        let rng = Pcg32::seed_from_u64(9);
+        // Point support: jitter must clamp back to the fixed latency, so
+        // the perturbed run is bit-identical to the clean one.
+        let clean = simulate_runs_stats(
+            &block,
+            &FixedLatency::new(7),
+            ProcessorModel::Unlimited,
+            1,
+            10,
+            &rng,
+        );
+        bsched_faults::install(
+            FaultPlan::seeded(3).with(FaultSpec::always(Site::LatencyJitter).with_key("__chaos__")),
+        );
+        let jittered = bsched_faults::with_cell_context("__chaos__", 0, || {
+            try_simulate_runs_stats(
+                &block,
+                &FixedLatency::new(7),
+                ProcessorModel::Unlimited,
+                1,
+                10,
+                None,
+                &rng,
+            )
+        })
+        .unwrap();
+        // Unbounded support: jitter slows the runs down.
+        let mem: MemorySystem = NetworkModel::new(3.0, 2.0).into();
+        let net_clean = simulate_runs_stats(&block, &mem, ProcessorModel::Unlimited, 1, 10, &rng);
+        let net_jittered = bsched_faults::with_cell_context("__chaos__", 0, || {
+            try_simulate_runs_stats(&block, &mem, ProcessorModel::Unlimited, 1, 10, None, &rng)
+        })
+        .unwrap();
+        bsched_faults::clear();
+        assert_eq!(clean, jittered, "point support absorbs all jitter");
+        for (c, j) in net_clean.elapsed.iter().zip(&net_jittered.elapsed) {
+            assert!(j >= c, "jitter may only slow a run down: {j} < {c}");
+        }
+        assert_ne!(net_clean.elapsed, net_jittered.elapsed);
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! Fault plans: which sites misbehave, how often, and how hard.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A named place in the pipeline where a fault can be injected.
+///
+/// Every layer of the system registers exactly one site per failure mode
+/// it knows how to provoke; the kebab-case [`id`](Site::id) is the
+/// stable name used in `BSCHED_FAULTS` plan specs and in cell reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Site {
+    /// The kernel parser rejects its input (`bsched-workload`).
+    Parse,
+    /// Register allocation reports spill-pool exhaustion
+    /// (`bsched-regalloc`).
+    Alloc,
+    /// A load's sampled latency is adversarially delayed, clamped to the
+    /// memory model's declared `[min_latency, max_latency]` support
+    /// (`bsched-cpusim`).
+    LatencyJitter,
+    /// The simulator stalls for an enormous number of cycles, tripping
+    /// the per-run cycle budget (`bsched-cpusim`).
+    SimStall,
+    /// The cell evaluation worker panics (`bsched-bench`).
+    EvalPanic,
+    /// The cell evaluation sleeps, tripping the wall-clock watchdog
+    /// (`bsched-bench`).
+    SlowCell,
+}
+
+impl Site {
+    /// Every site, in a fixed order.
+    pub const ALL: [Site; 6] = [
+        Site::Parse,
+        Site::Alloc,
+        Site::LatencyJitter,
+        Site::SimStall,
+        Site::EvalPanic,
+        Site::SlowCell,
+    ];
+
+    /// The stable kebab-case site name.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Site::Parse => "parse-reject",
+            Site::Alloc => "alloc-exhaust",
+            Site::LatencyJitter => "latency-jitter",
+            Site::SimStall => "sim-stall",
+            Site::EvalPanic => "eval-panic",
+            Site::SlowCell => "slow-cell",
+        }
+    }
+
+    /// Looks a site up by its [`id`](Site::id).
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<Site> {
+        Site::ALL.into_iter().find(|s| s.id() == id)
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One armed fault: a site plus firing policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// The site this spec arms.
+    pub site: Site,
+    /// Substring filter on the current cell context (e.g. a benchmark
+    /// name); `None` matches every context, including none.
+    pub key: Option<String>,
+    /// Probability that a matched occurrence fires, in `[0, 1]`.
+    pub rate: f64,
+    /// Maximum fires per `(site, cell)`; `None` is unbounded. A limit of
+    /// 1 models a *transient* fault: the first attempt fails, a retry
+    /// succeeds.
+    pub limit: Option<u32>,
+    /// Site-specific magnitude: extra latency cycles for
+    /// `latency-jitter`, stall cycles for `sim-stall`, sleep milliseconds
+    /// for `slow-cell`. Each site has its own default.
+    pub arg: Option<u64>,
+}
+
+impl FaultSpec {
+    /// A spec that always fires at `site`, any context, no limit.
+    #[must_use]
+    pub fn always(site: Site) -> Self {
+        Self {
+            site,
+            key: None,
+            rate: 1.0,
+            limit: None,
+            arg: None,
+        }
+    }
+
+    /// Restricts the spec to contexts containing `key`.
+    #[must_use]
+    pub fn with_key(mut self, key: impl Into<String>) -> Self {
+        self.key = Some(key.into());
+        self
+    }
+
+    /// Sets the per-occurrence firing probability.
+    #[must_use]
+    pub fn with_rate(mut self, rate: f64) -> Self {
+        self.rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Caps fires per `(site, cell)` — `1` makes the fault transient.
+    #[must_use]
+    pub fn with_limit(mut self, limit: u32) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Sets the site-specific magnitude.
+    #[must_use]
+    pub fn with_arg(mut self, arg: u64) -> Self {
+        self.arg = Some(arg);
+        self
+    }
+
+    fn matches(&self, cell: &str) -> bool {
+        match &self.key {
+            Some(key) => cell.contains(key.as_str()),
+            None => true,
+        }
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.site)?;
+        let mut sep = ':';
+        let mut opt = |f: &mut fmt::Formatter<'_>, text: String| {
+            let r = write!(f, "{sep}{text}");
+            sep = ',';
+            r
+        };
+        if let Some(key) = &self.key {
+            opt(f, format!("key={key}"))?;
+        }
+        if self.rate < 1.0 {
+            opt(f, format!("rate={}", self.rate))?;
+        }
+        if let Some(limit) = self.limit {
+            opt(f, format!("limit={limit}"))?;
+        }
+        if let Some(arg) = self.arg {
+            opt(f, format!("arg={arg}"))?;
+        }
+        Ok(())
+    }
+}
+
+/// A deterministic, seedable set of armed faults.
+///
+/// The plan is pure data: whether a given occurrence fires is a hash of
+/// `(plan seed, site, cell context, occurrence index)`, so two runs with
+/// the same plan, workload and thread count inject exactly the same
+/// faults — chaos runs are as reproducible as clean ones.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Master seed mixed into every firing decision.
+    pub seed: u64,
+    /// The armed faults, in spec order (first match wins per occurrence).
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Adds a spec.
+    #[must_use]
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Specs armed for `site` that match the cell context, in order.
+    pub(crate) fn matching<'a>(
+        &'a self,
+        site: Site,
+        cell: &'a str,
+    ) -> impl Iterator<Item = &'a FaultSpec> + 'a {
+        self.specs
+            .iter()
+            .filter(move |s| s.site == site && s.matches(cell))
+    }
+
+    /// True when no spec could ever fire.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        for spec in &self.specs {
+            write!(f, ";{spec}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a [`FaultPlan`] spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    detail: String,
+}
+
+impl PlanParseError {
+    fn new(detail: impl Into<String>) -> Self {
+        Self {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid fault plan: {} (expected e.g. \"seed=1;eval-panic:key=MDG,limit=1\"; sites: {})",
+            self.detail,
+            Site::ALL.map(Site::id).join(", ")
+        )
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+impl FromStr for FaultPlan {
+    type Err = PlanParseError;
+
+    /// Parses the `BSCHED_FAULTS` plan grammar:
+    ///
+    /// ```text
+    /// plan    = segment (';' segment)*
+    /// segment = "seed=" u64
+    ///         | site-id [':' option (',' option)*]
+    /// option  = "key=" substring | "rate=" f64 | "limit=" u32 | "arg=" u64
+    /// ```
+    ///
+    /// Keys are plain substrings matched against the cell context and may
+    /// not contain `,` or `;`.
+    fn from_str(s: &str) -> Result<FaultPlan, PlanParseError> {
+        let mut plan = FaultPlan::default();
+        for segment in s.split(';').map(str::trim).filter(|t| !t.is_empty()) {
+            if let Some(seed) = segment.strip_prefix("seed=") {
+                plan.seed = seed
+                    .trim()
+                    .parse()
+                    .map_err(|_| PlanParseError::new(format!("bad seed {seed:?}")))?;
+                continue;
+            }
+            let (site_id, opts) = match segment.split_once(':') {
+                Some((site, opts)) => (site.trim(), opts),
+                None => (segment, ""),
+            };
+            let site = Site::from_id(site_id)
+                .ok_or_else(|| PlanParseError::new(format!("unknown site {site_id:?}")))?;
+            let mut spec = FaultSpec::always(site);
+            for opt in opts.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+                let (name, value) = opt
+                    .split_once('=')
+                    .ok_or_else(|| PlanParseError::new(format!("bad option {opt:?}")))?;
+                match name.trim() {
+                    "key" => spec.key = Some(value.to_owned()),
+                    "rate" => {
+                        let rate: f64 = value
+                            .parse()
+                            .map_err(|_| PlanParseError::new(format!("bad rate {value:?}")))?;
+                        if !(0.0..=1.0).contains(&rate) {
+                            return Err(PlanParseError::new(format!("rate {rate} outside [0, 1]")));
+                        }
+                        spec.rate = rate;
+                    }
+                    "limit" => {
+                        spec.limit =
+                            Some(value.parse().map_err(|_| {
+                                PlanParseError::new(format!("bad limit {value:?}"))
+                            })?);
+                    }
+                    "arg" => {
+                        spec.arg = Some(
+                            value
+                                .parse()
+                                .map_err(|_| PlanParseError::new(format!("bad arg {value:?}")))?,
+                        );
+                    }
+                    other => {
+                        return Err(PlanParseError::new(format!("unknown option {other:?}")));
+                    }
+                }
+            }
+            plan.specs.push(spec);
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_ids_roundtrip() {
+        for site in Site::ALL {
+            assert_eq!(Site::from_id(site.id()), Some(site), "{site}");
+        }
+        assert_eq!(Site::from_id("no-such-site"), None);
+    }
+
+    #[test]
+    fn parse_full_grammar() {
+        let plan: FaultPlan = "seed=42;eval-panic:key=MDG,limit=1;latency-jitter:rate=0.5,arg=100"
+            .parse()
+            .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.specs.len(), 2);
+        assert_eq!(plan.specs[0].site, Site::EvalPanic);
+        assert_eq!(plan.specs[0].key.as_deref(), Some("MDG"));
+        assert_eq!(plan.specs[0].limit, Some(1));
+        assert_eq!(plan.specs[1].site, Site::LatencyJitter);
+        assert_eq!(plan.specs[1].rate, 0.5);
+        assert_eq!(plan.specs[1].arg, Some(100));
+    }
+
+    #[test]
+    fn parse_bare_site_and_whitespace() {
+        let plan: FaultPlan = " sim-stall ; seed=7 ".parse().unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.specs, vec![FaultSpec::always(Site::SimStall)]);
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for spec in [
+            "seed=42;eval-panic:key=MDG,limit=1",
+            "seed=0;latency-jitter:rate=0.5,arg=100;sim-stall",
+            "seed=9;parse-reject;alloc-exhaust:key=ADM",
+        ] {
+            let plan: FaultPlan = spec.parse().unwrap();
+            let reparsed: FaultPlan = plan.to_string().parse().unwrap();
+            assert_eq!(plan, reparsed, "{spec}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "boom",
+            "eval-panic:frequency=2",
+            "eval-panic:rate=1.5",
+            "eval-panic:rate=x",
+            "eval-panic:limit=-1",
+            "seed=twelve",
+            "eval-panic:key",
+        ] {
+            assert!(bad.parse::<FaultPlan>().is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn key_matching_is_substring() {
+        let spec = FaultSpec::always(Site::EvalPanic).with_key("MDG");
+        assert!(spec.matches("MDG|L80(2,5) @ 2|UNLIMITED"));
+        assert!(!spec.matches("ADM|L80(2,5) @ 2|UNLIMITED"));
+        assert!(FaultSpec::always(Site::EvalPanic).matches(""));
+    }
+}

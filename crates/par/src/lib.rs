@@ -40,6 +40,8 @@ use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
 
 thread_local! {
     /// Set inside `parallel_map` worker threads so nested calls run
@@ -195,6 +197,12 @@ where
         return (0..n).map(call).collect();
     }
 
+    // Worker threads inherit the spawner's fault context and cancel
+    // token: a fan-out *within* one watched cell keeps charging faults
+    // to that cell and still observes its watchdog.
+    let fault_ctx = bsched_faults::current_context();
+    let cancel = bsched_faults::current_cancel_token();
+
     // Dynamic work queue: workers race on a shared counter so uneven
     // item costs (block sizes vary wildly) still balance.
     let next = AtomicUsize::new(0);
@@ -205,6 +213,8 @@ where
             .map(|_| {
                 scope.spawn(|| {
                     IN_PARALLEL.with(|flag| flag.set(true));
+                    bsched_faults::set_context(fault_ctx.clone());
+                    bsched_faults::set_cancel_token(cancel.clone());
                     let mut done = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -234,6 +244,71 @@ where
         .into_iter()
         .map(|r| r.expect("every index was claimed by exactly one worker"))
         .collect()
+}
+
+/// A wall-clock watchdog fired before the guarded work finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timeout {
+    /// The configured limit.
+    pub limit: Duration,
+}
+
+impl std::fmt::Display for Timeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "timed out after {:?}", self.limit)
+    }
+}
+
+impl std::error::Error for Timeout {}
+
+/// Runs `f` under a wall-clock watchdog.
+///
+/// `f` executes on a dedicated thread that inherits the caller's fault
+/// context, nested-parallelism flag, and a fresh
+/// [`bsched_faults::CancelToken`]. If it finishes within `limit`, its
+/// result comes back as `Ok`. If the deadline passes first, the token is
+/// cancelled — cooperative loops (the simulator checks between runs)
+/// notice and bail — and the caller gets `Err(Timeout)` immediately; the
+/// abandoned thread unwinds on its own and its late result is discarded.
+///
+/// # Errors
+///
+/// `Err(Timeout)` when the deadline passes before `f` returns.
+///
+/// # Panics
+///
+/// A panic inside `f` (within the deadline) is re-raised on the calling
+/// thread with its original payload, exactly as if `f` had been called
+/// directly.
+pub fn run_with_timeout<R, F>(limit: Duration, f: F) -> Result<R, Timeout>
+where
+    R: Send + 'static,
+    F: FnOnce() -> R + Send + 'static,
+{
+    let token = bsched_faults::CancelToken::new();
+    let worker_token = token.clone();
+    let fault_ctx = bsched_faults::current_context();
+    let nested = in_parallel_worker();
+    let (tx, rx) = mpsc::sync_channel(1);
+    // Detached on purpose: `std::thread::scope` would have to join the
+    // runaway thread, which is exactly what a watchdog must not do.
+    std::thread::spawn(move || {
+        IN_PARALLEL.with(|flag| flag.set(nested));
+        bsched_faults::set_context(fault_ctx);
+        let outcome =
+            bsched_faults::with_cancel_token(worker_token, || catch_unwind(AssertUnwindSafe(f)));
+        // The receiver is gone once the watchdog fires; a late result
+        // (or late panic) is deliberately dropped with it.
+        let _ = tx.send(outcome);
+    });
+    match rx.recv_timeout(limit) {
+        Ok(Ok(result)) => Ok(result),
+        Ok(Err(payload)) => resume_unwind(payload),
+        Err(_) => {
+            token.cancel();
+            Err(Timeout { limit })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -369,6 +444,89 @@ mod tests {
         assert_eq!(first.to_string(), "panicked: static message");
         let second = results[1].as_ref().unwrap_err();
         assert_eq!(second.message(), "non-string panic payload");
+    }
+
+    #[test]
+    fn workers_inherit_fault_context_and_cancel_token() {
+        let items: Vec<usize> = (0..32).collect();
+        let token = bsched_faults::CancelToken::new();
+        let contexts = bsched_faults::with_cell_context("CELL|ctx", 2, || {
+            bsched_faults::with_cancel_token(token.clone(), || {
+                parallel_map_with(4, &items, |_, _| {
+                    (
+                        bsched_faults::current_context(),
+                        bsched_faults::current_cancel_token().is_some(),
+                    )
+                })
+            })
+        });
+        for (ctx, has_token) in contexts {
+            assert_eq!(ctx, Some(("CELL|ctx".to_owned(), 2)));
+            assert!(has_token);
+        }
+        assert_eq!(bsched_faults::current_context(), None);
+    }
+
+    #[test]
+    fn timeout_returns_result_within_deadline() {
+        let out = run_with_timeout(Duration::from_secs(30), || 6 * 7);
+        assert_eq!(out, Ok(42));
+    }
+
+    #[test]
+    fn timeout_fires_and_cancels_the_worker() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let saw_cancel = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&saw_cancel);
+        let out = run_with_timeout(Duration::from_millis(20), move || {
+            // Cooperative worker: poll the token like the simulator does.
+            for _ in 0..2_000 {
+                if bsched_faults::cancelled() {
+                    flag.store(true, Ordering::SeqCst);
+                    return 0u32;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            1
+        });
+        assert_eq!(
+            out,
+            Err(Timeout {
+                limit: Duration::from_millis(20)
+            })
+        );
+        assert!(out.unwrap_err().to_string().contains("timed out"));
+        // Give the abandoned worker a moment to observe the cancel.
+        for _ in 0..200 {
+            if saw_cancel.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("worker never observed the cancelled token");
+    }
+
+    #[test]
+    fn timeout_reraises_worker_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            let _ = run_with_timeout(Duration::from_secs(30), || -> u32 {
+                std::panic::panic_any("watchdogged boom".to_owned());
+            });
+        })
+        .unwrap_err();
+        assert_eq!(
+            caught.downcast_ref::<String>().map(String::as_str),
+            Some("watchdogged boom")
+        );
+    }
+
+    #[test]
+    fn timeout_worker_inherits_fault_context() {
+        let ctx = bsched_faults::with_cell_context("CELL|t", 1, || {
+            run_with_timeout(Duration::from_secs(30), bsched_faults::current_context)
+        });
+        assert_eq!(ctx, Ok(Some(("CELL|t".to_owned(), 1))));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! One error type for the whole compile–simulate flow.
 
-use bsched_analyze::Diagnostic;
+use bsched_analyze::{Diagnostic, FailureKind};
+use bsched_cpusim::SimError;
 use bsched_regalloc::AllocError;
 use bsched_verify::VerifyError;
 use bsched_workload::{LowerError, ParseError};
@@ -53,6 +54,26 @@ pub enum PipelineError {
     Lower(LowerError),
     /// The pre-scheduling static-analysis gate rejected a block.
     Analyze(AnalyzeError),
+    /// A watchdog stopped the simulation (cycle budget or cancellation).
+    Sim(SimError),
+}
+
+impl PipelineError {
+    /// The stable failure-vocabulary id for this error — the same
+    /// [`FailureKind`] the table harness, journal and
+    /// `bsched analyze --format json` report.
+    #[must_use]
+    pub fn failure_kind(&self) -> FailureKind {
+        match self {
+            PipelineError::Alloc(_) => FailureKind::Alloc,
+            PipelineError::Verify(_) => FailureKind::Verify,
+            PipelineError::Parse(_) => FailureKind::Parse,
+            PipelineError::Lower(_) => FailureKind::Lower,
+            PipelineError::Analyze(_) => FailureKind::Analysis,
+            PipelineError::Sim(SimError::BudgetExceeded { .. }) => FailureKind::BudgetExceeded,
+            PipelineError::Sim(SimError::Cancelled) => FailureKind::Cancelled,
+        }
+    }
 }
 
 impl std::fmt::Display for PipelineError {
@@ -63,6 +84,7 @@ impl std::fmt::Display for PipelineError {
             PipelineError::Parse(e) => write!(f, "parse: {e}"),
             PipelineError::Lower(e) => write!(f, "lowering: {e}"),
             PipelineError::Analyze(e) => write!(f, "analysis: {e}"),
+            PipelineError::Sim(e) => write!(f, "simulation: {e}"),
         }
     }
 }
@@ -75,7 +97,14 @@ impl std::error::Error for PipelineError {
             PipelineError::Parse(e) => Some(e),
             PipelineError::Lower(e) => Some(e),
             PipelineError::Analyze(e) => Some(e),
+            PipelineError::Sim(e) => Some(e),
         }
+    }
+}
+
+impl From<SimError> for PipelineError {
+    fn from(e: SimError) -> Self {
+        PipelineError::Sim(e)
     }
 }
 
@@ -134,6 +163,52 @@ mod tests {
             .into();
         assert!(e.to_string().starts_with("parse: "));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn sim_errors_convert_and_render() {
+        let e: PipelineError = SimError::BudgetExceeded {
+            budget: 10,
+            cycle: 99,
+        }
+        .into();
+        assert!(e.to_string().starts_with("simulation: cycle budget"), "{e}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn failure_kinds_match_the_shared_vocabulary() {
+        let cases: Vec<(PipelineError, &str)> = vec![
+            (AllocError::PhysicalInput.into(), "alloc"),
+            (
+                VerifyError::LengthMismatch {
+                    expected: 2,
+                    got: 1,
+                }
+                .into(),
+                "verify",
+            ),
+            (
+                bsched_workload::parse_kernel("kernel")
+                    .map(|_| ())
+                    .unwrap_err()
+                    .into(),
+                "parse",
+            ),
+            (LowerError::InvalidFrequency { value: -1.0 }.into(), "lower"),
+            (
+                SimError::BudgetExceeded {
+                    budget: 1,
+                    cycle: 2,
+                }
+                .into(),
+                "budget-exceeded",
+            ),
+            (SimError::Cancelled.into(), "cancelled"),
+        ];
+        for (err, id) in cases {
+            assert_eq!(err.failure_kind().id(), id, "{err}");
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Measurement: the §4.3 simulation and bootstrap protocol.
 
-use bsched_cpusim::{simulate_block_traced, simulate_runs_stats, ProcessorModel};
+use bsched_cpusim::{simulate_block_traced, try_simulate_runs_stats, ProcessorModel};
 use bsched_memsim::LatencyModel;
 use bsched_stats::{bootstrap_means, paired_improvement, Improvement, Pcg32};
 use bsched_verify::{verify_timeline, ValidationLevel};
@@ -28,6 +28,33 @@ pub struct EvalConfig {
     /// model's declared latency support. Defaults to `BSCHED_VALIDATE`;
     /// below `Full` this field changes nothing.
     pub validation: ValidationLevel,
+    /// Watchdog: a single simulation run whose issue clock passes this
+    /// many cycles is killed with
+    /// [`SimError::BudgetExceeded`](bsched_cpusim::SimError). `None`
+    /// disables the check. Defaults to `BSCHED_CYCLE_BUDGET` (cycles;
+    /// `0` or `off` disables), falling back to
+    /// [`DEFAULT_CYCLE_BUDGET`] — far above any real block, so clean
+    /// runs never notice it.
+    pub cycle_budget: Option<u64>,
+}
+
+/// The default per-run cycle budget: one billion cycles. The largest
+/// benchmark blocks finish in thousands of cycles, so only a runaway
+/// simulation (e.g. an injected stall fault) can reach it.
+pub const DEFAULT_CYCLE_BUDGET: u64 = 1_000_000_000;
+
+fn cycle_budget_from_env() -> Option<u64> {
+    match std::env::var("BSCHED_CYCLE_BUDGET") {
+        Ok(v) => {
+            let v = v.trim();
+            if v.eq_ignore_ascii_case("off") || v == "0" {
+                None
+            } else {
+                v.parse().ok().or(Some(DEFAULT_CYCLE_BUDGET))
+            }
+        }
+        Err(_) => Some(DEFAULT_CYCLE_BUDGET),
+    }
 }
 
 impl Default for EvalConfig {
@@ -39,6 +66,7 @@ impl Default for EvalConfig {
             issue_width: 1,
             seed: 0x5EED,
             validation: ValidationLevel::from_env(),
+            cycle_budget: cycle_budget_from_env(),
         }
     }
 }
@@ -86,15 +114,18 @@ fn block_stats(
     let boot_root = Pcg32::seed_from_u64(config.seed ^ 0xB007_5742_u64);
     let block_rng = sim_root.split(index as u64);
     // One simulation pass per (block, run): runtimes and interlock
-    // accounting come from the same runs.
-    let stats = simulate_runs_stats(
+    // accounting come from the same runs. The guarded entry point is
+    // bit-identical to the unguarded one on the happy path; it only
+    // adds the cycle-budget and cancellation watchdogs.
+    let stats = try_simulate_runs_stats(
         &cb.block,
         mem,
         config.processor,
         config.issue_width,
         config.runs,
+        config.cycle_budget,
         &block_rng,
-    );
+    )?;
     if config.validation >= ValidationLevel::Full && config.issue_width == 1 && config.runs > 0 {
         // Replay run 0 with tracing (`split` is pure, so the extra
         // simulation reuses run 0's exact latency stream and perturbs
@@ -351,6 +382,42 @@ mod tests {
         let cfg = EvalConfig::default();
         let a = evaluate(&prog, &mem, &cfg);
         let b = evaluate_serial(&prog, &mem, &cfg);
+        assert_eq!(a.bootstrap_runtimes, b.bootstrap_runtimes);
+    }
+
+    #[test]
+    fn tiny_cycle_budget_surfaces_as_a_typed_sim_error() {
+        let prog = Pipeline::default()
+            .compile(&demo_program(), &SchedulerChoice::balanced())
+            .unwrap();
+        let cfg = EvalConfig {
+            cycle_budget: Some(2),
+            ..EvalConfig::default()
+        };
+        let err = try_evaluate(&prog, &CacheModel::l80_5(), &cfg).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PipelineError::Sim(bsched_cpusim::SimError::BudgetExceeded { .. })
+            ),
+            "{err}"
+        );
+        assert_eq!(err.failure_kind().id(), "budget-exceeded");
+    }
+
+    #[test]
+    fn default_budget_is_invisible_to_clean_runs() {
+        let prog = Pipeline::default()
+            .compile(&demo_program(), &SchedulerChoice::balanced())
+            .unwrap();
+        let with_budget = EvalConfig::default();
+        let without = EvalConfig {
+            cycle_budget: None,
+            ..EvalConfig::default()
+        };
+        let mem = CacheModel::l80_5();
+        let a = evaluate(&prog, &mem, &with_budget);
+        let b = evaluate(&prog, &mem, &without);
         assert_eq!(a.bootstrap_runtimes, b.bootstrap_runtimes);
     }
 

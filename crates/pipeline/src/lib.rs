@@ -55,6 +55,7 @@ pub mod pipeline;
 pub use error::{AnalyzeError, PipelineError};
 pub use eval::{
     compare, evaluate, evaluate_serial, try_evaluate, try_evaluate_serial, EvalConfig, ProgramEval,
+    DEFAULT_CYCLE_BUDGET,
 };
 pub use pipeline::{
     AllocationStrategy, AnalysisGate, CompiledBlock, CompiledProgram, Pipeline, SchedulerChoice,

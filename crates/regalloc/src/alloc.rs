@@ -159,6 +159,14 @@ impl ClassState {
 /// instruction whose same-class reload demand exceeds the pool.
 pub fn allocate(block: &BasicBlock, config: &AllocatorConfig) -> Result<AllocResult, AllocError> {
     config.check()?;
+    if let Some(fault) = bsched_faults::fault_point!(bsched_faults::Site::Alloc) {
+        // Simulated spill-pool exhaustion: the error the allocator would
+        // raise if an instruction demanded more reloads than the pool.
+        return Err(AllocError::PoolExhausted {
+            needed: usize::try_from(fault.arg.max(1)).unwrap_or(usize::MAX),
+            have: 0,
+        });
+    }
     let uses_info = UsePositions::compute(block);
     let mut states: HashMap<RegClass, ClassState> = RegClass::ALL
         .into_iter()

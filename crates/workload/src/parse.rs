@@ -448,6 +448,12 @@ pub fn parse_kernel(src: &str) -> Result<ParsedKernel, ParseError> {
 ///
 /// Returns a located [`ParseError`]; an input with no kernels is an error.
 pub fn parse_program(src: &str) -> Result<Vec<ParsedKernel>, ParseError> {
+    if bsched_faults::fault_point!(bsched_faults::Site::Parse).is_some() {
+        return Err(ParseError::new(
+            "injected fault: parser rejected the input",
+            Pos { line: 1, column: 1 },
+        ));
+    }
     let mut lexer = Lexer::new(src);
     let mut tokens = Vec::new();
     loop {

@@ -34,6 +34,31 @@ best_of() {
 
 echo "building current tree..." >&2
 cargo build --release -q -p bsched-bench
+
+# --- Crash-safe results pass -------------------------------------------
+# Before timing anything, produce the actual table once under a journal:
+# every finished cell is recorded with an atomic temp+rename write, so an
+# interrupted run (Ctrl-C, SIGTERM, OOM kill) leaves a valid prefix
+# behind and the next invocation resumes from it instead of restarting —
+# the harness prints "resumed N of M cells from the journal" on stderr
+# when that happens. A completed pass removes the journal so stale state
+# can never leak into a later run. Timing reps below deliberately run
+# without the journal: they must re-evaluate every cell.
+JOURNAL=results/.journal.jsonl
+mkdir -p results
+on_interrupt() {
+    echo "" >&2
+    echo "interrupted: partial results are preserved in $JOURNAL." >&2
+    echo "re-run scripts/bench.sh to resume the remaining cells." >&2
+    exit 130
+}
+trap on_interrupt INT TERM
+echo "results pass (journal: $JOURNAL)..." >&2
+BSCHED_JOURNAL="$JOURNAL" BSCHED_RUNS=$RUNS ./target/release/table2 > results/table2.txt
+trap - INT TERM
+rm -f "$JOURNAL"
+echo "wrote results/table2.txt" >&2
+
 current_ms=$(best_of "$REPS" ./target/release/table2)
 echo "current:  ${current_ms}ms (best of $REPS, BSCHED_RUNS=$RUNS)" >&2
 

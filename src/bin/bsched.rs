@@ -14,10 +14,11 @@
 use std::process::ExitCode;
 
 use balanced_scheduling::analyze::{
-    has_errors, max_live, pressure_profile, render_json, render_text, suite_json,
+    failure_json, has_errors, max_live, pressure_profile, render_json, render_text, suite_json,
 };
 use balanced_scheduling::cpusim::{render_timeline, simulate_block_traced};
 use balanced_scheduling::dag::{to_dot, to_dot_annotated, CodeDag, DotOverlay};
+use balanced_scheduling::faults;
 use balanced_scheduling::ir::RegClass;
 use balanced_scheduling::prelude::*;
 use balanced_scheduling::workload::{lower_kernel, parse_program, try_lower_parsed};
@@ -46,7 +47,10 @@ const USAGE: &str = "usage:
   SYS  = L80(2,5) | N(3,5) | L80-N(30,5) | fixed(4) | …
   P    = unlimited | max8 | len8
   LAT  = 2 | 2.6 | 13/5 | …
-  LINT = dead-store | uninitialized-read | redundant-load | …  (see README)";
+  LINT = dead-store | uninitialized-read | redundant-load | …  (see README)
+
+  every command also accepts --faults PLAN (or BSCHED_FAULTS=PLAN), e.g.
+  --faults \"seed=1;latency-jitter:rate=0.5\" — see DESIGN.md §9";
 
 /// Flags that take no value.
 const BOOLEAN_FLAGS: [&str; 2] = ["benchmarks", "overlay"];
@@ -107,6 +111,11 @@ fn run() -> Result<(), String> {
         return Err(USAGE.to_owned());
     };
     let args = Args::parse(rest)?;
+    faults::init_from_env();
+    if let Some(spec) = args.flag("faults") {
+        let plan: faults::FaultPlan = spec.parse().map_err(|e| format!("--faults: {e}"))?;
+        faults::install(plan);
+    }
     if command == "analyze" {
         // `analyze --benchmarks` works on the built-in stand-ins and
         // takes no kernel file, so it skips the shared file loading.
@@ -262,9 +271,14 @@ fn analyze_cmd(args: &Args) -> Result<(), String> {
             .first()
             .ok_or_else(|| format!("missing kernel file (or --benchmarks)\n{USAGE}"))?;
         let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
-        let kernels = parse_program(&src).map_err(|e| format!("{file}:{e}"))?;
+        // Pipeline-stage failures use the shared failure vocabulary: in
+        // JSON mode stdout carries the same {kind, detail} object the
+        // table harness journals, so tooling classifies both identically.
+        let kernels = parse_program(&src)
+            .map_err(|e| stage_failure(format, file, &PipelineError::from(e)))?;
         for parsed in &kernels {
-            let (block, map) = try_lower_parsed(parsed).map_err(|e| format!("{file}: {e}"))?;
+            let (block, map) = try_lower_parsed(parsed)
+                .map_err(|e| stage_failure(format, file, &PipelineError::from(e)))?;
             all.extend(analyzer.analyze_block(&block, Some(&map)));
         }
         if format == "json" {
@@ -281,6 +295,17 @@ fn analyze_cmd(args: &Args) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// Renders a pipeline-stage failure for `analyze`: in JSON mode the
+/// machine-readable `{"kind": …, "detail": …}` object goes to stdout
+/// (the same vocabulary `FAILED(<kind>: …)` table cells use), and the
+/// human-readable message becomes the process error either way.
+fn stage_failure(format: &str, file: &str, err: &PipelineError) -> String {
+    if format == "json" {
+        println!("{}", failure_json(err.failure_kind(), &err.to_string()));
+    }
+    format!("{file}: {err}")
 }
 
 fn alias_of(args: &Args) -> Result<AliasModel, String> {

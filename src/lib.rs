@@ -23,6 +23,7 @@
 //! | [`pipeline`] | `bsched-pipeline` | compile → simulate → compare |
 //! | [`verify`] | `bsched-verify` | independent schedule/allocation/timeline validators |
 //! | [`analyze`] | `bsched-analyze` | dataflow lints, profile reports, envelope checks |
+//! | [`faults`] | `bsched-faults` | deterministic fault injection + watchdog primitives |
 //!
 //! # Quick start
 //!
@@ -51,6 +52,7 @@ pub use bsched_analyze as analyze;
 pub use bsched_core as sched;
 pub use bsched_cpusim as cpusim;
 pub use bsched_dag as dag;
+pub use bsched_faults as faults;
 pub use bsched_ir as ir;
 pub use bsched_memsim as memsim;
 pub use bsched_pipeline as pipeline;
