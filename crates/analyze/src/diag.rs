@@ -287,19 +287,7 @@ pub fn render_text(diags: &[Diagnostic]) -> String {
     out
 }
 
-pub(crate) fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+pub(crate) use crate::json::escape as json_escape;
 
 /// Renders diagnostics as a JSON array (stable field order, no trailing
 /// newline inside the array).
@@ -420,7 +408,8 @@ mod tests {
 
     #[test]
     fn json_escape_controls() {
-        assert_eq!(json_escape("a\tb"), "a\\u0009b");
+        assert_eq!(json_escape("a\tb"), "a\\tb");
         assert_eq!(json_escape("a\nb"), "a\\nb");
+        assert_eq!(json_escape("a\u{01}b"), "a\\u0001b");
     }
 }

@@ -1,0 +1,327 @@
+//! A minimal, dependency-free JSON reader and string escaper.
+//!
+//! The repo policy is no external dependencies, and every machine-
+//! readable surface (diagnostics, the evaluation journal, the serving
+//! protocol) speaks a small JSON subset — objects, arrays, strings,
+//! numbers, booleans — so one shared recursive-descent reader is enough.
+//! Unparseable input yields `None`, never a panic: a torn journal line
+//! or a malformed network request is rejected, not crashed on.
+//!
+//! Writers stay with their owners (each renders its own stable field
+//! order); this module only centralises escaping and parsing.
+
+/// One parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A string.
+    Str(String),
+    /// A number (always carried as `f64`).
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source field order (duplicates kept; first wins on
+    /// lookup).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Field lookup on an object; `None` for other variants.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as an exact non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field list, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes `s` for embedding inside a JSON string literal (RFC 8259),
+/// without the surrounding quotes.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `s` as a complete JSON string literal, quotes included.
+#[must_use]
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Parses one complete JSON value; trailing non-whitespace is an error.
+#[must_use]
+pub fn parse(src: &str) -> Option<Json> {
+    let bytes = src.as_bytes();
+    let mut at = 0usize;
+    let value = parse_value(bytes, &mut at)?;
+    skip_ws(bytes, &mut at);
+    if at == bytes.len() {
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn skip_ws(bytes: &[u8], at: &mut usize) {
+    while *at < bytes.len() && matches!(bytes[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], at: &mut usize) -> Option<Json> {
+    skip_ws(bytes, at);
+    match bytes.get(*at)? {
+        b'"' => parse_string(bytes, at).map(Json::Str),
+        b'{' => parse_object(bytes, at),
+        b'[' => parse_array(bytes, at),
+        b't' => parse_literal(bytes, at, "true", Json::Bool(true)),
+        b'f' => parse_literal(bytes, at, "false", Json::Bool(false)),
+        b'n' => parse_literal(bytes, at, "null", Json::Null),
+        _ => parse_number(bytes, at),
+    }
+}
+
+fn parse_literal(bytes: &[u8], at: &mut usize, word: &str, value: Json) -> Option<Json> {
+    if bytes[*at..].starts_with(word.as_bytes()) {
+        *at += word.len();
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn parse_number(bytes: &[u8], at: &mut usize) -> Option<Json> {
+    let start = *at;
+    while *at < bytes.len() && matches!(bytes[*at], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *at += 1;
+    }
+    std::str::from_utf8(&bytes[start..*at])
+        .ok()?
+        .parse::<f64>()
+        .ok()
+        .map(Json::Num)
+}
+
+fn parse_string(bytes: &[u8], at: &mut usize) -> Option<String> {
+    if bytes.get(*at) != Some(&b'"') {
+        return None;
+    }
+    *at += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*at)? {
+            b'"' => {
+                *at += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *at += 1;
+                match bytes.get(*at)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let digits = bytes.get(*at + 1..*at + 5)?;
+                        let code =
+                            u32::from_str_radix(std::str::from_utf8(digits).ok()?, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                        *at += 4;
+                    }
+                    _ => return None,
+                }
+                *at += 1;
+            }
+            _ => {
+                // Advance over one UTF-8 scalar, not one byte.
+                let rest = std::str::from_utf8(&bytes[*at..]).ok()?;
+                let c = rest.chars().next()?;
+                out.push(c);
+                *at += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], at: &mut usize) -> Option<Json> {
+    *at += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, at);
+    if bytes.get(*at) == Some(&b']') {
+        *at += 1;
+        return Some(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, at)?);
+        skip_ws(bytes, at);
+        match bytes.get(*at)? {
+            b',' => *at += 1,
+            b']' => {
+                *at += 1;
+                return Some(Json::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], at: &mut usize) -> Option<Json> {
+    *at += 1; // '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, at);
+    if bytes.get(*at) == Some(&b'}') {
+        *at += 1;
+        return Some(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, at);
+        let key = parse_string(bytes, at)?;
+        skip_ws(bytes, at);
+        if bytes.get(*at) != Some(&b':') {
+            return None;
+        }
+        *at += 1;
+        let value = parse_value(bytes, at)?;
+        fields.push((key, value));
+        skip_ws(bytes, at);
+        match bytes.get(*at)? {
+            b',' => *at += 1,
+            b'}' => {
+                *at += 1;
+                return Some(Json::Obj(fields));
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_values() {
+        let v = parse(r#"{"a": [1, -2.5, "x\n"], "b": {"c": true, "d": null}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1].as_f64(),
+            Some(-2.5)
+        );
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_str(),
+            Some("x\n")
+        );
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Json::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_torn_and_trailing_input() {
+        assert_eq!(parse(""), None);
+        assert_eq!(parse("{\"a\":"), None);
+        assert_eq!(parse("{} trailing"), None);
+        assert_eq!(parse("not json"), None);
+        assert_eq!(parse("{\"a\" 1}"), None);
+    }
+
+    #[test]
+    fn unicode_escapes_and_scalars_roundtrip() {
+        let v = parse("\"caf\\u00e9 → ok\"").unwrap();
+        assert_eq!(v.as_str(), Some("café → ok"));
+        assert_eq!(
+            parse(&string("tab\there \"q\" \\")),
+            Some(Json::Str("tab\there \"q\" \\".to_owned()))
+        );
+    }
+
+    #[test]
+    fn escape_covers_controls() {
+        assert_eq!(escape("a\"b\\c\nd\te\rf"), "a\\\"b\\\\c\\nd\\te\\rf");
+        assert_eq!(escape("\u{01}"), "\\u0001");
+    }
+
+    #[test]
+    fn integer_extraction_is_exact() {
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("42.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("\"42\"").unwrap().as_u64(), None);
+    }
+}

@@ -12,8 +12,10 @@
 //! The first line is a header carrying a fingerprint of everything that
 //! determines cell values (master seed, runs, fault plan, and the shape
 //! of the job list). A journal whose fingerprint does not match the
-//! current run is discarded, never merged — resuming must be
-//! bit-identical to not having crashed.
+//! current run is discarded **whole**, never merged or partially
+//! resumed — resuming must be bit-identical to not having crashed — and
+//! the discard is reported ([`Journal::discarded`], surfaced on stderr
+//! by [`Journal::from_env`]).
 //!
 //! Floats are serialised as 16-hex-digit [`f64::to_bits`] strings, not
 //! decimal, so a resumed cell is bit-for-bit the cell that was measured.
@@ -23,6 +25,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use bsched_analyze::json::{self, Json};
 use bsched_analyze::FailureKind;
 use bsched_pipeline::ProgramEval;
 use bsched_stats::{ConfidenceInterval, Improvement};
@@ -58,13 +61,18 @@ pub struct Journal {
     path: PathBuf,
     header: String,
     state: Mutex<State>,
+    /// Recorded cells found on disk but thrown away because the file's
+    /// fingerprint did not match this run's.
+    discarded: usize,
 }
 
 impl Journal {
     /// Opens (or creates) the journal at `path` for a run identified by
     /// `fingerprint`. An existing journal with a matching fingerprint is
     /// loaded for resumption; a mismatched or unparseable one is
-    /// discarded. Unparseable *lines* are skipped individually.
+    /// discarded whole — never partially resumed — with the number of
+    /// thrown-away cells reported via [`discarded`](Journal::discarded).
+    /// Unparseable *lines* are skipped individually.
     ///
     /// # Errors
     ///
@@ -79,13 +87,14 @@ impl Journal {
         }
         let header = format!(
             "{{\"journal\":{},\"fingerprint\":{}}}",
-            esc(MAGIC),
-            esc(fingerprint)
+            json::string(MAGIC),
+            json::string(fingerprint)
         );
         let mut state = State {
             lines: Vec::new(),
             entries: HashMap::new(),
         };
+        let mut discarded = 0;
         if let Ok(existing) = std::fs::read_to_string(&path) {
             let mut lines = existing.lines();
             if lines
@@ -98,12 +107,17 @@ impl Journal {
                         state.lines.push(line.to_owned());
                     }
                 }
+            } else {
+                // Count what a matching fingerprint would have resumed,
+                // so the discard can be reported rather than silent.
+                discarded = lines.filter(|l| parse_cell_line(l).is_some()).count();
             }
         }
         let journal = Journal {
             path,
             header,
             state: Mutex::new(state),
+            discarded,
         };
         journal.rewrite(&journal.state.lock().unwrap().lines)?;
         Ok(journal)
@@ -111,7 +125,9 @@ impl Journal {
 
     /// Opens the journal named by `BSCHED_JOURNAL`, if set. I/O failures
     /// are reported to stderr and disable journaling rather than abort
-    /// the run.
+    /// the run; a fingerprint mismatch (the journal came from a run with
+    /// a different seed, run count, job list, or fault plan) reports how
+    /// many recorded cells were discarded.
     #[must_use]
     pub fn from_env(fingerprint: &str) -> Option<Journal> {
         let path = std::env::var("BSCHED_JOURNAL").ok()?;
@@ -119,12 +135,30 @@ impl Journal {
             return None;
         }
         match Journal::open(path.clone(), fingerprint) {
-            Ok(j) => Some(j),
+            Ok(j) => {
+                if j.discarded() > 0 {
+                    eprintln!(
+                        "warning: BSCHED_JOURNAL={path}: fingerprint changed (seed, runs, \
+                         job list, or fault plan differ); discarded {} recorded cell{} \
+                         instead of resuming",
+                        j.discarded(),
+                        if j.discarded() == 1 { "" } else { "s" }
+                    );
+                }
+                Some(j)
+            }
             Err(e) => {
                 eprintln!("warning: BSCHED_JOURNAL={path}: {e}; journaling disabled");
                 None
             }
         }
+    }
+
+    /// Number of recorded cells found on disk but discarded because the
+    /// journal's fingerprint did not match this run's.
+    #[must_use]
+    pub fn discarded(&self) -> usize {
+        self.discarded
     }
 
     /// The journal's on-disk path.
@@ -191,35 +225,18 @@ impl Journal {
 }
 
 fn header_matches(line: &str, fingerprint: &str) -> bool {
-    let Some(Json::Obj(fields)) = parse_json(line) else {
+    let Some(v) = json::parse(line) else {
         return false;
     };
-    get_str(&fields, "journal") == Some(MAGIC)
-        && get_str(&fields, "fingerprint") == Some(fingerprint)
+    v.get("journal").and_then(Json::as_str) == Some(MAGIC)
+        && v.get("fingerprint").and_then(Json::as_str) == Some(fingerprint)
 }
 
 // ---------------------------------------------------------------------
-// Serialisation
+// Serialisation. Reading goes through the shared
+// [`bsched_analyze::json`] parser; only the journal-specific rendering
+// and the hex-bit float convention live here.
 // ---------------------------------------------------------------------
-
-/// Escapes `s` as a JSON string literal (RFC 8259).
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
 
 /// One f64, bit-exact, as a 16-hex-digit JSON string.
 fn hex(v: f64) -> String {
@@ -245,7 +262,7 @@ fn render_cell_line(key: &str, entry: &JournalEntry) -> String {
     match entry {
         JournalEntry::Ok(cell) => format!(
             "{{\"key\":{},\"status\":\"ok\",\"imp\":{{\"mean\":{},\"low\":{},\"high\":{},\"level\":{}}},\"trad\":{},\"bal\":{},\"tspill\":{},\"bspill\":{}}}",
-            esc(key),
+            json::string(key),
             hex(cell.improvement.mean_percent),
             hex(cell.improvement.interval.low),
             hex(cell.improvement.interval.high),
@@ -257,226 +274,47 @@ fn render_cell_line(key: &str, entry: &JournalEntry) -> String {
         ),
         JournalEntry::Failed { kind, reason } => format!(
             "{{\"key\":{},\"status\":\"failed\",\"kind\":{},\"reason\":{}}}",
-            esc(key),
-            esc(kind.id()),
-            esc(reason)
+            json::string(key),
+            json::string(kind.id()),
+            json::string(reason)
         ),
     }
 }
 
 // ---------------------------------------------------------------------
-// Deserialisation — a minimal recursive-descent JSON reader. The crate
-// policy is no external dependencies, and the journal only ever contains
-// objects, arrays and strings (floats travel as hex strings), so this
-// stays small. Unparseable input yields `None`, never a panic: a torn
-// or hand-edited line is simply not resumed.
+// Deserialisation, on top of the shared reader. Unparseable input yields
+// `None`, never a panic: a torn or hand-edited line is simply not
+// resumed.
 // ---------------------------------------------------------------------
 
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Str(String),
-    Num(f64),
-    Bool(bool),
-    Null,
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-fn parse_json(src: &str) -> Option<Json> {
-    let bytes = src.as_bytes();
-    let mut at = 0usize;
-    let value = parse_value(bytes, &mut at)?;
-    skip_ws(bytes, &mut at);
-    if at == bytes.len() {
-        Some(value)
-    } else {
-        None
-    }
-}
-
-fn skip_ws(bytes: &[u8], at: &mut usize) {
-    while *at < bytes.len() && matches!(bytes[*at], b' ' | b'\t' | b'\n' | b'\r') {
-        *at += 1;
-    }
-}
-
-fn parse_value(bytes: &[u8], at: &mut usize) -> Option<Json> {
-    skip_ws(bytes, at);
-    match bytes.get(*at)? {
-        b'"' => parse_string(bytes, at).map(Json::Str),
-        b'{' => parse_object(bytes, at),
-        b'[' => parse_array(bytes, at),
-        b't' => parse_literal(bytes, at, "true", Json::Bool(true)),
-        b'f' => parse_literal(bytes, at, "false", Json::Bool(false)),
-        b'n' => parse_literal(bytes, at, "null", Json::Null),
-        _ => parse_number(bytes, at),
-    }
-}
-
-fn parse_literal(bytes: &[u8], at: &mut usize, word: &str, value: Json) -> Option<Json> {
-    if bytes[*at..].starts_with(word.as_bytes()) {
-        *at += word.len();
-        Some(value)
-    } else {
-        None
-    }
-}
-
-fn parse_number(bytes: &[u8], at: &mut usize) -> Option<Json> {
-    let start = *at;
-    while *at < bytes.len() && matches!(bytes[*at], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
-        *at += 1;
-    }
-    std::str::from_utf8(&bytes[start..*at])
-        .ok()?
-        .parse::<f64>()
-        .ok()
-        .map(Json::Num)
-}
-
-fn parse_string(bytes: &[u8], at: &mut usize) -> Option<String> {
-    if bytes.get(*at) != Some(&b'"') {
-        return None;
-    }
-    *at += 1;
-    let mut out = String::new();
-    loop {
-        match bytes.get(*at)? {
-            b'"' => {
-                *at += 1;
-                return Some(out);
-            }
-            b'\\' => {
-                *at += 1;
-                match bytes.get(*at)? {
-                    b'"' => out.push('"'),
-                    b'\\' => out.push('\\'),
-                    b'/' => out.push('/'),
-                    b'n' => out.push('\n'),
-                    b't' => out.push('\t'),
-                    b'r' => out.push('\r'),
-                    b'b' => out.push('\u{8}'),
-                    b'f' => out.push('\u{c}'),
-                    b'u' => {
-                        let digits = bytes.get(*at + 1..*at + 5)?;
-                        let code =
-                            u32::from_str_radix(std::str::from_utf8(digits).ok()?, 16).ok()?;
-                        out.push(char::from_u32(code)?);
-                        *at += 4;
-                    }
-                    _ => return None,
-                }
-                *at += 1;
-            }
-            _ => {
-                // Advance over one UTF-8 scalar, not one byte.
-                let rest = std::str::from_utf8(&bytes[*at..]).ok()?;
-                let c = rest.chars().next()?;
-                out.push(c);
-                *at += c.len_utf8();
-            }
-        }
-    }
-}
-
-fn parse_array(bytes: &[u8], at: &mut usize) -> Option<Json> {
-    *at += 1; // '['
-    let mut items = Vec::new();
-    skip_ws(bytes, at);
-    if bytes.get(*at) == Some(&b']') {
-        *at += 1;
-        return Some(Json::Arr(items));
-    }
-    loop {
-        items.push(parse_value(bytes, at)?);
-        skip_ws(bytes, at);
-        match bytes.get(*at)? {
-            b',' => *at += 1,
-            b']' => {
-                *at += 1;
-                return Some(Json::Arr(items));
-            }
-            _ => return None,
-        }
-    }
-}
-
-fn parse_object(bytes: &[u8], at: &mut usize) -> Option<Json> {
-    *at += 1; // '{'
-    let mut fields = Vec::new();
-    skip_ws(bytes, at);
-    if bytes.get(*at) == Some(&b'}') {
-        *at += 1;
-        return Some(Json::Obj(fields));
-    }
-    loop {
-        skip_ws(bytes, at);
-        let key = parse_string(bytes, at)?;
-        skip_ws(bytes, at);
-        if bytes.get(*at) != Some(&b':') {
-            return None;
-        }
-        *at += 1;
-        let value = parse_value(bytes, at)?;
-        fields.push((key, value));
-        skip_ws(bytes, at);
-        match bytes.get(*at)? {
-            b',' => *at += 1,
-            b'}' => {
-                *at += 1;
-                return Some(Json::Obj(fields));
-            }
-            _ => return None,
-        }
-    }
-}
-
-fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
-    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-}
-
-fn get_str<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a str> {
-    match get(fields, key)? {
-        Json::Str(s) => Some(s.as_str()),
-        _ => None,
-    }
-}
-
 fn unhex(v: &Json) -> Option<f64> {
-    match v {
-        Json::Str(s) if s.len() == 16 => u64::from_str_radix(s, 16).ok().map(f64::from_bits),
+    match v.as_str() {
+        Some(s) if s.len() == 16 => u64::from_str_radix(s, 16).ok().map(f64::from_bits),
         _ => None,
     }
 }
 
-fn get_f64(fields: &[(String, Json)], key: &str) -> Option<f64> {
-    unhex(get(fields, key)?)
+fn get_f64(obj: &Json, key: &str) -> Option<f64> {
+    unhex(obj.get(key)?)
 }
 
 fn parse_eval(v: &Json) -> Option<ProgramEval> {
-    let Json::Obj(fields) = v else { return None };
-    let Json::Arr(boot) = get(fields, "boot")? else {
-        return None;
-    };
+    let boot = v.get("boot")?.as_array()?;
     Some(ProgramEval {
         bootstrap_runtimes: boot.iter().map(unhex).collect::<Option<Vec<f64>>>()?,
-        mean_runtime: get_f64(fields, "mean")?,
-        dynamic_instructions: get_f64(fields, "dyn")?,
-        mean_interlocks: get_f64(fields, "ilk")?,
+        mean_runtime: get_f64(v, "mean")?,
+        dynamic_instructions: get_f64(v, "dyn")?,
+        mean_interlocks: get_f64(v, "ilk")?,
     })
 }
 
 fn parse_cell_line(line: &str) -> Option<(String, JournalEntry)> {
-    let Json::Obj(fields) = parse_json(line)? else {
-        return None;
-    };
-    let key = get_str(&fields, "key")?.to_owned();
-    match get_str(&fields, "status")? {
+    let v = json::parse(line)?;
+    v.as_object()?;
+    let key = v.get("key")?.as_str()?.to_owned();
+    match v.get("status")?.as_str()? {
         "ok" => {
-            let Json::Obj(imp) = get(&fields, "imp")? else {
-                return None;
-            };
+            let imp = v.get("imp")?;
             let cell = Cell {
                 improvement: Improvement {
                     mean_percent: get_f64(imp, "mean")?,
@@ -486,18 +324,18 @@ fn parse_cell_line(line: &str) -> Option<(String, JournalEntry)> {
                         level: get_f64(imp, "level")?,
                     },
                 },
-                traditional: parse_eval(get(&fields, "trad")?)?,
-                balanced: parse_eval(get(&fields, "bal")?)?,
-                traditional_spill_percent: get_f64(&fields, "tspill")?,
-                balanced_spill_percent: get_f64(&fields, "bspill")?,
+                traditional: parse_eval(v.get("trad")?)?,
+                balanced: parse_eval(v.get("bal")?)?,
+                traditional_spill_percent: get_f64(&v, "tspill")?,
+                balanced_spill_percent: get_f64(&v, "bspill")?,
             };
             Some((key, JournalEntry::Ok(cell)))
         }
         "failed" => Some((
             key,
             JournalEntry::Failed {
-                kind: FailureKind::from_id(get_str(&fields, "kind")?)?,
-                reason: get_str(&fields, "reason")?.to_owned(),
+                kind: FailureKind::from_id(v.get("kind")?.as_str()?)?,
+                reason: v.get("reason")?.as_str()?.to_owned(),
             },
         )),
         _ => None,
@@ -650,6 +488,7 @@ mod tests {
 
         let j = Journal::open(&path, "fp-a").expect("reopen");
         assert_eq!(j.len(), 2, "matching fingerprint resumes");
+        assert_eq!(j.discarded(), 0, "matching fingerprint discards nothing");
         assert!(matches!(j.lookup("cell-1"), Some(JournalEntry::Ok(_))));
         assert!(matches!(
             j.lookup("cell-2"),
@@ -662,6 +501,22 @@ mod tests {
 
         let j = Journal::open(&path, "fp-b").expect("reopen changed");
         assert!(j.is_empty(), "changed fingerprint discards the journal");
+        assert_eq!(
+            j.discarded(),
+            2,
+            "the discard is counted, not silent — both cells were thrown away"
+        );
+        assert!(
+            j.lookup("cell-1").is_none() && j.lookup("cell-2").is_none(),
+            "discard is whole: no cell is partially resumed"
+        );
+        drop(j);
+
+        // A later reopen under the *new* fingerprint resumes nothing and
+        // reports nothing discarded: the mismatched file was truncated.
+        let j = Journal::open(&path, "fp-b").expect("reopen truncated");
+        assert!(j.is_empty());
+        assert_eq!(j.discarded(), 0);
         drop(j);
 
         let _ = std::fs::remove_dir_all(&dir);

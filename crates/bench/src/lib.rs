@@ -1267,6 +1267,87 @@ mod tests {
     }
 
     #[test]
+    fn journal_is_discarded_whole_when_any_fingerprint_field_changes() {
+        let _guard = env_lock();
+        std::env::set_var("BSCHED_RUNS", "2");
+        let bench = perfect::track();
+        let rows = table2_rows();
+        let jobs: Vec<CellJob> = rows[..2]
+            .iter()
+            .map(|row| CellJob {
+                bench: &bench,
+                row,
+                processor: ProcessorModel::Unlimited,
+            })
+            .collect();
+        let path = std::env::temp_dir().join(format!(
+            "bsched-bench-journal-fp-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("BSCHED_JOURNAL", &path);
+        bsched_faults::clear();
+
+        let seed = run_cells_reported(&jobs);
+        assert!(seed.iter().all(|r| !r.resumed));
+
+        // Changing the run count changes the fingerprint: nothing may be
+        // resumed, not even the cells that *were* recorded.
+        std::env::set_var("BSCHED_RUNS", "3");
+        let after_runs = run_cells_reported(&jobs);
+        assert!(
+            after_runs.iter().all(|r| !r.resumed),
+            "a runs change must discard the journal whole, not partially resume"
+        );
+        std::env::set_var("BSCHED_RUNS", "2");
+
+        // Changing the master seed.
+        let _ = run_cells_reported(&jobs); // repopulate under runs=2
+        std::env::set_var("BSCHED_SEED", "12345");
+        let after_seed = run_cells_reported(&jobs);
+        assert!(
+            after_seed.iter().all(|r| !r.resumed),
+            "a seed change must discard the journal whole"
+        );
+        std::env::remove_var("BSCHED_SEED");
+
+        // Changing the job list (shape) — even to a subset of what was
+        // recorded — must not resume the overlapping cell.
+        let _ = run_cells_reported(&jobs);
+        let subset = run_cells_reported(&jobs[..1]);
+        assert!(
+            subset.iter().all(|r| !r.resumed),
+            "a job-list change must discard the journal whole"
+        );
+
+        // Installing a fault plan changes the fingerprint too.
+        let _ = run_cells_reported(&jobs);
+        bsched_faults::install(FaultPlan::seeded(7));
+        let after_plan = run_cells_reported(&jobs);
+        bsched_faults::clear();
+        assert!(
+            after_plan.iter().all(|r| !r.resumed),
+            "a fault-plan change must discard the journal whole"
+        );
+
+        // The discard itself is observable: a journal opened under a
+        // different fingerprint reports how many cells it threw away.
+        let fresh = run_cells_reported(&jobs);
+        assert!(fresh.iter().all(|r| !r.resumed));
+        let j = Journal::open(&path, "other-fingerprint").expect("open");
+        assert!(j.is_empty());
+        assert_eq!(
+            j.discarded(),
+            jobs.len(),
+            "the discard must be reported, not silent"
+        );
+
+        std::env::remove_var("BSCHED_JOURNAL");
+        std::env::remove_var("BSCHED_RUNS");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn json_output_is_wellformed() {
         let json = table_to_json(
             "T \"quoted\"",

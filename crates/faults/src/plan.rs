@@ -27,17 +27,25 @@ pub enum Site {
     /// The cell evaluation sleeps, tripping the wall-clock watchdog
     /// (`bsched-bench`).
     SlowCell,
+    /// The server's admission gate rejects a request as if the queue
+    /// were full (`bsched-serve`).
+    ServeReject,
+    /// A server worker sleeps before evaluating, inflating service time
+    /// and tripping per-request deadlines (`bsched-serve`).
+    SlowWorker,
 }
 
 impl Site {
     /// Every site, in a fixed order.
-    pub const ALL: [Site; 6] = [
+    pub const ALL: [Site; 8] = [
         Site::Parse,
         Site::Alloc,
         Site::LatencyJitter,
         Site::SimStall,
         Site::EvalPanic,
         Site::SlowCell,
+        Site::ServeReject,
+        Site::SlowWorker,
     ];
 
     /// The stable kebab-case site name.
@@ -50,6 +58,8 @@ impl Site {
             Site::SimStall => "sim-stall",
             Site::EvalPanic => "eval-panic",
             Site::SlowCell => "slow-cell",
+            Site::ServeReject => "serve-reject",
+            Site::SlowWorker => "slow-worker",
         }
     }
 

@@ -36,17 +36,21 @@
 
 #![warn(missing_docs)]
 
+pub mod pool;
+
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 use std::time::Duration;
 
+pub use pool::{global_pool, WorkerPool};
+
 thread_local! {
-    /// Set inside `parallel_map` worker threads so nested calls run
-    /// serially instead of spawning threads-of-threads.
-    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+    /// Set inside pool worker threads so nested calls run serially
+    /// instead of spawning threads-of-threads.
+    pub(crate) static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
 }
 
 /// True when called from inside a [`parallel_map`] worker thread.
@@ -181,9 +185,13 @@ where
 }
 
 /// The shared engine: every item's `f` runs inside `catch_unwind`, so a
-/// worker thread can never unwind — the work queue always drains, the
-/// scope join never sees a dead thread, and the `IN_PARALLEL` flag never
-/// outlives its worker.
+/// drain job can never unwind — the work queue always empties and no
+/// pool worker ever dies mid-fan-out.
+///
+/// The parallel path runs on the [`global_pool`]: `threads - 1` drain
+/// jobs are submitted and the calling thread drains alongside them, so
+/// the fan-out makes progress even when every pool worker is busy with
+/// someone else's work.
 fn run_isolated<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<Result<R, Box<dyn Any + Send>>>
 where
     T: Sync,
@@ -197,52 +205,52 @@ where
         return (0..n).map(call).collect();
     }
 
-    // Worker threads inherit the spawner's fault context and cancel
+    // Pool workers inherit the spawner's fault context and cancel
     // token: a fan-out *within* one watched cell keeps charging faults
     // to that cell and still observes its watchdog.
     let fault_ctx = bsched_faults::current_context();
     let cancel = bsched_faults::current_cancel_token();
 
-    // Dynamic work queue: workers race on a shared counter so uneven
+    // Dynamic work queue: drains race on a shared counter so uneven
     // item costs (block sizes vary wildly) still balance.
+    type Outcome<R> = Result<R, Box<dyn Any + Send>>;
     let next = AtomicUsize::new(0);
-    let call = &call;
-    let mut slots: Vec<Option<Result<R, _>>> = std::iter::repeat_with(|| None).take(n).collect();
-    std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    IN_PARALLEL.with(|flag| flag.set(true));
-                    bsched_faults::set_context(fault_ctx.clone());
-                    bsched_faults::set_cancel_token(cancel.clone());
-                    let mut done = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        done.push((i, call(i)));
-                    }
-                    done
-                })
-            })
-            .collect();
-        for worker in workers {
-            match worker.join() {
-                Ok(done) => {
-                    for (i, r) in done {
-                        slots[i] = Some(r);
-                    }
-                }
-                // Unreachable — workers catch every item panic — but a
-                // defect here must not be swallowed.
-                Err(panic) => resume_unwind(panic),
-            }
+    let done: Mutex<Vec<(usize, Outcome<R>)>> = Mutex::new(Vec::new());
+    let drain = |participant_is_caller: bool| {
+        if !participant_is_caller {
+            bsched_faults::set_context(fault_ctx.clone());
+            bsched_faults::set_cancel_token(cancel.clone());
         }
+        let mut local = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            local.push((i, call(i)));
+        }
+        if !local.is_empty() {
+            done.lock().unwrap().extend(local);
+        }
+    };
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (1..threads)
+        .map(|_| Box::new(|| drain(false)) as Box<dyn FnOnce() + Send + '_>)
+        .collect();
+    pool::global_pool().scope(jobs, || {
+        // The caller keeps its own fault context but drains as a worker
+        // so nested fan-outs inside `f` stay serial here too.
+        IN_PARALLEL.with(|flag| flag.set(true));
+        drain(true);
+        IN_PARALLEL.with(|flag| flag.set(false));
     });
+
+    let mut slots: Vec<Option<Result<R, _>>> = std::iter::repeat_with(|| None).take(n).collect();
+    for (i, r) in done.into_inner().unwrap() {
+        slots[i] = Some(r);
+    }
     slots
         .into_iter()
-        .map(|r| r.expect("every index was claimed by exactly one worker"))
+        .map(|r| r.expect("every index was claimed by exactly one drain"))
         .collect()
 }
 

@@ -1,0 +1,360 @@
+//! A long-lived worker pool.
+//!
+//! [`parallel_map`](crate::parallel_map) originally spawned OS threads
+//! on every call; fine for table harnesses that fan out once, wasteful
+//! for a server that fans out per request. [`WorkerPool`] keeps the
+//! threads alive: construct it once, then hand it work two ways —
+//!
+//! * [`spawn`](WorkerPool::spawn) — fire-and-forget `'static` jobs (a
+//!   server submitting request handlers);
+//! * [`scope`](WorkerPool::scope) — borrowed jobs that are guaranteed to
+//!   finish before the call returns (the engine under `parallel_map`,
+//!   which borrows the item slice and the mapping closure from the
+//!   caller's stack).
+//!
+//! Worker threads run with the nested-parallelism flag set, so any
+//! `parallel_map` reached from inside a job degrades to serial exactly
+//! as it would have on a per-call worker thread. Panicking jobs are
+//! caught on the worker — a panic can neither kill a pool thread nor
+//! leak a fault context into the next job.
+//!
+//! The process-wide pool behind `parallel_map` is [`global_pool`], sized
+//! once from the machine's available parallelism. Per-call thread
+//! budgets (`BSCHED_THREADS`, explicit `_with` arguments) are enforced
+//! by how many drain jobs a fan-out submits, not by resizing the pool.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+
+use crate::{in_parallel_worker, IN_PARALLEL};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size set of long-lived worker threads fed from one shared
+/// queue.
+pub struct WorkerPool {
+    /// `None` only during [`shutdown`](WorkerPool::shutdown); dropping
+    /// the sender is what tells workers to exit.
+    tx: Mutex<Option<mpsc::Sender<Job>>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    size: usize,
+}
+
+impl WorkerPool {
+    /// Starts `size` worker threads (clamped to at least 1).
+    #[must_use]
+    pub fn new(size: usize) -> WorkerPool {
+        let size = size.max(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..size)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("bsched-pool-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Mutex::new(Some(tx)),
+            handles: Mutex::new(handles),
+            size,
+        }
+    }
+
+    /// The number of worker threads.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Submits a fire-and-forget job. A panic inside `job` is caught on
+    /// the worker and discarded — jobs that care report their own
+    /// outcome (through a channel, a mutex, a response socket).
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.submit(Box::new(job));
+    }
+
+    /// Runs every borrowed `job` to completion, plus `caller` on the
+    /// current thread, before returning.
+    ///
+    /// Jobs may borrow from the caller's stack: the call does not return
+    /// — even by unwinding out of `caller` — until every job has
+    /// finished, so no borrow can dangle. The `caller` closure runs
+    /// concurrently with the jobs and is how a fan-out's submitting
+    /// thread participates in the work instead of idling (pass `|| {}`
+    /// to just wait). Job panics are caught and discarded, exactly as in
+    /// [`spawn`](WorkerPool::spawn); a `caller` panic propagates after
+    /// the jobs drain.
+    ///
+    /// Called from inside a pool worker, everything runs inline on the
+    /// current thread instead — queueing behind the very job that is
+    /// waiting would deadlock a single-worker pool.
+    pub fn scope<'a>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'a>>, caller: impl FnOnce()) {
+        if in_parallel_worker() {
+            for job in jobs {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            caller();
+            return;
+        }
+        let latch = Arc::new(Latch::new(jobs.len()));
+        for job in jobs {
+            // SAFETY: the borrowed job is retyped as `'static` only so
+            // it can cross the queue; `WaitForJobs` below blocks — on
+            // return *and* on unwind — until the latch records that
+            // every job ran (the `CountDown` guard fires even if a job
+            // panics, and `submit` falls back to running rejected jobs
+            // inline). No job, and therefore no `'a` borrow, survives
+            // this call frame.
+            let job: Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Box<dyn FnOnce() + Send>>(job)
+            };
+            let count_down = CountDown(Arc::clone(&latch));
+            self.submit(Box::new(move || {
+                let _count_down = count_down;
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }));
+        }
+        let _wait = WaitForJobs(&latch);
+        caller();
+    }
+
+    /// Stops accepting work, lets queued jobs finish, and joins every
+    /// worker. Idempotent; [`spawn`](WorkerPool::spawn) after shutdown
+    /// runs the job inline on the caller.
+    pub fn shutdown(&self) {
+        drop(self.tx.lock().unwrap().take());
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        let rejected = match self.tx.lock().unwrap().as_ref() {
+            Some(tx) => match tx.send(job) {
+                Ok(()) => None,
+                Err(mpsc::SendError(job)) => Some(job),
+            },
+            None => Some(job),
+        };
+        // Shut-down (or somehow worker-less) pool: run inline rather
+        // than silently dropping — `scope` relies on every job running.
+        if let Some(job) = rejected {
+            let _ = catch_unwind(AssertUnwindSafe(job));
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>) {
+    IN_PARALLEL.with(|flag| flag.set(true));
+    loop {
+        // Holding the lock across `recv` is deliberate: it serialises
+        // job *pickup* (cheap), not job *execution*.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else { return };
+        let _ = catch_unwind(AssertUnwindSafe(job));
+        // A job that set a fault context or cancel token and then
+        // panicked must not leak it into the next job on this worker.
+        bsched_faults::set_context(None);
+        bsched_faults::set_cancel_token(None);
+    }
+}
+
+/// The pool behind [`parallel_map`](crate::parallel_map), created on
+/// first use and sized to the machine (never resized — per-call budgets
+/// throttle by submitting fewer jobs).
+pub fn global_pool() -> &'static WorkerPool {
+    static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        WorkerPool::new(std::thread::available_parallelism().map_or(1, usize::from))
+    })
+}
+
+/// Counts completed jobs down to zero; waiters block until it gets
+/// there.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock().unwrap();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().unwrap();
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).unwrap();
+        }
+    }
+}
+
+/// Counts the latch down when dropped — so a panicking job still counts.
+struct CountDown(Arc<Latch>);
+
+impl Drop for CountDown {
+    fn drop(&mut self) {
+        self.0.count_down();
+    }
+}
+
+/// Blocks on the latch when dropped — so `scope` cannot unwind past its
+/// borrowed jobs.
+struct WaitForJobs<'a>(&'a Latch);
+
+impl Drop for WaitForJobs<'_> {
+    fn drop(&mut self) {
+        self.0.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn spawn_runs_jobs_on_worker_threads() {
+        let pool = WorkerPool::new(4);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..32usize {
+            let tx = tx.clone();
+            pool.spawn(move || {
+                assert!(in_parallel_worker(), "pool workers carry the flag");
+                tx.send(i).unwrap();
+            });
+        }
+        let mut got: Vec<usize> = (0..32).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_joins_borrowed_jobs_before_returning() {
+        let pool = WorkerPool::new(3);
+        let hits = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+            .map(|_| {
+                Box::new(|| {
+                    std::thread::sleep(Duration::from_millis(5));
+                    hits.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.scope(jobs, || {
+            hits.fetch_add(100, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 108);
+    }
+
+    #[test]
+    fn scope_waits_even_when_the_caller_panics() {
+        let pool = WorkerPool::new(2);
+        let hits = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|_| {
+                    Box::new(|| {
+                        std::thread::sleep(Duration::from_millis(10));
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.scope(jobs, || panic!("caller boom"));
+        }));
+        assert!(result.is_err());
+        // If scope had unwound without waiting, some increments could
+        // land after this read (use-after-free in the real engine).
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_kill_workers() {
+        let pool = WorkerPool::new(1);
+        pool.spawn(|| panic!("job boom"));
+        let (tx, rx) = mpsc::channel();
+        pool.spawn(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(42));
+    }
+
+    #[test]
+    fn jobs_cannot_leak_fault_context_across_jobs() {
+        let pool = WorkerPool::new(1);
+        pool.spawn(|| {
+            bsched_faults::set_context(Some(("LEAKY|cell".to_owned(), 1)));
+            panic!("die before cleanup");
+        });
+        let (tx, rx) = mpsc::channel();
+        pool.spawn(move || tx.send(bsched_faults::current_context()).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(None));
+    }
+
+    #[test]
+    fn scope_from_inside_a_worker_runs_inline() {
+        let pool = Arc::new(WorkerPool::new(1));
+        let inner = Arc::clone(&pool);
+        let (tx, rx) = mpsc::channel();
+        pool.spawn(move || {
+            // The single worker is busy with *this* job; queueing and
+            // waiting would deadlock. Inline execution must not.
+            let hits = AtomicUsize::new(0);
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..3)
+                .map(|_| {
+                    Box::new(|| {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            inner.scope(jobs, || ());
+            tx.send(hits.load(Ordering::SeqCst)).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(3));
+    }
+
+    #[test]
+    fn shutdown_drains_and_is_idempotent() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..16usize {
+            let tx = tx.clone();
+            pool.spawn(move || tx.send(i).unwrap());
+        }
+        pool.shutdown();
+        pool.shutdown();
+        drop(tx);
+        assert_eq!(rx.iter().count(), 16, "queued jobs finish before join");
+        // Post-shutdown spawns degrade to inline execution, so this has
+        // already run by the next line.
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        pool.spawn(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+}

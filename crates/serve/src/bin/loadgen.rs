@@ -1,0 +1,506 @@
+//! `bsched-loadgen` — drive a `bsched serve` daemon with concurrent
+//! clients and record throughput/latency/cache behaviour.
+//!
+//! The request mix is the eight Perfect Club stand-ins (optionally
+//! crossed with several schedulers). Each pass sends every request once,
+//! spread round-robin over `--clients` connections; repeated passes are
+//! how the content-addressed cache shows up in the numbers — the second
+//! pass should be nearly all hits.
+//!
+//! Exit status is the verdict: non-zero when any response is dropped or
+//! malformed, or when `--expect-hit-rate` is given and the second pass's
+//! measured hit rate falls short.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use bsched_analyze::json::{self, Json};
+use bsched_serve::{Server, ServerConfig};
+
+const USAGE: &str = "\
+bsched-loadgen: load-test a bsched serve daemon
+
+USAGE:
+    bsched-loadgen [--addr HOST:PORT | --spawn] [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT       connect to a running daemon
+    --spawn                start an in-process daemon on an ephemeral port
+    --clients N            concurrent client connections   [default: 4]
+    --passes N             times to send the full mix      [default: 2]
+    --runs N               simulation runs per request     [default: 10]
+    --system SPEC          memory system                   [default: L80(2,5)]
+    --schedulers A,B       scheduler specs to cross with   [default: balanced]
+    --analyze              request analyzer diagnostics too
+    --burst N              afterwards, pipeline N extra requests at once and
+                           report how many were shed as overloaded
+    --expect-hit-rate PCT  fail unless 2nd-pass cache hit rate >= PCT
+    --out FILE             write the JSON report here      [default: stdout]
+    --workers N            (with --spawn) worker threads   [default: 4]
+    --queue-cap N          (with --spawn) admission bound  [default: 64]
+";
+
+struct Args {
+    addr: Option<String>,
+    spawn: bool,
+    clients: usize,
+    passes: usize,
+    runs: u32,
+    system: String,
+    schedulers: Vec<String>,
+    analyze: bool,
+    burst: usize,
+    expect_hit_rate: Option<f64>,
+    out: Option<String>,
+    workers: usize,
+    queue_cap: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        spawn: false,
+        clients: 4,
+        passes: 2,
+        runs: 10,
+        system: "L80(2,5)".to_owned(),
+        schedulers: vec!["balanced".to_owned()],
+        analyze: false,
+        burst: 0,
+        expect_hit_rate: None,
+        out: None,
+        workers: 4,
+        queue_cap: 64,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--spawn" => args.spawn = true,
+            "--clients" => args.clients = parse_num(&value("--clients")?, "--clients")?,
+            "--passes" => args.passes = parse_num(&value("--passes")?, "--passes")?,
+            "--runs" => args.runs = parse_num(&value("--runs")?, "--runs")?,
+            "--system" => args.system = value("--system")?,
+            "--schedulers" => {
+                args.schedulers = value("--schedulers")?
+                    .split(',')
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--analyze" => args.analyze = true,
+            "--burst" => args.burst = parse_num(&value("--burst")?, "--burst")?,
+            "--expect-hit-rate" => {
+                let raw = value("--expect-hit-rate")?;
+                let pct: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("--expect-hit-rate: bad percentage {raw:?}"))?;
+                args.expect_hit_rate = Some(pct);
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--workers" => args.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--queue-cap" => args.queue_cap = parse_num(&value("--queue-cap")?, "--queue-cap")?,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.spawn == args.addr.is_some() {
+        return Err("give exactly one of --addr or --spawn".to_owned());
+    }
+    if args.clients == 0 || args.passes == 0 {
+        return Err("--clients and --passes must be at least 1".to_owned());
+    }
+    Ok(args)
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{flag}: bad number {raw:?}"))
+}
+
+/// One request line plus the id a well-behaved response must echo.
+struct Prepared {
+    id: String,
+    line: String,
+}
+
+fn request_mix(args: &Args, pass: usize) -> Vec<Prepared> {
+    let mut mix = Vec::new();
+    for bench in bsched_workload::perfect_club() {
+        for sched in &args.schedulers {
+            let id = format!("p{pass}-{}-{sched}", bench.name());
+            let line = format!(
+                "{{\"op\":\"schedule\",\"id\":{},\"benchmark\":{},\"system\":{},\
+                 \"scheduler\":{},\"runs\":{},\"analyze\":{}}}",
+                json::string(&id),
+                json::string(bench.name()),
+                json::string(&args.system),
+                json::string(sched),
+                args.runs,
+                args.analyze
+            );
+            mix.push(Prepared { id, line });
+        }
+    }
+    mix
+}
+
+#[derive(Default, Clone)]
+struct PassOutcome {
+    ok: u64,
+    cached: u64,
+    errors: u64,
+    overloaded: u64,
+    timeouts: u64,
+    dropped: u64,
+    malformed: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn classify(outcome: &mut PassOutcome, expected_id: &str, line: &str) {
+    let Some(v) = json::parse(line) else {
+        outcome.malformed += 1;
+        return;
+    };
+    if v.get("id").and_then(Json::as_str) != Some(expected_id) {
+        outcome.malformed += 1;
+        return;
+    }
+    match v.get("status").and_then(Json::as_str) {
+        Some("ok") => {
+            outcome.ok += 1;
+            if v.get("cached").and_then(Json::as_bool) == Some(true) {
+                outcome.cached += 1;
+            }
+        }
+        Some("error") => outcome.errors += 1,
+        Some("overloaded") => outcome.overloaded += 1,
+        Some("timeout") => outcome.timeouts += 1,
+        _ => outcome.malformed += 1,
+    }
+}
+
+/// Sends `requests` over one connection, one at a time, timing each
+/// round trip.
+fn run_client(addr: &str, requests: &[Prepared]) -> std::io::Result<PassOutcome> {
+    let mut outcome = PassOutcome::default();
+    if requests.is_empty() {
+        return Ok(outcome);
+    }
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for (idx, req) in requests.iter().enumerate() {
+        let started = Instant::now();
+        writer.write_all(req.line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            // Server hung up: this request and everything after it on
+            // this connection got no answer.
+            outcome.dropped += u64::try_from(requests.len() - idx).unwrap_or(u64::MAX);
+            break;
+        }
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        outcome.latencies_us.push(micros);
+        classify(&mut outcome, &req.id, line.trim());
+    }
+    Ok(outcome)
+}
+
+fn fetch_stats(addr: &str) -> Result<Json, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    writer
+        .write_all(b"/stats\n")
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("send /stats: {e}"))?;
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read /stats: {e}"))?;
+    json::parse(line.trim()).ok_or_else(|| format!("malformed /stats response: {line:?}"))
+}
+
+fn stat_u64(stats: &Json, key: &str) -> u64 {
+    stats
+        .get("stats")
+        .and_then(|s| s.get(key))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Pipelines `n` requests down one connection without reading, then
+/// reads every response — the over-capacity probe. Returns
+/// (ok, overloaded, other, dropped).
+fn run_burst(addr: &str, args: &Args, n: usize) -> std::io::Result<(u64, u64, u64, u64)> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mix = request_mix(args, 9999);
+    for i in 0..n {
+        let req = &mix[i % mix.len()];
+        writer.write_all(req.line.as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    writer.flush()?;
+    let (mut ok, mut overloaded, mut other, mut dropped) = (0u64, 0u64, 0u64, 0u64);
+    for _ in 0..n {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            dropped += 1;
+            continue;
+        }
+        match json::parse(line.trim())
+            .as_ref()
+            .and_then(|v| v.get("status"))
+            .and_then(Json::as_str)
+        {
+            Some("ok") => ok += 1,
+            Some("overloaded") => overloaded += 1,
+            _ => other += 1,
+        }
+    }
+    Ok((ok, overloaded, other, dropped))
+}
+
+#[allow(clippy::too_many_lines)]
+fn run() -> Result<i32, String> {
+    let args = parse_args()?;
+    let server = if args.spawn {
+        Some(
+            Server::start(ServerConfig {
+                listen: "127.0.0.1:0".to_owned(),
+                workers: args.workers,
+                queue_capacity: args.queue_cap,
+                ..ServerConfig::default()
+            })
+            .map_err(|e| format!("spawn server: {e}"))?,
+        )
+    } else {
+        None
+    };
+    let addr = server.as_ref().map_or_else(
+        || args.addr.clone().unwrap(),
+        |s| s.local_addr().to_string(),
+    );
+
+    let mut pass_reports = Vec::new();
+    let mut hit_rate_last_pass = 0.0f64;
+    let mut total_dropped = 0u64;
+    let mut total_malformed = 0u64;
+    for pass in 1..=args.passes {
+        let mix = request_mix(&args, pass);
+        let hits_before = stat_u64(&fetch_stats(&addr)?, "cache_hits");
+        // Round-robin split over the client connections.
+        let mut per_client: Vec<Vec<Prepared>> = (0..args.clients).map(|_| Vec::new()).collect();
+        let total = mix.len();
+        for (i, req) in mix.into_iter().enumerate() {
+            per_client[i % args.clients].push(req);
+        }
+        let started = Instant::now();
+        let outcomes: Vec<PassOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = per_client
+                .iter()
+                .map(|reqs| {
+                    let addr = addr.clone();
+                    scope.spawn(move || run_client(&addr, reqs))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(Ok(outcome)) => outcome,
+                    Ok(Err(e)) => {
+                        eprintln!("bsched-loadgen: client error: {e}");
+                        PassOutcome {
+                            malformed: 1,
+                            ..PassOutcome::default()
+                        }
+                    }
+                    Err(_) => PassOutcome {
+                        malformed: 1,
+                        ..PassOutcome::default()
+                    },
+                })
+                .collect()
+        });
+        let wall = started.elapsed();
+        let hits_after = stat_u64(&fetch_stats(&addr)?, "cache_hits");
+
+        let mut merged = PassOutcome::default();
+        for o in outcomes {
+            merged.ok += o.ok;
+            merged.cached += o.cached;
+            merged.errors += o.errors;
+            merged.overloaded += o.overloaded;
+            merged.timeouts += o.timeouts;
+            merged.dropped += o.dropped;
+            merged.malformed += o.malformed;
+            merged.latencies_us.extend(o.latencies_us);
+        }
+        merged.latencies_us.sort_unstable();
+        let answered = merged.latencies_us.len();
+        #[allow(clippy::cast_precision_loss)]
+        let throughput = if wall.as_secs_f64() > 0.0 {
+            answered as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        #[allow(clippy::cast_precision_loss)]
+        let hit_rate = if total > 0 {
+            (hits_after.saturating_sub(hits_before)) as f64 / total as f64
+        } else {
+            0.0
+        };
+        hit_rate_last_pass = hit_rate;
+        total_dropped += merged.dropped;
+        total_malformed += merged.malformed;
+        eprintln!(
+            "pass {pass}: {answered}/{total} answered in {:.3}s ({throughput:.1} req/s), \
+             ok={} cached={} errors={} overloaded={} timeouts={} hit_rate={:.0}%",
+            wall.as_secs_f64(),
+            merged.ok,
+            merged.cached,
+            merged.errors,
+            merged.overloaded,
+            merged.timeouts,
+            hit_rate * 100.0
+        );
+        pass_reports.push(format!(
+            "{{\"pass\":{pass},\"requests\":{total},\"answered\":{answered},\
+             \"ok\":{},\"cached\":{},\"errors\":{},\"overloaded\":{},\"timeouts\":{},\
+             \"dropped\":{},\"malformed\":{},\"wall_s\":{:.6},\"throughput_rps\":{throughput:.3},\
+             \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"cache_hit_rate\":{hit_rate:.4}}}",
+            merged.ok,
+            merged.cached,
+            merged.errors,
+            merged.overloaded,
+            merged.timeouts,
+            merged.dropped,
+            merged.malformed,
+            wall.as_secs_f64(),
+            percentile(&merged.latencies_us, 0.50),
+            percentile(&merged.latencies_us, 0.95),
+            percentile(&merged.latencies_us, 0.99),
+        ));
+    }
+
+    let burst_report = if args.burst > 0 {
+        let (ok, overloaded, other, dropped) =
+            run_burst(&addr, &args, args.burst).map_err(|e| format!("burst: {e}"))?;
+        eprintln!(
+            "burst {}: ok={ok} overloaded={overloaded} other={other} dropped={dropped}",
+            args.burst
+        );
+        format!(
+            ",\"burst\":{{\"requests\":{},\"ok\":{ok},\"overloaded\":{overloaded},\
+             \"other\":{other},\"dropped\":{dropped}}}",
+            args.burst
+        )
+    } else {
+        String::new()
+    };
+
+    let final_stats = fetch_stats(&addr)?;
+    let report = format!(
+        "{{\"bench\":\"serve\",\"system\":{},\"schedulers\":[{}],\"clients\":{},\
+         \"passes\":[{}],\"final_stats\":{}{burst_report}}}",
+        json::string(&args.system),
+        args.schedulers
+            .iter()
+            .map(|s| json::string(s))
+            .collect::<Vec<_>>()
+            .join(","),
+        args.clients,
+        pass_reports.join(","),
+        render_stats_obj(&final_stats),
+    );
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, format!("{report}\n"))
+                .map_err(|e| format!("write {path}: {e}"))?;
+        }
+        None => println!("{report}"),
+    }
+
+    if let Some(server) = server {
+        server.begin_shutdown();
+        server.join();
+    }
+
+    if total_dropped > 0 || total_malformed > 0 {
+        eprintln!(
+            "bsched-loadgen: FAIL: {total_dropped} dropped, {total_malformed} malformed responses"
+        );
+        return Ok(1);
+    }
+    if let Some(expect) = args.expect_hit_rate {
+        let measured = hit_rate_last_pass * 100.0;
+        if measured + 1e-9 < expect {
+            eprintln!(
+                "bsched-loadgen: FAIL: final-pass cache hit rate {measured:.1}% < expected {expect:.1}%"
+            );
+            return Ok(1);
+        }
+    }
+    Ok(0)
+}
+
+/// Re-renders the `stats` object from a `/stats` response (stripping the
+/// envelope) so the report embeds plain counters.
+fn render_stats_obj(resp: &Json) -> String {
+    fn render(v: &Json) -> String {
+        match v {
+            Json::Null => "null".to_owned(),
+            Json::Bool(b) => b.to_string(),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    format!("{n:.0}")
+                } else {
+                    format!("{n}")
+                }
+            }
+            Json::Str(s) => json::string(s),
+            Json::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(render).collect();
+                format!("[{}]", inner.join(","))
+            }
+            Json::Obj(fields) => {
+                let inner: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("{}:{}", json::string(k), render(v)))
+                    .collect();
+                format!("{{{}}}", inner.join(","))
+            }
+        }
+    }
+    resp.get("stats").map_or_else(|| "{}".to_owned(), render)
+}
+
+fn main() {
+    bsched_faults::init_from_env();
+    match run() {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("bsched-loadgen: {e}");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Content-addressed result cache.
+//!
+//! The pipeline is a pure function of (kernel source, configuration), so
+//! a response can be replayed for any byte-identical request. The cache
+//! key is a 128-bit hash of a **canonical, explicitly ordered**
+//! serialization of those inputs — never of in-memory layout: no
+//! `HashMap` iteration order, no pointer-width-dependent `Hasher` state,
+//! no `DefaultHasher` (whose algorithm is unspecified and seeded per
+//! process). The same request therefore maps to the same key on every
+//! platform, every run, forever — pinned by a golden test below.
+//!
+//! Eviction is least-recently-used with a fixed entry bound, so a
+//! long-running daemon's memory stays proportional to the configured
+//! capacity, not to its request history.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Builds the canonical serialization of a request's identity fields.
+///
+/// Fields are length-prefixed (`name=<len>:<bytes>;`) in the exact order
+/// given, so no combination of field values can collide by concatenation
+/// ambiguity, and the caller controls order explicitly.
+#[must_use]
+pub fn canonical(fields: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (name, value) in fields {
+        out.push_str(name);
+        out.push('=');
+        out.push_str(&value.len().to_string());
+        out.push(':');
+        out.push_str(value);
+        out.push(';');
+    }
+    out
+}
+
+/// Hashes a canonical serialization to the 128-bit cache key: two
+/// independent FNV-1a-64 lanes (distinct offset bases) over the same
+/// byte stream. FNV-1a is fully specified — no platform or process
+/// dependence — and two lanes push collisions far below birthday range
+/// for any plausible cache population.
+#[must_use]
+pub fn stable_key(fields: &[(&str, &str)]) -> u128 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let canon = canonical(fields);
+    let mut lo = OFFSET;
+    let mut hi = OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+    for b in canon.as_bytes() {
+        lo = (lo ^ u64::from(*b)).wrapping_mul(PRIME);
+        hi = (hi ^ u64::from(*b)).wrapping_mul(PRIME);
+        // A second, byte-position-dependent stir keeps the lanes from
+        // being related by a constant factor.
+        hi = hi.rotate_left(1);
+    }
+    (u128::from(hi) << 64) | u128::from(lo)
+}
+
+/// Renders a key the way `/stats` and logs show it.
+#[must_use]
+pub fn key_hex(key: u128) -> String {
+    format!("{key:032x}")
+}
+
+struct Entry {
+    payload: Arc<str>,
+    last_used: u64,
+}
+
+/// A bounded LRU map from cache key to rendered response payload.
+///
+/// Payloads are shared `Arc<str>` so a hit costs a clone of a pointer,
+/// not of the response body. Not internally synchronised — the server
+/// wraps it in a `Mutex` (lookups are far cheaper than the evaluations
+/// they replace, so one lock is not the bottleneck).
+pub struct LruCache {
+    entries: HashMap<u128, Entry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// An empty cache bounded to `capacity` entries (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> LruCache {
+        LruCache {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency and counting the
+    /// hit/miss.
+    pub fn get(&mut self, key: u128) -> Option<Arc<str>> {
+        self.tick += 1;
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&entry.payload))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least recently used
+    /// entry if the cache is at capacity.
+    pub fn put(&mut self, key: u128, payload: Arc<str>) {
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            // O(n) eviction scan: capacities are hundreds, and eviction
+            // only runs on misses that already paid for an evaluation.
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        let tick = self.tick;
+        self.entries.insert(
+            key,
+            Entry {
+                payload,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Current number of cached responses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime (hits, misses) counters.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_key_is_pinned() {
+        // This value must NEVER change: a key change silently invalidates
+        // every deployed cache and breaks cross-version comparisons. If
+        // this test fails, the hash or canonicalisation changed — revert,
+        // or version the key format explicitly.
+        let key = stable_key(&[
+            ("source", "k daxpy { x[i] = a * x[i] + y[i]; }"),
+            ("alias", "fortran"),
+            ("scheduler", "balanced"),
+            ("system", "L80(2,5)"),
+            ("processor", "unlimited"),
+            ("runs", "30"),
+            ("seed", "318181"),
+            ("analyze", "true"),
+        ]);
+        assert_eq!(key_hex(key), "36d3e21a5ab6ecdb94e4f39f08d68c16");
+    }
+
+    #[test]
+    fn key_depends_on_field_order_values_and_boundaries() {
+        let base = stable_key(&[("a", "x"), ("b", "y")]);
+        assert_ne!(base, stable_key(&[("b", "y"), ("a", "x")]), "order");
+        assert_ne!(base, stable_key(&[("a", "xy"), ("b", "")]), "boundaries");
+        assert_ne!(base, stable_key(&[("a", "x"), ("b", "z")]), "values");
+        assert_eq!(base, stable_key(&[("a", "x"), ("b", "y")]), "stable");
+    }
+
+    #[test]
+    fn canonical_is_unambiguous() {
+        assert_eq!(canonical(&[("a", "x;b=1:y")]), "a=7:x;b=1:y;");
+        assert_ne!(
+            canonical(&[("a", "x;b=1:y")]),
+            canonical(&[("a", "x"), ("b", "y")])
+        );
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = LruCache::new(2);
+        cache.put(1, Arc::from("one"));
+        cache.put(2, Arc::from("two"));
+        assert_eq!(cache.get(1).as_deref(), Some("one")); // refresh 1
+        cache.put(3, Arc::from("three")); // evicts 2
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(2), None);
+        assert_eq!(cache.get(1).as_deref(), Some("one"));
+        assert_eq!(cache.get(3).as_deref(), Some("three"));
+    }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let mut cache = LruCache::new(4);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(9), None);
+        cache.put(9, Arc::from("x"));
+        assert!(cache.get(9).is_some());
+        assert!(cache.get(9).is_some());
+        assert_eq!(cache.counters(), (2, 1));
+    }
+
+    #[test]
+    fn replacing_a_key_does_not_grow_the_cache() {
+        let mut cache = LruCache::new(2);
+        cache.put(1, Arc::from("a"));
+        cache.put(1, Arc::from("b"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(1).as_deref(), Some("b"));
+    }
+}

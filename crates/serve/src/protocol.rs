@@ -1,0 +1,386 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line. Every request may carry
+//! an `id` string which is echoed verbatim in its response; because slow
+//! requests run on worker threads, responses on a pipelined connection
+//! may arrive **out of order** — clients match on `id`.
+//!
+//! Request shapes:
+//!
+//! ```json
+//! {"op":"schedule","id":"r1","kernel":"k d { ... }","system":"L80(2,5)",
+//!  "scheduler":"balanced","alias":"fortran","processor":"unlimited",
+//!  "runs":10,"seed":7,"deadline_ms":5000,"analyze":true}
+//! {"op":"schedule","kernel_path":"kernels/daxpy.bsk","system":"N(3,5)"}
+//! {"op":"schedule","benchmark":"MDG","system":"L80(2,5)","optimistic":"2"}
+//! {"op":"stats"}     — also accepted as the bare line "/stats"
+//! {"op":"ping"}
+//! {"op":"shutdown"}  — begins a graceful drain
+//! ```
+//!
+//! Response statuses: `ok`, `error` (with a `kind` from the shared
+//! failure vocabulary and a human `reason`), `overloaded` (typed
+//! backpressure — the submission queue was full; retry later), and
+//! `timeout` (the request's own deadline expired).
+
+use bsched_analyze::json::{self, Json};
+use bsched_core::Ratio;
+use bsched_cpusim::ProcessorModel;
+use bsched_dag::{AliasModel, ChancesMethod};
+use bsched_memsim::MemorySystem;
+use bsched_pipeline::SchedulerChoice;
+
+/// Where the kernel to schedule comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelSource {
+    /// Kernel text carried inline in the request.
+    Inline(String),
+    /// Path to a kernel file readable by the *server* process. The cache
+    /// key hashes the file's content, not its path.
+    Path(String),
+    /// One of the built-in Perfect Club stand-ins, by name (`ADM`,
+    /// `MDG`, …).
+    Benchmark(String),
+}
+
+/// A fully parsed `schedule` request.
+#[derive(Debug, Clone)]
+pub struct ScheduleRequest {
+    /// The kernel to compile and simulate.
+    pub source: KernelSource,
+    /// Alias discipline (raw spec kept for the cache key).
+    pub alias: AliasModel,
+    /// Scheduler choice.
+    pub scheduler: SchedulerChoice,
+    /// Raw scheduler spec string, canonical for the cache key.
+    pub scheduler_spec: String,
+    /// Memory system to simulate.
+    pub system: MemorySystem,
+    /// Traditional baseline latency override (defaults per system).
+    pub optimistic: Option<Ratio>,
+    /// Processor model.
+    pub processor: ProcessorModel,
+    /// Simulation runs per block (default 10 — servers favour latency;
+    /// batch tables use 30).
+    pub runs: u32,
+    /// Master seed (default matches the batch harness).
+    pub seed: u64,
+    /// Per-request wall-clock deadline in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Whether to run the analyzer lints and attach diagnostics.
+    pub analyze: bool,
+}
+
+/// One request line, decoded.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Compile + simulate a kernel.
+    Schedule(Box<ScheduleRequest>),
+    /// Introspection snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Begin graceful drain.
+    Shutdown,
+}
+
+/// Default simulation runs for served requests.
+pub const DEFAULT_RUNS: u32 = 10;
+
+fn get_str<'a>(v: &'a Json, key: &str) -> Option<&'a str> {
+    v.get(key).and_then(Json::as_str)
+}
+
+fn parse_alias(v: &Json) -> Result<AliasModel, String> {
+    match get_str(v, "alias").unwrap_or("fortran") {
+        "fortran" => Ok(AliasModel::Fortran),
+        "c" => Ok(AliasModel::CConservative),
+        other => Err(format!("unknown alias model {other:?} (fortran|c)")),
+    }
+}
+
+fn parse_scheduler(spec: &str) -> Result<SchedulerChoice, String> {
+    match spec {
+        "balanced" => Ok(SchedulerChoice::balanced()),
+        "balanced-approx" => Ok(SchedulerChoice::Balanced {
+            method: ChancesMethod::LevelApprox,
+        }),
+        "average" => Ok(SchedulerChoice::Average),
+        other => {
+            if let Some(lat) = other.strip_prefix("traditional=") {
+                let latency: Ratio = lat
+                    .parse()
+                    .map_err(|e| format!("bad latency {lat:?}: {e}"))?;
+                Ok(SchedulerChoice::traditional(latency))
+            } else {
+                Err(format!("unknown scheduler {other:?}"))
+            }
+        }
+    }
+}
+
+fn parse_processor(v: &Json) -> Result<ProcessorModel, String> {
+    match get_str(v, "processor").unwrap_or("unlimited") {
+        "unlimited" => Ok(ProcessorModel::Unlimited),
+        "max8" => Ok(ProcessorModel::max_8()),
+        "len8" => Ok(ProcessorModel::len_8()),
+        other => Err(format!("unknown processor {other:?} (unlimited|max8|len8)")),
+    }
+}
+
+/// Extracts the echoed request id, if any, even from requests that
+/// otherwise fail to decode.
+#[must_use]
+pub fn request_id(line: &str) -> Option<String> {
+    let v = json::parse(line)?;
+    get_str(&v, "id").map(str::to_owned)
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// A human-readable description of the first problem found; the server
+/// turns it into a typed `error` response with kind `parse`.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    if line == "/stats" {
+        return Ok(Request::Stats);
+    }
+    let v = json::parse(line).ok_or("request is not valid JSON")?;
+    v.as_object().ok_or("request must be a JSON object")?;
+    match get_str(&v, "op").unwrap_or("schedule") {
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        "schedule" => parse_schedule(&v).map(|r| Request::Schedule(Box::new(r))),
+        other => Err(format!(
+            "unknown op {other:?} (schedule|stats|ping|shutdown)"
+        )),
+    }
+}
+
+fn parse_schedule(v: &Json) -> Result<ScheduleRequest, String> {
+    let source = match (
+        get_str(v, "kernel"),
+        get_str(v, "kernel_path"),
+        get_str(v, "benchmark"),
+    ) {
+        (Some(text), None, None) => KernelSource::Inline(text.to_owned()),
+        (None, Some(path), None) => KernelSource::Path(path.to_owned()),
+        (None, None, Some(name)) => KernelSource::Benchmark(name.to_owned()),
+        (None, None, None) => {
+            return Err("missing kernel source (one of kernel|kernel_path|benchmark)".to_owned())
+        }
+        _ => return Err("give exactly one of kernel|kernel_path|benchmark".to_owned()),
+    };
+    let scheduler_spec = get_str(v, "scheduler").unwrap_or("balanced").to_owned();
+    let scheduler = parse_scheduler(&scheduler_spec)?;
+    let system: MemorySystem = get_str(v, "system")
+        .ok_or("missing field \"system\" (e.g. \"L80(2,5)\", \"N(3,5)\", \"fixed(4)\")")?
+        .parse()
+        .map_err(|e| format!("bad system: {e}"))?;
+    let optimistic = match get_str(v, "optimistic") {
+        None => None,
+        Some(spec) => Some(
+            spec.parse::<Ratio>()
+                .map_err(|e| format!("bad optimistic latency {spec:?}: {e}"))?,
+        ),
+    };
+    let runs = match v.get("runs") {
+        None => DEFAULT_RUNS,
+        #[allow(clippy::cast_possible_truncation)]
+        Some(n) => n
+            .as_u64()
+            .filter(|n| (2..=10_000).contains(n))
+            .ok_or("\"runs\" must be an integer in [2, 10000]")? as u32,
+    };
+    let seed = match v.get("seed") {
+        None => bsched_pipeline::EvalConfig::default().seed,
+        Some(n) => n
+            .as_u64()
+            .ok_or("\"seed\" must be a non-negative integer")?,
+    };
+    let deadline_ms = match v.get("deadline_ms") {
+        None => None,
+        Some(n) => Some(
+            n.as_u64()
+                .filter(|n| *n > 0)
+                .ok_or("\"deadline_ms\" must be a positive integer")?,
+        ),
+    };
+    let analyze = match v.get("analyze") {
+        None => true,
+        Some(b) => b.as_bool().ok_or("\"analyze\" must be a boolean")?,
+    };
+    Ok(ScheduleRequest {
+        source,
+        alias: parse_alias(v)?,
+        scheduler,
+        scheduler_spec,
+        system,
+        optimistic,
+        processor: parse_processor(v)?,
+        runs,
+        seed,
+        deadline_ms,
+        analyze,
+    })
+}
+
+/// Renders the optional leading `"id":…,` fragment responses start
+/// with.
+#[must_use]
+pub fn id_fragment(id: Option<&str>) -> String {
+    id.map_or_else(String::new, |id| format!("\"id\":{},", json::string(id)))
+}
+
+/// Renders an `ok` response around a cached or freshly computed payload
+/// fragment (the fragment carries `schedule`/`eval`/`diagnostics`).
+#[must_use]
+pub fn ok_response(id: Option<&str>, cached: bool, payload: &str, service_us: u64) -> String {
+    format!(
+        "{{{}\"status\":\"ok\",\"cached\":{cached},{payload},\"service_us\":{service_us}}}",
+        id_fragment(id)
+    )
+}
+
+/// Renders a typed `error` response using the shared failure
+/// vocabulary.
+#[must_use]
+pub fn error_response(id: Option<&str>, kind: &str, reason: &str) -> String {
+    format!(
+        "{{{}\"status\":\"error\",\"kind\":{},\"reason\":{}}}",
+        id_fragment(id),
+        json::string(kind),
+        json::string(reason)
+    )
+}
+
+/// Renders the typed backpressure response: the submission queue is
+/// full (or an injected fault said to pretend it is). Clients retry
+/// with backoff; the server has shed the work, not queued it.
+#[must_use]
+pub fn overloaded_response(id: Option<&str>, depth: usize, capacity: usize) -> String {
+    format!(
+        "{{{}\"status\":\"overloaded\",\"queue_depth\":{depth},\"queue_capacity\":{capacity},\
+         \"retry\":true}}",
+        id_fragment(id)
+    )
+}
+
+/// Renders the per-request deadline expiry response.
+#[must_use]
+pub fn timeout_response(id: Option<&str>, deadline_ms: u64) -> String {
+    format!(
+        "{{{}\"status\":\"timeout\",\"deadline_ms\":{deadline_ms}}}",
+        id_fragment(id)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_schedule_request() {
+        let req = parse_request(
+            r#"{"op":"schedule","id":"r1","kernel":"k d { }","system":"L80(2,5)",
+               "scheduler":"traditional=2","alias":"c","processor":"max8",
+               "runs":5,"seed":9,"deadline_ms":250,"analyze":false}"#,
+        )
+        .expect("parses");
+        let Request::Schedule(req) = req else {
+            panic!("expected schedule")
+        };
+        assert_eq!(req.source, KernelSource::Inline("k d { }".to_owned()));
+        assert_eq!(req.alias, AliasModel::CConservative);
+        assert_eq!(req.scheduler_spec, "traditional=2");
+        assert_eq!(req.runs, 5);
+        assert_eq!(req.seed, 9);
+        assert_eq!(req.deadline_ms, Some(250));
+        assert!(!req.analyze);
+    }
+
+    #[test]
+    fn defaults_are_applied() {
+        let req = parse_request(r#"{"benchmark":"MDG","system":"N(3,5)"}"#).expect("parses");
+        let Request::Schedule(req) = req else {
+            panic!("expected schedule")
+        };
+        assert_eq!(req.source, KernelSource::Benchmark("MDG".to_owned()));
+        assert_eq!(req.alias, AliasModel::Fortran);
+        assert_eq!(req.scheduler_spec, "balanced");
+        assert_eq!(req.runs, DEFAULT_RUNS);
+        assert_eq!(req.deadline_ms, None);
+        assert!(req.analyze);
+    }
+
+    #[test]
+    fn control_ops_and_bare_stats_line() {
+        assert!(matches!(
+            parse_request(r#"{"op":"stats"}"#),
+            Ok(Request::Stats)
+        ));
+        assert!(matches!(parse_request("/stats"), Ok(Request::Stats)));
+        assert!(matches!(
+            parse_request(r#"{"op":"ping"}"#),
+            Ok(Request::Ping)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_reasons() {
+        for (line, needle) in [
+            ("not json", "not valid JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"op":"frobnicate"}"#, "unknown op"),
+            (
+                r#"{"op":"schedule","system":"N(3,5)"}"#,
+                "missing kernel source",
+            ),
+            (
+                r#"{"kernel":"k","kernel_path":"p","system":"N(3,5)"}"#,
+                "exactly one",
+            ),
+            (r#"{"kernel":"k d { }"}"#, "missing field \"system\""),
+            (
+                r#"{"kernel":"k","system":"N(3,5)","runs":1}"#,
+                "\"runs\" must be",
+            ),
+            (
+                r#"{"kernel":"k","system":"N(3,5)","deadline_ms":0}"#,
+                "\"deadline_ms\" must be",
+            ),
+            (r#"{"kernel":"k","system":"bogus"}"#, "bad system"),
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert!(err.contains(needle), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn responses_are_wellformed_and_echo_ids() {
+        for rendered in [
+            ok_response(Some("a\"b"), true, "\"eval\":{}", 12),
+            error_response(Some("x"), "parse", "bad \"thing\""),
+            overloaded_response(None, 8, 8),
+            timeout_response(Some("t"), 100),
+        ] {
+            let v = json::parse(&rendered).expect(&rendered);
+            assert!(v.get("status").is_some(), "{rendered}");
+        }
+        let ok = json::parse(&ok_response(Some("a\"b"), true, "\"eval\":{}", 12)).unwrap();
+        assert_eq!(ok.get("id").unwrap().as_str(), Some("a\"b"));
+        assert_eq!(ok.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            request_id(r#"{"id":"r9","op":"ping"}"#).as_deref(),
+            Some("r9")
+        );
+        assert_eq!(request_id("garbage"), None);
+    }
+}

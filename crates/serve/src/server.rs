@@ -1,0 +1,361 @@
+//! The daemon: TCP listener, admission control, worker pool, lifecycle.
+//!
+//! One thread accepts connections; one thread per connection reads
+//! request lines; schedule requests are admitted against a bounded
+//! queue and executed on a persistent [`bsched_par::WorkerPool`], which
+//! writes the response itself (so pipelined responses may be out of
+//! order — the protocol echoes ids for exactly this reason). Control
+//! requests (`stats`, `ping`, `shutdown`) are answered inline on the
+//! connection thread and never queue.
+//!
+//! Backpressure is a counter, not a buffer: admission increments the
+//! queue depth and rejects with a typed `overloaded` response when it
+//! would exceed the configured capacity. Nothing is dropped silently
+//! and nothing queues unboundedly.
+//!
+//! Shutdown is a drain, not an abort: `op:"shutdown"`, SIGTERM, or
+//! SIGINT stop new admissions (subsequent schedule requests get
+//! `overloaded`), the accept loop closes, queued work finishes and its
+//! responses are written, and only then does [`Server::join`] return.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bsched_faults::{fault_point, Site};
+use bsched_par::{run_with_timeout, WorkerPool};
+
+use crate::cache::LruCache;
+use crate::protocol::{
+    error_response, ok_response, overloaded_response, parse_request, request_id, timeout_response,
+    Request, ScheduleRequest,
+};
+use crate::stats::ServerStats;
+use crate::{evaluate_prepared, prepare_request};
+
+/// Knobs for one daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub listen: String,
+    /// Persistent worker threads evaluating schedule requests.
+    pub workers: usize,
+    /// Admission bound: queued + executing schedule requests.
+    pub queue_capacity: usize,
+    /// Response cache bound, in entries.
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            listen: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// Set by the raw SIGTERM/SIGINT handlers; polled by every accept loop.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // A relaxed atomic store is async-signal-safe: no locks, no
+    // allocation. Everything else happens on normal threads.
+    SIGNALLED.store(true, Ordering::Relaxed);
+}
+
+/// Installs SIGTERM/SIGINT handlers that begin a graceful drain.
+///
+/// Uses the C `signal()` entry point directly (the workspace vendors no
+/// libc binding); on non-unix platforms this compiles to a no-op and
+/// drains rely on `op:"shutdown"`.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: `on_signal` is an `extern "C" fn(i32)` as POSIX
+        // requires, and only performs an atomic store.
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+struct Inner {
+    cfg: ServerConfig,
+    pool: WorkerPool,
+    cache: Mutex<LruCache>,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+}
+
+impl Inner {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed) || SIGNALLED.load(Ordering::Relaxed)
+    }
+}
+
+/// A running daemon. Dropping it without [`Server::join`] aborts the
+/// accept loop but lets in-flight work finish under the pool's own
+/// shutdown.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `cfg.listen` and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission, …).
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            pool: WorkerPool::new(cfg.workers.max(1)),
+            cfg,
+            cache: Mutex::new(LruCache::new(0)),
+            stats: ServerStats::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        *inner.cache.lock().unwrap() = LruCache::new(inner.cfg.cache_capacity);
+        let accept_inner = Arc::clone(&inner);
+        let accept_thread = std::thread::Builder::new()
+            .name("bsched-serve-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &accept_inner))
+            .expect("spawn accept thread");
+        Ok(Server {
+            inner,
+            addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with `listen = "127.0.0.1:0"`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins a graceful drain, as if `op:"shutdown"` had arrived.
+    pub fn begin_shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until the drain completes: the accept loop has exited and
+    /// every admitted request has written its response.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    loop {
+        if inner.draining() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_inner = Arc::clone(inner);
+                let _ = std::thread::Builder::new()
+                    .name("bsched-serve-conn".to_owned())
+                    .spawn(move || serve_connection(stream, &conn_inner));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    // Drain: every admitted request decrements the depth only after its
+    // response hits the socket, so depth == 0 means all work is flushed.
+    while inner.stats.queue_depth.load(Ordering::Relaxed) > 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+type SharedWriter = Arc<Mutex<TcpStream>>;
+
+fn write_line(writer: &SharedWriter, line: &str) {
+    let mut w = writer.lock().unwrap();
+    // A vanished client is not a server error; the work is done either
+    // way and the next read on the connection will see the hangup.
+    let _ = w.write_all(line.as_bytes());
+    let _ = w.write_all(b"\n");
+    let _ = w.flush();
+}
+
+fn serve_connection(stream: TcpStream, inner: &Arc<Inner>) {
+    let writer: SharedWriter = match stream.try_clone() {
+        Ok(clone) => Arc::new(Mutex::new(clone)),
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let id = request_id(&line);
+        match parse_request(&line) {
+            Err(reason) => {
+                inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+                write_line(&writer, &error_response(id.as_deref(), "parse", &reason));
+            }
+            Ok(Request::Ping) => {
+                write_line(
+                    &writer,
+                    &format!(
+                        "{{{}\"status\":\"ok\",\"pong\":true}}",
+                        crate::protocol::id_fragment(id.as_deref())
+                    ),
+                );
+            }
+            Ok(Request::Stats) => {
+                write_line(&writer, &render_stats(inner, id.as_deref()));
+            }
+            Ok(Request::Shutdown) => {
+                inner.shutdown.store(true, Ordering::Relaxed);
+                write_line(
+                    &writer,
+                    &format!(
+                        "{{{}\"status\":\"ok\",\"draining\":true}}",
+                        crate::protocol::id_fragment(id.as_deref())
+                    ),
+                );
+            }
+            Ok(Request::Schedule(req)) => {
+                admit_schedule(inner, &writer, id, *req);
+            }
+        }
+    }
+}
+
+/// Admission control: reserve a queue slot or shed the request with a
+/// typed `overloaded` response — never an unbounded queue, never a
+/// silent drop.
+fn admit_schedule(
+    inner: &Arc<Inner>,
+    writer: &SharedWriter,
+    id: Option<String>,
+    req: ScheduleRequest,
+) {
+    let capacity = inner.cfg.queue_capacity.max(1);
+    let injected_reject = fault_point!(Site::ServeReject).is_some();
+    let depth = inner.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+    if depth >= capacity || inner.draining() || injected_reject {
+        inner.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        inner.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+        write_line(writer, &overloaded_response(id.as_deref(), depth, capacity));
+        return;
+    }
+    let job_inner = Arc::clone(inner);
+    let job_writer = Arc::clone(writer);
+    let admitted_at = Instant::now();
+    inner.pool.spawn(move || {
+        run_schedule(&job_inner, &job_writer, id.as_deref(), &req, admitted_at);
+        job_inner.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    });
+}
+
+fn run_schedule(
+    inner: &Arc<Inner>,
+    writer: &SharedWriter,
+    id: Option<&str>,
+    req: &ScheduleRequest,
+    admitted_at: Instant,
+) {
+    if let Some(fault) = fault_point!(Site::SlowWorker) {
+        std::thread::sleep(Duration::from_millis(fault.arg));
+    }
+    let response = match prepare_request(req) {
+        Err((kind, reason)) => {
+            inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+            error_response(id, kind.id(), &reason)
+        }
+        Ok(prepared) => {
+            let key = prepared.key();
+            let hit = inner.cache.lock().unwrap().get(key);
+            match hit {
+                Some(payload) => {
+                    inner.stats.ok.fetch_add(1, Ordering::Relaxed);
+                    ok_response(id, true, &payload, service_us(admitted_at))
+                }
+                None => {
+                    let deadline = req.deadline_ms.or(inner.cfg.default_deadline_ms);
+                    let req_owned = req.clone();
+                    let outcome = match deadline {
+                        Some(ms) => run_with_timeout(Duration::from_millis(ms), move || {
+                            evaluate_prepared(&req_owned, prepared)
+                        })
+                        .map_err(|_| ()),
+                        None => Ok(evaluate_prepared(&req_owned, prepared)),
+                    };
+                    match outcome {
+                        Ok(Ok(done)) => {
+                            let payload: Arc<str> = Arc::from(done.payload);
+                            inner
+                                .cache
+                                .lock()
+                                .unwrap()
+                                .put(done.key, Arc::clone(&payload));
+                            inner.stats.ok.fetch_add(1, Ordering::Relaxed);
+                            ok_response(id, false, &payload, service_us(admitted_at))
+                        }
+                        Ok(Err((kind, reason))) => {
+                            inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+                            error_response(id, kind.id(), &reason)
+                        }
+                        Err(_timeout) => {
+                            inner.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                            timeout_response(id, deadline.unwrap_or(0))
+                        }
+                    }
+                }
+            }
+        }
+    };
+    inner.stats.record_service(service_us(admitted_at));
+    write_line(writer, &response);
+}
+
+fn service_us(admitted_at: Instant) -> u64 {
+    u64::try_from(admitted_at.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+fn render_stats(inner: &Inner, id: Option<&str>) -> String {
+    let (cache_hits, cache_misses, cache_entries) = {
+        let cache = inner.cache.lock().unwrap();
+        let (h, m) = cache.counters();
+        (h, m, cache.len())
+    };
+    format!(
+        "{{{}\"status\":\"ok\",\"stats\":{{{},\"cache_hits\":{cache_hits},\
+         \"cache_misses\":{cache_misses},\"cache_entries\":{cache_entries},\
+         \"workers\":{},\"queue_capacity\":{},\"draining\":{}}}}}",
+        crate::protocol::id_fragment(id),
+        inner.stats.render_fields(),
+        inner.cfg.workers.max(1),
+        inner.cfg.queue_capacity.max(1),
+        inner.draining()
+    )
+}

@@ -1,0 +1,122 @@
+//! Server counters and service-time percentiles for `/stats`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many recent service times feed the percentile estimates.
+const SAMPLE_CAPACITY: usize = 4096;
+
+/// Lock-free counters plus a bounded ring of recent service times.
+///
+/// Counters are monotone (`Relaxed` is enough — `/stats` is an
+/// instantaneous snapshot, not a transaction), and the sample ring keeps
+/// memory constant no matter how long the daemon runs.
+#[derive(Default)]
+pub struct ServerStats {
+    /// Requests read off a connection, before admission.
+    pub requests: AtomicU64,
+    /// Requests answered with `status: ok`.
+    pub ok: AtomicU64,
+    /// Requests answered with a typed error.
+    pub errors: AtomicU64,
+    /// Requests rejected at admission (queue full or injected reject).
+    pub overloaded: AtomicU64,
+    /// Requests whose per-request deadline expired.
+    pub timeouts: AtomicU64,
+    /// Requests queued or executing right now.
+    pub queue_depth: AtomicUsize,
+    samples: Mutex<Ring>,
+}
+
+#[derive(Default)]
+struct Ring {
+    /// Service times in microseconds, insertion-ordered, wrapping.
+    values: Vec<u64>,
+    next: usize,
+}
+
+impl ServerStats {
+    /// Records one completed request's service time.
+    pub fn record_service(&self, micros: u64) {
+        let mut ring = self.samples.lock().unwrap();
+        if ring.values.len() < SAMPLE_CAPACITY {
+            ring.values.push(micros);
+        } else {
+            let at = ring.next;
+            ring.values[at] = micros;
+        }
+        ring.next = (ring.next + 1) % SAMPLE_CAPACITY;
+    }
+
+    /// Nearest-rank p50/p95/p99 over the recent sample window, in
+    /// microseconds. Zeros when nothing has completed yet.
+    #[must_use]
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        let mut values = self.samples.lock().unwrap().values.clone();
+        if values.is_empty() {
+            return (0, 0, 0);
+        }
+        values.sort_unstable();
+        let rank = |p: f64| {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let idx = ((p * values.len() as f64).ceil() as usize).clamp(1, values.len()) - 1;
+            values[idx]
+        };
+        (rank(0.50), rank(0.95), rank(0.99))
+    }
+
+    /// Renders the `/stats` payload fields (everything except the
+    /// cache's own counters, which the server owns).
+    #[must_use]
+    pub fn render_fields(&self) -> String {
+        let (p50, p95, p99) = self.percentiles();
+        format!(
+            "\"requests\":{},\"ok\":{},\"errors\":{},\"overloaded\":{},\"timeouts\":{},\
+             \"queue_depth\":{},\"p50_us\":{p50},\"p95_us\":{p95},\"p99_us\":{p99}",
+            self.requests.load(Ordering::Relaxed),
+            self.ok.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.overloaded.load(Ordering::Relaxed),
+            self.timeouts.load(Ordering::Relaxed),
+            self.queue_depth.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let stats = ServerStats::default();
+        assert_eq!(stats.percentiles(), (0, 0, 0));
+        for v in 1..=100u64 {
+            stats.record_service(v);
+        }
+        assert_eq!(stats.percentiles(), (50, 95, 99));
+        let one = ServerStats::default();
+        one.record_service(7);
+        assert_eq!(one.percentiles(), (7, 7, 7));
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let stats = ServerStats::default();
+        for _ in 0..(SAMPLE_CAPACITY * 2 + 17) {
+            stats.record_service(1);
+        }
+        assert_eq!(stats.samples.lock().unwrap().values.len(), SAMPLE_CAPACITY);
+    }
+
+    #[test]
+    fn render_fields_is_wellformed_json_fragment() {
+        let stats = ServerStats::default();
+        stats.requests.store(3, Ordering::Relaxed);
+        stats.record_service(10);
+        let json = format!("{{{}}}", stats.render_fields());
+        let v = bsched_analyze::json::parse(&json).expect("parses");
+        assert_eq!(v.get("requests").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("p50_us").unwrap().as_u64(), Some(10));
+    }
+}

@@ -1,0 +1,326 @@
+//! End-to-end tests against a real listening daemon: one process, real
+//! sockets, real worker pool. Every server binds `127.0.0.1:0` so tests
+//! run in parallel without port collisions.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use bsched_analyze::json::{self, Json};
+use bsched_serve::{Server, ServerConfig};
+
+/// Fault plans are process-global; tests that install one serialize.
+fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.local_addr()).expect("connect");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server hung up instead of responding");
+        json::parse(line.trim()).unwrap_or_else(|| panic!("malformed response: {line:?}"))
+    }
+
+    fn round_trip(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn status(v: &Json) -> &str {
+    v.get("status").and_then(Json::as_str).unwrap_or("missing")
+}
+
+fn small_server() -> Server {
+    Server::start(ServerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 32,
+        ..ServerConfig::default()
+    })
+    .expect("start server")
+}
+
+const DAXPY: &str = r#"{"op":"schedule","id":"rt1","kernel":"kernel daxpy { arrays x, y; y[0] = 3.0 * x[0] + y[0]; }","system":"L80(2,5)","runs":3}"#;
+
+#[test]
+fn schedule_round_trip_carries_schedule_eval_and_diagnostics() {
+    let server = small_server();
+    let mut client = Client::connect(&server);
+    let v = client.round_trip(DAXPY);
+    assert_eq!(status(&v), "ok", "{v:?}");
+    assert_eq!(v.get("id").and_then(Json::as_str), Some("rt1"));
+    assert_eq!(v.get("cached").and_then(Json::as_bool), Some(false));
+    let runtime = v
+        .get("eval")
+        .and_then(|e| e.get("mean_runtime"))
+        .and_then(Json::as_f64)
+        .expect("eval.mean_runtime");
+    assert!(runtime > 0.0);
+    let blocks = v
+        .get("schedule")
+        .and_then(|s| s.get("blocks"))
+        .and_then(Json::as_array)
+        .expect("schedule.blocks");
+    assert_eq!(blocks.len(), 1);
+    assert!(v.get("diagnostics").and_then(Json::as_array).is_some());
+    assert!(v.get("service_us").and_then(Json::as_u64).is_some());
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn identical_request_is_served_from_cache() {
+    let server = small_server();
+    let mut client = Client::connect(&server);
+    let first = client.round_trip(DAXPY);
+    assert_eq!(status(&first), "ok");
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+    let second = client.round_trip(DAXPY);
+    assert_eq!(status(&second), "ok");
+    assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+    // The payload is byte-identical modulo envelope metadata.
+    assert_eq!(
+        format!("{:?}", first.get("eval")),
+        format!("{:?}", second.get("eval"))
+    );
+    let stats = client.round_trip("/stats");
+    let hits = stats
+        .get("stats")
+        .and_then(|s| s.get("cache_hits"))
+        .and_then(Json::as_u64)
+        .expect("cache_hits");
+    assert_eq!(hits, 1);
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn over_capacity_burst_gets_typed_overloaded_responses() {
+    let _guard = fault_lock();
+    // One worker, one slot, and every evaluation sleeping 200ms: a
+    // pipelined burst must overflow admission.
+    bsched_faults::install("slow-worker:arg=200".parse().expect("plan"));
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let mut client = Client::connect(&server);
+    const BURST: usize = 6;
+    for i in 0..BURST {
+        client.send(&DAXPY.replace("rt1", &format!("b{i}")));
+    }
+    let mut ok = 0;
+    let mut overloaded = 0;
+    for _ in 0..BURST {
+        let v = client.recv();
+        match status(&v) {
+            "ok" => ok += 1,
+            "overloaded" => {
+                assert_eq!(v.get("retry").and_then(Json::as_bool), Some(true));
+                assert!(v.get("queue_capacity").and_then(Json::as_u64).is_some());
+                overloaded += 1;
+            }
+            other => panic!("unexpected status {other}: {v:?}"),
+        }
+    }
+    bsched_faults::clear();
+    assert!(ok >= 1, "at least one admitted request must finish");
+    assert!(
+        overloaded >= 1,
+        "a {BURST}-deep burst against capacity 1 must shed load"
+    );
+    let stats = client.round_trip("/stats");
+    assert_eq!(
+        stats
+            .get("stats")
+            .and_then(|s| s.get("overloaded"))
+            .and_then(Json::as_u64),
+        Some(overloaded)
+    );
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn injected_serve_reject_sheds_load_without_a_full_queue() {
+    let _guard = fault_lock();
+    bsched_faults::install("serve-reject".parse().expect("plan"));
+    let server = small_server();
+    let mut client = Client::connect(&server);
+    let v = client.round_trip(DAXPY);
+    bsched_faults::clear();
+    assert_eq!(status(&v), "overloaded", "{v:?}");
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn expired_deadline_yields_a_typed_timeout() {
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        default_deadline_ms: Some(1),
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let mut client = Client::connect(&server);
+    // A heavyweight stand-in at maximum runs cannot finish in 1ms.
+    let v = client.round_trip(
+        r#"{"op":"schedule","id":"t","benchmark":"mdg","system":"L80(2,5)","runs":10000}"#,
+    );
+    assert_eq!(status(&v), "timeout", "{v:?}");
+    assert_eq!(v.get("deadline_ms").and_then(Json::as_u64), Some(1));
+    let stats = client.round_trip("/stats");
+    assert_eq!(
+        stats
+            .get("stats")
+            .and_then(|s| s.get("timeouts"))
+            .and_then(Json::as_u64),
+        Some(1)
+    );
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn malformed_and_failing_requests_get_typed_errors() {
+    let server = small_server();
+    let mut client = Client::connect(&server);
+    let v = client.round_trip("this is not json");
+    assert_eq!(status(&v), "error");
+    assert_eq!(v.get("kind").and_then(Json::as_str), Some("parse"));
+    let v = client.round_trip(
+        r#"{"op":"schedule","id":"bad","kernel":"kernel k { arrays a; b[0] = 1; }","system":"fixed(2)"}"#,
+    );
+    assert_eq!(status(&v), "error", "{v:?}");
+    assert_eq!(v.get("id").and_then(Json::as_str), Some("bad"));
+    assert!(v.get("kind").and_then(Json::as_str).is_some());
+    assert!(v.get("reason").and_then(Json::as_str).is_some());
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn stats_and_ping_answer_inline() {
+    let server = small_server();
+    let mut client = Client::connect(&server);
+    let pong = client.round_trip(r#"{"op":"ping","id":"p"}"#);
+    assert_eq!(status(&pong), "ok");
+    assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+    let stats = client.round_trip(r#"{"op":"stats"}"#);
+    let obj = stats.get("stats").expect("stats object");
+    for key in [
+        "requests",
+        "ok",
+        "errors",
+        "overloaded",
+        "timeouts",
+        "queue_depth",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+        "cache_hits",
+        "cache_misses",
+        "cache_entries",
+        "workers",
+        "queue_capacity",
+        "draining",
+    ] {
+        assert!(obj.get(key).is_some(), "/stats missing {key}");
+    }
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn shutdown_op_drains_in_flight_work_before_join_returns() {
+    let _guard = fault_lock();
+    bsched_faults::install("slow-worker:arg=150".parse().expect("plan"));
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let mut client = Client::connect(&server);
+    // Three slow requests in flight, then shutdown.
+    for i in 0..3 {
+        client.send(&DAXPY.replace("rt1", &format!("d{i}")));
+    }
+    let draining = client.round_trip(r#"{"op":"shutdown","id":"s"}"#);
+    bsched_faults::clear();
+    assert_eq!(draining.get("draining").and_then(Json::as_bool), Some(true));
+    let started = Instant::now();
+    // Every in-flight response still arrives, then the server exits.
+    let mut seen = Vec::new();
+    for _ in 0..3 {
+        let v = client.recv();
+        assert_eq!(status(&v), "ok", "{v:?}");
+        seen.push(v.get("id").and_then(Json::as_str).unwrap_or("").to_owned());
+    }
+    seen.sort();
+    assert_eq!(seen, ["d0", "d1", "d2"]);
+    server.join();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "drain must not hang"
+    );
+}
+
+#[test]
+fn responses_can_arrive_out_of_order_and_ids_disambiguate() {
+    let _guard = fault_lock();
+    // First request stalls 300ms; second is a cache-miss but fast. With
+    // two workers the fast one overtakes the slow one.
+    bsched_faults::install("slow-worker:limit=1,arg=300".parse().expect("plan"));
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let mut client = Client::connect(&server);
+    client.send(&DAXPY.replace("rt1", "slow"));
+    // Give the slow request time to claim the limit=1 fault before the
+    // fast one races it to the fault point.
+    std::thread::sleep(Duration::from_millis(50));
+    client.send(
+        &DAXPY
+            .replace("rt1", "fast")
+            .replace("\"runs\":3", "\"runs\":4"),
+    );
+    let first = client.recv();
+    let second = client.recv();
+    bsched_faults::clear();
+    assert_eq!(first.get("id").and_then(Json::as_str), Some("fast"));
+    assert_eq!(second.get("id").and_then(Json::as_str), Some("slow"));
+    server.begin_shutdown();
+    server.join();
+}

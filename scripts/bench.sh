@@ -62,6 +62,18 @@ echo "wrote results/table2.txt" >&2
 current_ms=$(best_of "$REPS" ./target/release/table2)
 echo "current:  ${current_ms}ms (best of $REPS, BSCHED_RUNS=$RUNS)" >&2
 
+# --- Serving pass -------------------------------------------------------
+# Throughput/latency/cache numbers for the bsched-serve daemon, written
+# to BENCH_serve.json by the load generator itself. This runs against
+# the *current* tree only (the baseline commit below predates the serve
+# subsystem), with an in-process server so nothing needs backgrounding.
+echo "serve pass (loadgen, 2 passes over the 8 stand-ins)..." >&2
+cargo build --release -q -p bsched-serve
+./target/release/bsched-loadgen \
+    --spawn --clients 8 --passes 2 --runs $RUNS \
+    --burst 16 --expect-hit-rate 90 --out BENCH_serve.json
+echo "wrote BENCH_serve.json" >&2
+
 # Shallow clones and fresh checkouts may not carry the baseline commit;
 # fail with a clear message instead of a cryptic worktree error.
 if ! git cat-file -e "$BASELINE_COMMIT^{commit}" 2>/dev/null; then

@@ -42,6 +42,8 @@ const USAGE: &str = "usage:
   bsched analyze  <kernel.bsk> [--alias fortran|c] [--format text|json]
                   [--allow LINT] [--warn LINT] [--deny LINT|warnings]
   bsched analyze  --benchmarks [--format text|json] [--alias …] [--deny …]
+  bsched serve    --listen HOST:PORT [--workers N] [--queue-cap N]
+                  [--cache-cap N] [--deadline-ms N]
 
   S    = balanced | balanced-approx | average | traditional=<latency>
   SYS  = L80(2,5) | N(3,5) | L80-N(30,5) | fixed(4) | …
@@ -120,6 +122,11 @@ fn run() -> Result<(), String> {
         // `analyze --benchmarks` works on the built-in stand-ins and
         // takes no kernel file, so it skips the shared file loading.
         return analyze_cmd(&args);
+    }
+    if command == "serve" {
+        // `serve` takes no kernel file either: kernels arrive over the
+        // socket, one request per line.
+        return serve_cmd(&args);
     }
     let file = args
         .positional
@@ -306,6 +313,48 @@ fn stage_failure(format: &str, file: &str, err: &PipelineError) -> String {
         println!("{}", failure_json(err.failure_kind(), &err.to_string()));
     }
     format!("{file}: {err}")
+}
+
+/// `bsched serve`: run the scheduling daemon until it drains — on
+/// SIGTERM/SIGINT, or an `op:"shutdown"` request. Kernels arrive over
+/// the socket (see DESIGN.md §10 and `bsched-serve`'s crate docs).
+fn serve_cmd(args: &Args) -> Result<(), String> {
+    use balanced_scheduling::serve::{install_signal_handlers, Server, ServerConfig};
+    let defaults = ServerConfig::default();
+    let parse_size = |name: &str, fallback: usize| -> Result<usize, String> {
+        match args.flag(name) {
+            None => Ok(fallback),
+            Some(raw) => raw
+                .parse::<usize>()
+                .ok()
+                .filter(|n| *n > 0)
+                .ok_or_else(|| format!("--{name}: bad count {raw:?}")),
+        }
+    };
+    let cfg = ServerConfig {
+        listen: args
+            .flag("listen")
+            .ok_or("missing --listen HOST:PORT")?
+            .to_owned(),
+        workers: parse_size("workers", defaults.workers)?,
+        queue_capacity: parse_size("queue-cap", defaults.queue_capacity)?,
+        cache_capacity: parse_size("cache-cap", defaults.cache_capacity)?,
+        default_deadline_ms: match args.flag("deadline-ms") {
+            None => None,
+            Some(raw) => Some(
+                raw.parse::<u64>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| format!("--deadline-ms: bad value {raw:?}"))?,
+            ),
+        },
+    };
+    install_signal_handlers();
+    let server = Server::start(cfg).map_err(|e| format!("serve: {e}"))?;
+    eprintln!("bsched serve: listening on {}", server.local_addr());
+    server.join();
+    eprintln!("bsched serve: drained, exiting");
+    Ok(())
 }
 
 fn alias_of(args: &Args) -> Result<AliasModel, String> {

@@ -24,6 +24,7 @@
 //! | [`verify`] | `bsched-verify` | independent schedule/allocation/timeline validators |
 //! | [`analyze`] | `bsched-analyze` | dataflow lints, profile reports, envelope checks |
 //! | [`faults`] | `bsched-faults` | deterministic fault injection + watchdog primitives |
+//! | [`serve`] | `bsched-serve` | scheduling daemon: line-JSON protocol, cache, backpressure |
 //!
 //! # Quick start
 //!
@@ -57,6 +58,7 @@ pub use bsched_ir as ir;
 pub use bsched_memsim as memsim;
 pub use bsched_pipeline as pipeline;
 pub use bsched_regalloc as regalloc;
+pub use bsched_serve as serve;
 pub use bsched_stats as stats;
 pub use bsched_verify as verify;
 pub use bsched_workload as workload;
