@@ -1,0 +1,305 @@
+//! A Chase–Lev work-stealing deque specialised to pool jobs.
+//!
+//! One deque per worker. The **owner** pushes and pops at the *bottom*
+//! (LIFO — freshly spawned work is hot in cache), **thieves** steal from
+//! the *top* (FIFO — they take the oldest, largest-granularity work, the
+//! property Gu & Napier's cache-complexity analysis leans on). Both
+//! sides are lock-free: the indices are plain atomics and the only
+//! synchronisation a steal needs is one compare-exchange on `top`.
+//!
+//! ## Invariants (the owner/thief protocol)
+//!
+//! * `top <= bottom` modulo transient owner decrements; the live window
+//!   is `[top, bottom)` and never exceeds the fixed capacity.
+//! * Only the owner writes slots, and only at `bottom`; a slot holding
+//!   index `i` is rewritten only by a push of index `i + capacity`,
+//!   which the capacity check forbids until `top > i`. A thief that
+//!   read slot `i % capacity` therefore read the value for *epoch* `i`
+//!   as long as its `top: i → i + 1` compare-exchange succeeds — the
+//!   CAS is the epoch check, and it is what makes the relaxed slot read
+//!   ABA-safe.
+//! * Indices increase monotonically over the deque's lifetime (they are
+//!   64-bit and never wrap in practice), so a stale index can never be
+//!   mistaken for a current one.
+//!
+//! The memory orderings follow Lê, Pop, Cohen & Zappa Nardelli,
+//! "Correct and Efficient Work-Stealing for Weak Memory Models" (PPoPP
+//! 2013), restricted to a fixed-capacity ring: a full deque rejects the
+//! push (the pool overflows into its shared injector) instead of
+//! growing, which keeps reclamation trivial.
+
+use std::ptr;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+
+use crate::pool::Job;
+
+/// Slots per deque. Fan-outs submit at most `threads - 1` drain jobs
+/// and server admission is bounded separately, so 256 is generous; a
+/// full deque is not an error, just an overflow into the injector.
+pub(crate) const CAPACITY: usize = 256;
+
+/// What a thief saw at the top of a victim's deque.
+pub(crate) enum Steal {
+    /// A job, with ownership transferred to the thief.
+    Taken(Job),
+    /// Nothing to take.
+    Empty,
+    /// Lost a race with the owner or another thief; the victim may
+    /// still have work — try again (conventionally: after trying
+    /// someone else).
+    Retry,
+}
+
+/// The deque proper. Jobs are boxed twice: the fat `dyn FnOnce` box is
+/// itself boxed so a slot is one thin pointer an `AtomicPtr` can hold.
+pub(crate) struct Deque {
+    /// Next index a thief steals from.
+    top: AtomicIsize,
+    /// Next index the owner pushes to.
+    bottom: AtomicIsize,
+    slots: Box<[AtomicPtr<Job>]>,
+}
+
+// SAFETY: the raw pointers in `slots` are owned by the deque (each is a
+// `Box<Job>` leaked into it) and every transfer of one between threads
+// is mediated by the acquire/release protocol on `top`/`bottom`.
+unsafe impl Send for Deque {}
+unsafe impl Sync for Deque {}
+
+impl Deque {
+    pub(crate) fn new() -> Deque {
+        Deque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            slots: (0..CAPACITY)
+                .map(|_| AtomicPtr::new(ptr::null_mut()))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, index: isize) -> &AtomicPtr<Job> {
+        // CAPACITY is a power of two in spirit but we do not rely on
+        // it: a plain modulus keeps the invariant obvious.
+        #[allow(clippy::cast_sign_loss)]
+        let at = (index.rem_euclid(CAPACITY as isize)) as usize;
+        &self.slots[at]
+    }
+
+    /// Owner-only: push a job at the bottom. Returns the job back when
+    /// the deque is full (the caller overflows it elsewhere).
+    pub(crate) fn push(&self, job: Job) -> Result<(), Job> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        #[allow(clippy::cast_possible_wrap)]
+        if b - t >= CAPACITY as isize {
+            return Err(job);
+        }
+        let raw = Box::into_raw(Box::new(job));
+        self.slot(b).store(raw, Ordering::Relaxed);
+        // The release store is what publishes the slot write to any
+        // thief that acquires `bottom` and sees the new index.
+        self.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-only: pop the most recently pushed job.
+    pub(crate) fn pop(&self) -> Option<Job> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // The SeqCst fence orders the speculative `bottom` decrement
+        // against the thieves' `top` reads: either a racing thief sees
+        // the decrement and gives up, or we see its `top` increment.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let raw = self.slot(b).load(Ordering::Relaxed);
+            if t == b {
+                // Last element: race the thieves for it on `top`.
+                if self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_err()
+                {
+                    // A thief won; it owns the pointer now.
+                    self.bottom.store(b + 1, Ordering::Relaxed);
+                    return None;
+                }
+                self.bottom.store(b + 1, Ordering::Relaxed);
+            }
+            // SAFETY: we either hold `top < bottom` exclusively (no
+            // thief can pass the fence without us seeing it) or won the
+            // last-element CAS; either way this epoch's pointer is ours.
+            Some(*unsafe { Box::from_raw(raw) })
+        } else {
+            // Deque was empty; undo the decrement.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Thief-side: take the oldest job.
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Relaxed is enough for the slot itself: the acquire load of
+        // `bottom` made the owner's slot write for epoch `t` visible,
+        // and the CAS below rejects the read if the epoch moved.
+        let raw = self.slot(t).load(Ordering::Relaxed);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        // SAFETY: the successful CAS on `top` at epoch `t` transfers
+        // ownership of exactly this pointer to us (see module docs).
+        Steal::Taken(*unsafe { Box::from_raw(raw) })
+    }
+
+    /// Approximate live length — a stats snapshot, not a decision input.
+    pub(crate) fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        usize::try_from(b - t).unwrap_or(0)
+    }
+
+    /// True when a steal attempt could plausibly succeed right now.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Drop for Deque {
+    fn drop(&mut self) {
+        // Workers drain every deque before exiting, so this is
+        // normally a no-op; it exists so an unexpectedly abandoned
+        // deque cannot leak its boxed jobs.
+        while let Some(job) = self.pop() {
+            drop(job);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn job(counter: &Arc<AtomicUsize>, add: usize) -> Job {
+        let counter = Arc::clone(counter);
+        Box::new(move || {
+            counter.fetch_add(add, Ordering::SeqCst);
+        })
+    }
+
+    #[test]
+    fn owner_push_pop_is_lifo() {
+        let deque = Deque::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        deque.push(job(&ran, 1)).ok().unwrap();
+        deque.push(job(&ran, 10)).ok().unwrap();
+        assert_eq!(deque.len(), 2);
+        // LIFO: the 10-job was pushed last, pops first.
+        deque.pop().unwrap()();
+        assert_eq!(ran.load(Ordering::SeqCst), 10);
+        deque.pop().unwrap()();
+        assert_eq!(ran.load(Ordering::SeqCst), 11);
+        assert!(deque.pop().is_none());
+        assert!(deque.is_empty());
+    }
+
+    #[test]
+    fn steal_takes_the_oldest_job() {
+        let deque = Deque::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        deque.push(job(&ran, 1)).ok().unwrap();
+        deque.push(job(&ran, 10)).ok().unwrap();
+        match deque.steal() {
+            Steal::Taken(j) => j(),
+            _ => panic!("expected a job"),
+        }
+        // FIFO from the top: the 1-job went in first, is stolen first.
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert!(matches!(deque.steal(), Steal::Taken(_) | Steal::Retry));
+    }
+
+    #[test]
+    fn full_deque_rejects_the_push() {
+        let deque = Deque::new();
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..CAPACITY {
+            deque.push(job(&ran, 1)).ok().unwrap();
+        }
+        assert!(deque.push(job(&ran, 1)).is_err(), "capacity bound holds");
+        // Freeing one slot re-admits pushes.
+        drop(deque.pop().unwrap());
+        deque.push(job(&ran, 1)).ok().unwrap();
+    }
+
+    #[test]
+    fn concurrent_thieves_take_every_job_exactly_once() {
+        const JOBS: usize = 4096;
+        const THIEVES: usize = 4;
+        let deque = Arc::new(Deque::new());
+        let done = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            let thieves: Vec<_> = (0..THIEVES)
+                .map(|_| {
+                    let deque = Arc::clone(&deque);
+                    let done = Arc::clone(&done);
+                    scope.spawn(move || {
+                        let mut taken = 0usize;
+                        loop {
+                            match deque.steal() {
+                                Steal::Taken(j) => {
+                                    j();
+                                    taken += 1;
+                                }
+                                Steal::Retry => std::hint::spin_loop(),
+                                Steal::Empty => {
+                                    if done.load(Ordering::SeqCst) >= JOBS {
+                                        break;
+                                    }
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                        taken
+                    })
+                })
+                .collect();
+            // Owner: interleave pushes with occasional pops, counting
+            // everything it keeps for itself.
+            let mut popped = 0usize;
+            let mut pushed = 0usize;
+            while pushed < JOBS {
+                let done = Arc::clone(&done);
+                let j: Job = Box::new(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+                if deque.push(j).is_ok() {
+                    pushed += 1;
+                } else if let Some(j) = deque.pop() {
+                    j();
+                    popped += 1;
+                }
+                if pushed.is_multiple_of(7) {
+                    if let Some(j) = deque.pop() {
+                        j();
+                        popped += 1;
+                    }
+                }
+            }
+            let stolen: usize = thieves.into_iter().map(|t| t.join().unwrap()).sum();
+            assert_eq!(done.load(Ordering::SeqCst), JOBS, "every job ran");
+            assert_eq!(stolen + popped, JOBS, "each job ran exactly once");
+        });
+    }
+}

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+mod deque;
 pub mod pool;
 
 use std::any::Any;
@@ -45,7 +46,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::Duration;
 
-pub use pool::{global_pool, WorkerPool};
+pub use pool::{global_pool, PoolMetrics, WorkerPool};
 
 thread_local! {
     /// Set inside pool worker threads so nested calls run serially

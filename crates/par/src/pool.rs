@@ -1,4 +1,4 @@
-//! A long-lived worker pool.
+//! A long-lived work-stealing worker pool.
 //!
 //! [`parallel_map`](crate::parallel_map) originally spawned OS threads
 //! on every call; fine for table harnesses that fan out once, wasteful
@@ -12,6 +12,26 @@
 //!   which borrows the item slice and the mapping closure from the
 //!   caller's stack).
 //!
+//! ## Dispatch: per-worker deques, stealing, and an injector
+//!
+//! The pool used to feed every worker from one `Mutex<mpsc::Receiver>`;
+//! under load the lock serialised job *fetch* across all workers, which
+//! is exactly the dispatch ceiling the serving benchmarks hit. Now each
+//! worker owns a Chase–Lev deque ([`crate::deque`]): it pushes and pops
+//! its own work LIFO at the bottom, and when it runs dry it steals FIFO
+//! from the top of a randomly chosen victim. Jobs submitted from
+//! outside the pool land in a shared *injector* queue; a dry worker
+//! grabs a batch from the injector into its own deque so subsequent
+//! fetches (its own and thieves') are lock-free. No worker ever holds a
+//! lock while fetching from another worker's queue, so one slow job can
+//! never stall anyone else's fetch path.
+//!
+//! Idle workers park on a `Condvar` (not a spin loop: the daemon is
+//! mostly idle between bursts and spinning would burn the very cores
+//! the evaluation workload wants). Every submission notifies the
+//! parking lot; the notify takes the parking mutex, which closes the
+//! lost-wakeup race with a worker that is mid-way into parking.
+//!
 //! Worker threads run with the nested-parallelism flag set, so any
 //! `parallel_map` reached from inside a job degrades to serial exactly
 //! as it would have on a per-call worker thread. Panicking jobs are
@@ -23,19 +43,100 @@
 //! budgets (`BSCHED_THREADS`, explicit `_with` arguments) are enforced
 //! by how many drain jobs a fan-out submits, not by resizing the pool.
 
+use std::cell::Cell;
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+use crate::deque::{Deque, Steal};
 use crate::{in_parallel_worker, IN_PARALLEL};
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// A fixed-size set of long-lived worker threads fed from one shared
-/// queue.
+/// How many injector jobs a dry worker moves into its own deque in one
+/// grab (the first is run immediately). Batching amortises the injector
+/// lock and gives thieves something to steal.
+const INJECTOR_BATCH: usize = 16;
+
+thread_local! {
+    /// `(pool id, worker index)` of the pool worker running on this
+    /// thread, if any — lets `submit` push to its own deque and tests
+    /// observe which worker ran an item.
+    static WORKER: Cell<Option<(u64, usize)>> = const { Cell::new(None) };
+}
+
+/// Monotone pool ids so the thread-local worker registration can never
+/// be confused across pools.
+fn next_pool_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A point-in-time snapshot of the pool's dispatch counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolMetrics {
+    /// Jobs a worker took from another worker's deque.
+    pub steals: u64,
+    /// Times a worker went to sleep on the parking `Condvar`.
+    pub parks: u64,
+    /// Jobs currently queued (injector + all deques), excluding jobs
+    /// already executing.
+    pub queued: usize,
+}
+
+/// The `Condvar` parking lot idle workers sleep in.
+struct Parking {
+    lock: Mutex<()>,
+    available: Condvar,
+}
+
+struct Shared {
+    id: u64,
+    deques: Box<[Deque]>,
+    /// External submissions and deque overflow. Locked only around
+    /// push/batch-pop — never across job execution or a steal.
+    injector: Mutex<VecDeque<Job>>,
+    parking: Parking,
+    shutdown: AtomicBool,
+    steals: AtomicU64,
+    parks: AtomicU64,
+}
+
+impl Shared {
+    /// Whether any queue in the pool plausibly holds work. Races are
+    /// fine everywhere this is called *outside* the parking lock; under
+    /// the parking lock it is exact enough to prevent lost wakeups (see
+    /// `worker_loop`).
+    fn has_work(&self) -> bool {
+        !self.injector.lock().unwrap().is_empty() || self.deques.iter().any(|d| !d.is_empty())
+    }
+
+    fn queued(&self) -> usize {
+        self.injector.lock().unwrap().len() + self.deques.iter().map(Deque::len).sum::<usize>()
+    }
+
+    /// Wakes one parked worker. Always takes the parking mutex: a
+    /// worker parks only while holding it, so the notify is ordered
+    /// either before the worker's final work re-check (which will see
+    /// the just-pushed job) or after it began waiting (so it hears the
+    /// notify). Cheap when uncontended — and submissions vastly
+    /// outnumber parks under load.
+    fn notify_one(&self) {
+        let _guard = self.parking.lock.lock().unwrap();
+        self.parking.available.notify_one();
+    }
+
+    fn notify_all(&self) {
+        let _guard = self.parking.lock.lock().unwrap();
+        self.parking.available.notify_all();
+    }
+}
+
+/// A fixed-size set of long-lived worker threads with per-worker
+/// work-stealing deques and a shared injector for external submissions.
 pub struct WorkerPool {
-    /// `None` only during [`shutdown`](WorkerPool::shutdown); dropping
-    /// the sender is what tells workers to exit.
-    tx: Mutex<Option<mpsc::Sender<Job>>>,
+    shared: Arc<Shared>,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     size: usize,
 }
@@ -45,19 +146,29 @@ impl WorkerPool {
     #[must_use]
     pub fn new(size: usize) -> WorkerPool {
         let size = size.max(1);
-        let (tx, rx) = mpsc::channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(Shared {
+            id: next_pool_id(),
+            deques: (0..size).map(|_| Deque::new()).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            parking: Parking {
+                lock: Mutex::new(()),
+                available: Condvar::new(),
+            },
+            shutdown: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+        });
         let handles = (0..size)
             .map(|i| {
-                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("bsched-pool-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn pool worker")
             })
             .collect();
         WorkerPool {
-            tx: Mutex::new(Some(tx)),
+            shared,
             handles: Mutex::new(handles),
             size,
         }
@@ -67,6 +178,30 @@ impl WorkerPool {
     #[must_use]
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Steal/park counters and current queue depth, for `/stats`.
+    #[must_use]
+    pub fn metrics(&self) -> PoolMetrics {
+        PoolMetrics {
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            parks: self.shared.parks.load(Ordering::Relaxed),
+            queued: self.shared.queued(),
+        }
+    }
+
+    /// The index of the pool worker running the calling thread, if the
+    /// calling thread belongs to *this* pool. Tests use this to assert
+    /// work distribution; it is `None` on every other thread.
+    #[must_use]
+    pub fn current_worker_index(&self) -> Option<usize> {
+        WORKER.with(Cell::get).and_then(|(pool, index)| {
+            if pool == self.shared.id {
+                Some(index)
+            } else {
+                None
+            }
+        })
     }
 
     /// Submits a fire-and-forget job. A panic inside `job` is caught on
@@ -125,7 +260,8 @@ impl WorkerPool {
     /// worker. Idempotent; [`spawn`](WorkerPool::spawn) after shutdown
     /// runs the job inline on the caller.
     pub fn shutdown(&self) {
-        drop(self.tx.lock().unwrap().take());
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.notify_all();
         let handles = std::mem::take(&mut *self.handles.lock().unwrap());
         for h in handles {
             let _ = h.join();
@@ -133,18 +269,23 @@ impl WorkerPool {
     }
 
     fn submit(&self, job: Job) {
-        let rejected = match self.tx.lock().unwrap().as_ref() {
-            Some(tx) => match tx.send(job) {
-                Ok(()) => None,
-                Err(mpsc::SendError(job)) => Some(job),
-            },
+        // Shut-down pool: run inline rather than silently dropping —
+        // `scope` relies on every job running.
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            return;
+        }
+        // A worker spawning from inside a job keeps the work local
+        // (LIFO, cache-warm, lock-free); everyone else goes through the
+        // injector. A full deque overflows into the injector too.
+        let job = match self.current_worker_index() {
+            Some(index) => self.shared.deques[index].push(job).err(),
             None => Some(job),
         };
-        // Shut-down (or somehow worker-less) pool: run inline rather
-        // than silently dropping — `scope` relies on every job running.
-        if let Some(job) = rejected {
-            let _ = catch_unwind(AssertUnwindSafe(job));
+        if let Some(job) = job {
+            self.shared.injector.lock().unwrap().push_back(job);
         }
+        self.shared.notify_one();
     }
 }
 
@@ -154,22 +295,108 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>) {
+/// One worker: fetch → run → repeat, parking when the whole pool is
+/// dry, exiting when shut down *and* dry.
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
     IN_PARALLEL.with(|flag| flag.set(true));
+    WORKER.with(|w| w.set(Some((shared.id, index))));
+    // Randomised victim order, seeded per worker (splitmix64): thieves
+    // starting at different victims spread contention.
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index as u64 + 1);
     loop {
-        // Holding the lock across `recv` is deliberate: it serialises
-        // job *pickup* (cheap), not job *execution*.
-        let job = match rx.lock() {
-            Ok(guard) => guard.recv(),
-            Err(_) => return,
-        };
-        let Ok(job) = job else { return };
-        let _ = catch_unwind(AssertUnwindSafe(job));
-        // A job that set a fault context or cancel token and then
-        // panicked must not leak it into the next job on this worker.
-        bsched_faults::set_context(None);
-        bsched_faults::set_cancel_token(None);
+        if let Some(job) = find_work(shared, index, &mut rng) {
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            // A job that set a fault context or cancel token and then
+            // panicked must not leak it into the next job on this
+            // worker.
+            bsched_faults::set_context(None);
+            bsched_faults::set_cancel_token(None);
+            continue;
+        }
+        // Nothing anywhere: park. The final re-check happens under the
+        // parking mutex, which every submission also takes to notify —
+        // so either we see the job here, or the submitter's notify
+        // comes after we started waiting.
+        let guard = shared.parking.lock.lock().unwrap();
+        if shared.has_work() {
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        shared.parks.fetch_add(1, Ordering::Relaxed);
+        drop(shared.parking.available.wait(guard));
     }
+}
+
+/// The fetch path: own deque (LIFO), then an injector batch, then
+/// stealing from randomised victims. Lock-free except the brief
+/// injector pop.
+fn find_work(shared: &Shared, index: usize, rng: &mut u64) -> Option<Job> {
+    if let Some(job) = shared.deques[index].pop() {
+        return Some(job);
+    }
+    // Dry: refill from the injector, keeping the first job to run now
+    // and parking the rest in our own deque where fetches are
+    // lock-free and thieves can reach them.
+    {
+        let mut injector = shared.injector.lock().unwrap();
+        if let Some(first) = injector.pop_front() {
+            let mut moved = 0;
+            while moved < INJECTOR_BATCH - 1 {
+                let Some(job) = injector.pop_front() else {
+                    break;
+                };
+                if let Err(job) = shared.deques[index].push(job) {
+                    injector.push_front(job);
+                    break;
+                }
+                moved += 1;
+            }
+            drop(injector);
+            if moved > 0 {
+                // Let sleepers know there is suddenly stealable work.
+                shared.notify_one();
+            }
+            return Some(first);
+        }
+    }
+    // Steal, visiting every other worker once in a rotated order; a
+    // `Retry` (lost race) means work exists, so sweep again a few
+    // times before giving up and letting the caller park.
+    let n = shared.deques.len();
+    if n <= 1 {
+        return None;
+    }
+    for _sweep in 0..4 {
+        let mut contended = false;
+        // splitmix64 step for the rotation.
+        *rng = rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        #[allow(clippy::cast_possible_truncation)]
+        let start = (z ^ (z >> 31)) as usize % n;
+        for off in 0..n {
+            let victim = (start + off) % n;
+            if victim == index {
+                continue;
+            }
+            match shared.deques[victim].steal() {
+                Steal::Taken(job) => {
+                    shared.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(job);
+                }
+                Steal::Retry => contended = true,
+                Steal::Empty => {}
+            }
+        }
+        if !contended {
+            return None;
+        }
+        std::hint::spin_loop();
+    }
+    None
 }
 
 /// The pool behind [`parallel_map`](crate::parallel_map), created on
@@ -236,7 +463,8 @@ impl Drop for WaitForJobs<'_> {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::time::Duration;
+    use std::sync::mpsc;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn spawn_runs_jobs_on_worker_threads() {
@@ -356,5 +584,130 @@ mod tests {
             r.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    /// Regression for the shared-receiver design this pool replaced:
+    /// with one mpsc receiver behind a mutex, workers serialised on job
+    /// *fetch*; one slow job could not block others from fetching, but
+    /// the lock convoy showed up as latency. Here: one job sleeps, and
+    /// every other worker must keep making progress meanwhile.
+    #[test]
+    fn one_slow_job_does_not_stall_other_workers() {
+        let pool = WorkerPool::new(4);
+        let (slow_tx, slow_rx) = mpsc::channel();
+        pool.spawn(move || {
+            std::thread::sleep(Duration::from_millis(400));
+            slow_tx.send(()).unwrap();
+        });
+        // 64 fast jobs submitted *after* the slow one; they must all
+        // finish long before the slow job does.
+        let (tx, rx) = mpsc::channel();
+        let started = Instant::now();
+        for i in 0..64usize {
+            let tx = tx.clone();
+            pool.spawn(move || tx.send(i).unwrap());
+        }
+        drop(tx);
+        let mut done = 0;
+        while done < 64 {
+            rx.recv_timeout(Duration::from_secs(10)).expect("fast job");
+            done += 1;
+        }
+        assert!(
+            started.elapsed() < Duration::from_millis(300),
+            "fast jobs waited on the slow one: {:?}",
+            started.elapsed()
+        );
+        slow_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    }
+
+    /// Steal-heavy skewed workload: one worker hoards a deque full of
+    /// children and sleeps; the only way the children run promptly is
+    /// for the other workers to steal them. Every worker must complete
+    /// at least one item.
+    #[test]
+    fn skewed_workload_is_stolen_and_every_worker_participates() {
+        const WORKERS: usize = 4;
+        let pool = Arc::new(WorkerPool::new(WORKERS));
+        let seen: Arc<Mutex<std::collections::HashSet<usize>>> =
+            Arc::new(Mutex::new(std::collections::HashSet::new()));
+        let child = |seen: &Arc<Mutex<std::collections::HashSet<usize>>>| {
+            let seen = Arc::clone(seen);
+            let pool = Arc::clone(&pool);
+            move || {
+                if let Some(w) = pool.current_worker_index() {
+                    seen.lock().unwrap().insert(w);
+                }
+            }
+        };
+        // The hoarder parks 64 children in its *own* deque and then
+        // sleeps: while it sleeps, those children can only run by being
+        // stolen.
+        let (done_tx, done_rx) = mpsc::channel();
+        let hoarder_pool = Arc::clone(&pool);
+        let hoarder_seen = Arc::clone(&seen);
+        let hoarder_child = child(&seen);
+        pool.spawn(move || {
+            for _ in 0..64 {
+                let job = hoarder_child.clone();
+                hoarder_pool.spawn(job);
+            }
+            // Sleep until the thieves have visibly run some children.
+            for _ in 0..200 {
+                std::thread::sleep(Duration::from_millis(5));
+                if !hoarder_seen.lock().unwrap().is_empty() {
+                    break;
+                }
+            }
+            done_tx.send(()).unwrap();
+        });
+        done_rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("hoarder finished");
+        // Keep feeding small waves through the injector until every
+        // worker (now including the freed hoarder) has run at least one
+        // item.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while seen.lock().unwrap().len() < WORKERS {
+            assert!(Instant::now() < deadline, "a worker never ran an item");
+            for _ in 0..8 {
+                pool.spawn(child(&seen));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let metrics = pool.metrics();
+        assert!(
+            metrics.steals > 0,
+            "children in a sleeping worker's deque can only run via steals"
+        );
+    }
+
+    #[test]
+    fn metrics_report_parks_and_empty_queues() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        pool.spawn(move || tx.send(()).unwrap());
+        rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        // Give workers a moment to go back to sleep.
+        std::thread::sleep(Duration::from_millis(50));
+        let metrics = pool.metrics();
+        assert_eq!(metrics.queued, 0);
+        assert!(metrics.parks > 0, "idle workers park instead of spinning");
+    }
+
+    #[test]
+    fn worker_index_is_none_outside_the_pool() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.current_worker_index(), None);
+        let other = WorkerPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        let probe = Arc::new(pool);
+        let probe_inner = Arc::clone(&probe);
+        other.spawn(move || {
+            // A worker of a *different* pool is not a worker of this
+            // one.
+            tx.send(probe_inner.current_worker_index()).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(None));
     }
 }

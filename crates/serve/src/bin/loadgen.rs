@@ -35,9 +35,13 @@ OPTIONS:
     --analyze              request analyzer diagnostics too
     --burst N              afterwards, pipeline N extra requests at once and
                            report how many were shed as overloaded
+    --sweep C1,C2,...      afterwards, warm the cache then replay the mix at
+                           each client-concurrency level, recording a
+                           throughput/latency curve (e.g. --sweep 1,2,4,8,16)
     --expect-hit-rate PCT  fail unless 2nd-pass cache hit rate >= PCT
     --out FILE             write the JSON report here      [default: stdout]
     --workers N            (with --spawn) worker threads   [default: 4]
+    --io-threads N         (with --spawn) event-loop IO threads [default: 2]
     --queue-cap N          (with --spawn) admission bound  [default: 64]
 ";
 
@@ -51,9 +55,11 @@ struct Args {
     schedulers: Vec<String>,
     analyze: bool,
     burst: usize,
+    sweep: Vec<usize>,
     expect_hit_rate: Option<f64>,
     out: Option<String>,
     workers: usize,
+    io_threads: usize,
     queue_cap: usize,
 }
 
@@ -68,9 +74,11 @@ fn parse_args() -> Result<Args, String> {
         schedulers: vec!["balanced".to_owned()],
         analyze: false,
         burst: 0,
+        sweep: Vec::new(),
         expect_hit_rate: None,
         out: None,
         workers: 4,
+        io_threads: 2,
         queue_cap: 64,
     };
     let mut it = std::env::args().skip(1);
@@ -91,6 +99,15 @@ fn parse_args() -> Result<Args, String> {
             }
             "--analyze" => args.analyze = true,
             "--burst" => args.burst = parse_num(&value("--burst")?, "--burst")?,
+            "--sweep" => {
+                args.sweep = value("--sweep")?
+                    .split(',')
+                    .map(|c| parse_num::<usize>(c.trim(), "--sweep"))
+                    .collect::<Result<_, _>>()?;
+                if args.sweep.contains(&0) {
+                    return Err("--sweep: concurrency levels must be at least 1".to_owned());
+                }
+            }
             "--expect-hit-rate" => {
                 let raw = value("--expect-hit-rate")?;
                 let pct: f64 = raw
@@ -100,6 +117,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(value("--out")?),
             "--workers" => args.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--io-threads" => args.io_threads = parse_num(&value("--io-threads")?, "--io-threads")?,
             "--queue-cap" => args.queue_cap = parse_num(&value("--queue-cap")?, "--queue-cap")?,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -162,6 +180,37 @@ struct PassOutcome {
 }
 
 fn classify(outcome: &mut PassOutcome, expected_id: &str, line: &str) {
+    // Fast path: the id/status/cached fields live in the fixed response
+    // envelope, so substring probes classify a response in ~1µs where a
+    // full parse of a 5KB payload costs ~350µs — on a small box the
+    // parse dominates the whole benchmark and measures the client, not
+    // the server. Anything that doesn't match the envelope exactly
+    // falls back to a strict full parse.
+    let id_probe = format!("\"id\":{}", json::string(expected_id));
+    if line.starts_with('{') && line.contains(&id_probe) {
+        match extract_status(line) {
+            Some("ok") => {
+                outcome.ok += 1;
+                if line.contains("\"cached\":true") {
+                    outcome.cached += 1;
+                }
+                return;
+            }
+            Some("error") => {
+                outcome.errors += 1;
+                return;
+            }
+            Some("overloaded") => {
+                outcome.overloaded += 1;
+                return;
+            }
+            Some("timeout") => {
+                outcome.timeouts += 1;
+                return;
+            }
+            _ => {}
+        }
+    }
     let Some(v) = json::parse(line) else {
         outcome.malformed += 1;
         return;
@@ -184,6 +233,14 @@ fn classify(outcome: &mut PassOutcome, expected_id: &str, line: &str) {
     }
 }
 
+/// Pulls the `"status":"…"` value out of a response line without
+/// parsing the payload.
+fn extract_status(line: &str) -> Option<&str> {
+    let at = line.find("\"status\":\"")?;
+    let rest = &line[at + "\"status\":\"".len()..];
+    rest.split('"').next()
+}
+
 /// Sends `requests` over one connection, one at a time, timing each
 /// round trip.
 fn run_client(addr: &str, requests: &[Prepared]) -> std::io::Result<PassOutcome> {
@@ -194,10 +251,16 @@ fn run_client(addr: &str, requests: &[Prepared]) -> std::io::Result<PassOutcome>
     let stream = TcpStream::connect(addr)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
+    let mut frame = Vec::new();
     for (idx, req) in requests.iter().enumerate() {
         let started = Instant::now();
-        writer.write_all(req.line.as_bytes())?;
-        writer.write_all(b"\n")?;
+        // One write syscall per request: splitting the newline into its
+        // own segment trips client-side Nagle against the server's
+        // delayed ACK (~40ms stall on an incomplete line).
+        frame.clear();
+        frame.extend_from_slice(req.line.as_bytes());
+        frame.push(b'\n');
+        writer.write_all(&frame)?;
         writer.flush()?;
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -253,11 +316,13 @@ fn run_burst(addr: &str, args: &Args, n: usize) -> std::io::Result<(u64, u64, u6
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mix = request_mix(args, 9999);
+    let mut frame = Vec::new();
     for i in 0..n {
         let req = &mix[i % mix.len()];
-        writer.write_all(req.line.as_bytes())?;
-        writer.write_all(b"\n")?;
+        frame.extend_from_slice(req.line.as_bytes());
+        frame.push(b'\n');
     }
+    writer.write_all(&frame)?;
     writer.flush()?;
     let (mut ok, mut overloaded, mut other, mut dropped) = (0u64, 0u64, 0u64, 0u64);
     for _ in 0..n {
@@ -279,6 +344,120 @@ fn run_burst(addr: &str, args: &Args, n: usize) -> std::io::Result<(u64, u64, u6
     Ok((ok, overloaded, other, dropped))
 }
 
+/// One point on the concurrency-sweep curve.
+struct SweepPoint {
+    concurrency: usize,
+    requests: usize,
+    outcome: PassOutcome,
+    wall_s: f64,
+    throughput_rps: f64,
+}
+
+impl SweepPoint {
+    fn render(&self) -> String {
+        let o = &self.outcome;
+        format!(
+            "{{\"concurrency\":{},\"requests\":{},\"answered\":{},\"ok\":{},\
+             \"cached\":{},\"errors\":{},\"overloaded\":{},\"timeouts\":{},\
+             \"dropped\":{},\"malformed\":{},\"wall_s\":{:.6},\
+             \"throughput_rps\":{:.3},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{}}}",
+            self.concurrency,
+            self.requests,
+            o.latencies_us.len(),
+            o.ok,
+            o.cached,
+            o.errors,
+            o.overloaded,
+            o.timeouts,
+            o.dropped,
+            o.malformed,
+            self.wall_s,
+            self.throughput_rps,
+            percentile(&o.latencies_us, 0.50),
+            percentile(&o.latencies_us, 0.95),
+            percentile(&o.latencies_us, 0.99),
+        )
+    }
+}
+
+/// The concurrency sweep: warm the cache with one serial pass of the
+/// mix, then replay the full mix once per connection at each
+/// concurrency level, so the curve measures the serving path (framing,
+/// admission, cache, completion plumbing) rather than first-touch
+/// compilation.
+fn run_sweep(addr: &str, args: &Args, levels: &[usize]) -> Result<Vec<SweepPoint>, String> {
+    let warm = request_mix(args, 0);
+    let warmed = run_client(addr, &warm).map_err(|e| format!("sweep warm-up: {e}"))?;
+    if warmed.dropped > 0 || warmed.malformed > 0 {
+        return Err("sweep warm-up pass lost responses".to_owned());
+    }
+    let mut points = Vec::new();
+    for (at, &concurrency) in levels.iter().enumerate() {
+        // Unique pass tag per level keeps request ids unambiguous in
+        // logs; cache keys ignore ids, so hits still land.
+        let mix = request_mix(args, at + 1);
+        let started = Instant::now();
+        let outcomes: Vec<PassOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..concurrency)
+                .map(|_| scope.spawn(|| run_client(addr, &mix)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(Ok(outcome)) => outcome,
+                    Ok(Err(e)) => {
+                        eprintln!("bsched-loadgen: sweep client error: {e}");
+                        PassOutcome {
+                            malformed: 1,
+                            ..PassOutcome::default()
+                        }
+                    }
+                    Err(_) => PassOutcome {
+                        malformed: 1,
+                        ..PassOutcome::default()
+                    },
+                })
+                .collect()
+        });
+        let wall = started.elapsed();
+        let mut merged = PassOutcome::default();
+        for o in outcomes {
+            merged.ok += o.ok;
+            merged.cached += o.cached;
+            merged.errors += o.errors;
+            merged.overloaded += o.overloaded;
+            merged.timeouts += o.timeouts;
+            merged.dropped += o.dropped;
+            merged.malformed += o.malformed;
+            merged.latencies_us.extend(o.latencies_us);
+        }
+        merged.latencies_us.sort_unstable();
+        #[allow(clippy::cast_precision_loss)]
+        let throughput = if wall.as_secs_f64() > 0.0 {
+            merged.latencies_us.len() as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        let point = SweepPoint {
+            concurrency,
+            requests: mix.len() * concurrency,
+            outcome: merged,
+            wall_s: wall.as_secs_f64(),
+            throughput_rps: throughput,
+        };
+        eprintln!(
+            "sweep c={concurrency}: {}/{} answered in {:.3}s ({throughput:.1} req/s), \
+             p99={}us",
+            point.outcome.latencies_us.len(),
+            point.requests,
+            point.wall_s,
+            percentile(&point.outcome.latencies_us, 0.99),
+        );
+        points.push(point);
+    }
+    Ok(points)
+}
+
 #[allow(clippy::too_many_lines)]
 fn run() -> Result<i32, String> {
     let args = parse_args()?;
@@ -287,6 +466,7 @@ fn run() -> Result<i32, String> {
             Server::start(ServerConfig {
                 listen: "127.0.0.1:0".to_owned(),
                 workers: args.workers,
+                io_threads: args.io_threads,
                 queue_capacity: args.queue_cap,
                 ..ServerConfig::default()
             })
@@ -417,10 +597,28 @@ fn run() -> Result<i32, String> {
         String::new()
     };
 
+    let sweep_report = if args.sweep.is_empty() {
+        String::new()
+    } else {
+        let points = run_sweep(&addr, &args, &args.sweep)?;
+        for p in &points {
+            total_dropped += p.outcome.dropped;
+            total_malformed += p.outcome.malformed;
+        }
+        format!(
+            ",\"sweep\":[{}]",
+            points
+                .iter()
+                .map(SweepPoint::render)
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    };
+
     let final_stats = fetch_stats(&addr)?;
     let report = format!(
         "{{\"bench\":\"serve\",\"system\":{},\"schedulers\":[{}],\"clients\":{},\
-         \"passes\":[{}],\"final_stats\":{}{burst_report}}}",
+         \"passes\":[{}],\"final_stats\":{}{burst_report}{sweep_report}}}",
         json::string(&args.system),
         args.schedulers
             .iter()
@@ -433,8 +631,11 @@ fn run() -> Result<i32, String> {
     );
     match &args.out {
         Some(path) => {
-            std::fs::write(path, format!("{report}\n"))
-                .map_err(|e| format!("write {path}: {e}"))?;
+            // Temp + rename so an interrupted run never leaves a
+            // truncated report where a previous good one stood.
+            let tmp = format!("{path}.tmp");
+            std::fs::write(&tmp, format!("{report}\n")).map_err(|e| format!("write {tmp}: {e}"))?;
+            std::fs::rename(&tmp, path).map_err(|e| format!("rename {tmp} -> {path}: {e}"))?;
         }
         None => println!("{report}"),
     }

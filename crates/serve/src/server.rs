@@ -1,12 +1,21 @@
-//! The daemon: TCP listener, admission control, worker pool, lifecycle.
+//! The daemon: epoll event loop, admission control, worker pool,
+//! lifecycle.
 //!
-//! One thread accepts connections; one thread per connection reads
-//! request lines; schedule requests are admitted against a bounded
-//! queue and executed on a persistent [`bsched_par::WorkerPool`], which
-//! writes the response itself (so pipelined responses may be out of
-//! order — the protocol echoes ids for exactly this reason). Control
-//! requests (`stats`, `ping`, `shutdown`) are answered inline on the
-//! connection thread and never queue.
+//! On Linux a small fixed set of IO threads multiplexes every
+//! connection over raw `epoll` (see [`crate::eventloop`]): thread 0
+//! owns the non-blocking listener and hands accepted sockets out
+//! round-robin; each IO thread runs an edge-triggered loop over its
+//! connections' read/write readiness plus a wake pipe. Request lines
+//! are framed *in place* — the parser is handed a `&str` view into the
+//! connection's read buffer, never a copied-out line. Schedule requests
+//! are admitted against a bounded queue and executed on a persistent
+//! [`bsched_par::WorkerPool`]; the worker posts the finished response
+//! back to the owning IO thread's completion queue and tickles its wake
+//! pipe, so pipelined responses interleave out of order — the protocol
+//! echoes ids for exactly this reason. Control requests (`stats`,
+//! `ping`, `shutdown`) are answered inline on the IO thread and never
+//! queue. Non-Linux builds fall back to the original thread-per-
+//! connection loop with identical semantics.
 //!
 //! Backpressure is a counter, not a buffer: admission increments the
 //! queue depth and rejects with a typed `overloaded` response when it
@@ -15,11 +24,12 @@
 //!
 //! Shutdown is a drain, not an abort: `op:"shutdown"`, SIGTERM, or
 //! SIGINT stop new admissions (subsequent schedule requests get
-//! `overloaded`), the accept loop closes, queued work finishes and its
-//! responses are written, and only then does [`Server::join`] return.
+//! `overloaded`), the listener closes, queued work finishes and its
+//! responses are flushed, and a connection caught mid-line gets a typed
+//! `overloaded` response rather than a silently closed socket. Only
+//! then does [`Server::join`] return.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -43,6 +53,8 @@ pub struct ServerConfig {
     pub listen: String,
     /// Persistent worker threads evaluating schedule requests.
     pub workers: usize,
+    /// Event-loop IO threads multiplexing connections (Linux backend).
+    pub io_threads: usize,
     /// Admission bound: queued + executing schedule requests.
     pub queue_capacity: usize,
     /// Response cache bound, in entries.
@@ -56,6 +68,7 @@ impl Default for ServerConfig {
         ServerConfig {
             listen: "127.0.0.1:0".to_owned(),
             workers: 4,
+            io_threads: 2,
             queue_capacity: 64,
             cache_capacity: 256,
             default_deadline_ms: None,
@@ -63,7 +76,7 @@ impl Default for ServerConfig {
     }
 }
 
-/// Set by the raw SIGTERM/SIGINT handlers; polled by every accept loop.
+/// Set by the raw SIGTERM/SIGINT handlers; polled by every IO loop.
 static SIGNALLED: AtomicBool = AtomicBool::new(false);
 
 extern "C" fn on_signal(_signum: i32) {
@@ -94,12 +107,34 @@ pub fn install_signal_handlers() {
     }
 }
 
+/// A response computed on a worker, addressed back to the connection
+/// slot (`token`) it came from. The generation guards against slot
+/// reuse: if the connection died and the slot was recycled, the stale
+/// completion is dropped instead of being written to a stranger.
+#[cfg(target_os = "linux")]
+struct Completion {
+    token: usize,
+    generation: u64,
+    line: String,
+}
+
+/// The cross-thread half of one IO thread: workers push completions and
+/// thread 0 pushes handed-over sockets, then wake the pipe.
+#[cfg(target_os = "linux")]
+struct IoHandle {
+    completions: Mutex<Vec<Completion>>,
+    incoming: Mutex<Vec<std::net::TcpStream>>,
+    wake: crate::eventloop::WakePipe,
+}
+
 struct Inner {
     cfg: ServerConfig,
     pool: WorkerPool,
     cache: Mutex<LruCache>,
     stats: ServerStats,
     shutdown: AtomicBool,
+    #[cfg(target_os = "linux")]
+    io: Vec<Arc<IoHandle>>,
 }
 
 impl Inner {
@@ -108,13 +143,13 @@ impl Inner {
     }
 }
 
-/// A running daemon. Dropping it without [`Server::join`] aborts the
-/// accept loop but lets in-flight work finish under the pool's own
+/// A running daemon. Dropping it without [`Server::join`] detaches the
+/// IO threads but lets in-flight work finish under the pool's own
 /// shutdown.
 pub struct Server {
     inner: Arc<Inner>,
     addr: SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl Server {
@@ -122,29 +157,69 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure (address in use, permission, …).
+    /// Propagates the bind failure (address in use, permission, …) or,
+    /// on Linux, an `epoll`/pipe setup failure.
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(&cfg.listen)?;
+        let listener = std::net::TcpListener::bind(&cfg.listen)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let inner = Arc::new(Inner {
-            pool: WorkerPool::new(cfg.workers.max(1)),
-            cfg,
-            cache: Mutex::new(LruCache::new(0)),
-            stats: ServerStats::default(),
-            shutdown: AtomicBool::new(false),
-        });
-        *inner.cache.lock().unwrap() = LruCache::new(inner.cfg.cache_capacity);
-        let accept_inner = Arc::clone(&inner);
-        let accept_thread = std::thread::Builder::new()
-            .name("bsched-serve-accept".to_owned())
-            .spawn(move || accept_loop(&listener, &accept_inner))
-            .expect("spawn accept thread");
-        Ok(Server {
-            inner,
-            addr,
-            accept_thread: Some(accept_thread),
-        })
+        #[cfg(target_os = "linux")]
+        {
+            let io_count = cfg.io_threads.max(1);
+            let mut io = Vec::with_capacity(io_count);
+            for _ in 0..io_count {
+                io.push(Arc::new(IoHandle {
+                    completions: Mutex::new(Vec::new()),
+                    incoming: Mutex::new(Vec::new()),
+                    wake: crate::eventloop::WakePipe::new()?,
+                }));
+            }
+            let inner = Arc::new(Inner {
+                pool: WorkerPool::new(cfg.workers.max(1)),
+                cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+                cfg,
+                stats: ServerStats::default(),
+                shutdown: AtomicBool::new(false),
+                io,
+            });
+            let mut threads = Vec::with_capacity(io_count);
+            let mut listener = Some(listener);
+            for index in 0..io_count {
+                let io_inner = Arc::clone(&inner);
+                let listener = if index == 0 { listener.take() } else { None };
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("bsched-serve-io{index}"))
+                        .spawn(move || event::io_loop(&io_inner, index, listener))
+                        .expect("spawn io thread"),
+                );
+            }
+            Ok(Server {
+                inner,
+                addr,
+                threads,
+            })
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            let inner = Arc::new(Inner {
+                pool: WorkerPool::new(cfg.workers.max(1)),
+                cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+                cfg,
+                stats: ServerStats::default(),
+                shutdown: AtomicBool::new(false),
+            });
+            let accept_inner = Arc::clone(&inner);
+            let accept = std::thread::Builder::new()
+                .name("bsched-serve-accept".to_owned())
+                .spawn(move || fallback::accept_loop(&listener, &accept_inner))
+                .expect("spawn accept thread");
+            Ok(Server {
+                inner,
+                addr,
+                threads: vec![accept],
+            })
+        }
     }
 
     /// The bound address (useful with `listen = "127.0.0.1:0"`).
@@ -156,134 +231,92 @@ impl Server {
     /// Begins a graceful drain, as if `op:"shutdown"` had arrived.
     pub fn begin_shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Relaxed);
+        #[cfg(target_os = "linux")]
+        for handle in &self.inner.io {
+            handle.wake.wake();
+        }
     }
 
-    /// Blocks until the drain completes: the accept loop has exited and
-    /// every admitted request has written its response.
+    /// Blocks until the drain completes: the listener has closed, every
+    /// admitted request has flushed its response, and the IO threads
+    /// have exited.
     pub fn join(mut self) {
-        if let Some(t) = self.accept_thread.take() {
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
 }
 
-fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
-    loop {
-        if inner.draining() {
-            break;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let conn_inner = Arc::clone(inner);
-                let _ = std::thread::Builder::new()
-                    .name("bsched-serve-conn".to_owned())
-                    .spawn(move || serve_connection(stream, &conn_inner));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => break,
-        }
-    }
-    // Drain: every admitted request decrements the depth only after its
-    // response hits the socket, so depth == 0 means all work is flushed.
-    while inner.stats.queue_depth.load(Ordering::Relaxed) > 0 {
-        std::thread::sleep(Duration::from_millis(5));
-    }
+/// What one request line asks the transport to do — computed by the
+/// shared dispatcher so both backends speak identical protocol.
+enum Action {
+    /// Answer now, on the IO/connection thread.
+    Respond(String),
+    /// Admitted: run on the pool, deliver the returned line, and only
+    /// then release the queue slot.
+    Execute {
+        id: Option<String>,
+        req: Box<ScheduleRequest>,
+        admitted_at: Instant,
+    },
 }
 
-type SharedWriter = Arc<Mutex<TcpStream>>;
-
-fn write_line(writer: &SharedWriter, line: &str) {
-    let mut w = writer.lock().unwrap();
-    // A vanished client is not a server error; the work is done either
-    // way and the next read on the connection will see the hangup.
-    let _ = w.write_all(line.as_bytes());
-    let _ = w.write_all(b"\n");
-    let _ = w.flush();
-}
-
-fn serve_connection(stream: TcpStream, inner: &Arc<Inner>) {
-    let writer: SharedWriter = match stream.try_clone() {
-        Ok(clone) => Arc::new(Mutex::new(clone)),
-        Err(_) => return,
-    };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+/// Parses and dispatches one request line (a borrowed view into the
+/// connection's read buffer — never a copied-out line). Control ops are
+/// answered inline; schedule requests pass admission control here:
+/// reserve a queue slot or shed with a typed `overloaded` response —
+/// never an unbounded queue, never a silent drop.
+fn handle_line(inner: &Arc<Inner>, line: &str) -> Option<Action> {
+    if line.trim().is_empty() {
+        return None;
+    }
+    inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let id = request_id(line);
+    Some(match parse_request(line) {
+        Err(reason) => {
+            inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+            Action::Respond(error_response(id.as_deref(), "parse", &reason))
         }
-        inner.stats.requests.fetch_add(1, Ordering::Relaxed);
-        let id = request_id(&line);
-        match parse_request(&line) {
-            Err(reason) => {
-                inner.stats.errors.fetch_add(1, Ordering::Relaxed);
-                write_line(&writer, &error_response(id.as_deref(), "parse", &reason));
-            }
-            Ok(Request::Ping) => {
-                write_line(
-                    &writer,
-                    &format!(
-                        "{{{}\"status\":\"ok\",\"pong\":true}}",
-                        crate::protocol::id_fragment(id.as_deref())
-                    ),
-                );
-            }
-            Ok(Request::Stats) => {
-                write_line(&writer, &render_stats(inner, id.as_deref()));
-            }
-            Ok(Request::Shutdown) => {
-                inner.shutdown.store(true, Ordering::Relaxed);
-                write_line(
-                    &writer,
-                    &format!(
-                        "{{{}\"status\":\"ok\",\"draining\":true}}",
-                        crate::protocol::id_fragment(id.as_deref())
-                    ),
-                );
-            }
-            Ok(Request::Schedule(req)) => {
-                admit_schedule(inner, &writer, id, *req);
+        Ok(Request::Ping) => Action::Respond(format!(
+            "{{{}\"status\":\"ok\",\"pong\":true}}",
+            crate::protocol::id_fragment(id.as_deref())
+        )),
+        Ok(Request::Stats) => Action::Respond(render_stats(inner, id.as_deref())),
+        Ok(Request::Shutdown) => {
+            inner.shutdown.store(true, Ordering::Relaxed);
+            Action::Respond(format!(
+                "{{{}\"status\":\"ok\",\"draining\":true}}",
+                crate::protocol::id_fragment(id.as_deref())
+            ))
+        }
+        Ok(Request::Schedule(req)) => {
+            let capacity = inner.cfg.queue_capacity.max(1);
+            let injected_reject = fault_point!(Site::ServeReject).is_some();
+            let depth = inner.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+            if depth >= capacity || inner.draining() || injected_reject {
+                inner.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                inner.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                Action::Respond(overloaded_response(id.as_deref(), depth, capacity))
+            } else {
+                Action::Execute {
+                    id,
+                    req,
+                    admitted_at: Instant::now(),
+                }
             }
         }
-    }
+    })
 }
 
-/// Admission control: reserve a queue slot or shed the request with a
-/// typed `overloaded` response — never an unbounded queue, never a
-/// silent drop.
-fn admit_schedule(
-    inner: &Arc<Inner>,
-    writer: &SharedWriter,
-    id: Option<String>,
-    req: ScheduleRequest,
-) {
-    let capacity = inner.cfg.queue_capacity.max(1);
-    let injected_reject = fault_point!(Site::ServeReject).is_some();
-    let depth = inner.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
-    if depth >= capacity || inner.draining() || injected_reject {
-        inner.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        inner.stats.overloaded.fetch_add(1, Ordering::Relaxed);
-        write_line(writer, &overloaded_response(id.as_deref(), depth, capacity));
-        return;
-    }
-    let job_inner = Arc::clone(inner);
-    let job_writer = Arc::clone(writer);
-    let admitted_at = Instant::now();
-    inner.pool.spawn(move || {
-        run_schedule(&job_inner, &job_writer, id.as_deref(), &req, admitted_at);
-        job_inner.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
-    });
-}
-
+/// The full service path for one admitted request: fault points, cache
+/// probe, compile + simulate under the deadline, stats. Returns the
+/// response line; the transport decides how it travels.
 fn run_schedule(
     inner: &Arc<Inner>,
-    writer: &SharedWriter,
     id: Option<&str>,
     req: &ScheduleRequest,
     admitted_at: Instant,
-) {
+) -> String {
     if let Some(fault) = fault_point!(Site::SlowWorker) {
         std::thread::sleep(Duration::from_millis(fault.arg));
     }
@@ -335,7 +368,7 @@ fn run_schedule(
         }
     };
     inner.stats.record_service(service_us(admitted_at));
-    write_line(writer, &response);
+    response
 }
 
 fn service_us(admitted_at: Instant) -> u64 {
@@ -348,14 +381,530 @@ fn render_stats(inner: &Inner, id: Option<&str>) -> String {
         let (h, m) = cache.counters();
         (h, m, cache.len())
     };
+    let pool = inner.pool.metrics();
     format!(
         "{{{}\"status\":\"ok\",\"stats\":{{{},\"cache_hits\":{cache_hits},\
          \"cache_misses\":{cache_misses},\"cache_entries\":{cache_entries},\
-         \"workers\":{},\"queue_capacity\":{},\"draining\":{}}}}}",
+         \"workers\":{},\"queue_capacity\":{},\"steals\":{},\"parks\":{},\
+         \"pool_queued\":{},\"io_threads\":{},\"open_connections\":{},\
+         \"draining\":{}}}}}",
         crate::protocol::id_fragment(id),
         inner.stats.render_fields(),
         inner.cfg.workers.max(1),
         inner.cfg.queue_capacity.max(1),
+        pool.steals,
+        pool.parks,
+        pool.queued,
+        inner.cfg.io_threads.max(1),
+        inner.stats.conns_open.load(Ordering::Relaxed),
         inner.draining()
     )
+}
+
+#[cfg(target_os = "linux")]
+mod event {
+    //! The Linux backend: one edge-triggered epoll loop per IO thread.
+    //!
+    //! Per-loop state is plain single-threaded Rust — a slab of
+    //! connections indexed by epoll token, each with its own read/write
+    //! buffer. The only cross-thread traffic is the [`IoHandle`]:
+    //! workers post completions, thread 0 posts accepted sockets, and
+    //! both wake the pipe so a blocked `epoll_wait` notices.
+
+    use super::{handle_line, run_schedule, Action, Completion, Inner};
+    use crate::eventloop::{
+        EpollEvent, Poller, EPOLLERR, EPOLLET, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+    };
+    use crate::protocol::overloaded_response;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    /// Wake-pipe readability.
+    const WAKE_TOKEN: u64 = u64::MAX;
+    /// Listener readability (thread 0 only).
+    const LISTEN_TOKEN: u64 = u64::MAX - 1;
+    /// Poll granularity: an idle loop re-checks the drain flag this
+    /// often, so SIGTERM is noticed promptly even with no IO.
+    const POLL_MS: i32 = 25;
+    /// How long the final drain phase keeps flushing response bytes to
+    /// slow readers before closing on them.
+    const DRAIN_FLUSH_GRACE: Duration = Duration::from_secs(2);
+    /// Compact a partially written buffer past this many flushed bytes.
+    const WRITE_COMPACT: usize = 64 * 1024;
+
+    struct Conn {
+        stream: TcpStream,
+        /// Unparsed request bytes; complete lines are framed and
+        /// dispatched *in place* (no per-line copy), and only the
+        /// partial tail survives between readiness events.
+        read_buf: Vec<u8>,
+        /// Response bytes not yet accepted by the kernel.
+        write_buf: Vec<u8>,
+        /// Prefix of `write_buf` already written to the socket.
+        written: usize,
+        /// Admitted requests whose completions have not come back yet.
+        inflight: usize,
+        /// Read side saw EOF; close once `inflight` and the write
+        /// buffer drain (the client may still be reading responses).
+        peer_closed: bool,
+        /// This connection already got its mid-line drain notice.
+        drain_notified: bool,
+    }
+
+    impl Conn {
+        fn new(stream: TcpStream) -> Conn {
+            Conn {
+                stream,
+                read_buf: Vec::new(),
+                write_buf: Vec::new(),
+                written: 0,
+                inflight: 0,
+                peer_closed: false,
+                drain_notified: false,
+            }
+        }
+
+        fn flushed(&self) -> bool {
+            self.written == self.write_buf.len()
+        }
+    }
+
+    struct IoLoop {
+        inner: Arc<Inner>,
+        index: usize,
+        poller: Poller,
+        /// Connection slab: the epoll token is the slot index.
+        conns: Vec<Option<Conn>>,
+        /// Bumped on every close; stale completions for a recycled slot
+        /// fail the generation check and are dropped.
+        generations: Vec<u64>,
+        free: Vec<usize>,
+        listener: Option<TcpListener>,
+        /// Round-robin cursor for handing accepted sockets out.
+        next_assign: usize,
+    }
+
+    pub(super) fn io_loop(inner: &Arc<Inner>, index: usize, listener: Option<TcpListener>) {
+        let poller = Poller::new().expect("epoll_create1");
+        let handle = &inner.io[index];
+        poller
+            .add(handle.wake.read_fd(), EPOLLIN | EPOLLET, WAKE_TOKEN)
+            .expect("register wake pipe");
+        if let Some(l) = &listener {
+            poller
+                .add(l.as_raw_fd(), EPOLLIN | EPOLLET, LISTEN_TOKEN)
+                .expect("register listener");
+        }
+        let mut io = IoLoop {
+            inner: Arc::clone(inner),
+            index,
+            poller,
+            conns: Vec::new(),
+            generations: Vec::new(),
+            free: Vec::new(),
+            listener,
+            next_assign: 0,
+        };
+        let mut events = vec![EpollEvent { events: 0, data: 0 }; 64];
+        let mut flush_deadline = None;
+        loop {
+            let n = io.poller.wait(&mut events, POLL_MS).unwrap_or(0);
+            for ev in &events[..n] {
+                let token = ev.data;
+                let flags = ev.events;
+                match token {
+                    WAKE_TOKEN => io.inner.io[io.index].wake.drain(),
+                    LISTEN_TOKEN => io.accept_burst(),
+                    t => {
+                        #[allow(clippy::cast_possible_truncation)]
+                        io.on_conn_event(t as usize, flags);
+                    }
+                }
+            }
+            io.adopt_incoming();
+            io.apply_completions();
+            if io.inner.draining() && io.drain_step(&mut flush_deadline) {
+                break;
+            }
+        }
+    }
+
+    impl IoLoop {
+        /// ET discipline: accept until the listener runs dry.
+        fn accept_burst(&mut self) {
+            loop {
+                let Some(listener) = &self.listener else {
+                    return;
+                };
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        let target = self.next_assign % self.inner.io.len();
+                        self.next_assign = self.next_assign.wrapping_add(1);
+                        if target == self.index {
+                            self.register(stream);
+                        } else {
+                            let peer = &self.inner.io[target];
+                            peer.incoming.lock().unwrap().push(stream);
+                            peer.wake.wake();
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => return,
+                }
+            }
+        }
+
+        /// Takes ownership of sockets thread 0 handed over.
+        fn adopt_incoming(&mut self) {
+            let streams = std::mem::take(&mut *self.inner.io[self.index].incoming.lock().unwrap());
+            for stream in streams {
+                self.register(stream);
+            }
+        }
+
+        fn register(&mut self, stream: TcpStream) {
+            let token = self.free.pop().unwrap_or_else(|| {
+                self.conns.push(None);
+                self.generations.push(0);
+                self.conns.len() - 1
+            });
+            let fd = stream.as_raw_fd();
+            self.conns[token] = Some(Conn::new(stream));
+            let interest = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+            if self.poller.add(fd, interest, token as u64).is_err() {
+                self.conns[token] = None;
+                self.free.push(token);
+                return;
+            }
+            self.inner.stats.conns_open.fetch_add(1, Ordering::Relaxed);
+        }
+
+        fn close(&mut self, token: usize) {
+            if let Some(conn) = self.conns[token].take() {
+                let _ = self.poller.delete(conn.stream.as_raw_fd());
+                self.generations[token] += 1;
+                self.free.push(token);
+                self.inner.stats.conns_open.fetch_sub(1, Ordering::Relaxed);
+                // In-flight jobs for this connection will post stale
+                // completions; the generation check drops them (the
+                // queue slot is still released when they land).
+            }
+        }
+
+        fn on_conn_event(&mut self, token: usize, flags: u32) {
+            if self.conns.get(token).is_none_or(Option::is_none) {
+                return; // stale event for an already-closed slot
+            }
+            if flags & EPOLLERR != 0 {
+                self.close(token);
+                return;
+            }
+            if flags & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0 && !self.read_and_dispatch(token) {
+                self.close(token);
+                return;
+            }
+            if flags & EPOLLOUT != 0 && self.conns[token].is_some() && !self.flush(token) {
+                self.close(token);
+                return;
+            }
+            self.maybe_close(token);
+        }
+
+        /// ET read discipline: drain the socket, then frame and
+        /// dispatch every complete line in place. Returns `false` when
+        /// the connection is broken.
+        fn read_and_dispatch(&mut self, token: usize) -> bool {
+            let mut scratch = [0u8; 8192];
+            {
+                let Some(conn) = self.conns[token].as_mut() else {
+                    return true;
+                };
+                loop {
+                    match conn.stream.read(&mut scratch) {
+                        Ok(0) => {
+                            conn.peer_closed = true;
+                            break;
+                        }
+                        Ok(n) => conn.read_buf.extend_from_slice(&scratch[..n]),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => return false,
+                    }
+                }
+            }
+            // Take the buffer (a move, not a copy) so each framed line
+            // can be borrowed while the handlers mutate the connection.
+            let buf = {
+                let Some(conn) = self.conns[token].as_mut() else {
+                    return true;
+                };
+                std::mem::take(&mut conn.read_buf)
+            };
+            let mut consumed = 0;
+            while let Some(at) = buf[consumed..].iter().position(|&b| b == b'\n') {
+                let mut line = &buf[consumed..consumed + at];
+                if line.last() == Some(&b'\r') {
+                    line = &line[..line.len() - 1];
+                }
+                self.dispatch_line(token, line);
+                consumed += at + 1;
+            }
+            if let Some(conn) = self.conns[token].as_mut() {
+                // Only the partial tail is retained (and shifted) —
+                // complete lines were consumed without leaving the
+                // buffer.
+                conn.read_buf = buf;
+                conn.read_buf.drain(..consumed);
+                true
+            } else {
+                // A handler closed the connection (write failure).
+                false
+            }
+        }
+
+        fn dispatch_line(&mut self, token: usize, raw: &[u8]) {
+            let Ok(line) = std::str::from_utf8(raw) else {
+                self.inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+                self.inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let reason = crate::protocol::error_response(None, "parse", "invalid UTF-8");
+                self.respond(token, &reason);
+                return;
+            };
+            match handle_line(&self.inner, line) {
+                None => {}
+                Some(Action::Respond(response)) => self.respond(token, &response),
+                Some(Action::Execute {
+                    id,
+                    req,
+                    admitted_at,
+                }) => {
+                    if let Some(conn) = self.conns[token].as_mut() {
+                        conn.inflight += 1;
+                    }
+                    let job_inner = Arc::clone(&self.inner);
+                    let io_index = self.index;
+                    let generation = self.generations[token];
+                    self.inner.pool.spawn(move || {
+                        let line = run_schedule(&job_inner, id.as_deref(), &req, admitted_at);
+                        let handle = &job_inner.io[io_index];
+                        handle.completions.lock().unwrap().push(Completion {
+                            token,
+                            generation,
+                            line,
+                        });
+                        handle.wake.wake();
+                    });
+                }
+            }
+        }
+
+        /// Queues a response line and opportunistically flushes.
+        fn respond(&mut self, token: usize, line: &str) {
+            let Some(conn) = self.conns[token].as_mut() else {
+                return;
+            };
+            conn.write_buf.extend_from_slice(line.as_bytes());
+            conn.write_buf.push(b'\n');
+            if !self.flush(token) {
+                self.close(token);
+            }
+        }
+
+        /// ET write discipline: write until the kernel pushes back.
+        /// Returns `false` when the connection is broken.
+        fn flush(&mut self, token: usize) -> bool {
+            let Some(conn) = self.conns[token].as_mut() else {
+                return true;
+            };
+            while conn.written < conn.write_buf.len() {
+                match conn.stream.write(&conn.write_buf[conn.written..]) {
+                    Ok(0) => return false,
+                    Ok(n) => conn.written += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => return false,
+                }
+            }
+            if conn.flushed() {
+                conn.write_buf.clear();
+                conn.written = 0;
+            } else if conn.written > WRITE_COMPACT {
+                conn.write_buf.drain(..conn.written);
+                conn.written = 0;
+            }
+            true
+        }
+
+        /// Delivers worker responses posted to this thread's completion
+        /// queue. The queue-depth slot is released here — after the
+        /// response bytes are in the connection's write buffer — so the
+        /// drain's `depth == 0` means every response has at least
+        /// reached its buffer.
+        fn apply_completions(&mut self) {
+            let pending =
+                std::mem::take(&mut *self.inner.io[self.index].completions.lock().unwrap());
+            for completion in pending {
+                let token = completion.token;
+                let live = self.generations.get(token) == Some(&completion.generation)
+                    && self.conns[token].is_some();
+                if live {
+                    if let Some(conn) = self.conns[token].as_mut() {
+                        conn.inflight -= 1;
+                    }
+                    self.respond(token, &completion.line);
+                    self.maybe_close(token);
+                }
+                self.inner.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+
+        /// Closes a half-closed connection once nothing more can arrive
+        /// for it: the peer sent EOF, every admitted request answered,
+        /// and the answers are flushed.
+        fn maybe_close(&mut self, token: usize) {
+            let done = self.conns[token]
+                .as_ref()
+                .is_some_and(|c| c.peer_closed && c.inflight == 0 && c.flushed());
+            if done {
+                self.close(token);
+            }
+        }
+
+        /// One drain tick; returns true when this IO thread is finished.
+        ///
+        /// Phases: stop accepting; wait for the global queue depth to
+        /// hit zero (every admitted response buffered); give mid-line
+        /// connections a typed `overloaded` notice instead of a silent
+        /// close; flush everything (bounded grace); close and exit.
+        fn drain_step(&mut self, flush_deadline: &mut Option<Instant>) -> bool {
+            if let Some(listener) = self.listener.take() {
+                let _ = self.poller.delete(listener.as_raw_fd());
+            }
+            if self.inner.stats.queue_depth.load(Ordering::Relaxed) > 0 {
+                return false;
+            }
+            if flush_deadline.is_none() {
+                *flush_deadline = Some(Instant::now() + DRAIN_FLUSH_GRACE);
+                let capacity = self.inner.cfg.queue_capacity.max(1);
+                for token in 0..self.conns.len() {
+                    let mid_line = self.conns[token]
+                        .as_mut()
+                        .is_some_and(|c| !c.read_buf.is_empty() && !c.drain_notified);
+                    if mid_line {
+                        if let Some(conn) = self.conns[token].as_mut() {
+                            conn.drain_notified = true;
+                        }
+                        self.inner.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                        self.respond(token, &overloaded_response(None, 0, capacity));
+                    }
+                }
+            }
+            let mut all_flushed = true;
+            for token in 0..self.conns.len() {
+                if self.conns[token].is_some() {
+                    if !self.flush(token) {
+                        self.close(token);
+                    } else if self.conns[token].as_ref().is_some_and(|c| !c.flushed()) {
+                        all_flushed = false;
+                    }
+                }
+            }
+            if all_flushed || flush_deadline.is_some_and(|d| Instant::now() >= d) {
+                for token in 0..self.conns.len() {
+                    self.close(token);
+                }
+                return true;
+            }
+            false
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod fallback {
+    //! Portable backend: one thread per connection, blocking IO. Same
+    //! protocol, admission, and drain semantics as the epoll backend.
+
+    use super::{handle_line, run_schedule, Action, Inner};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::atomic::Ordering;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    type SharedWriter = Arc<Mutex<TcpStream>>;
+
+    fn write_line(writer: &SharedWriter, line: &str) {
+        let mut w = writer.lock().unwrap();
+        // A vanished client is not a server error; the work is done
+        // either way.
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.write_all(b"\n");
+        let _ = w.flush();
+    }
+
+    pub(super) fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+        loop {
+            if inner.draining() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let conn_inner = Arc::clone(inner);
+                    let _ = std::thread::Builder::new()
+                        .name("bsched-serve-conn".to_owned())
+                        .spawn(move || serve_connection(stream, &conn_inner));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => break,
+            }
+        }
+        // Drain: every admitted request releases its queue slot only
+        // after its response hits the socket, so depth == 0 means all
+        // work is flushed.
+        while inner.stats.queue_depth.load(Ordering::Relaxed) > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    fn serve_connection(stream: TcpStream, inner: &Arc<Inner>) {
+        let writer: SharedWriter = match stream.try_clone() {
+            Ok(clone) => Arc::new(Mutex::new(clone)),
+            Err(_) => return,
+        };
+        inner.stats.conns_open.fetch_add(1, Ordering::Relaxed);
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            match handle_line(inner, &line) {
+                None => {}
+                Some(Action::Respond(response)) => write_line(&writer, &response),
+                Some(Action::Execute {
+                    id,
+                    req,
+                    admitted_at,
+                }) => {
+                    let job_inner = Arc::clone(inner);
+                    let job_writer = Arc::clone(&writer);
+                    inner.pool.spawn(move || {
+                        let response = run_schedule(&job_inner, id.as_deref(), &req, admitted_at);
+                        write_line(&job_writer, &response);
+                        job_inner.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    });
+                }
+            }
+        }
+        inner.stats.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
 }

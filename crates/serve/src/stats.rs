@@ -25,6 +25,8 @@ pub struct ServerStats {
     pub timeouts: AtomicU64,
     /// Requests queued or executing right now.
     pub queue_depth: AtomicUsize,
+    /// Connections currently registered with the IO loops.
+    pub conns_open: AtomicUsize,
     samples: Mutex<Ring>,
 }
 

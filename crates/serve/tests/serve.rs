@@ -251,6 +251,11 @@ fn stats_and_ping_answer_inline() {
         "cache_entries",
         "workers",
         "queue_capacity",
+        "steals",
+        "parks",
+        "pool_queued",
+        "io_threads",
+        "open_connections",
         "draining",
     ] {
         assert!(obj.get(key).is_some(), "/stats missing {key}");
@@ -292,6 +297,37 @@ fn shutdown_op_drains_in_flight_work_before_join_returns() {
         started.elapsed() < Duration::from_secs(10),
         "drain must not hang"
     );
+}
+
+/// A connection that has sent half a request line when the drain begins
+/// must get a typed `overloaded` response before the socket closes —
+/// never a silent hangup. (The notice is an epoll-backend behaviour;
+/// the portable fallback just closes.)
+#[cfg(target_os = "linux")]
+#[test]
+fn connection_caught_mid_line_at_drain_gets_a_typed_overloaded() {
+    let server = small_server();
+    let mut client = Client::connect(&server);
+    // Half a schedule request: bytes on the wire, no terminating newline.
+    client
+        .writer
+        .write_all(br#"{"op":"schedule","id":"half"#)
+        .expect("send partial");
+    client.writer.flush().expect("flush partial");
+    // Let the IO thread read the fragment into the connection buffer.
+    std::thread::sleep(Duration::from_millis(100));
+    server.begin_shutdown();
+    let v = client.recv();
+    assert_eq!(status(&v), "overloaded", "{v:?}");
+    assert_eq!(v.get("retry").and_then(Json::as_bool), Some(true));
+    // After the notice the server closes the connection cleanly.
+    let mut line = String::new();
+    assert_eq!(
+        client.reader.read_line(&mut line).expect("read eof"),
+        0,
+        "expected EOF after the drain notice, got {line:?}"
+    );
+    server.join();
 }
 
 #[test]

@@ -64,15 +64,21 @@ echo "current:  ${current_ms}ms (best of $REPS, BSCHED_RUNS=$RUNS)" >&2
 
 # --- Serving pass -------------------------------------------------------
 # Throughput/latency/cache numbers for the bsched-serve daemon, written
-# to BENCH_serve.json by the load generator itself. This runs against
-# the *current* tree only (the baseline commit below predates the serve
-# subsystem), with an in-process server so nothing needs backgrounding.
-echo "serve pass (loadgen, 2 passes over the 8 stand-ins)..." >&2
+# to BENCH_serve.json by the load generator itself (atomic temp+rename,
+# so an interrupted run keeps the previous good report — same discipline
+# as the journal above). This runs against the *current* tree only (the
+# baseline commit below predates the serve subsystem), with an
+# in-process server so nothing needs backgrounding. After the two cache
+# passes and the pipelined burst, --sweep replays the warmed mix at
+# rising client counts and records the throughput/latency curve into the
+# report's "sweep" array.
+echo "serve pass (loadgen, 2 passes + concurrency sweep)..." >&2
 cargo build --release -q -p bsched-serve
 ./target/release/bsched-loadgen \
-    --spawn --clients 8 --passes 2 --runs $RUNS \
-    --burst 16 --expect-hit-rate 90 --out BENCH_serve.json
-echo "wrote BENCH_serve.json" >&2
+    --spawn --io-threads 2 --clients 8 --passes 2 --runs $RUNS \
+    --burst 16 --sweep 1,2,4,8,16,32,64 \
+    --expect-hit-rate 90 --out BENCH_serve.json
+echo "wrote BENCH_serve.json (incl. sweep curve)" >&2
 
 # Shallow clones and fresh checkouts may not carry the baseline commit;
 # fail with a clear message instead of a cryptic worktree error.

@@ -42,8 +42,8 @@ const USAGE: &str = "usage:
   bsched analyze  <kernel.bsk> [--alias fortran|c] [--format text|json]
                   [--allow LINT] [--warn LINT] [--deny LINT|warnings]
   bsched analyze  --benchmarks [--format text|json] [--alias …] [--deny …]
-  bsched serve    --listen HOST:PORT [--workers N] [--queue-cap N]
-                  [--cache-cap N] [--deadline-ms N]
+  bsched serve    --listen HOST:PORT [--workers N] [--io-threads N]
+                  [--queue-cap N] [--cache-cap N] [--deadline-ms N]
 
   S    = balanced | balanced-approx | average | traditional=<latency>
   SYS  = L80(2,5) | N(3,5) | L80-N(30,5) | fixed(4) | …
@@ -337,6 +337,7 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
             .ok_or("missing --listen HOST:PORT")?
             .to_owned(),
         workers: parse_size("workers", defaults.workers)?,
+        io_threads: parse_size("io-threads", defaults.io_threads)?,
         queue_capacity: parse_size("queue-cap", defaults.queue_capacity)?,
         cache_capacity: parse_size("cache-cap", defaults.cache_capacity)?,
         default_deadline_ms: match args.flag("deadline-ms") {
