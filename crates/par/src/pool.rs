@@ -131,6 +131,24 @@ impl Shared {
         let _guard = self.parking.lock.lock().unwrap();
         self.parking.available.notify_all();
     }
+
+    /// Runs every job still sitting in the injector inline on the
+    /// calling thread. Only meaningful once `shutdown` is set: jobs
+    /// stranded by a submit racing the shutdown must still run —
+    /// `scope` hangs on its latch forever otherwise. The lock is never
+    /// held across a job, so a stranded job that itself submits cannot
+    /// deadlock.
+    fn run_stranded_inline(&self) {
+        loop {
+            let job = self.injector.lock().unwrap().pop_front();
+            match job {
+                Some(job) => {
+                    let _ = catch_unwind(AssertUnwindSafe(job));
+                }
+                None => return,
+            }
+        }
+    }
 }
 
 /// A fixed-size set of long-lived worker threads with per-worker
@@ -266,6 +284,12 @@ impl WorkerPool {
         for h in handles {
             let _ = h.join();
         }
+        // A submit racing this shutdown can read `shutdown == false`,
+        // get preempted, and enqueue after the workers drained and
+        // exited. Sweep the injector now that the join is done;
+        // `submit`'s own post-enqueue re-check covers a push that lands
+        // after this sweep.
+        self.shared.run_stranded_inline();
     }
 
     fn submit(&self, job: Job) {
@@ -286,6 +310,18 @@ impl WorkerPool {
             self.shared.injector.lock().unwrap().push_back(job);
         }
         self.shared.notify_one();
+        // Close the race with `shutdown()`: if the flag flipped between
+        // the check above and the enqueue, the workers (and shutdown's
+        // own injector sweep) may already be gone, leaving the job
+        // stranded — and a `scope` latch waiting on it forever. SeqCst
+        // orders this load against the store in `shutdown`, so either
+        // we see the flag here and drain, or our push is visible to
+        // shutdown's sweep. Deque pushes (the worker fast path) are
+        // safe without this: the pushing worker is still alive inside a
+        // job, and drains its own deque before exiting.
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            self.shared.run_stranded_inline();
+        }
     }
 }
 
@@ -584,6 +620,38 @@ mod tests {
             r.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    /// Regression: a spawn racing `shutdown()` could read
+    /// `shutdown == false`, lose the CPU while the workers drained and
+    /// exited, then enqueue a job nobody would ever run — for `scope`,
+    /// a latch that never counts down. Every submitted job must run
+    /// regardless of how the two interleave.
+    #[test]
+    fn spawns_racing_shutdown_are_never_stranded() {
+        for _ in 0..100 {
+            let pool = Arc::new(WorkerPool::new(2));
+            let ran = Arc::new(AtomicUsize::new(0));
+            let submitter = {
+                let pool = Arc::clone(&pool);
+                let ran = Arc::clone(&ran);
+                std::thread::spawn(move || {
+                    for _ in 0..16 {
+                        let ran = Arc::clone(&ran);
+                        pool.spawn(move || {
+                            ran.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                })
+            };
+            pool.shutdown();
+            submitter.join().unwrap();
+            // Post-join, every job has either run on a worker, been
+            // swept inline by shutdown, or run inline by the submitter
+            // itself — spawn-after-shutdown and the post-enqueue
+            // re-check both execute synchronously, so no waiting.
+            assert_eq!(ran.load(Ordering::SeqCst), 16, "job stranded");
+        }
     }
 
     /// Regression for the shared-receiver design this pool replaced:

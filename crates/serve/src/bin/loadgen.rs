@@ -184,14 +184,18 @@ fn classify(outcome: &mut PassOutcome, expected_id: &str, line: &str) {
     // envelope, so substring probes classify a response in ~1µs where a
     // full parse of a 5KB payload costs ~350µs — on a small box the
     // parse dominates the whole benchmark and measures the client, not
-    // the server. Anything that doesn't match the envelope exactly
-    // falls back to a strict full parse.
+    // the server. Probe only the envelope — the prefix before the
+    // `"schedule"` payload — so payload bytes that happen to contain
+    // e.g. `"cached":true` can never masquerade as envelope fields.
+    // Anything that doesn't match the envelope exactly falls back to a
+    // strict full parse.
+    let envelope = line.find(",\"schedule\":").map_or(line, |at| &line[..at]);
     let id_probe = format!("\"id\":{}", json::string(expected_id));
-    if line.starts_with('{') && line.contains(&id_probe) {
-        match extract_status(line) {
+    if envelope.starts_with('{') && envelope.contains(&id_probe) {
+        match extract_status(envelope) {
             Some("ok") => {
                 outcome.ok += 1;
-                if line.contains("\"cached\":true") {
+                if envelope.contains("\"cached\":true") {
                     outcome.cached += 1;
                 }
                 return;

@@ -486,6 +486,11 @@ mod event {
         listener: Option<TcpListener>,
         /// Round-robin cursor for handing accepted sockets out.
         next_assign: usize,
+        /// Accept hit a transient error (fd exhaustion): the listener
+        /// is edge-triggered, so already-backlogged connections will
+        /// never produce another readiness edge — re-attempt the
+        /// accept on the next poll tick instead of waiting for one.
+        accept_retry: bool,
     }
 
     pub(super) fn io_loop(inner: &Arc<Inner>, index: usize, listener: Option<TcpListener>) {
@@ -508,6 +513,7 @@ mod event {
             free: Vec::new(),
             listener,
             next_assign: 0,
+            accept_retry: false,
         };
         let mut events = vec![EpollEvent { events: 0, data: 0 }; 64];
         let mut flush_deadline = None;
@@ -524,6 +530,10 @@ mod event {
                         io.on_conn_event(t as usize, flags);
                     }
                 }
+            }
+            if io.accept_retry {
+                io.accept_retry = false;
+                io.accept_burst();
             }
             io.adopt_incoming();
             io.apply_completions();
@@ -558,7 +568,17 @@ mod event {
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                    Err(_) => return,
+                    // The aborted connection consumed its readiness;
+                    // keep accepting the rest of the backlog.
+                    Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => {}
+                    Err(_) => {
+                        // EMFILE/ENFILE and friends: give up for now
+                        // but retry on the next poll tick — closing
+                        // connections frees fds without generating a
+                        // listener edge.
+                        self.accept_retry = true;
+                        return;
+                    }
                 }
             }
         }
@@ -651,6 +671,17 @@ mod event {
             };
             let mut consumed = 0;
             while let Some(at) = buf[consumed..].iter().position(|&b| b == b'\n') {
+                if self.conns[token].is_none() {
+                    // A handler closed the connection (write failure)
+                    // partway through this batch. Stop framing: the
+                    // remaining pipelined lines have nowhere to
+                    // respond, and dispatching them would capture the
+                    // post-close generation — if the freed slot were
+                    // recycled before the completion landed, the stale
+                    // response would pass the generation check and be
+                    // written to an unrelated client.
+                    break;
+                }
                 let mut line = &buf[consumed..consumed + at];
                 if line.last() == Some(&b'\r') {
                     line = &line[..line.len() - 1];
@@ -672,6 +703,12 @@ mod event {
         }
 
         fn dispatch_line(&mut self, token: usize, raw: &[u8]) {
+            if self.conns[token].is_none() {
+                // Already closed: spawning now would tag the job with
+                // the post-close generation, defeating the slot-reuse
+                // guard in `apply_completions` (see the framing loop).
+                return;
+            }
             let Ok(line) = std::str::from_utf8(raw) else {
                 self.inner.stats.requests.fetch_add(1, Ordering::Relaxed);
                 self.inner.stats.errors.fetch_add(1, Ordering::Relaxed);
