@@ -133,7 +133,12 @@ pub fn default_arg(site: Site) -> u64 {
         Site::SimStall => 1 << 40,
         // Sleep milliseconds for a slow cell / slow server worker.
         Site::SlowCell | Site::SlowWorker => 50,
-        Site::Parse | Site::Alloc | Site::EvalPanic | Site::ServeReject => 0,
+        Site::Parse
+        | Site::Alloc
+        | Site::EvalPanic
+        | Site::ServeReject
+        | Site::PersistCorrupt
+        | Site::ShardDown => 0,
     }
 }
 

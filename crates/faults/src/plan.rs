@@ -33,11 +33,18 @@ pub enum Site {
     /// A server worker sleeps before evaluating, inflating service time
     /// and tripping per-request deadlines (`bsched-serve`).
     SlowWorker,
+    /// A cache-log append writes a record with a corrupted checksum, as
+    /// if the process had been killed mid-write (`bsched-serve`
+    /// persistence). Recovery must truncate-and-warn, never crash.
+    PersistCorrupt,
+    /// The router treats a shard as unreachable without touching the
+    /// socket, forcing the retry/failover path (`bsched-serve` router).
+    ShardDown,
 }
 
 impl Site {
     /// Every site, in a fixed order.
-    pub const ALL: [Site; 8] = [
+    pub const ALL: [Site; 10] = [
         Site::Parse,
         Site::Alloc,
         Site::LatencyJitter,
@@ -46,6 +53,8 @@ impl Site {
         Site::SlowCell,
         Site::ServeReject,
         Site::SlowWorker,
+        Site::PersistCorrupt,
+        Site::ShardDown,
     ];
 
     /// The stable kebab-case site name.
@@ -60,6 +69,8 @@ impl Site {
             Site::SlowCell => "slow-cell",
             Site::ServeReject => "serve-reject",
             Site::SlowWorker => "slow-worker",
+            Site::PersistCorrupt => "persist-corrupt",
+            Site::ShardDown => "shard-down",
         }
     }
 

@@ -13,10 +13,11 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::time::Instant;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 use bsched_analyze::json::{self, Json};
-use bsched_serve::{Server, ServerConfig};
+use bsched_serve::{Router, RouterConfig, Server, ServerConfig};
 
 const USAGE: &str = "\
 bsched-loadgen: load-test a bsched serve daemon
@@ -43,6 +44,17 @@ OPTIONS:
     --workers N            (with --spawn) worker threads   [default: 4]
     --io-threads N         (with --spawn) event-loop IO threads [default: 2]
     --queue-cap N          (with --spawn) admission bound  [default: 64]
+    --fleet N              spawn N shard daemons (child processes) behind an
+                           in-process router and drive the router instead
+    --serve-bin PATH       (with --fleet) the bsched binary to spawn shards
+                           with                  [default: target/release/bsched]
+    --cache-log-dir DIR    (with --fleet) per-shard cache-log directory
+                           [default: a fresh directory under the temp dir]
+    --kill-shard           (with --fleet) chaos scenario: SIGKILL one shard
+                           mid-mix (assert zero failed requests), restart it,
+                           and verify it warm-starts from its cache log to a
+                           >=90% replay hit rate; adds a \"fleet\" report
+                           section and fails the run if either gate misses
 ";
 
 struct Args {
@@ -61,6 +73,10 @@ struct Args {
     workers: usize,
     io_threads: usize,
     queue_cap: usize,
+    fleet: usize,
+    serve_bin: String,
+    cache_log_dir: Option<String>,
+    kill_shard: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -80,6 +96,10 @@ fn parse_args() -> Result<Args, String> {
         workers: 4,
         io_threads: 2,
         queue_cap: 64,
+        fleet: 0,
+        serve_bin: "target/release/bsched".to_owned(),
+        cache_log_dir: None,
+        kill_shard: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -119,6 +139,10 @@ fn parse_args() -> Result<Args, String> {
             "--workers" => args.workers = parse_num(&value("--workers")?, "--workers")?,
             "--io-threads" => args.io_threads = parse_num(&value("--io-threads")?, "--io-threads")?,
             "--queue-cap" => args.queue_cap = parse_num(&value("--queue-cap")?, "--queue-cap")?,
+            "--fleet" => args.fleet = parse_num(&value("--fleet")?, "--fleet")?,
+            "--serve-bin" => args.serve_bin = value("--serve-bin")?,
+            "--cache-log-dir" => args.cache_log_dir = Some(value("--cache-log-dir")?),
+            "--kill-shard" => args.kill_shard = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -126,8 +150,13 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    if args.spawn == args.addr.is_some() {
-        return Err("give exactly one of --addr or --spawn".to_owned());
+    let sources =
+        usize::from(args.spawn) + usize::from(args.addr.is_some()) + usize::from(args.fleet > 0);
+    if sources != 1 {
+        return Err("give exactly one of --addr, --spawn, or --fleet".to_owned());
+    }
+    if args.kill_shard && args.fleet < 2 {
+        return Err("--kill-shard needs --fleet N with N >= 2 (someone must fail over)".to_owned());
     }
     if args.clients == 0 || args.passes == 0 {
         return Err("--clients and --passes must be at least 1".to_owned());
@@ -171,6 +200,9 @@ fn request_mix(args: &Args, pass: usize) -> Vec<Prepared> {
 struct PassOutcome {
     ok: u64,
     cached: u64,
+    /// Responses carrying the router's `degraded:true` annotation —
+    /// answered, but by a failover shard or after retries.
+    degraded: u64,
     errors: u64,
     overloaded: u64,
     timeouts: u64,
@@ -179,7 +211,39 @@ struct PassOutcome {
     latencies_us: Vec<u64>,
 }
 
+/// Connects with bounded retries and backoff: a daemon still binding
+/// its socket (or a shard mid-restart) refuses connections for a few
+/// milliseconds, which must not fail a whole run. When the daemon
+/// really is absent the caller gets one clean, typed error instead of
+/// a raw `ECONNREFUSED` bubbling up.
+fn connect_with_retry(addr: &str) -> std::io::Result<TcpStream> {
+    const ATTEMPTS: u32 = 8;
+    let mut delay = Duration::from_millis(25);
+    let mut last: Option<std::io::Error> = None;
+    for attempt in 0..ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = Some(e),
+        }
+        if attempt + 1 < ATTEMPTS {
+            std::thread::sleep(delay);
+            delay = (delay * 2).min(Duration::from_millis(400));
+        }
+    }
+    Err(std::io::Error::other(format!(
+        "no daemon accepting connections at {addr} after {ATTEMPTS} attempts \
+         (last error: {})",
+        last.map_or_else(|| "none".to_owned(), |e| e.to_string())
+    )))
+}
+
 fn classify(outcome: &mut PassOutcome, expected_id: &str, line: &str) {
+    // The router splices its annotation at the end of the line, past
+    // the payload, so it is counted from the full line (the substring
+    // cannot occur inside schedule text or eval numbers).
+    if line.contains("\"degraded\":true") {
+        outcome.degraded += 1;
+    }
     // Fast path: the id/status/cached fields live in the fixed response
     // envelope, so substring probes classify a response in ~1µs where a
     // full parse of a 5KB payload costs ~350µs — on a small box the
@@ -252,7 +316,7 @@ fn run_client(addr: &str, requests: &[Prepared]) -> std::io::Result<PassOutcome>
     if requests.is_empty() {
         return Ok(outcome);
     }
-    let stream = TcpStream::connect(addr)?;
+    let stream = connect_with_retry(addr)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut frame = Vec::new();
@@ -281,7 +345,7 @@ fn run_client(addr: &str, requests: &[Prepared]) -> std::io::Result<PassOutcome>
 }
 
 fn fetch_stats(addr: &str) -> Result<Json, String> {
-    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let stream = connect_with_retry(addr).map_err(|e| e.to_string())?;
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
     let mut writer = stream;
     writer
@@ -316,7 +380,7 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 /// reads every response — the over-capacity probe. Returns
 /// (ok, overloaded, other, dropped).
 fn run_burst(addr: &str, args: &Args, n: usize) -> std::io::Result<(u64, u64, u64, u64)> {
-    let stream = TcpStream::connect(addr)?;
+    let stream = connect_with_retry(addr)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mix = request_mix(args, 9999);
@@ -428,6 +492,7 @@ fn run_sweep(addr: &str, args: &Args, levels: &[usize]) -> Result<Vec<SweepPoint
         for o in outcomes {
             merged.ok += o.ok;
             merged.cached += o.cached;
+            merged.degraded += o.degraded;
             merged.errors += o.errors;
             merged.overloaded += o.overloaded;
             merged.timeouts += o.timeouts;
@@ -462,6 +527,317 @@ fn run_sweep(addr: &str, args: &Args, levels: &[usize]) -> Result<Vec<SweepPoint
     Ok(points)
 }
 
+/// A spawned fleet: N shard daemons (child processes, each with its own
+/// cache log) behind an in-process [`Router`] the load is driven
+/// through.
+struct Fleet {
+    children: Vec<Option<std::process::Child>>,
+    shard_addrs: Vec<String>,
+    ports: Vec<u16>,
+    log_paths: Vec<PathBuf>,
+    router: Option<Router>,
+    serve_bin: String,
+}
+
+fn free_port() -> std::io::Result<u16> {
+    // Bind-then-drop: the port stays free long enough for the child to
+    // claim it (a small race, acceptable for a local bench fleet).
+    Ok(std::net::TcpListener::bind("127.0.0.1:0")?
+        .local_addr()?
+        .port())
+}
+
+fn spawn_shard(
+    serve_bin: &str,
+    port: u16,
+    log: &std::path::Path,
+) -> Result<std::process::Child, String> {
+    std::process::Command::new(serve_bin)
+        .args([
+            "serve",
+            "--listen",
+            &format!("127.0.0.1:{port}"),
+            "--cache-log",
+            &log.display().to_string(),
+            "--workers",
+            "2",
+            "--io-threads",
+            "1",
+        ])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .map_err(|e| {
+            format!(
+                "spawn shard {serve_bin:?}: {e} \
+                 (build it with `cargo build --release` or pass --serve-bin)"
+            )
+        })
+}
+
+/// Polls until the daemon at `addr` answers a protocol-level ping.
+fn wait_for_daemon(addr: &str, deadline: Duration) -> Result<(), String> {
+    let started = Instant::now();
+    loop {
+        if let Ok(mut stream) = TcpStream::connect(addr) {
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+            if stream.write_all(b"{\"op\":\"ping\"}\n").is_ok() {
+                let mut line = String::new();
+                if BufReader::new(stream).read_line(&mut line).is_ok()
+                    && line.contains("\"pong\":true")
+                {
+                    return Ok(());
+                }
+            }
+        }
+        if started.elapsed() > deadline {
+            return Err(format!(
+                "daemon at {addr} did not come up within {deadline:?}"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+impl Fleet {
+    fn start(args: &Args) -> Result<Fleet, String> {
+        let dir = match &args.cache_log_dir {
+            Some(d) => PathBuf::from(d),
+            None => std::env::temp_dir().join(format!("bsched-fleet-{}", std::process::id())),
+        };
+        std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let mut fleet = Fleet {
+            children: Vec::new(),
+            shard_addrs: Vec::new(),
+            ports: Vec::new(),
+            log_paths: Vec::new(),
+            router: None,
+            serve_bin: args.serve_bin.clone(),
+        };
+        for i in 0..args.fleet {
+            let port = free_port().map_err(|e| format!("pick shard port: {e}"))?;
+            let log = dir.join(format!("shard-{i}.log"));
+            let child = spawn_shard(&args.serve_bin, port, &log)?;
+            fleet.children.push(Some(child));
+            fleet.shard_addrs.push(format!("127.0.0.1:{port}"));
+            fleet.ports.push(port);
+            fleet.log_paths.push(log);
+        }
+        for addr in &fleet.shard_addrs {
+            wait_for_daemon(addr, Duration::from_secs(10))?;
+        }
+        let router = Router::start(RouterConfig {
+            listen: "127.0.0.1:0".to_owned(),
+            shards: fleet.shard_addrs.clone(),
+            ..RouterConfig::default()
+        })
+        .map_err(|e| format!("start router: {e}"))?;
+        eprintln!(
+            "fleet: {} shards behind router {} (logs in {})",
+            args.fleet,
+            router.local_addr(),
+            dir.display()
+        );
+        fleet.router = Some(router);
+        Ok(fleet)
+    }
+
+    fn router_addr(&self) -> String {
+        self.router
+            .as_ref()
+            .expect("router running")
+            .local_addr()
+            .to_string()
+    }
+
+    /// SIGKILLs one shard — no drain, no goodbye, exactly the failure
+    /// the persistence log and the router's failover exist for.
+    fn kill_shard(&mut self, index: usize) -> Result<(), String> {
+        let child = self.children[index]
+            .as_mut()
+            .ok_or_else(|| format!("shard {index} is not running"))?;
+        child
+            .kill()
+            .map_err(|e| format!("kill shard {index}: {e}"))?;
+        let _ = child.wait();
+        self.children[index] = None;
+        Ok(())
+    }
+
+    /// Restarts a killed shard on its original port with its original
+    /// cache log, so it warm-starts from whatever it flushed before
+    /// dying.
+    fn restart_shard(&mut self, index: usize) -> Result<(), String> {
+        if self.children[index].is_some() {
+            return Err(format!("shard {index} is already running"));
+        }
+        let child = spawn_shard(&self.serve_bin, self.ports[index], &self.log_paths[index])?;
+        self.children[index] = Some(child);
+        wait_for_daemon(&self.shard_addrs[index], Duration::from_secs(10))
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(router) = self.router.take() {
+            router.begin_shutdown();
+            router.join();
+        }
+        for child in self.children.iter_mut().filter_map(Option::as_mut) {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        self.children.clear();
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Polls the router's merged `/stats` until `want(shards_down)` holds.
+fn wait_for_shards_down(
+    router_addr: &str,
+    deadline: Duration,
+    want: impl Fn(u64) -> bool,
+) -> Result<u64, String> {
+    let started = Instant::now();
+    loop {
+        let down = stat_u64(&fetch_stats(router_addr)?, "shards_down");
+        if want(down) {
+            return Ok(down);
+        }
+        if started.elapsed() > deadline {
+            return Err(format!(
+                "router never reached the expected shard liveness (shards_down={down} \
+                 after {deadline:?})"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// The chaos scenario behind `--kill-shard` (DESIGN.md §12): SIGKILL a
+/// shard mid-mix, assert zero failed client requests, watch the merged
+/// stats notice the outage, restart the shard from its cache log, and
+/// verify the fleet replays the whole mix at a warm (≥90%) hit rate —
+/// which only happens if the restarted shard actually recovered its
+/// cache, since the router routes its keys straight back to it.
+fn run_fleet_chaos(
+    fleet: &mut Fleet,
+    args: &Args,
+    router_addr: &str,
+) -> Result<(String, bool), String> {
+    let victim = 0usize;
+    let mix = request_mix(args, 900);
+    let half = mix.len() / 2;
+
+    // Kill phase: half the mix against a healthy fleet, SIGKILL, the
+    // other half against the wounded one.
+    let mut kill_outcome = run_client(router_addr, &mix[..half])
+        .map_err(|e| format!("kill-phase (before kill): {e}"))?;
+    fleet.kill_shard(victim)?;
+    eprintln!(
+        "fleet: SIGKILLed shard {victim} ({})",
+        fleet.shard_addrs[victim]
+    );
+    let after = run_client(router_addr, &mix[half..])
+        .map_err(|e| format!("kill-phase (after kill): {e}"))?;
+    kill_outcome.ok += after.ok;
+    kill_outcome.cached += after.cached;
+    kill_outcome.degraded += after.degraded;
+    kill_outcome.errors += after.errors;
+    kill_outcome.overloaded += after.overloaded;
+    kill_outcome.timeouts += after.timeouts;
+    kill_outcome.dropped += after.dropped;
+    kill_outcome.malformed += after.malformed;
+    kill_outcome.latencies_us.extend(after.latencies_us);
+    let kill_total = u64::try_from(mix.len()).unwrap_or(u64::MAX);
+    let kill_ok = kill_outcome.ok == kill_total
+        && kill_outcome.dropped == 0
+        && kill_outcome.malformed == 0
+        && kill_outcome.errors == 0
+        && kill_outcome.timeouts == 0
+        && kill_outcome.overloaded == 0;
+    eprintln!(
+        "fleet: kill phase {}/{} ok ({} degraded), errors={} dropped={} malformed={}",
+        kill_outcome.ok,
+        kill_total,
+        kill_outcome.degraded,
+        kill_outcome.errors,
+        kill_outcome.dropped,
+        kill_outcome.malformed
+    );
+
+    // The merged stats must report the outage.
+    let down_observed =
+        wait_for_shards_down(router_addr, Duration::from_secs(5), |down| down >= 1).is_ok();
+    eprintln!("fleet: router reports shards_down>=1: {down_observed}");
+
+    // Restart from the same cache log; the prober rehabilitates it.
+    let restart_started = Instant::now();
+    fleet.restart_shard(victim)?;
+    let recovered =
+        wait_for_shards_down(router_addr, Duration::from_secs(10), |down| down == 0).is_ok();
+    let recovery_s = restart_started.elapsed().as_secs_f64();
+    let warm_entries = stat_u64(&fetch_stats(&fleet.shard_addrs[victim])?, "cache_entries");
+    eprintln!(
+        "fleet: shard {victim} restarted in {recovery_s:.2}s with {warm_entries} \
+         warm-started cache entries (recovered={recovered})"
+    );
+
+    // Warm replay: every key routes back to its (now live) owner; the
+    // fleet-wide hit rate only clears 90% if the restarted shard's
+    // slice came back warm.
+    let hits_before = stat_u64(&fetch_stats(router_addr)?, "cache_hits");
+    let replay = request_mix(args, 901);
+    let replay_outcome =
+        run_client(router_addr, &replay).map_err(|e| format!("warm replay: {e}"))?;
+    let hits_after = stat_u64(&fetch_stats(router_addr)?, "cache_hits");
+    #[allow(clippy::cast_precision_loss)]
+    let warm_hit_rate = if replay.is_empty() {
+        0.0
+    } else {
+        hits_after.saturating_sub(hits_before) as f64 / replay.len() as f64
+    };
+    let replay_total = u64::try_from(replay.len()).unwrap_or(u64::MAX);
+    let warm_ok = replay_outcome.ok == replay_total
+        && replay_outcome.dropped == 0
+        && replay_outcome.malformed == 0
+        && warm_hit_rate >= 0.90;
+    eprintln!(
+        "fleet: warm replay {}/{} ok, hit_rate={:.1}%",
+        replay_outcome.ok,
+        replay_total,
+        warm_hit_rate * 100.0
+    );
+
+    let final_merged = fetch_stats(router_addr)?;
+    let passed = kill_ok && down_observed && recovered && warm_ok;
+    let json = format!(
+        "{{\"shards\":{},\"killed_shard\":{victim},\
+         \"kill_phase\":{{\"requests\":{kill_total},\"ok\":{},\"degraded\":{},\
+         \"errors\":{},\"overloaded\":{},\"timeouts\":{},\"dropped\":{},\"malformed\":{}}},\
+         \"shard_down_observed\":{down_observed},\"recovered\":{recovered},\
+         \"recovery_s\":{recovery_s:.3},\"warm_start_entries\":{warm_entries},\
+         \"warm_replay\":{{\"requests\":{replay_total},\"ok\":{},\"degraded\":{},\
+         \"hit_rate\":{warm_hit_rate:.4}}},\
+         \"failovers\":{},\"retries\":{},\"passed\":{passed}}}",
+        fleet.shard_addrs.len(),
+        kill_outcome.ok,
+        kill_outcome.degraded,
+        kill_outcome.errors,
+        kill_outcome.overloaded,
+        kill_outcome.timeouts,
+        kill_outcome.dropped,
+        kill_outcome.malformed,
+        replay_outcome.ok,
+        replay_outcome.degraded,
+        stat_u64(&final_merged, "failovers"),
+        stat_u64(&final_merged, "retries"),
+    );
+    Ok((json, passed))
+}
+
 #[allow(clippy::too_many_lines)]
 fn run() -> Result<i32, String> {
     let args = parse_args()?;
@@ -479,10 +855,16 @@ fn run() -> Result<i32, String> {
     } else {
         None
     };
-    let addr = server.as_ref().map_or_else(
-        || args.addr.clone().unwrap(),
-        |s| s.local_addr().to_string(),
-    );
+    let mut fleet = if args.fleet > 0 {
+        Some(Fleet::start(&args)?)
+    } else {
+        None
+    };
+    let addr = match (&server, &fleet) {
+        (Some(s), _) => s.local_addr().to_string(),
+        (None, Some(f)) => f.router_addr(),
+        (None, None) => args.addr.clone().unwrap(),
+    };
 
     let mut pass_reports = Vec::new();
     let mut hit_rate_last_pass = 0.0f64;
@@ -531,6 +913,7 @@ fn run() -> Result<i32, String> {
         for o in outcomes {
             merged.ok += o.ok;
             merged.cached += o.cached;
+            merged.degraded += o.degraded;
             merged.errors += o.errors;
             merged.overloaded += o.overloaded;
             merged.timeouts += o.timeouts;
@@ -619,10 +1002,22 @@ fn run() -> Result<i32, String> {
         )
     };
 
+    let mut fleet_failed = false;
+    let fleet_report = if args.kill_shard {
+        let fleet_ref = fleet
+            .as_mut()
+            .expect("--kill-shard validated to imply --fleet");
+        let (json, passed) = run_fleet_chaos(fleet_ref, &args, &addr)?;
+        fleet_failed = !passed;
+        format!(",\"fleet\":{json}")
+    } else {
+        String::new()
+    };
+
     let final_stats = fetch_stats(&addr)?;
     let report = format!(
         "{{\"bench\":\"serve\",\"system\":{},\"schedulers\":[{}],\"clients\":{},\
-         \"passes\":[{}],\"final_stats\":{}{burst_report}{sweep_report}}}",
+         \"passes\":[{}],\"final_stats\":{}{burst_report}{sweep_report}{fleet_report}}}",
         json::string(&args.system),
         args.schedulers
             .iter()
@@ -648,7 +1043,14 @@ fn run() -> Result<i32, String> {
         server.begin_shutdown();
         server.join();
     }
+    if let Some(mut fleet) = fleet {
+        fleet.shutdown();
+    }
 
+    if fleet_failed {
+        eprintln!("bsched-loadgen: FAIL: fleet chaos gates missed (see the \"fleet\" report)");
+        return Ok(1);
+    }
     if total_dropped > 0 || total_malformed > 0 {
         eprintln!(
             "bsched-loadgen: FAIL: {total_dropped} dropped, {total_malformed} malformed responses"

@@ -1,0 +1,205 @@
+//! Shard health: liveness state, failure accounting, and the prober.
+//!
+//! Each backend shard has one [`ShardState`]: an `up` flag plus a
+//! consecutive-failure counter fed by *both* signal sources — the
+//! periodic health prober here and the router's own forwarding
+//! failures. A shard is marked down after `failure_threshold`
+//! consecutive failures (one flaky probe is not an outage) and marked
+//! up again by the *first* success (good news needs no quorum: a shard
+//! that answered is a shard that can serve).
+//!
+//! The prober is a single thread that pings every shard each interval
+//! with hard connect/read deadlines, so a hung shard costs a bounded
+//! slice of the probe cycle, never a wedged prober. Probes use the
+//! wire protocol's own `{"op":"ping"}` — a shard is healthy when it
+//! speaks the protocol, not merely when it accepts TCP.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Health/probe knobs shared by the router and its prober thread.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Consecutive failures (probe or forward) before a shard is
+    /// marked down.
+    pub failure_threshold: u32,
+    /// Probe period per shard.
+    pub interval: Duration,
+    /// TCP connect deadline for probes and forwards.
+    pub connect_timeout: Duration,
+    /// Read deadline for a probe's pong / a forward's response line.
+    pub read_timeout: Duration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> HealthConfig {
+        HealthConfig {
+            failure_threshold: 3,
+            interval: Duration::from_millis(100),
+            connect_timeout: Duration::from_millis(250),
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One backend shard's liveness state and lifetime counters.
+pub struct ShardState {
+    /// The shard's `host:port` address.
+    pub addr: String,
+    /// Starts `true`: a fleet boots optimistic and lets evidence mark
+    /// shards down, so a slow-starting prober never blanks the fleet.
+    up: AtomicBool,
+    consecutive_failures: AtomicU32,
+    /// Requests this shard answered for the router.
+    pub forwarded: AtomicU64,
+    /// Requests re-routed *away* because this shard was down/failing.
+    pub failed_over: AtomicU64,
+    /// Times this shard transitioned up → down.
+    pub down_transitions: AtomicU64,
+}
+
+impl ShardState {
+    /// A fresh, optimistically-up shard.
+    #[must_use]
+    pub fn new(addr: String) -> ShardState {
+        ShardState {
+            addr,
+            up: AtomicBool::new(true),
+            consecutive_failures: AtomicU32::new(0),
+            forwarded: AtomicU64::new(0),
+            failed_over: AtomicU64::new(0),
+            down_transitions: AtomicU64::new(0),
+        }
+    }
+
+    /// Current liveness belief.
+    #[must_use]
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::Relaxed)
+    }
+
+    /// Records a successful probe or forward: one success rehabilitates.
+    pub fn record_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        if !self.up.swap(true, Ordering::Relaxed) {
+            eprintln!("bsched-serve: shard {} is back up", self.addr);
+        }
+    }
+
+    /// Records a failed probe or forward; marks the shard down at the
+    /// threshold. Returns the new consecutive-failure count.
+    pub fn record_failure(&self, threshold: u32) -> u32 {
+        let n = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= threshold.max(1) && self.up.swap(false, Ordering::Relaxed) {
+            self.down_transitions.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "bsched-serve: shard {} marked down after {n} consecutive failures",
+                self.addr
+            );
+        }
+        n
+    }
+}
+
+/// One protocol-level liveness probe: connect, `{"op":"ping"}`, expect
+/// a pong line — all under `cfg`'s deadlines.
+#[must_use]
+pub fn ping_shard(addr: &str, cfg: &HealthConfig) -> bool {
+    let Ok(mut stream) = connect_with_deadline(addr, cfg.connect_timeout) else {
+        return false;
+    };
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.read_timeout));
+    if stream.write_all(b"{\"op\":\"ping\"}\n").is_err() {
+        return false;
+    }
+    let mut line = String::new();
+    let mut reader = BufReader::new(stream);
+    matches!(reader.read_line(&mut line), Ok(n) if n > 0) && line.contains("\"pong\":true")
+}
+
+/// `TcpStream::connect_timeout` over a resolvable `host:port` string.
+///
+/// # Errors
+///
+/// Address resolution or connect failure (including the deadline).
+pub fn connect_with_deadline(addr: &str, timeout: Duration) -> std::io::Result<TcpStream> {
+    use std::net::ToSocketAddrs;
+    let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::NotFound, "address resolves to nothing")
+    })?;
+    TcpStream::connect_timeout(&resolved, timeout)
+}
+
+/// Runs the prober loop until `stop` is set: each tick probes every
+/// shard and feeds the outcome into its [`ShardState`]. The
+/// `shard-down` fault (keyed by `shard<index>|<addr>` cell context)
+/// turns a probe into a failure without touching the socket, so chaos
+/// plans can take a shard "down" deterministically.
+pub fn prober_loop(shards: &[Arc<ShardState>], cfg: &HealthConfig, stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        for (index, shard) in shards.iter().enumerate() {
+            let injected_down = bsched_faults::with_cell_context(
+                &format!("shard{index}|{}", shard.addr),
+                0,
+                || bsched_faults::fault_point!(bsched_faults::Site::ShardDown),
+            )
+            .is_some();
+            if !injected_down && ping_shard(&shard.addr, cfg) {
+                shard.record_success();
+            } else {
+                shard.record_failure(cfg.failure_threshold);
+            }
+        }
+        // Sleep in small slices so shutdown is prompt even with a long
+        // probe interval.
+        let mut remaining = cfg.interval;
+        while remaining > Duration::ZERO && !stop.load(Ordering::Relaxed) {
+            let slice = remaining.min(Duration::from_millis(20));
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_debounces_single_failures() {
+        let shard = ShardState::new("127.0.0.1:1".to_owned());
+        assert!(shard.is_up());
+        shard.record_failure(3);
+        shard.record_failure(3);
+        assert!(shard.is_up(), "below threshold stays up");
+        shard.record_failure(3);
+        assert!(!shard.is_up(), "threshold reached");
+        assert_eq!(shard.down_transitions.load(Ordering::Relaxed), 1);
+        shard.record_failure(3);
+        assert_eq!(
+            shard.down_transitions.load(Ordering::Relaxed),
+            1,
+            "already down: no second transition"
+        );
+        shard.record_success();
+        assert!(shard.is_up(), "one success rehabilitates");
+        assert_eq!(shard.consecutive_failures.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn ping_fails_fast_on_a_dead_address() {
+        // A bound-then-dropped listener's port refuses connections.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let cfg = HealthConfig {
+            connect_timeout: Duration::from_millis(100),
+            ..HealthConfig::default()
+        };
+        assert!(!ping_shard(&addr, &cfg));
+    }
+}

@@ -13,7 +13,13 @@
 //! * [`server`] — the TCP listener, bounded submission queue, persistent
 //!   [`bsched_par::WorkerPool`] workers, per-request deadlines via
 //!   [`bsched_par::run_with_timeout`], and drain-on-SIGTERM lifecycle;
-//! * [`stats`] — counters and p50/p95/p99 service times for `/stats`.
+//! * [`stats`] — counters and p50/p95/p99 service times for `/stats`;
+//! * [`persist`] — the append-only, CRC-guarded cache log behind
+//!   `--cache-log`: a restarted daemon warm-starts its cache instead of
+//!   recomputing it;
+//! * [`router`] + [`health`] — `--route` mode: rendezvous-hash the
+//!   cache key over N shard daemons, health-check them, and fail over
+//!   with typed `degraded:true` responses when one dies.
 //!
 //! Backpressure is explicit: when the submission queue is full the
 //! server answers `{"status":"overloaded", …}` immediately instead of
@@ -31,12 +37,18 @@
 pub mod cache;
 #[cfg(target_os = "linux")]
 pub(crate) mod eventloop;
+pub mod health;
+pub mod persist;
 pub mod protocol;
+pub mod router;
 pub mod server;
 pub mod stats;
 
 pub use cache::{stable_key, LruCache};
+pub use health::{HealthConfig, ShardState};
+pub use persist::CacheLog;
 pub use protocol::{parse_request, KernelSource, Request, ScheduleRequest};
+pub use router::{Router, RouterConfig};
 pub use server::{install_signal_handlers, Server, ServerConfig};
 pub use stats::ServerStats;
 

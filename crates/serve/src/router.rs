@@ -1,0 +1,520 @@
+//! Router mode: consistent-hash fan-out over a fleet of shard daemons.
+//!
+//! `bsched serve --route shard1,shard2,…` runs this instead of the
+//! single-process daemon. The router speaks the same line-JSON protocol
+//! on both sides: clients need no changes, and downstream it forwards
+//! each schedule request's **raw line** verbatim to the shard that owns
+//! the request's 128-bit content hash.
+//!
+//! ## Placement: rendezvous (HRW) hashing
+//!
+//! Each `(key, shard)` pair gets a deterministic 64-bit score; the
+//! shard with the highest score owns the key, the runner-up is the
+//! failover target, and so on. Unlike modulo placement, removing one
+//! shard only re-homes *that shard's* keys — everyone else's cache
+//! locality survives the outage, which is the whole point of sharding a
+//! content-addressed cache (each shard stays warm for its own slice).
+//!
+//! ## Failover: bounded retries, typed degradation, never a drop
+//!
+//! A forward gets up to [`RouterConfig::attempts_per_shard`] tries with
+//! exponential backoff against the owner, then moves to the
+//! rendezvous-next shard (shards already marked down are skipped
+//! without burning a timeout). Any response that needed a retry or a
+//! non-owner shard is annotated `"degraded":true` — visible, typed
+//! degradation. Only when *every* shard has failed does the client see
+//! an `error` response with kind `unavailable`; no path drops a
+//! request on the floor.
+//!
+//! Forwarding failures feed the same consecutive-failure accounting as
+//! the health prober (see [`crate::health`]), so a dead shard is marked
+//! down by whichever notices first, and one successful probe or forward
+//! rehabilitates it.
+//!
+//! Transport is deliberately thread-per-connection blocking IO: a
+//! router holds one client connection per loadgen worker — tens, not
+//! thousands — and its real latency is the downstream evaluation, not
+//! connection multiplexing.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bsched_analyze::json;
+use bsched_faults::{fault_point, Site};
+
+use crate::health::{connect_with_deadline, prober_loop, HealthConfig, ShardState};
+use crate::prepare_request;
+use crate::protocol::{error_response, id_fragment, parse_request, request_id, Request};
+
+/// Knobs for one router instance.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub listen: String,
+    /// Backend shard addresses (`host:port`), order-insensitive for
+    /// placement (rendezvous scores don't depend on list order).
+    pub shards: Vec<String>,
+    /// Health probe and failure-threshold knobs.
+    pub health: HealthConfig,
+    /// Forward attempts per shard before moving to the next (≥ 1).
+    pub attempts_per_shard: u32,
+    /// First retry backoff; doubles per further attempt.
+    pub backoff_base: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            listen: "127.0.0.1:0".to_owned(),
+            shards: Vec::new(),
+            health: HealthConfig::default(),
+            attempts_per_shard: 2,
+            backoff_base: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Router-level lifetime counters (shard counters live in
+/// [`ShardState`]).
+#[derive(Default)]
+pub struct RouterStats {
+    /// Request lines read from clients.
+    pub requests: AtomicU64,
+    /// Schedule requests answered by some shard.
+    pub forwarded: AtomicU64,
+    /// Responses served by a shard other than the rendezvous owner.
+    pub failovers: AtomicU64,
+    /// Repeat forward attempts (after the first) against any shard.
+    pub retries: AtomicU64,
+    /// Responses annotated `degraded:true`.
+    pub degraded: AtomicU64,
+    /// Requests answered with a router-generated error (parse,
+    /// unavailable, …).
+    pub errors: AtomicU64,
+}
+
+struct RouterInner {
+    cfg: RouterConfig,
+    shards: Vec<Arc<ShardState>>,
+    stats: RouterStats,
+    shutdown: AtomicBool,
+}
+
+impl RouterInner {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed) || crate::server::signalled()
+    }
+}
+
+/// A running router. [`Router::join`] blocks until drain.
+pub struct Router {
+    inner: Arc<RouterInner>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds `cfg.listen`, starts the health prober and accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure; refuses an empty shard list.
+    pub fn start(cfg: RouterConfig) -> std::io::Result<Router> {
+        if cfg.shards.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "router needs at least one shard (--route a:1,b:2,…)",
+            ));
+        }
+        let listener = TcpListener::bind(&cfg.listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shards: Vec<Arc<ShardState>> = cfg
+            .shards
+            .iter()
+            .map(|a| Arc::new(ShardState::new(a.clone())))
+            .collect();
+        let inner = Arc::new(RouterInner {
+            shards,
+            cfg,
+            stats: RouterStats::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut threads = Vec::new();
+        let probe_inner = Arc::clone(&inner);
+        threads.push(
+            std::thread::Builder::new()
+                .name("bsched-route-health".to_owned())
+                .spawn(move || {
+                    prober_loop(
+                        &probe_inner.shards,
+                        &probe_inner.cfg.health,
+                        &probe_inner.shutdown,
+                    );
+                })
+                .expect("spawn health prober"),
+        );
+        let accept_inner = Arc::clone(&inner);
+        threads.push(
+            std::thread::Builder::new()
+                .name("bsched-route-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &accept_inner))
+                .expect("spawn accept thread"),
+        );
+        Ok(Router {
+            inner,
+            addr,
+            threads,
+        })
+    }
+
+    /// The bound address (useful with `listen = "127.0.0.1:0"`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins a drain: stop accepting, stop probing; open connections
+    /// finish their in-flight lines.
+    pub fn begin_shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until the accept loop and prober have exited.
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<RouterInner>) {
+    loop {
+        if inner.draining() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_inner = Arc::clone(inner);
+                let _ = std::thread::Builder::new()
+                    .name("bsched-route-conn".to_owned())
+                    .spawn(move || serve_connection(stream, &conn_inner));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, inner: &Arc<RouterInner>) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = route_line(inner, &line);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+/// Routes one raw request line and renders the response line.
+fn route_line(inner: &RouterInner, line: &str) -> String {
+    inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let id = request_id(line);
+    match parse_request(line) {
+        Err(reason) => {
+            inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+            error_response(id.as_deref(), "parse", &reason)
+        }
+        Ok(Request::Ping) => format!(
+            "{{{}\"status\":\"ok\",\"pong\":true,\"router\":true}}",
+            id_fragment(id.as_deref())
+        ),
+        Ok(Request::Stats) => merged_stats(inner, id.as_deref()),
+        Ok(Request::Shutdown) => {
+            inner.shutdown.store(true, Ordering::Relaxed);
+            format!(
+                "{{{}\"status\":\"ok\",\"draining\":true,\"router\":true}}",
+                id_fragment(id.as_deref())
+            )
+        }
+        Ok(Request::Schedule(req)) => match prepare_request(&req) {
+            Err((kind, reason)) => {
+                inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+                error_response(id.as_deref(), kind.id(), &reason)
+            }
+            Ok(prepared) => route_schedule(inner, id.as_deref(), prepared.key(), line),
+        },
+    }
+}
+
+/// Forwards one schedule line to the rendezvous-ranked shards until one
+/// answers. Never drops: the worst case is a typed `unavailable` error.
+fn route_schedule(inner: &RouterInner, id: Option<&str>, key: u128, line: &str) -> String {
+    let ranked = rendezvous_rank(key, &inner.cfg.shards);
+    let threshold = inner.cfg.health.failure_threshold;
+    let mut degraded = false;
+    for (rank, &index) in ranked.iter().enumerate() {
+        let shard = &inner.shards[index];
+        let injected_down =
+            bsched_faults::with_cell_context(&format!("shard{index}|{}", shard.addr), 0, || {
+                fault_point!(Site::ShardDown)
+            })
+            .is_some();
+        if injected_down {
+            shard.record_failure(threshold);
+        }
+        if injected_down || !shard.is_up() {
+            shard.failed_over.fetch_add(1, Ordering::Relaxed);
+            degraded = true;
+            continue;
+        }
+        for attempt in 0..inner.cfg.attempts_per_shard.max(1) {
+            if attempt > 0 {
+                inner.stats.retries.fetch_add(1, Ordering::Relaxed);
+                degraded = true;
+                std::thread::sleep(inner.cfg.backoff_base * 2u32.pow(attempt - 1));
+            }
+            match forward_once(shard, line, &inner.cfg.health) {
+                Ok(response) => {
+                    shard.record_success();
+                    shard.forwarded.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                    if rank > 0 {
+                        inner.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                        degraded = true;
+                    }
+                    if degraded {
+                        inner.stats.degraded.fetch_add(1, Ordering::Relaxed);
+                        return annotate_degraded(&response);
+                    }
+                    return response;
+                }
+                Err(_) => {
+                    shard.record_failure(threshold);
+                }
+            }
+        }
+        shard.failed_over.fetch_add(1, Ordering::Relaxed);
+        degraded = true;
+    }
+    inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+    error_response(
+        id,
+        "unavailable",
+        &format!("all {} shards unreachable", inner.shards.len()),
+    )
+}
+
+/// One forward attempt: fresh connection, write the raw line, read one
+/// response line — all under the health config's deadlines.
+fn forward_once(shard: &ShardState, line: &str, health: &HealthConfig) -> std::io::Result<String> {
+    let mut stream = connect_with_deadline(&shard.addr, health.connect_timeout)?;
+    stream.set_read_timeout(Some(health.read_timeout))?;
+    stream.set_write_timeout(Some(health.read_timeout))?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    let n = reader.read_line(&mut response)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "shard closed before responding",
+        ));
+    }
+    Ok(response.trim_end().to_owned())
+}
+
+/// Splices `"degraded":true` into a response line's top-level object so
+/// clients see typed degradation rather than a silent rough edge.
+fn annotate_degraded(response: &str) -> String {
+    let trimmed = response.trim_end();
+    trimmed.strip_suffix('}').map_or_else(
+        || trimmed.to_owned(),
+        |body| format!("{body},\"degraded\":true}}"),
+    )
+}
+
+/// splitmix64 — the same tiny mixer the fault planner uses; plenty for
+/// spreading (key, shard) pairs over 64-bit scores.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The rendezvous score of `(key, shard address)`.
+#[must_use]
+pub fn hrw_score(key: u128, addr: &str) -> u64 {
+    #[allow(clippy::cast_possible_truncation)]
+    let mut h = splitmix64((key as u64) ^ ((key >> 64) as u64));
+    for b in addr.as_bytes() {
+        h = splitmix64(h ^ u64::from(*b));
+    }
+    h
+}
+
+/// Shard indices ordered by descending rendezvous score for `key`: the
+/// first entry owns the key, the rest are the failover order.
+#[must_use]
+pub fn rendezvous_rank(key: u128, shards: &[String]) -> Vec<usize> {
+    let mut scored: Vec<(u64, usize)> = shards
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| (hrw_score(key, addr), i))
+        .collect();
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    scored.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Renders the merged `/stats` view: summed per-shard daemon counters
+/// (same field names a single daemon reports, so clients need no
+/// changes), router-level counters, fleet liveness, and a per-shard
+/// breakdown.
+fn merged_stats(inner: &RouterInner, id: Option<&str>) -> String {
+    const SUMMED: [&str; 8] = [
+        "requests",
+        "ok",
+        "errors",
+        "overloaded",
+        "timeouts",
+        "cache_hits",
+        "cache_misses",
+        "cache_entries",
+    ];
+    let mut sums = [0u64; SUMMED.len()];
+    let mut shard_objs = Vec::with_capacity(inner.shards.len());
+    let mut up = 0usize;
+    for shard in &inner.shards {
+        let reachable = shard.is_up();
+        let mut fields = String::new();
+        if reachable {
+            up += 1;
+        }
+        if let Some(stats) = fetch_shard_stats(shard, &inner.cfg.health) {
+            for (slot, name) in SUMMED.iter().enumerate() {
+                if let Some(v) = stats.get(name).and_then(json::Json::as_u64) {
+                    sums[slot] += v;
+                    fields.push_str(&format!(",\"{name}\":{v}"));
+                }
+            }
+        }
+        shard_objs.push(format!(
+            "{{\"addr\":{},\"up\":{reachable},\"forwarded\":{},\"failed_over\":{}{fields}}}",
+            json::string(&shard.addr),
+            shard.forwarded.load(Ordering::Relaxed),
+            shard.failed_over.load(Ordering::Relaxed),
+        ));
+    }
+    let summed: String = SUMMED
+        .iter()
+        .enumerate()
+        .map(|(slot, name)| format!("\"{name}\":{},", sums[slot]))
+        .collect();
+    format!(
+        "{{{}\"status\":\"ok\",\"router\":true,\"stats\":{{{summed}\
+         \"shards_up\":{up},\"shards_down\":{},\"failovers\":{},\"retries\":{},\
+         \"degraded\":{},\"routed\":{},\"router_requests\":{},\"router_errors\":{}}},\
+         \"shards\":[{}]}}",
+        id_fragment(id),
+        inner.shards.len() - up,
+        inner.stats.failovers.load(Ordering::Relaxed),
+        inner.stats.retries.load(Ordering::Relaxed),
+        inner.stats.degraded.load(Ordering::Relaxed),
+        inner.stats.forwarded.load(Ordering::Relaxed),
+        inner.stats.requests.load(Ordering::Relaxed),
+        inner.stats.errors.load(Ordering::Relaxed),
+        shard_objs.join(",")
+    )
+}
+
+/// Fetches one shard's `stats` object, best-effort under tight
+/// deadlines (a dead shard must not stall the merged view).
+fn fetch_shard_stats(shard: &ShardState, health: &HealthConfig) -> Option<json::Json> {
+    let deadline = health.read_timeout.min(Duration::from_millis(750));
+    let mut stream = connect_with_deadline(&shard.addr, health.connect_timeout).ok()?;
+    stream.set_read_timeout(Some(deadline)).ok()?;
+    stream.set_write_timeout(Some(deadline)).ok()?;
+    stream.write_all(b"{\"op\":\"stats\"}\n").ok()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).ok().filter(|n| *n > 0)?;
+    json::parse(&line)?.get("stats").cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendezvous_is_deterministic_and_covers_all_shards() {
+        let shards: Vec<String> = (0..4).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect();
+        let rank_a = rendezvous_rank(42, &shards);
+        let rank_b = rendezvous_rank(42, &shards);
+        assert_eq!(rank_a, rank_b);
+        let mut sorted = rank_a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3], "a full permutation");
+    }
+
+    #[test]
+    fn removing_a_shard_only_rehomes_its_own_keys() {
+        let shards: Vec<String> = (0..4).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect();
+        let without_last: Vec<String> = shards[..3].to_vec();
+        for key in 0..500u128 {
+            let owner = rendezvous_rank(key, &shards)[0];
+            if owner < 3 {
+                assert_eq!(
+                    rendezvous_rank(key, &without_last)[0],
+                    owner,
+                    "key {key} moved although its owner survived"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let shards: Vec<String> = (0..3).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect();
+        let mut counts = [0usize; 3];
+        for key in 0..600u128 {
+            counts[rendezvous_rank(key * 0x9e37_79b9, &shards)[0]] += 1;
+        }
+        for (i, n) in counts.iter().enumerate() {
+            assert!(
+                (100..=400).contains(n),
+                "shard {i} owns {n}/600 keys — placement is skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_annotation_splices_before_the_closing_brace() {
+        assert_eq!(
+            annotate_degraded("{\"status\":\"ok\",\"cached\":true}"),
+            "{\"status\":\"ok\",\"cached\":true,\"degraded\":true}"
+        );
+        let parsed = json::parse(&annotate_degraded("{\"a\":1}")).unwrap();
+        assert_eq!(parsed.get("degraded").unwrap().as_bool(), Some(true));
+        assert_eq!(annotate_degraded("not json"), "not json");
+    }
+}

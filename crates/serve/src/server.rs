@@ -61,6 +61,10 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline_ms: Option<u64>,
+    /// Path of the append-only cache persistence log (`--cache-log`);
+    /// `None` serves from a memory-only cache that dies with the
+    /// process.
+    pub cache_log: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +76,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             cache_capacity: 256,
             default_deadline_ms: None,
+            cache_log: None,
         }
     }
 }
@@ -83,6 +88,12 @@ extern "C" fn on_signal(_signum: i32) {
     // A relaxed atomic store is async-signal-safe: no locks, no
     // allocation. Everything else happens on normal threads.
     SIGNALLED.store(true, Ordering::Relaxed);
+}
+
+/// True once SIGTERM/SIGINT has been observed (shared with the router,
+/// which has its own drain flag but the same signals).
+pub(crate) fn signalled() -> bool {
+    SIGNALLED.load(Ordering::Relaxed)
 }
 
 /// Installs SIGTERM/SIGINT handlers that begin a graceful drain.
@@ -131,6 +142,12 @@ struct Inner {
     cfg: ServerConfig,
     pool: WorkerPool,
     cache: Mutex<LruCache>,
+    /// The cache persistence log, when `--cache-log` is configured.
+    /// Locked *after* `cache` everywhere (put-then-append ordering).
+    log: Option<Mutex<crate::persist::CacheLog>>,
+    /// Append/compaction failures downgraded to this counter — a full
+    /// disk degrades durability, never serving.
+    persist_errors: std::sync::atomic::AtomicU64,
     stats: ServerStats,
     shutdown: AtomicBool,
     #[cfg(target_os = "linux")]
@@ -163,6 +180,7 @@ impl Server {
         let listener = std::net::TcpListener::bind(&cfg.listen)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let (log, cache) = open_cache(&cfg)?;
         #[cfg(target_os = "linux")]
         {
             let io_count = cfg.io_threads.max(1);
@@ -176,7 +194,9 @@ impl Server {
             }
             let inner = Arc::new(Inner {
                 pool: WorkerPool::new(cfg.workers.max(1)),
-                cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+                cache: Mutex::new(cache),
+                log,
+                persist_errors: std::sync::atomic::AtomicU64::new(0),
                 cfg,
                 stats: ServerStats::default(),
                 shutdown: AtomicBool::new(false),
@@ -204,7 +224,9 @@ impl Server {
         {
             let inner = Arc::new(Inner {
                 pool: WorkerPool::new(cfg.workers.max(1)),
-                cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+                cache: Mutex::new(cache),
+                log,
+                persist_errors: std::sync::atomic::AtomicU64::new(0),
                 cfg,
                 stats: ServerStats::default(),
                 shutdown: AtomicBool::new(false),
@@ -245,6 +267,32 @@ impl Server {
             let _ = t.join();
         }
     }
+}
+
+/// Opens the persistence log (when configured) and warm-starts the
+/// cache from its recovered entries. Recovery replays oldest-first, so
+/// the cache's LRU order matches the one the previous process died
+/// with.
+fn open_cache(
+    cfg: &ServerConfig,
+) -> std::io::Result<(Option<Mutex<crate::persist::CacheLog>>, LruCache)> {
+    let mut cache = LruCache::new(cfg.cache_capacity);
+    let log = match &cfg.cache_log {
+        None => None,
+        Some(path) => {
+            let (log, recovery) =
+                crate::persist::CacheLog::open(std::path::Path::new(path), cfg.cache_capacity)?;
+            let recovered = recovery.entries.len();
+            for (key, payload) in recovery.entries {
+                cache.preload(key, payload);
+            }
+            if recovered > 0 {
+                eprintln!("bsched-serve: warm start: {recovered} cached responses from {path}");
+            }
+            Some(Mutex::new(log))
+        }
+    };
+    Ok((log, cache))
 }
 
 /// What one request line asks the transport to do — computed by the
@@ -346,11 +394,28 @@ fn run_schedule(
                     match outcome {
                         Ok(Ok(done)) => {
                             let payload: Arc<str> = Arc::from(done.payload);
-                            inner
-                                .cache
-                                .lock()
-                                .unwrap()
-                                .put(done.key, Arc::clone(&payload));
+                            {
+                                let mut cache = inner.cache.lock().unwrap();
+                                cache.put(done.key, Arc::clone(&payload));
+                                if let Some(log) = &inner.log {
+                                    // Durability is best-effort under IO
+                                    // failure: a full disk costs warm
+                                    // restarts, never live serving.
+                                    let mut log = log.lock().unwrap();
+                                    if let Err(e) = log.append(done.key, &payload) {
+                                        inner.persist_errors.fetch_add(1, Ordering::Relaxed);
+                                        eprintln!("bsched-serve: cache-log append failed: {e}");
+                                    } else if log.needs_compaction() {
+                                        let snapshot = cache.iter_lru();
+                                        if let Err(e) = log.compact(&snapshot) {
+                                            inner.persist_errors.fetch_add(1, Ordering::Relaxed);
+                                            eprintln!(
+                                                "bsched-serve: cache-log compaction failed: {e}"
+                                            );
+                                        }
+                                    }
+                                }
+                            }
                             inner.stats.ok.fetch_add(1, Ordering::Relaxed);
                             ok_response(id, false, &payload, service_us(admitted_at))
                         }
@@ -382,14 +447,23 @@ fn render_stats(inner: &Inner, id: Option<&str>) -> String {
         (h, m, cache.len())
     };
     let pool = inner.pool.metrics();
+    let (persist_appends, persist_compactions, persist_bytes) =
+        inner.log.as_ref().map_or((0, 0, 0), |log| {
+            let log = log.lock().unwrap();
+            let (appends, compactions) = log.counters();
+            (appends, compactions, log.file_bytes())
+        });
     format!(
         "{{{}\"status\":\"ok\",\"stats\":{{{},\"cache_hits\":{cache_hits},\
          \"cache_misses\":{cache_misses},\"cache_entries\":{cache_entries},\
+         \"persist_appends\":{persist_appends},\"persist_compactions\":{persist_compactions},\
+         \"persist_bytes\":{persist_bytes},\"persist_errors\":{},\
          \"workers\":{},\"queue_capacity\":{},\"steals\":{},\"parks\":{},\
          \"pool_queued\":{},\"io_threads\":{},\"open_connections\":{},\
          \"draining\":{}}}}}",
         crate::protocol::id_fragment(id),
         inner.stats.render_fields(),
+        inner.persist_errors.load(Ordering::Relaxed),
         inner.cfg.workers.max(1),
         inner.cfg.queue_capacity.max(1),
         pool.steals,

@@ -1,0 +1,288 @@
+//! Fleet-level end-to-end tests: cache persistence across daemon
+//! restarts, router forwarding and failover, and fault-injected log
+//! corruption. Every daemon and router binds `127.0.0.1:0` so tests
+//! run in parallel without port collisions.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use bsched_analyze::json::{self, Json};
+use bsched_serve::{
+    parse_request, prepare_request, router::rendezvous_rank, HealthConfig, Request, Router,
+    RouterConfig, Server, ServerConfig,
+};
+
+/// Fault plans are process-global; tests that install one serialize.
+fn fault_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A fresh log path in a per-test temp directory (no tempdir crate:
+/// pid + counter keeps parallel test binaries apart).
+fn temp_log(tag: &str) -> PathBuf {
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bsched-fleet-tests-{}-{tag}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join("cache.log")
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn round_trip(&mut self, line: &str) -> Json {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send newline");
+        self.writer.flush().expect("flush");
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server hung up instead of responding");
+        json::parse(line.trim()).unwrap_or_else(|| panic!("malformed response: {line:?}"))
+    }
+}
+
+fn status(v: &Json) -> &str {
+    v.get("status").and_then(Json::as_str).unwrap_or("missing")
+}
+
+fn cached(v: &Json) -> Option<bool> {
+    v.get("cached").and_then(Json::as_bool)
+}
+
+fn stat(v: &Json, field: &str) -> u64 {
+    v.get("stats")
+        .and_then(|s| s.get(field))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("stats.{field} missing in {v:?}"))
+}
+
+fn server_with_log(log: &std::path::Path) -> Server {
+    Server::start(ServerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 32,
+        cache_log: Some(log.display().to_string()),
+        ..ServerConfig::default()
+    })
+    .expect("start server")
+}
+
+fn small_server() -> Server {
+    Server::start(ServerConfig {
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 32,
+        ..ServerConfig::default()
+    })
+    .expect("start server")
+}
+
+const DAXPY: &str = r#"{"op":"schedule","id":"f1","kernel":"kernel daxpy { arrays x, y; y[0] = 3.0 * x[0] + y[0]; }","system":"L80(2,5)","runs":3}"#;
+const DOT: &str = r#"{"op":"schedule","id":"f2","kernel":"kernel saxpy { arrays u, v; v[1] = 2.0 * u[1] + v[1]; }","system":"L80(2,5)","runs":3}"#;
+
+#[test]
+fn cache_log_warm_starts_a_restarted_server() {
+    let log = temp_log("warm");
+
+    let first = server_with_log(&log);
+    let mut client = Client::connect(first.local_addr());
+    let v = client.round_trip(DAXPY);
+    assert_eq!(status(&v), "ok", "{v:?}");
+    assert_eq!(cached(&v), Some(false));
+    let stats = client.round_trip("/stats");
+    assert!(stat(&stats, "persist_appends") >= 1, "{stats:?}");
+    assert_eq!(stat(&stats, "persist_errors"), 0);
+    first.begin_shutdown();
+    first.join();
+
+    // A brand-new process image would see exactly this: same log path,
+    // empty in-memory cache. The first request must already be a hit.
+    let second = server_with_log(&log);
+    let mut client = Client::connect(second.local_addr());
+    let v = client.round_trip(DAXPY);
+    assert_eq!(status(&v), "ok", "{v:?}");
+    assert_eq!(cached(&v), Some(true), "warm start missed the log: {v:?}");
+    let stats = client.round_trip("/stats");
+    assert!(stat(&stats, "cache_entries") >= 1);
+    assert_eq!(stat(&stats, "cache_hits"), 1);
+    second.begin_shutdown();
+    second.join();
+}
+
+#[test]
+fn corrupted_log_tail_is_dropped_not_resurrected() {
+    let _guard = fault_lock();
+
+    let log = temp_log("corrupt");
+    let server = server_with_log(&log);
+    let mut client = Client::connect(server.local_addr());
+    // First append is clean, second is written with a poisoned CRC.
+    assert_eq!(status(&client.round_trip(DAXPY)), "ok");
+    bsched_faults::install("persist-corrupt".parse().expect("plan"));
+    assert_eq!(status(&client.round_trip(DOT)), "ok");
+    bsched_faults::clear();
+    server.begin_shutdown();
+    server.join();
+
+    // Recovery must keep the clean prefix, truncate the poisoned tail,
+    // and above all not panic.
+    let server = server_with_log(&log);
+    let mut client = Client::connect(server.local_addr());
+    let v = client.round_trip(DAXPY);
+    assert_eq!(cached(&v), Some(true), "clean prefix lost: {v:?}");
+    let v = client.round_trip(DOT);
+    assert_eq!(cached(&v), Some(false), "corrupt record resurrected: {v:?}");
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
+fn router_forwards_to_shards_and_merges_stats() {
+    let a = small_server();
+    let b = small_server();
+    let router = Router::start(RouterConfig {
+        shards: vec![a.local_addr().to_string(), b.local_addr().to_string()],
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+
+    let mut client = Client::connect(router.local_addr());
+    let pong = client.round_trip(r#"{"op":"ping"}"#);
+    assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+    assert_eq!(pong.get("router").and_then(Json::as_bool), Some(true));
+
+    let v = client.round_trip(DAXPY);
+    assert_eq!(status(&v), "ok", "{v:?}");
+    assert_eq!(cached(&v), Some(false));
+    assert!(v.get("degraded").is_none(), "healthy fleet degraded: {v:?}");
+    // Rendezvous hashing is deterministic, so the repeat lands on the
+    // same shard and hits its cache.
+    let v = client.round_trip(DAXPY);
+    assert_eq!(cached(&v), Some(true), "{v:?}");
+
+    let stats = client.round_trip("/stats");
+    assert_eq!(stat(&stats, "shards_up"), 2);
+    assert_eq!(stat(&stats, "shards_down"), 0);
+    assert_eq!(stat(&stats, "cache_hits"), 1);
+    assert!(stat(&stats, "routed") >= 2);
+    let shards = stats
+        .get("shards")
+        .and_then(Json::as_array)
+        .expect("per-shard array");
+    assert_eq!(shards.len(), 2);
+
+    router.begin_shutdown();
+    router.join();
+    for s in [a, b] {
+        s.begin_shutdown();
+        s.join();
+    }
+}
+
+#[test]
+fn router_fails_over_from_a_dead_shard_with_a_degraded_response() {
+    let a = small_server();
+    let b = small_server();
+    let shards = vec![a.local_addr().to_string(), b.local_addr().to_string()];
+    let router = Router::start(RouterConfig {
+        shards: shards.clone(),
+        health: HealthConfig {
+            interval: Duration::from_millis(50),
+            ..HealthConfig::default()
+        },
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+
+    // Kill exactly the shard that owns DAXPY's key, so the first
+    // attempt is guaranteed to fail and the request must fail over.
+    let key = match parse_request(DAXPY) {
+        Ok(Request::Schedule(req)) => prepare_request(&req).expect("prepare").key(),
+        other => panic!("unexpected parse: {other:?}"),
+    };
+    let owner = rendezvous_rank(key, &shards)[0];
+    let (victim, survivor) = if owner == 0 { (a, b) } else { (b, a) };
+    victim.begin_shutdown();
+    victim.join();
+
+    let mut client = Client::connect(router.local_addr());
+    let v = client.round_trip(DAXPY);
+    assert_eq!(status(&v), "ok", "failover dropped the request: {v:?}");
+    assert_eq!(
+        v.get("degraded").and_then(Json::as_bool),
+        Some(true),
+        "failover response not marked degraded: {v:?}"
+    );
+
+    // The prober (or the forward failures) must mark the shard down.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = client.round_trip("/stats");
+        if stat(&stats, "shards_down") == 1 {
+            assert_eq!(stat(&stats, "shards_up"), 1);
+            assert!(stat(&stats, "failovers") >= 1, "{stats:?}");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "router never marked the dead shard down: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    router.begin_shutdown();
+    router.join();
+    survivor.begin_shutdown();
+    survivor.join();
+}
+
+#[test]
+fn router_with_every_shard_dead_returns_a_typed_error_not_a_drop() {
+    // Bind-then-drop two ports: real addresses, nobody listening.
+    let dead: Vec<String> = (0..2)
+        .map(|_| {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr").to_string()
+        })
+        .collect();
+    let router = Router::start(RouterConfig {
+        shards: dead,
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+
+    let mut client = Client::connect(router.local_addr());
+    let v = client.round_trip(DAXPY);
+    assert_eq!(status(&v), "error", "{v:?}");
+    assert_eq!(
+        v.get("kind").and_then(Json::as_str),
+        Some("unavailable"),
+        "{v:?}"
+    );
+    assert_eq!(v.get("id").and_then(Json::as_str), Some("f1"));
+
+    router.begin_shutdown();
+    router.join();
+}

@@ -80,6 +80,34 @@ cargo build --release -q -p bsched-serve
     --expect-hit-rate 90 --out BENCH_serve.json
 echo "wrote BENCH_serve.json (incl. sweep curve)" >&2
 
+# --- Fleet chaos pass ---------------------------------------------------
+# Restart-proofing evidence: three shard daemons (each with a persistent
+# cache log) behind the consistent-hash router, then the --kill-shard
+# scenario SIGKILLs one shard mid-mix, asserts zero failed client
+# requests, restarts it from its log, and gates on a >=90% fleet-wide
+# warm-replay hit rate. The "fleet" section of the report is merged into
+# BENCH_serve.json so one file carries both the single-daemon and the
+# fleet numbers. Exit code is the gate: any dropped request or a cold
+# restart fails the bench.
+echo "fleet chaos pass (3 shards, kill-one, warm restart)..." >&2
+cargo build --release -q -p balanced-scheduling
+fleet_dir=$(mktemp -d /tmp/bsched-fleet.XXXXXX)
+./target/release/bsched-loadgen \
+    --fleet 3 --kill-shard --clients 8 --passes 2 --runs $RUNS \
+    --serve-bin ./target/release/bsched --cache-log-dir "$fleet_dir" \
+    --expect-hit-rate 90 --out BENCH_fleet.json
+rm -rf "$fleet_dir"
+# Splice the fleet report into BENCH_serve.json: replace the closing
+# brace with ,"fleet":{...}} pulled from the fleet run's report.
+fleet_json=$(sed -n 's/.*,"fleet":\({.*}\)}$/\1/p' BENCH_fleet.json)
+if [ -n "$fleet_json" ]; then
+    sed -i "s/}\$/,\"fleet\":${fleet_json}}/" BENCH_serve.json
+    rm -f BENCH_fleet.json
+    echo "merged fleet section into BENCH_serve.json" >&2
+else
+    echo "warning: no fleet section found in BENCH_fleet.json; kept it separate" >&2
+fi
+
 # Shallow clones and fresh checkouts may not carry the baseline commit;
 # fail with a clear message instead of a cryptic worktree error.
 if ! git cat-file -e "$BASELINE_COMMIT^{commit}" 2>/dev/null; then

@@ -44,6 +44,9 @@ const USAGE: &str = "usage:
   bsched analyze  --benchmarks [--format text|json] [--alias …] [--deny …]
   bsched serve    --listen HOST:PORT [--workers N] [--io-threads N]
                   [--queue-cap N] [--cache-cap N] [--deadline-ms N]
+                  [--cache-log PATH]
+  bsched serve    --listen HOST:PORT --route SHARD1,SHARD2,…
+                  [--failure-threshold K]
 
   S    = balanced | balanced-approx | average | traditional=<latency>
   SYS  = L80(2,5) | N(3,5) | L80-N(30,5) | fixed(4) | …
@@ -315,11 +318,15 @@ fn stage_failure(format: &str, file: &str, err: &PipelineError) -> String {
     format!("{file}: {err}")
 }
 
-/// `bsched serve`: run the scheduling daemon until it drains — on
-/// SIGTERM/SIGINT, or an `op:"shutdown"` request. Kernels arrive over
-/// the socket (see DESIGN.md §10 and `bsched-serve`'s crate docs).
+/// `bsched serve`: run the scheduling daemon — or, with `--route`, the
+/// fleet router — until it drains on SIGTERM/SIGINT or an
+/// `op:"shutdown"` request. Kernels arrive over the socket (see
+/// DESIGN.md §10/§12 and `bsched-serve`'s crate docs).
 fn serve_cmd(args: &Args) -> Result<(), String> {
     use balanced_scheduling::serve::{install_signal_handlers, Server, ServerConfig};
+    if args.is_set("route") {
+        return route_cmd(args);
+    }
     let defaults = ServerConfig::default();
     let parse_size = |name: &str, fallback: usize| -> Result<usize, String> {
         match args.flag(name) {
@@ -349,12 +356,51 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
                     .ok_or_else(|| format!("--deadline-ms: bad value {raw:?}"))?,
             ),
         },
+        cache_log: args.flag("cache-log").map(str::to_owned),
     };
     install_signal_handlers();
     let server = Server::start(cfg).map_err(|e| format!("serve: {e}"))?;
     eprintln!("bsched serve: listening on {}", server.local_addr());
     server.join();
     eprintln!("bsched serve: drained, exiting");
+    Ok(())
+}
+
+/// `bsched serve --route shard1,shard2,…`: the consistent-hash router
+/// in front of a fleet of shard daemons (DESIGN.md §12).
+fn route_cmd(args: &Args) -> Result<(), String> {
+    use balanced_scheduling::serve::{install_signal_handlers, Router, RouterConfig};
+    let shards: Vec<String> = args
+        .flag("route")
+        .unwrap_or_default()
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if shards.is_empty() {
+        return Err("--route: give a comma-separated shard list (host:port,…)".to_owned());
+    }
+    let mut cfg = RouterConfig {
+        listen: args
+            .flag("listen")
+            .ok_or("missing --listen HOST:PORT")?
+            .to_owned(),
+        shards,
+        ..RouterConfig::default()
+    };
+    if let Some(raw) = args.flag("failure-threshold") {
+        cfg.health.failure_threshold = raw
+            .parse::<u32>()
+            .ok()
+            .filter(|n| *n > 0)
+            .ok_or_else(|| format!("--failure-threshold: bad count {raw:?}"))?;
+    }
+    install_signal_handlers();
+    let router = Router::start(cfg).map_err(|e| format!("serve --route: {e}"))?;
+    eprintln!("bsched serve: routing on {}", router.local_addr());
+    router.join();
+    eprintln!("bsched serve: router drained, exiting");
     Ok(())
 }
 
