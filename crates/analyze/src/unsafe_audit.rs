@@ -1,0 +1,241 @@
+//! The `unsafe` audit: every `unsafe` block, fn, or impl in the
+//! workspace sources must carry an adjacent `// SAFETY:` comment
+//! stating the invariant that makes it sound.
+//!
+//! This is a source-level lint, not a semantic one: it cannot judge
+//! whether a stated invariant is *true* (that is what the model
+//! checker, miri, and TSan are for) — it guarantees the invariant is
+//! *written down*, so every soundness argument is reviewable where the
+//! code is. `bsched analyze --unsafe-audit` and
+//! `scripts/unsafe_audit.sh` run it; CI fails on any violation.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// How many lines above an `unsafe` token the justification may sit
+/// (attributes and cfg lines commonly intervene).
+const LOOKBACK: usize = 8;
+
+/// One `unsafe` occurrence with no adjacent `// SAFETY:` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeViolation {
+    /// Source file, relative to the audit root when possible.
+    pub file: PathBuf,
+    /// 1-based line of the `unsafe` token.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for UnsafeViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: `unsafe` without an adjacent `// SAFETY:` comment: {}",
+            self.file.display(),
+            self.line,
+            self.snippet
+        )
+    }
+}
+
+/// True when `line` contains the `unsafe` keyword as its own token
+/// (not `unsafe_op_in_unsafe_fn`, not part of an identifier).
+fn has_unsafe_token(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(at) = line[from..].find("unsafe") {
+        let start = from + at;
+        let end = start + "unsafe".len();
+        let left_ok =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let right_ok =
+            end == bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if left_ok && right_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Strips trailing `// …` comments, `"…"` string contents, and
+/// three-character char literals, so `unsafe` mentioned in prose or a
+/// message does not count as code. (No multi-line comment, multi-line
+/// string, or raw-string tracking: the workspace style keeps those off
+/// `unsafe` lines, and a false positive here fails loud in CI where it
+/// gets fixed, not silently.)
+fn code_of(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => break,
+            // A char literal such as `'"'` must not open a "string".
+            b'\'' if bytes.get(i + 2) == Some(&b'\'') => i += 3,
+            b'"' => {
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            c => {
+                out.push(char::from(c));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Audits one file's source text. `file` is only used to label
+/// violations.
+#[must_use]
+pub fn audit_source(file: &Path, source: &str) -> Vec<UnsafeViolation> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut violations = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        let trimmed = raw.trim_start();
+        // Doc comments, plain comments, and lint attributes like
+        // `#![deny(unsafe_op_in_unsafe_fn)]` talk *about* unsafe.
+        if trimmed.starts_with("//") || trimmed.starts_with("#[") || trimmed.starts_with("#!") {
+            continue;
+        }
+        if !has_unsafe_token(&code_of(raw)) {
+            continue;
+        }
+        // Same line (`unsafe { … } // SAFETY: …`) or any of the
+        // preceding LOOKBACK lines may carry the justification.
+        let above = &lines[idx.saturating_sub(LOOKBACK)..idx];
+        let justified = raw.contains("SAFETY:")
+            || above
+                .iter()
+                .any(|l| l.trim_start().starts_with("//") && l.contains("SAFETY:"));
+        if !justified {
+            violations.push(UnsafeViolation {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                snippet: raw.trim().to_owned(),
+            });
+        }
+    }
+    violations
+}
+
+/// Recursively audits every `.rs` file under `root`, skipping build
+/// output and vendored third-party code (their soundness comments are
+/// not ours to mandate).
+///
+/// # Errors
+///
+/// Propagates directory walks or file reads that fail — an unreadable
+/// source tree must fail the audit, not shrink it.
+pub fn audit_tree(root: &Path) -> std::io::Result<Vec<UnsafeViolation>> {
+    let mut violations = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = std::fs::read_dir(&dir)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(std::fs::DirEntry::path);
+        for entry in entries {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if name == "target" || name == "vendor" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let source = std::fs::read_to_string(&path)?;
+                let label = path.strip_prefix(root).unwrap_or(&path);
+                violations.extend(audit_source(label, &source));
+            }
+        }
+    }
+    violations.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violations(src: &str) -> Vec<usize> {
+        audit_source(Path::new("x.rs"), src)
+            .into_iter()
+            .map(|v| v.line)
+            .collect()
+    }
+
+    #[test]
+    fn bare_unsafe_block_is_flagged() {
+        assert_eq!(violations("fn f() {\n    unsafe { work() };\n}\n"), vec![2]);
+    }
+
+    #[test]
+    fn adjacent_safety_comment_passes() {
+        let src =
+            "fn f() {\n    // SAFETY: work is sound because reasons.\n    unsafe { work() };\n}\n";
+        assert_eq!(violations(src), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn safety_comment_survives_interleaved_attributes() {
+        let src = "// SAFETY: the slice is live.\n#[allow(clippy::cast_possible_truncation)]\nlet n = unsafe { call() };\n";
+        assert_eq!(violations(src), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn unsafe_impl_needs_a_comment_too() {
+        assert_eq!(violations("unsafe impl Send for T {}\n"), vec![1]);
+        let ok = "// SAFETY: T owns its pointers.\nunsafe impl Send for T {}\n";
+        assert_eq!(violations(ok), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn lint_attributes_and_comments_do_not_count_as_unsafe_code() {
+        let src = "#![deny(unsafe_op_in_unsafe_fn)]\n#![allow(unsafe_code)]\n// unsafe is discussed here\nlet unsafe_count = 0;\n";
+        assert_eq!(violations(src), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn unsafe_inside_strings_and_char_literals_is_prose_not_code() {
+        let src = "let msg = \"unsafe without a comment\";\nlet q = '\"';\nlet r = format!(\"{} unsafe uses\", n);\n";
+        assert_eq!(violations(src), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn too_distant_safety_comment_is_flagged() {
+        let mut src = String::from("// SAFETY: too far away.\n");
+        for _ in 0..LOOKBACK {
+            src.push_str("let x = 1;\n");
+        }
+        src.push_str("unsafe { work() };\n");
+        assert_eq!(violations(&src), vec![LOOKBACK + 2]);
+    }
+
+    #[test]
+    fn the_workspace_itself_is_clean() {
+        // The audit's own acceptance test: the repo this code ships in
+        // must pass it. CARGO_MANIFEST_DIR = crates/analyze.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let violations = audit_tree(&root).expect("walk workspace");
+        assert!(
+            violations.is_empty(),
+            "unsafe without SAFETY comments:\n{}",
+            violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! Checker self-tests: tiny models with *known* verdicts prove the
+//! explorer finds real bugs, accepts correct protocols, and stays
+//! deterministic. These run in the ordinary tier-1 suite — the shim
+//! falls through to std on non-model threads, so no cfg is needed.
+
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::Arc;
+
+use bsched_model::sync::{AtomicUsize, Condvar, Mutex, Ordering};
+use bsched_model::{explore, explore_pct, replay, Config};
+
+fn small() -> Config {
+    Config {
+        max_steps: 2_000,
+        max_schedules: 100_000,
+        ..Config::default()
+    }
+}
+
+/// The classic racy counter: two threads do load-then-store. Some
+/// interleaving loses an increment, and exhaustive DFS must find it.
+#[test]
+fn dfs_finds_lost_update() {
+    let report = explore(&small(), || {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&c);
+        let t = bsched_model::sync::thread::spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = c.load(Ordering::SeqCst);
+        c.store(v + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+    });
+    let failure = report.failure.expect("the lost update must be found");
+    assert!(
+        failure.message.contains("lost update"),
+        "failure should be the assertion, got: {}",
+        failure.message
+    );
+    assert!(
+        !failure.schedule.is_empty(),
+        "failure carries a replayable schedule"
+    );
+    // The recorded schedule reproduces the same failure.
+    let again = replay(&small(), &failure.schedule, || {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&c);
+        let t = bsched_model::sync::thread::spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = c.load(Ordering::SeqCst);
+        c.store(v + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+    });
+    let refound = again.failure.expect("replay reproduces the failure");
+    assert!(refound.message.contains("lost update"));
+    // And the trace is printable with source locations.
+    assert!(refound.render().contains("selftest.rs"));
+}
+
+/// The fixed counter: fetch_add is atomic, so every schedule passes
+/// and the exploration completes (state space exhausted).
+#[test]
+fn dfs_passes_atomic_counter() {
+    let report = explore(&small(), || {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&c);
+        let t = bsched_model::sync::thread::spawn(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        c.fetch_add(1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.failure.is_none(), "no schedule loses an increment");
+    assert!(report.complete, "small model is exhausted");
+    assert!(report.schedules_run >= 2, "both orders were tried");
+}
+
+/// ABBA lock ordering: some schedule deadlocks, and the detector must
+/// say so rather than hang.
+#[test]
+fn dfs_detects_abba_deadlock() {
+    let report = explore(&small(), || {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = bsched_model::sync::thread::spawn(move || {
+            let ga = a2.lock().unwrap();
+            let gb = b2.lock().unwrap();
+            drop((ga, gb));
+        });
+        let gb = b.lock().unwrap();
+        let ga = a.lock().unwrap();
+        drop((gb, ga));
+        t.join().unwrap();
+    });
+    let failure = report.failure.expect("ABBA deadlock must be found");
+    assert!(
+        failure.message.contains("deadlock"),
+        "got: {}",
+        failure.message
+    );
+    assert!(failure.message.contains("blocked locking mutex"));
+}
+
+/// A condvar wait whose flag check happens *outside* the mutex: the
+/// notify can land between check and wait — the textbook lost wakeup.
+/// The checker reports it as a deadlock naming the condvar wait.
+#[test]
+fn dfs_detects_lost_wakeup() {
+    let report = explore(&small(), || {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let t = bsched_model::sync::thread::spawn(move || {
+            *s2.0.lock().unwrap() = true;
+            s2.1.notify_one();
+        });
+        // BUG: decide-then-lock. If the notify fires between the
+        // unlocked check and the wait, nobody ever wakes us.
+        let ready = *state.0.lock().unwrap();
+        if !ready {
+            let guard = state.0.lock().unwrap();
+            let _guard = state.1.wait(guard).unwrap();
+        }
+        t.join().unwrap();
+    });
+    let failure = report.failure.expect("lost wakeup must be found");
+    assert!(
+        failure.message.contains("lost wakeup"),
+        "got: {}",
+        failure.message
+    );
+}
+
+/// The correct protocol — re-check the flag under the mutex in a wait
+/// loop — passes every schedule.
+#[test]
+fn dfs_passes_correct_condvar_protocol() {
+    let report = explore(&small(), || {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let t = bsched_model::sync::thread::spawn(move || {
+            *s2.0.lock().unwrap() = true;
+            s2.1.notify_one();
+        });
+        let mut guard = state.0.lock().unwrap();
+        while !*guard {
+            guard = state.1.wait(guard).unwrap();
+        }
+        drop(guard);
+        t.join().unwrap();
+    });
+    assert!(
+        report.failure.is_none(),
+        "correct protocol must pass: {}",
+        report.failure.map_or_else(String::new, |f| f.render())
+    );
+    assert!(report.complete);
+}
+
+/// Sleep-set reduction prunes commuting interleavings: two threads
+/// touching *disjoint* atomics explore fewer schedules with the
+/// reduction than without, and both verdicts agree.
+#[test]
+fn sleep_sets_prune_disjoint_ops() {
+    let model = || {
+        let a = Arc::new(AtomicUsize::new(0));
+        let b = Arc::new(AtomicUsize::new(0));
+        let a2 = Arc::clone(&a);
+        let t = bsched_model::sync::thread::spawn(move || {
+            a2.fetch_add(1, Ordering::SeqCst);
+            a2.fetch_add(1, Ordering::SeqCst);
+        });
+        b.fetch_add(1, Ordering::SeqCst);
+        b.fetch_add(1, Ordering::SeqCst);
+        t.join().unwrap();
+    };
+    let with = explore(&small(), model);
+    let without = explore(
+        &Config {
+            reduction: false,
+            ..small()
+        },
+        model,
+    );
+    assert!(with.failure.is_none() && without.failure.is_none());
+    assert!(with.complete && without.complete);
+    assert!(
+        with.schedules_run < without.schedules_run,
+        "reduction must prune: {} vs {}",
+        with.schedules_run,
+        without.schedules_run
+    );
+}
+
+/// PCT is deterministic per seed and finds the racy-counter bug within
+/// a modest schedule budget.
+#[test]
+fn pct_is_seeded_and_finds_races() {
+    let model = || {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&c);
+        let t = bsched_model::sync::thread::spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = c.load(Ordering::SeqCst);
+        c.store(v + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+    };
+    let a = explore_pct(&small(), 42, 200, 3, model);
+    let b = explore_pct(&small(), 42, 200, 3, model);
+    let fa = a.failure.expect("PCT finds the race");
+    let fb = b.failure.expect("same seed, same verdict");
+    assert_eq!(fa.schedule, fb.schedule, "same seed, same schedule");
+    assert_eq!(a.schedules_run, b.schedules_run);
+}
+
+/// Model threads really interleave under the token: a run's effects
+/// are visible to plain std state created inside the closure, and the
+/// harness tears every OS thread down between schedules.
+#[test]
+fn runs_are_isolated_between_schedules() {
+    // `outside` is std (uninstrumented) on purpose: result accounting
+    // that must not add yield points.
+    let outside = Arc::new(StdAtomicUsize::new(0));
+    let o2 = Arc::clone(&outside);
+    let report = explore(&small(), move || {
+        let local = Arc::new(AtomicUsize::new(0));
+        let l2 = Arc::clone(&local);
+        let t = bsched_model::sync::thread::spawn(move || {
+            l2.fetch_add(1, Ordering::SeqCst);
+        });
+        local.fetch_add(1, Ordering::SeqCst);
+        t.join().unwrap();
+        // Per-run state always ends at exactly 2 regardless of order.
+        assert_eq!(local.load(Ordering::SeqCst), 2);
+        o2.fetch_add(1, StdOrdering::SeqCst);
+    });
+    assert!(report.failure.is_none());
+    let completed = outside.load(StdOrdering::SeqCst) as u64;
+    assert!(
+        completed >= 2 && completed <= report.schedules_run,
+        "closure completions ({completed}) bounded by schedules run ({})",
+        report.schedules_run
+    );
+}
+
+/// A spawned-but-never-joined child still participates and the run
+/// terminates cleanly (the controller waits for all OS threads).
+#[test]
+fn detached_threads_are_handled() {
+    let report = explore(&small(), || {
+        let c = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&c);
+        let t = bsched_model::sync::thread::spawn(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        c.fetch_add(1, Ordering::SeqCst);
+        // Dropping the handle detaches; the scheduler still runs the
+        // child to completion before the run ends.
+        drop(t);
+    });
+    assert!(report.failure.is_none());
+    assert!(report.complete);
+}

@@ -29,17 +29,17 @@
 //! growing, which keeps reclamation trivial.
 
 use std::ptr;
-use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
 
 use crate::pool::Job;
+use crate::sync::{fence, AtomicIsize, AtomicPtr, Ordering};
 
 /// Slots per deque. Fan-outs submit at most `threads - 1` drain jobs
 /// and server admission is bounded separately, so 256 is generous; a
 /// full deque is not an error, just an overflow into the injector.
-pub(crate) const CAPACITY: usize = 256;
+pub const CAPACITY: usize = 256;
 
 /// What a thief saw at the top of a victim's deque.
-pub(crate) enum Steal {
+pub enum Steal {
     /// A job, with ownership transferred to the thief.
     Taken(Job),
     /// Nothing to take.
@@ -52,7 +52,7 @@ pub(crate) enum Steal {
 
 /// The deque proper. Jobs are boxed twice: the fat `dyn FnOnce` box is
 /// itself boxed so a slot is one thin pointer an `AtomicPtr` can hold.
-pub(crate) struct Deque {
+pub struct Deque {
     /// Next index a thief steals from.
     top: AtomicIsize,
     /// Next index the owner pushes to.
@@ -64,10 +64,16 @@ pub(crate) struct Deque {
 // `Box<Job>` leaked into it) and every transfer of one between threads
 // is mediated by the acquire/release protocol on `top`/`bottom`.
 unsafe impl Send for Deque {}
+// SAFETY: shared access is the owner/thief protocol itself — slots are
+// written only by the owner at `bottom`, and a thief's claim on a slot
+// is serialised by the `top` compare-exchange (the epoch check above),
+// so `&Deque` from many threads never yields two owners for one job.
 unsafe impl Sync for Deque {}
 
 impl Deque {
-    pub(crate) fn new() -> Deque {
+    /// An empty deque.
+    #[must_use]
+    pub fn new() -> Deque {
         Deque {
             top: AtomicIsize::new(0),
             bottom: AtomicIsize::new(0),
@@ -88,7 +94,7 @@ impl Deque {
 
     /// Owner-only: push a job at the bottom. Returns the job back when
     /// the deque is full (the caller overflows it elsewhere).
-    pub(crate) fn push(&self, job: Job) -> Result<(), Job> {
+    pub fn push(&self, job: Job) -> Result<(), Job> {
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Acquire);
         #[allow(clippy::cast_possible_wrap)]
@@ -104,7 +110,7 @@ impl Deque {
     }
 
     /// Owner-only: pop the most recently pushed job.
-    pub(crate) fn pop(&self) -> Option<Job> {
+    pub fn pop(&self) -> Option<Job> {
         let b = self.bottom.load(Ordering::Relaxed) - 1;
         self.bottom.store(b, Ordering::Relaxed);
         // The SeqCst fence orders the speculative `bottom` decrement
@@ -139,7 +145,7 @@ impl Deque {
     }
 
     /// Thief-side: take the oldest job.
-    pub(crate) fn steal(&self) -> Steal {
+    pub fn steal(&self) -> Steal {
         let t = self.top.load(Ordering::Acquire);
         fence(Ordering::SeqCst);
         let b = self.bottom.load(Ordering::Acquire);
@@ -163,14 +169,14 @@ impl Deque {
     }
 
     /// Approximate live length — a stats snapshot, not a decision input.
-    pub(crate) fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Relaxed);
         usize::try_from(b - t).unwrap_or(0)
     }
 
     /// True when a steal attempt could plausibly succeed right now.
-    pub(crate) fn is_empty(&self) -> bool {
+    pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 }

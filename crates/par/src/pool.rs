@@ -46,13 +46,15 @@
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 use crate::deque::{Deque, Steal};
+use crate::sync::{thread, AtomicBool, AtomicU64, Condvar, Mutex, Ordering};
 use crate::{in_parallel_worker, IN_PARALLEL};
 
-pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A queued unit of work: boxed so one thin pointer moves through the
+/// deques and injector.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// How many injector jobs a dry worker moves into its own deque in one
 /// grab (the first is run immediately). Batching amortises the injector
@@ -69,8 +71,11 @@ thread_local! {
 /// Monotone pool ids so the thread-local worker registration can never
 /// be confused across pools.
 fn next_pool_id() -> u64 {
-    static NEXT: AtomicU64 = AtomicU64::new(1);
-    NEXT.fetch_add(1, Ordering::Relaxed)
+    // Deliberately `std`: a process-wide id counter is bookkeeping, not
+    // part of the pool's concurrency protocol, and a model run must not
+    // interleave on it.
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 /// A point-in-time snapshot of the pool's dispatch counters.
@@ -138,6 +143,7 @@ impl Shared {
     /// `scope` hangs on its latch forever otherwise. The lock is never
     /// held across a job, so a stranded job that itself submits cannot
     /// deadlock.
+    #[cfg_attr(bsched_model_mutant, allow(dead_code))]
     fn run_stranded_inline(&self) {
         loop {
             let job = self.injector.lock().unwrap().pop_front();
@@ -155,7 +161,7 @@ impl Shared {
 /// work-stealing deques and a shared injector for external submissions.
 pub struct WorkerPool {
     shared: Arc<Shared>,
-    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
     size: usize,
 }
 
@@ -179,7 +185,7 @@ impl WorkerPool {
         let handles = (0..size)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("bsched-pool-{i}"))
                     .spawn(move || worker_loop(&shared, i))
                     .expect("spawn pool worker")
@@ -288,7 +294,9 @@ impl WorkerPool {
         // get preempted, and enqueue after the workers drained and
         // exited. Sweep the injector now that the join is done;
         // `submit`'s own post-enqueue re-check covers a push that lands
-        // after this sweep.
+        // after this sweep. (`bsched_model_mutant` reverts this fix so
+        // the model suite can prove the checker catches the PR-6 race.)
+        #[cfg(not(bsched_model_mutant))]
         self.shared.run_stranded_inline();
     }
 
@@ -319,6 +327,7 @@ impl WorkerPool {
         // shutdown's sweep. Deque pushes (the worker fast path) are
         // safe without this: the pushing worker is still alive inside a
         // job, and drains its own deque before exiting.
+        #[cfg(not(bsched_model_mutant))]
         if self.shared.shutdown.load(Ordering::SeqCst) {
             self.shared.run_stranded_inline();
         }

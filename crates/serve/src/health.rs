@@ -16,9 +16,10 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+use bsched_par::sync::{thread, AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 /// Health/probe knobs shared by the router and its prober thread.
 #[derive(Debug, Clone)]
@@ -159,7 +160,7 @@ pub fn prober_loop(shards: &[Arc<ShardState>], cfg: &HealthConfig, stop: &Atomic
         let mut remaining = cfg.interval;
         while remaining > Duration::ZERO && !stop.load(Ordering::Relaxed) {
             let slice = remaining.min(Duration::from_millis(20));
-            std::thread::sleep(slice);
+            thread::sleep(slice);
             remaining = remaining.saturating_sub(slice);
         }
     }

@@ -33,6 +33,7 @@
 //! and any future transport share one implementation.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod cache;
 #[cfg(target_os = "linux")]

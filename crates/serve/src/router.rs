@@ -38,10 +38,11 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
+
+use bsched_par::sync::thread::JoinHandle;
+use bsched_par::sync::{thread, AtomicBool, AtomicU64, Ordering};
 
 use bsched_analyze::json;
 use bsched_faults::{fault_point, Site};
@@ -147,7 +148,7 @@ impl Router {
         let mut threads = Vec::new();
         let probe_inner = Arc::clone(&inner);
         threads.push(
-            std::thread::Builder::new()
+            thread::Builder::new()
                 .name("bsched-route-health".to_owned())
                 .spawn(move || {
                     prober_loop(
@@ -160,7 +161,7 @@ impl Router {
         );
         let accept_inner = Arc::clone(&inner);
         threads.push(
-            std::thread::Builder::new()
+            thread::Builder::new()
                 .name("bsched-route-accept".to_owned())
                 .spawn(move || accept_loop(&listener, &accept_inner))
                 .expect("spawn accept thread"),
@@ -192,6 +193,18 @@ impl Router {
     }
 }
 
+impl Drop for Router {
+    /// A dropped router must not leak its prober or accept thread: set
+    /// the shutdown flag and join both. After an explicit [`Router::join`]
+    /// the thread list is already drained and this is a no-op.
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
 fn accept_loop(listener: &TcpListener, inner: &Arc<RouterInner>) {
     loop {
         if inner.draining() {
@@ -200,12 +213,12 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<RouterInner>) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let conn_inner = Arc::clone(inner);
-                let _ = std::thread::Builder::new()
+                let _ = thread::Builder::new()
                     .name("bsched-route-conn".to_owned())
                     .spawn(move || serve_connection(stream, &conn_inner));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
+                thread::sleep(Duration::from_millis(5));
             }
             Err(_) => break,
         }
@@ -290,7 +303,7 @@ fn route_schedule(inner: &RouterInner, id: Option<&str>, key: u128, line: &str) 
             if attempt > 0 {
                 inner.stats.retries.fetch_add(1, Ordering::Relaxed);
                 degraded = true;
-                std::thread::sleep(inner.cfg.backoff_base * 2u32.pow(attempt - 1));
+                thread::sleep(inner.cfg.backoff_base * 2u32.pow(attempt - 1));
             }
             match forward_once(shard, line, &inner.cfg.health) {
                 Ok(response) => {

@@ -30,10 +30,11 @@
 //! then does [`Server::join`] return.
 
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use bsched_par::sync::thread::JoinHandle;
+use bsched_par::sync::{thread, AtomicBool, Mutex, Ordering};
 
 use bsched_faults::{fault_point, Site};
 use bsched_par::{run_with_timeout, WorkerPool};
@@ -82,18 +83,21 @@ impl Default for ServerConfig {
 }
 
 /// Set by the raw SIGTERM/SIGINT handlers; polled by every IO loop.
-static SIGNALLED: AtomicBool = AtomicBool::new(false);
+///
+/// Deliberately a plain `std` atomic, never the model-checker shim: the
+/// store below runs in async-signal context, which must stay lock-free.
+static SIGNALLED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 extern "C" fn on_signal(_signum: i32) {
     // A relaxed atomic store is async-signal-safe: no locks, no
     // allocation. Everything else happens on normal threads.
-    SIGNALLED.store(true, Ordering::Relaxed);
+    SIGNALLED.store(true, std::sync::atomic::Ordering::Relaxed);
 }
 
 /// True once SIGTERM/SIGINT has been observed (shared with the router,
 /// which has its own drain flag but the same signals).
 pub(crate) fn signalled() -> bool {
-    SIGNALLED.load(Ordering::Relaxed)
+    SIGNALLED.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 /// Installs SIGTERM/SIGINT handlers that begin a graceful drain.
@@ -208,7 +212,7 @@ impl Server {
                 let io_inner = Arc::clone(&inner);
                 let listener = if index == 0 { listener.take() } else { None };
                 threads.push(
-                    std::thread::Builder::new()
+                    thread::Builder::new()
                         .name(format!("bsched-serve-io{index}"))
                         .spawn(move || event::io_loop(&io_inner, index, listener))
                         .expect("spawn io thread"),
@@ -232,7 +236,7 @@ impl Server {
                 shutdown: AtomicBool::new(false),
             });
             let accept_inner = Arc::clone(&inner);
-            let accept = std::thread::Builder::new()
+            let accept = thread::Builder::new()
                 .name("bsched-serve-accept".to_owned())
                 .spawn(move || fallback::accept_loop(&listener, &accept_inner))
                 .expect("spawn accept thread");
@@ -366,7 +370,7 @@ fn run_schedule(
     admitted_at: Instant,
 ) -> String {
     if let Some(fault) = fault_point!(Site::SlowWorker) {
-        std::thread::sleep(Duration::from_millis(fault.arg));
+        thread::sleep(Duration::from_millis(fault.arg));
     }
     let response = match prepare_request(req) {
         Err((kind, reason)) => {

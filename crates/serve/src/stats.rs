@@ -1,7 +1,6 @@
 //! Server counters and service-time percentiles for `/stats`.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use bsched_par::sync::{AtomicU64, AtomicUsize, Mutex, Ordering};
 
 /// How many recent service times feed the percentile estimates.
 const SAMPLE_CAPACITY: usize = 4096;

@@ -286,3 +286,36 @@ fn router_with_every_shard_dead_returns_a_typed_error_not_a_drop() {
     router.begin_shutdown();
     router.join();
 }
+
+#[test]
+fn dropping_a_router_joins_its_threads_instead_of_leaking_them() {
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr").to_string()
+    };
+    let router = Router::start(RouterConfig {
+        shards: vec![dead],
+        health: HealthConfig {
+            interval: Duration::from_millis(10),
+            connect_timeout: Duration::from_millis(50),
+            ..HealthConfig::default()
+        },
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+    let addr = router.local_addr();
+
+    // No begin_shutdown(), no join(): Drop must do the full handshake
+    // itself — flag the prober and accept loop, then join both.
+    let started = std::time::Instant::now();
+    drop(router);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "drop hung instead of draining the router threads"
+    );
+    // The accept thread owned the listener; it exiting closes the port.
+    assert!(
+        std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(250)).is_err(),
+        "listener still accepting after drop — accept thread leaked"
+    );
+}

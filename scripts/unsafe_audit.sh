@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Unsafe audit: every `unsafe` block, fn, or impl in the workspace must
+# carry an adjacent `// SAFETY:` comment naming the invariant that makes
+# it sound. Thin wrapper over `bsched analyze --unsafe-audit` so CI,
+# hooks, and humans all run the identical scanner.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ -x target/release/bsched ]]; then
+    exec target/release/bsched analyze --unsafe-audit "$@"
+fi
+exec cargo run -q --bin bsched -- analyze --unsafe-audit "$@"
