@@ -55,6 +55,20 @@ OPTIONS:
                            and verify it warm-starts from its cache log to a
                            >=90% replay hit rate; adds a \"fleet\" report
                            section and fails the run if either gate misses
+    --add-shard-at N       (with --fleet >= 2) membership chaos: at request
+                           index N of a 3-pass serial mix, spawn a fresh shard
+                           and add it to the live router (assert the re-homed
+                           key fraction stays <= 1.5/members)
+    --drain-shard-at N     (with --fleet >= 2) membership chaos: at request
+                           index N, drain shard 0 through the router (fence,
+                           flush, remove, stop) and verify its cache log is
+                           reusable; with --add-shard-at this is one combined
+                           scenario reported as a \"membership\" section,
+                           failing the run when any request drops
+    --scaleout N1,N2,...   spawn a fresh fleet at each size and measure
+                           aggregate throughput on a compute-bound mix,
+                           recording a \"scaleout\" curve (e.g. --scaleout
+                           1,2,3); needs --fleet mode for the shard binary
 ";
 
 struct Args {
@@ -77,6 +91,9 @@ struct Args {
     serve_bin: String,
     cache_log_dir: Option<String>,
     kill_shard: bool,
+    add_shard_at: Option<usize>,
+    drain_shard_at: Option<usize>,
+    scaleout: Vec<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -100,6 +117,9 @@ fn parse_args() -> Result<Args, String> {
         serve_bin: "target/release/bsched".to_owned(),
         cache_log_dir: None,
         kill_shard: false,
+        add_shard_at: None,
+        drain_shard_at: None,
+        scaleout: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -143,6 +163,22 @@ fn parse_args() -> Result<Args, String> {
             "--serve-bin" => args.serve_bin = value("--serve-bin")?,
             "--cache-log-dir" => args.cache_log_dir = Some(value("--cache-log-dir")?),
             "--kill-shard" => args.kill_shard = true,
+            "--add-shard-at" => {
+                args.add_shard_at = Some(parse_num(&value("--add-shard-at")?, "--add-shard-at")?);
+            }
+            "--drain-shard-at" => {
+                args.drain_shard_at =
+                    Some(parse_num(&value("--drain-shard-at")?, "--drain-shard-at")?);
+            }
+            "--scaleout" => {
+                args.scaleout = value("--scaleout")?
+                    .split(',')
+                    .map(|c| parse_num::<usize>(c.trim(), "--scaleout"))
+                    .collect::<Result<_, _>>()?;
+                if args.scaleout.contains(&0) {
+                    return Err("--scaleout: fleet sizes must be at least 1".to_owned());
+                }
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -157,6 +193,16 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.kill_shard && args.fleet < 2 {
         return Err("--kill-shard needs --fleet N with N >= 2 (someone must fail over)".to_owned());
+    }
+    if (args.add_shard_at.is_some() || args.drain_shard_at.is_some()) && args.fleet < 2 {
+        return Err(
+            "--add-shard-at/--drain-shard-at need --fleet N with N >= 2 (membership \
+             changes against a one-shard ring prove nothing)"
+                .to_owned(),
+        );
+    }
+    if !args.scaleout.is_empty() && args.fleet == 0 {
+        return Err("--scaleout needs --fleet mode (it spawns fleets with --serve-bin)".to_owned());
     }
     if args.clients == 0 || args.passes == 0 {
         return Err("--clients and --passes must be at least 1".to_owned());
@@ -537,6 +583,7 @@ struct Fleet {
     log_paths: Vec<PathBuf>,
     router: Option<Router>,
     serve_bin: String,
+    log_dir: PathBuf,
 }
 
 fn free_port() -> std::io::Result<u16> {
@@ -599,10 +646,15 @@ fn wait_for_daemon(addr: &str, deadline: Duration) -> Result<(), String> {
 }
 
 impl Fleet {
-    fn start(args: &Args) -> Result<Fleet, String> {
-        let dir = match &args.cache_log_dir {
+    fn start(
+        count: usize,
+        serve_bin: &str,
+        cache_log_dir: Option<&str>,
+        tag: &str,
+    ) -> Result<Fleet, String> {
+        let dir = match cache_log_dir {
             Some(d) => PathBuf::from(d),
-            None => std::env::temp_dir().join(format!("bsched-fleet-{}", std::process::id())),
+            None => std::env::temp_dir().join(format!("bsched-{tag}-{}", std::process::id())),
         };
         std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
         let mut fleet = Fleet {
@@ -611,16 +663,11 @@ impl Fleet {
             ports: Vec::new(),
             log_paths: Vec::new(),
             router: None,
-            serve_bin: args.serve_bin.clone(),
+            serve_bin: serve_bin.to_owned(),
+            log_dir: dir.clone(),
         };
-        for i in 0..args.fleet {
-            let port = free_port().map_err(|e| format!("pick shard port: {e}"))?;
-            let log = dir.join(format!("shard-{i}.log"));
-            let child = spawn_shard(&args.serve_bin, port, &log)?;
-            fleet.children.push(Some(child));
-            fleet.shard_addrs.push(format!("127.0.0.1:{port}"));
-            fleet.ports.push(port);
-            fleet.log_paths.push(log);
+        for _ in 0..count {
+            fleet.spawn_extra()?;
         }
         for addr in &fleet.shard_addrs {
             wait_for_daemon(addr, Duration::from_secs(10))?;
@@ -632,13 +679,59 @@ impl Fleet {
         })
         .map_err(|e| format!("start router: {e}"))?;
         eprintln!(
-            "fleet: {} shards behind router {} (logs in {})",
-            args.fleet,
+            "fleet: {count} shards behind router {} (logs in {})",
             router.local_addr(),
             dir.display()
         );
         fleet.router = Some(router);
         Ok(fleet)
+    }
+
+    /// Spawns one more shard daemon (fresh port, fresh cache log) and
+    /// waits for it to answer pings. The shard is NOT told to the
+    /// router — membership changes go through the `add-shard` control
+    /// op, which is the point of the chaos scenario. Returns its addr.
+    fn spawn_extra(&mut self) -> Result<String, String> {
+        let i = self.children.len();
+        let port = free_port().map_err(|e| format!("pick shard port: {e}"))?;
+        let log = self.log_dir.join(format!("shard-{i}.log"));
+        let child = spawn_shard(&self.serve_bin, port, &log)?;
+        let addr = format!("127.0.0.1:{port}");
+        self.children.push(Some(child));
+        self.shard_addrs.push(addr.clone());
+        self.ports.push(port);
+        self.log_paths.push(log);
+        if self.router.is_some() {
+            wait_for_daemon(&addr, Duration::from_secs(10))?;
+        }
+        Ok(addr)
+    }
+
+    /// Waits for a shard child to exit on its own (the drain path: the
+    /// router sends it `op:"shutdown"`, it flushes and leaves). Unlike
+    /// [`kill_shard`](Fleet::kill_shard) nothing is forced — a shard
+    /// that lingers past the deadline is an error.
+    fn wait_shard_exit(&mut self, index: usize, deadline: Duration) -> Result<(), String> {
+        let child = self.children[index]
+            .as_mut()
+            .ok_or_else(|| format!("shard {index} is not running"))?;
+        let started = Instant::now();
+        loop {
+            match child.try_wait() {
+                Ok(Some(_)) => {
+                    self.children[index] = None;
+                    return Ok(());
+                }
+                Ok(None) => {}
+                Err(e) => return Err(format!("wait for shard {index}: {e}")),
+            }
+            if started.elapsed() > deadline {
+                return Err(format!(
+                    "shard {index} still running {deadline:?} after its drain"
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
     }
 
     fn router_addr(&self) -> String {
@@ -838,6 +931,483 @@ fn run_fleet_chaos(
     Ok((json, passed))
 }
 
+/// Sends one membership control op to the router and returns the parsed
+/// response. Draining can wait on in-flight work server-side, so the
+/// read deadline is generous.
+fn control_op(router_addr: &str, line: &str) -> Result<Json, String> {
+    let stream = connect_with_retry(router_addr).map_err(|e| e.to_string())?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| format!("control op: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    writer
+        .write_all(format!("{line}\n").as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("send control op: {e}"))?;
+    let mut response = String::new();
+    reader
+        .read_line(&mut response)
+        .map_err(|e| format!("read control response: {e}"))?;
+    json::parse(response.trim()).ok_or_else(|| format!("malformed control response: {response:?}"))
+}
+
+/// Blanks volatile fields so two responses for the same cached request
+/// compare byte-for-byte: `service_us` is wall-clock and differs per
+/// hit.
+fn normalize_response(line: &str) -> String {
+    const NEEDLE: &str = "\"service_us\":";
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    while let Some(at) = rest.find(NEEDLE) {
+        let tail = &rest[at + NEEDLE.len()..];
+        let digits = tail.bytes().take_while(u8::is_ascii_digit).count();
+        out.push_str(&rest[..at + NEEDLE.len()]);
+        out.push('0');
+        rest = &tail[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Proves streamed responses reassemble bit-identical to plain ones
+/// through the router: prime the cache with a plain request, replay it
+/// plain (now a hit), replay it streamed with the same id, and compare
+/// the reassembled bytes against the plain hit after blanking
+/// `service_us`.
+fn stream_identity_check(addr: &str, args: &Args) -> Result<bool, String> {
+    let bench = bsched_workload::perfect_club()
+        .into_iter()
+        .next()
+        .ok_or("no benchmarks")?;
+    let fields = format!(
+        "\"id\":\"stream-check\",\"benchmark\":{},\"system\":{},\"scheduler\":\"balanced\",\
+         \"runs\":{},\"analyze\":false",
+        json::string(bench.name()),
+        json::string(&args.system),
+        args.runs
+    );
+    let stream = connect_with_retry(addr).map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    let mut ask = |line: String| -> Result<String, String> {
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| writer.flush())
+            .map_err(|e| format!("stream check send: {e}"))?;
+        let mut response = String::new();
+        if reader
+            .read_line(&mut response)
+            .map_err(|e| format!("stream check read: {e}"))?
+            == 0
+        {
+            return Err("stream check: connection closed".to_owned());
+        }
+        Ok(response.trim().to_owned())
+    };
+    // First plain request computes (cached:false); second is the
+    // cache-hit reference the streamed replay must match.
+    let _ = ask(format!("{{\"op\":\"schedule\",{fields}}}"))?;
+    let plain = ask(format!("{{\"op\":\"schedule\",{fields}}}"))?;
+    writer
+        .write_all(format!("{{\"op\":\"schedule\",{fields},\"stream\":true}}\n").as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("stream check send: {e}"))?;
+    let mut chunks = Vec::new();
+    let terminal = loop {
+        let mut line = String::new();
+        if reader
+            .read_line(&mut line)
+            .map_err(|e| format!("stream check read: {e}"))?
+            == 0
+        {
+            return Err("stream check: connection closed mid-stream".to_owned());
+        }
+        let line = line.trim().to_owned();
+        if bsched_serve::is_stream_end(&line) {
+            break line;
+        }
+        if !bsched_serve::is_chunk_line(&line) {
+            eprintln!("stream check: unexpected line in stream: {line}");
+            return Ok(false);
+        }
+        chunks.push(line);
+    };
+    let Some(reassembled) = bsched_serve::reassemble_stream(&chunks, &terminal) else {
+        eprintln!("stream check: terminal line did not reassemble");
+        return Ok(false);
+    };
+    let identical = normalize_response(&reassembled) == normalize_response(&plain);
+    if !identical {
+        eprintln!(
+            "stream check: reassembled response differs from the plain one\n  plain: {}…\n  \
+             reassembled: {}…",
+            &plain[..plain.len().min(160)],
+            &reassembled[..reassembled.len().min(160)],
+        );
+    }
+    Ok(identical)
+}
+
+/// The membership chaos scenario behind `--add-shard-at`/
+/// `--drain-shard-at` (DESIGN.md §14): a serial 3-pass mix through the
+/// router with live membership changes injected at the given request
+/// indices. Every request must be answered `ok` — adds and drains are
+/// invisible to clients — the add must re-home only ~1/N of the key
+/// space, and the drained shard must exit on its own with a reusable
+/// cache log.
+#[allow(clippy::too_many_lines)]
+fn run_membership_chaos(
+    fleet: &mut Fleet,
+    args: &Args,
+    router_addr: &str,
+) -> Result<(String, bool), String> {
+    let mut mix = Vec::new();
+    for pass in [950, 951, 952] {
+        mix.extend(request_mix(args, pass));
+    }
+    let add_at = args.add_shard_at.map(|n| n.min(mix.len()));
+    let drain_at = args.drain_shard_at.map(|n| n.min(mix.len()));
+
+    let mut outcome = PassOutcome::default();
+    let mut added: Option<(String, f64, u64)> = None; // (addr, rehomed, members)
+    let mut drained: Option<(bool, bool)> = None; // (drained ok, child exited)
+    let victim = 0usize;
+    let before_members = u64::try_from(fleet.shard_addrs.len()).unwrap_or(u64::MAX);
+
+    {
+        let stream = connect_with_retry(router_addr).map_err(|e| e.to_string())?;
+        let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        let mut writer = stream;
+        let mut frame = Vec::new();
+        for idx in 0..=mix.len() {
+            if add_at == Some(idx) {
+                let addr = fleet.spawn_extra()?;
+                let response = control_op(
+                    router_addr,
+                    &format!("{{\"op\":\"add-shard\",\"addr\":{}}}", json::string(&addr)),
+                )?;
+                let rehomed = response
+                    .get("rehomed_fraction")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(1.0);
+                let members = response.get("members").and_then(Json::as_u64).unwrap_or(0);
+                eprintln!(
+                    "membership: added {addr} at request {idx} (members={members}, \
+                     rehomed_fraction={rehomed:.4})"
+                );
+                added = Some((addr, rehomed, members));
+            }
+            if drain_at == Some(idx) {
+                let addr = fleet.shard_addrs[victim].clone();
+                let response = control_op(
+                    router_addr,
+                    &format!(
+                        "{{\"op\":\"drain-shard\",\"addr\":{},\"stop\":true}}",
+                        json::string(&addr)
+                    ),
+                )?;
+                let ok = response.get("drained").and_then(Json::as_str) == Some(addr.as_str())
+                    && response.get("stopped").and_then(Json::as_bool) == Some(true);
+                let exited = fleet
+                    .wait_shard_exit(victim, Duration::from_secs(10))
+                    .is_ok();
+                eprintln!(
+                    "membership: drained {addr} at request {idx} (accepted={ok}, exited={exited})"
+                );
+                drained = Some((ok, exited));
+            }
+            let Some(req) = mix.get(idx) else { break };
+            frame.clear();
+            frame.extend_from_slice(req.line.as_bytes());
+            frame.push(b'\n');
+            writer
+                .write_all(&frame)
+                .map_err(|e| format!("membership mix send: {e}"))?;
+            let started = Instant::now();
+            let mut line = String::new();
+            if reader
+                .read_line(&mut line)
+                .map_err(|e| format!("membership mix read: {e}"))?
+                == 0
+            {
+                outcome.dropped += u64::try_from(mix.len() - idx).unwrap_or(u64::MAX);
+                break;
+            }
+            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            outcome.latencies_us.push(micros);
+            classify(&mut outcome, &req.id, line.trim());
+        }
+    }
+
+    let total = u64::try_from(mix.len()).unwrap_or(u64::MAX);
+    let requests_ok = outcome.ok == total
+        && outcome.dropped == 0
+        && outcome.malformed == 0
+        && outcome.errors == 0
+        && outcome.timeouts == 0
+        && outcome.overloaded == 0;
+    eprintln!(
+        "membership: mix {}/{total} ok ({} degraded), errors={} dropped={} malformed={}",
+        outcome.ok, outcome.degraded, outcome.errors, outcome.dropped, outcome.malformed
+    );
+
+    // Re-homed fraction gate: adding one member to an N-shard ring may
+    // only move the keys the new member now owns (~1/N of the space,
+    // 1.5/N with sampling slack).
+    let (rehomed, rehome_ok) = match &added {
+        Some((_, rehomed, members)) => {
+            #[allow(clippy::cast_precision_loss)]
+            let bound = 1.5 / (*members).max(1) as f64;
+            (*rehomed, *rehomed <= bound && *rehomed > 0.0)
+        }
+        None => (0.0, add_at.is_none()),
+    };
+    let drain_ok = match drained {
+        Some((ok, exited)) => ok && exited,
+        None => drain_at.is_none(),
+    };
+
+    // The drained shard flushed its cache log on the way out; a fresh
+    // in-process server warm-starting from that log proves the flush.
+    let log_reusable = if drain_at.is_some() && drain_ok {
+        let reuse = Server::start(ServerConfig {
+            listen: "127.0.0.1:0".to_owned(),
+            cache_log: Some(fleet.log_paths[victim].display().to_string()),
+            workers: 1,
+            io_threads: 1,
+            ..ServerConfig::default()
+        })
+        .map_err(|e| format!("reuse drained cache log: {e}"))?;
+        let entries = stat_u64(
+            &fetch_stats(&reuse.local_addr().to_string())?,
+            "cache_entries",
+        );
+        reuse.begin_shutdown();
+        reuse.join();
+        eprintln!("membership: drained shard's log warm-starts {entries} entries");
+        entries >= 1
+    } else {
+        drain_at.is_none()
+    };
+
+    let stream_identical = stream_identity_check(router_addr, args)?;
+    eprintln!("membership: streamed == plain through the router: {stream_identical}");
+
+    let final_merged = fetch_stats(router_addr)?;
+    let passed = requests_ok && rehome_ok && drain_ok && log_reusable && stream_identical;
+    let json = format!(
+        "{{\"initial_shards\":{before_members},\"requests\":{total},\"ok\":{},\
+         \"degraded\":{},\"errors\":{},\"overloaded\":{},\"timeouts\":{},\"dropped\":{},\
+         \"malformed\":{},\"added\":{},\"rehomed_fraction\":{rehomed:.4},\
+         \"rehome_ok\":{rehome_ok},\"drained\":{},\"drain_ok\":{drain_ok},\
+         \"drained_log_reusable\":{log_reusable},\"stream_identical\":{stream_identical},\
+         \"members_now\":{},\"passed\":{passed}}}",
+        outcome.ok,
+        outcome.degraded,
+        outcome.errors,
+        outcome.overloaded,
+        outcome.timeouts,
+        outcome.dropped,
+        outcome.malformed,
+        added
+            .as_ref()
+            .map_or_else(|| "null".to_owned(), |(a, _, _)| json::string(a)),
+        drain_at.map_or_else(
+            || "null".to_owned(),
+            |_| json::string(&fleet.shard_addrs[victim])
+        ),
+        stat_u64(&final_merged, "members"),
+    );
+    Ok((json, passed))
+}
+
+/// One point on the `--scaleout` aggregate-throughput curve.
+struct ScalePoint {
+    shards: usize,
+    clients: usize,
+    requests: usize,
+    stall_us: u64,
+    outcome: PassOutcome,
+    wall_s: f64,
+    throughput_rps: f64,
+}
+
+impl ScalePoint {
+    fn render(&self) -> String {
+        let o = &self.outcome;
+        format!(
+            "{{\"shards\":{},\"clients\":{},\"requests\":{},\"stall_us\":{},\"ok\":{},\
+             \"cached\":{},\"errors\":{},\"overloaded\":{},\"timeouts\":{},\"dropped\":{},\
+             \"malformed\":{},\"wall_s\":{:.6},\"throughput_rps\":{:.3},\
+             \"p50_us\":{},\"p99_us\":{}}}",
+            self.shards,
+            self.clients,
+            self.requests,
+            self.stall_us,
+            o.ok,
+            o.cached,
+            o.errors,
+            o.overloaded,
+            o.timeouts,
+            o.dropped,
+            o.malformed,
+            self.wall_s,
+            self.throughput_rps,
+            percentile(&o.latencies_us, 0.50),
+            percentile(&o.latencies_us, 0.99),
+        )
+    }
+}
+
+/// Request mix for the scale-out curve: every request carries a
+/// distinct seed (240 distinct cache keys per point, spread across the
+/// ring by rendezvous hashing). With `stall_us` > 0 each request also
+/// carries a simulated service stall, which the shard sleeps on a
+/// worker thread before consulting its cache.
+fn scaleout_mix(
+    args: &Args,
+    shards: usize,
+    per_client: usize,
+    clients: usize,
+    stall_us: u64,
+) -> Vec<Vec<Prepared>> {
+    let club = bsched_workload::perfect_club();
+    (0..clients)
+        .map(|c| {
+            (0..per_client)
+                .map(|i| {
+                    let n = c * per_client + i;
+                    let bench = &club[n % club.len()];
+                    let seed = 100_000 * shards + n;
+                    let id = format!("scale{shards}-c{c}-{n}");
+                    let stall = if stall_us > 0 {
+                        format!(",\"stall_us\":{stall_us}")
+                    } else {
+                        String::new()
+                    };
+                    let line = format!(
+                        "{{\"op\":\"schedule\",\"id\":{},\"benchmark\":{},\"system\":{},\
+                         \"scheduler\":\"balanced\",\"runs\":{},\"seed\":{seed},\
+                         \"analyze\":false{stall}}}",
+                        json::string(&id),
+                        json::string(bench.name()),
+                        json::string(&args.system),
+                        args.runs,
+                    );
+                    Prepared { id, line }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Drives one full mix (one thread per client) and merges the
+/// per-client outcomes into the given list.
+fn drive_mix(addr: &str, per_client: &[Vec<Prepared>]) -> Vec<PassOutcome> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = per_client
+            .iter()
+            .map(|reqs| {
+                let addr = addr.to_owned();
+                scope.spawn(move || run_client(&addr, reqs))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(Ok(outcome)) => outcome,
+                Ok(Err(e)) => {
+                    eprintln!("bsched-loadgen: scaleout client error: {e}");
+                    PassOutcome {
+                        malformed: 1,
+                        ..PassOutcome::default()
+                    }
+                }
+                Err(_) => PassOutcome {
+                    malformed: 1,
+                    ..PassOutcome::default()
+                },
+            })
+            .collect()
+    })
+}
+
+/// The `--scaleout` sweep: for each requested fleet size, stand up a
+/// fresh fleet (own shards, own router, own logs), warm every cache key
+/// with an untimed pass, then drive the same mix again with a 20 ms
+/// simulated service stall per request and record aggregate throughput.
+///
+/// The timed pass is **service-time-bound, not CPU-bound**: each
+/// request pins a shard worker for the stall duration, so aggregate
+/// throughput is capped by fleet-wide worker concurrency
+/// (shards × workers), exactly the capacity that adding a shard buys.
+/// That makes the curve a portable proof that the router drives shards
+/// concurrently (no hidden serialization in forwarding, admission, or
+/// placement) — it scales with shard count even on a single-core host,
+/// where a compute-bound mix could only measure core count. The
+/// workload and client concurrency never change across points; only
+/// the shard count does.
+fn run_scaleout(args: &Args, sizes: &[usize]) -> Result<Vec<ScalePoint>, String> {
+    const CLIENTS: usize = 16;
+    const PER_CLIENT: usize = 15;
+    const STALL_US: u64 = 20_000;
+    let mut points = Vec::new();
+    for &shards in sizes {
+        let mut fleet = Fleet::start(shards, &args.serve_bin, None, &format!("scale{shards}"))?;
+        let addr = fleet.router_addr();
+        let warm = scaleout_mix(args, shards, PER_CLIENT, CLIENTS, 0);
+        let warmed: u64 = drive_mix(&addr, &warm).iter().map(|o| o.ok).sum();
+        if warmed < (CLIENTS * PER_CLIENT) as u64 {
+            eprintln!(
+                "bsched-loadgen: scaleout warm pass shards={shards}: only {warmed}/{} ok",
+                CLIENTS * PER_CLIENT
+            );
+        }
+        let timed = scaleout_mix(args, shards, PER_CLIENT, CLIENTS, STALL_US);
+        let started = Instant::now();
+        let outcomes = drive_mix(&addr, &timed);
+        let wall = started.elapsed();
+        fleet.shutdown();
+        let mut merged = PassOutcome::default();
+        for o in outcomes {
+            merged.ok += o.ok;
+            merged.cached += o.cached;
+            merged.degraded += o.degraded;
+            merged.errors += o.errors;
+            merged.overloaded += o.overloaded;
+            merged.timeouts += o.timeouts;
+            merged.dropped += o.dropped;
+            merged.malformed += o.malformed;
+            merged.latencies_us.extend(o.latencies_us);
+        }
+        merged.latencies_us.sort_unstable();
+        #[allow(clippy::cast_precision_loss)]
+        let throughput = if wall.as_secs_f64() > 0.0 {
+            merged.latencies_us.len() as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        let point = ScalePoint {
+            shards,
+            clients: CLIENTS,
+            requests: CLIENTS * PER_CLIENT,
+            stall_us: STALL_US,
+            outcome: merged,
+            wall_s: wall.as_secs_f64(),
+            throughput_rps: throughput,
+        };
+        eprintln!(
+            "scaleout shards={shards}: {}/{} answered in {:.3}s ({throughput:.1} req/s)",
+            point.outcome.latencies_us.len(),
+            point.requests,
+            point.wall_s,
+        );
+        points.push(point);
+    }
+    Ok(points)
+}
+
 #[allow(clippy::too_many_lines)]
 fn run() -> Result<i32, String> {
     let args = parse_args()?;
@@ -856,7 +1426,12 @@ fn run() -> Result<i32, String> {
         None
     };
     let mut fleet = if args.fleet > 0 {
-        Some(Fleet::start(&args)?)
+        Some(Fleet::start(
+            args.fleet,
+            &args.serve_bin,
+            args.cache_log_dir.as_deref(),
+            "fleet",
+        )?)
     } else {
         None
     };
@@ -1014,10 +1589,41 @@ fn run() -> Result<i32, String> {
         String::new()
     };
 
+    let mut membership_failed = false;
+    let membership_report = if args.add_shard_at.is_some() || args.drain_shard_at.is_some() {
+        let fleet_ref = fleet
+            .as_mut()
+            .expect("--add-shard-at/--drain-shard-at validated to imply --fleet");
+        let (json, passed) = run_membership_chaos(fleet_ref, &args, &addr)?;
+        membership_failed = !passed;
+        format!(",\"membership\":{json}")
+    } else {
+        String::new()
+    };
+
+    let scaleout_report = if args.scaleout.is_empty() {
+        String::new()
+    } else {
+        let points = run_scaleout(&args, &args.scaleout)?;
+        for p in &points {
+            total_dropped += p.outcome.dropped;
+            total_malformed += p.outcome.malformed;
+        }
+        format!(
+            ",\"scaleout\":[{}]",
+            points
+                .iter()
+                .map(ScalePoint::render)
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    };
+
     let final_stats = fetch_stats(&addr)?;
     let report = format!(
         "{{\"bench\":\"serve\",\"system\":{},\"schedulers\":[{}],\"clients\":{},\
-         \"passes\":[{}],\"final_stats\":{}{burst_report}{sweep_report}{fleet_report}}}",
+         \"passes\":[{}],\"final_stats\":{}{burst_report}{sweep_report}{fleet_report}\
+         {membership_report}{scaleout_report}}}",
         json::string(&args.system),
         args.schedulers
             .iter()
@@ -1049,6 +1655,12 @@ fn run() -> Result<i32, String> {
 
     if fleet_failed {
         eprintln!("bsched-loadgen: FAIL: fleet chaos gates missed (see the \"fleet\" report)");
+        return Ok(1);
+    }
+    if membership_failed {
+        eprintln!(
+            "bsched-loadgen: FAIL: membership chaos gates missed (see the \"membership\" report)"
+        );
         return Ok(1);
     }
     if total_dropped > 0 || total_malformed > 0 {

@@ -19,7 +19,53 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
-use bsched_par::sync::{thread, AtomicBool, AtomicU32, AtomicU64, Ordering};
+use bsched_par::sync::{thread, AtomicBool, AtomicU32, AtomicU64, Mutex, Ordering};
+
+/// Where a shard sits in the router's membership lifecycle:
+/// joining → active → draining → gone (removed from the member list).
+///
+/// Liveness (`up`) and membership are orthogonal: an Active shard can
+/// be down (probe failures) and come back; a Joining shard is up-and
+/// -waiting for its first successful probe before it owns keys; a
+/// Draining shard is fenced — no new forwards — while in-flight work
+/// lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberState {
+    /// Added but not yet proven reachable; owns no keys.
+    Joining,
+    /// Full ring member: owns its rendezvous key slice.
+    Active,
+    /// Fenced: finishes in-flight forwards, accepts no new ones.
+    Draining,
+}
+
+impl MemberState {
+    /// Wire name of the state, as echoed in `/stats` and `members`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MemberState::Joining => "joining",
+            MemberState::Active => "active",
+            MemberState::Draining => "draining",
+        }
+    }
+
+    fn from_u32(v: u32) -> MemberState {
+        match v {
+            0 => MemberState::Joining,
+            2 => MemberState::Draining,
+            _ => MemberState::Active,
+        }
+    }
+
+    fn as_u32(self) -> u32 {
+        match self {
+            MemberState::Joining => 0,
+            MemberState::Active => 1,
+            MemberState::Draining => 2,
+        }
+    }
+}
 
 /// Health/probe knobs shared by the router and its prober thread.
 #[derive(Debug, Clone)]
@@ -60,12 +106,26 @@ pub struct ShardState {
     pub failed_over: AtomicU64,
     /// Times this shard transitioned up → down.
     pub down_transitions: AtomicU64,
+    membership: AtomicU32,
+    /// Forwards currently in flight to this shard; drain waits for zero.
+    inflight: AtomicU64,
 }
 
 impl ShardState {
-    /// A fresh, optimistically-up shard.
+    /// A fresh, optimistically-up, Active shard.
     #[must_use]
     pub fn new(addr: String) -> ShardState {
+        ShardState::with_state(addr, MemberState::Active)
+    }
+
+    /// A shard adopted at runtime that has not yet answered a probe; it
+    /// owns no keys until the prober promotes it to Active.
+    #[must_use]
+    pub fn new_joining(addr: String) -> ShardState {
+        ShardState::with_state(addr, MemberState::Joining)
+    }
+
+    fn with_state(addr: String, state: MemberState) -> ShardState {
         ShardState {
             addr,
             up: AtomicBool::new(true),
@@ -73,6 +133,8 @@ impl ShardState {
             forwarded: AtomicU64::new(0),
             failed_over: AtomicU64::new(0),
             down_transitions: AtomicU64::new(0),
+            membership: AtomicU32::new(state.as_u32()),
+            inflight: AtomicU64::new(0),
         }
     }
 
@@ -82,9 +144,60 @@ impl ShardState {
         self.up.load(Ordering::Relaxed)
     }
 
-    /// Records a successful probe or forward: one success rehabilitates.
+    /// Where this shard sits in the membership lifecycle.
+    #[must_use]
+    pub fn member_state(&self) -> MemberState {
+        MemberState::from_u32(self.membership.load(Ordering::SeqCst))
+    }
+
+    /// Moves the shard to a new membership state.
+    pub fn set_member_state(&self, state: MemberState) {
+        self.membership.store(state.as_u32(), Ordering::SeqCst);
+    }
+
+    /// Forwards currently in flight to this shard.
+    #[must_use]
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// Fences a forward against drain: increments the in-flight count
+    /// *then* re-checks membership, so a drainer that observes the
+    /// Draining state before the count can never miss this forward.
+    /// Returns `false` (count released) when the shard is not Active.
+    #[must_use]
+    pub fn begin_forward(&self) -> bool {
+        self.inflight.fetch_add(1, Ordering::SeqCst);
+        if self.member_state() == MemberState::Active {
+            true
+        } else {
+            self.inflight.fetch_sub(1, Ordering::SeqCst);
+            false
+        }
+    }
+
+    /// Releases a forward admitted by [`Self::begin_forward`].
+    pub fn end_forward(&self) {
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Records a successful probe or forward: one success rehabilitates,
+    /// and promotes a Joining shard to Active (it has now proven it
+    /// speaks the protocol, so it may own keys).
     pub fn record_success(&self) {
         self.consecutive_failures.store(0, Ordering::Relaxed);
+        if self
+            .membership
+            .compare_exchange(
+                MemberState::Joining.as_u32(),
+                MemberState::Active.as_u32(),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+        {
+            eprintln!("bsched-serve: shard {} joined the ring", self.addr);
+        }
         if !self.up.swap(true, Ordering::Relaxed) {
             eprintln!("bsched-serve: shard {} is back up", self.addr);
         }
@@ -142,27 +255,50 @@ pub fn connect_with_deadline(addr: &str, timeout: Duration) -> std::io::Result<T
 /// plans can take a shard "down" deterministically.
 pub fn prober_loop(shards: &[Arc<ShardState>], cfg: &HealthConfig, stop: &AtomicBool) {
     while !stop.load(Ordering::Relaxed) {
-        for (index, shard) in shards.iter().enumerate() {
-            let injected_down = bsched_faults::with_cell_context(
-                &format!("shard{index}|{}", shard.addr),
-                0,
-                || bsched_faults::fault_point!(bsched_faults::Site::ShardDown),
-            )
+        probe_tick(shards, cfg);
+        sleep_sliced(cfg.interval, stop);
+    }
+}
+
+/// Membership-aware prober: re-snapshots the member list each tick, so
+/// shards added or drained at runtime are picked up without restarting
+/// the router. Joining shards get probed like any other member — their
+/// first successful probe promotes them to Active.
+pub fn prober_loop_dynamic(
+    members: &Mutex<Vec<Arc<ShardState>>>,
+    cfg: &HealthConfig,
+    stop: &AtomicBool,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        let snapshot = members.lock().unwrap().clone();
+        probe_tick(&snapshot, cfg);
+        sleep_sliced(cfg.interval, stop);
+    }
+}
+
+fn probe_tick(shards: &[Arc<ShardState>], cfg: &HealthConfig) {
+    for (index, shard) in shards.iter().enumerate() {
+        let injected_down =
+            bsched_faults::with_cell_context(&format!("shard{index}|{}", shard.addr), 0, || {
+                bsched_faults::fault_point!(bsched_faults::Site::ShardDown)
+            })
             .is_some();
-            if !injected_down && ping_shard(&shard.addr, cfg) {
-                shard.record_success();
-            } else {
-                shard.record_failure(cfg.failure_threshold);
-            }
+        if !injected_down && ping_shard(&shard.addr, cfg) {
+            shard.record_success();
+        } else {
+            shard.record_failure(cfg.failure_threshold);
         }
-        // Sleep in small slices so shutdown is prompt even with a long
-        // probe interval.
-        let mut remaining = cfg.interval;
-        while remaining > Duration::ZERO && !stop.load(Ordering::Relaxed) {
-            let slice = remaining.min(Duration::from_millis(20));
-            thread::sleep(slice);
-            remaining = remaining.saturating_sub(slice);
-        }
+    }
+}
+
+/// Sleeps in small slices so shutdown is prompt even with a long probe
+/// interval.
+fn sleep_sliced(total: Duration, stop: &AtomicBool) {
+    let mut remaining = total;
+    while remaining > Duration::ZERO && !stop.load(Ordering::Relaxed) {
+        let slice = remaining.min(Duration::from_millis(20));
+        thread::sleep(slice);
+        remaining = remaining.saturating_sub(slice);
     }
 }
 
@@ -189,6 +325,31 @@ mod tests {
         shard.record_success();
         assert!(shard.is_up(), "one success rehabilitates");
         assert_eq!(shard.consecutive_failures.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn forward_fencing_tracks_membership() {
+        let shard = ShardState::new("127.0.0.1:1".to_owned());
+        assert_eq!(shard.member_state(), MemberState::Active);
+        assert!(shard.begin_forward());
+        assert_eq!(shard.inflight(), 1);
+        shard.set_member_state(MemberState::Draining);
+        assert!(!shard.begin_forward(), "draining shards are fenced");
+        assert_eq!(shard.inflight(), 1, "fenced attempt released its slot");
+        shard.end_forward();
+        assert_eq!(shard.inflight(), 0);
+
+        let joiner = ShardState::new_joining("127.0.0.1:2".to_owned());
+        assert_eq!(joiner.member_state(), MemberState::Joining);
+        assert!(!joiner.begin_forward(), "joining shards own no keys yet");
+        joiner.record_success();
+        assert_eq!(
+            joiner.member_state(),
+            MemberState::Active,
+            "first success promotes"
+        );
+        assert!(joiner.begin_forward());
+        joiner.end_forward();
     }
 
     #[test]

@@ -46,9 +46,12 @@ pub mod server;
 pub mod stats;
 
 pub use cache::{stable_key, LruCache};
-pub use health::{HealthConfig, ShardState};
+pub use health::{HealthConfig, MemberState, ShardState};
 pub use persist::CacheLog;
-pub use protocol::{parse_request, KernelSource, Request, ScheduleRequest};
+pub use protocol::{
+    is_chunk_line, is_stream_end, parse_request, read_line_bounded, reassemble_stream,
+    split_stream, KernelSource, Request, ScheduleRequest, STREAM_END_MARKER,
+};
 pub use router::{Router, RouterConfig};
 pub use server::{install_signal_handlers, Server, ServerConfig};
 pub use stats::ServerStats;

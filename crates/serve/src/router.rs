@@ -31,25 +31,61 @@
 //! down by whichever notices first, and one successful probe or forward
 //! rehabilitates it.
 //!
+//! ## Live membership
+//!
+//! The member list is mutable at runtime: `add-shard` adopts a daemon
+//! into the ring (Joining until its first successful probe, so an
+//! unreachable address never owns keys), and `drain-shard` walks a
+//! shard through Draining — fence new forwards, wait for in-flight
+//! ones to land, optionally stop the daemon (flushing its cache log) —
+//! before removing it. Rendezvous hashing keeps the collateral minimal
+//! either way: only ~1/N of keys re-home, which `add-shard` measures
+//! over a sampled keyspace and reports as `rehomed_fraction`.
+//!
+//! ## Streaming
+//!
+//! A `"stream":true` schedule request is relayed line-by-line: chunk
+//! lines as they arrive from the shard, then the terminal summary line
+//! (framed by [`crate::protocol::STREAM_END_MARKER`]). Failover and
+//! retries are legal only before the first chunk reaches the client;
+//! a shard that dies mid-stream gets a typed `stream_aborted`
+//! terminator spliced in — never a silent truncation, never duplicated
+//! chunks.
+//!
 //! Transport is deliberately thread-per-connection blocking IO: a
 //! router holds one client connection per loadgen worker — tens, not
 //! thousands — and its real latency is the downstream evaluation, not
 //! connection multiplexing.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bsched_par::sync::thread::JoinHandle;
-use bsched_par::sync::{thread, AtomicBool, AtomicU64, Ordering};
+use bsched_par::sync::{thread, AtomicBool, AtomicU64, Mutex, Ordering};
 
 use bsched_analyze::json;
 use bsched_faults::{fault_point, Site};
 
-use crate::health::{connect_with_deadline, prober_loop, HealthConfig, ShardState};
+use crate::health::{
+    connect_with_deadline, ping_shard, prober_loop_dynamic, HealthConfig, MemberState, ShardState,
+};
 use crate::prepare_request;
-use crate::protocol::{error_response, id_fragment, parse_request, request_id, Request};
+use crate::protocol::{
+    error_response, id_fragment, is_chunk_line, is_stream_end, parse_request, read_line_bounded,
+    request_id, stream_aborted_response, Request,
+};
+
+/// Inbound cap on client request lines, matching the daemon's default.
+const MAX_CLIENT_LINE: usize = crate::server::DEFAULT_MAX_LINE_BYTES;
+/// Cap on a single relayed shard response line (chunks included);
+/// responses for large programs are big, but not unbounded.
+const MAX_SHARD_LINE: usize = 64 * 1024 * 1024;
+/// How long a drain waits for a fenced shard's in-flight forwards.
+const DRAIN_INFLIGHT_GRACE: Duration = Duration::from_secs(10);
+/// Keys sampled when measuring a membership change's re-home fraction.
+const REHOME_SAMPLES: u64 = 4096;
 
 /// Knobs for one router instance.
 #[derive(Debug, Clone)]
@@ -65,6 +101,10 @@ pub struct RouterConfig {
     pub attempts_per_shard: u32,
     /// First retry backoff; doubles per further attempt.
     pub backoff_base: Duration,
+    /// Per-line read deadline on router→shard forwards: a shard that
+    /// accepts the connection but never answers trips retry/failover
+    /// instead of stalling the client forever.
+    pub forward_timeout: Duration,
 }
 
 impl Default for RouterConfig {
@@ -75,6 +115,7 @@ impl Default for RouterConfig {
             health: HealthConfig::default(),
             attempts_per_shard: 2,
             backoff_base: Duration::from_millis(10),
+            forward_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -96,11 +137,19 @@ pub struct RouterStats {
     /// Requests answered with a router-generated error (parse,
     /// unavailable, …).
     pub errors: AtomicU64,
+    /// Forward attempts that hit the read deadline (hung shard).
+    pub forward_timeouts: AtomicU64,
+    /// Streamed responses relayed chunk-by-chunk.
+    pub streams: AtomicU64,
+    /// Streams terminated with a typed `stream_aborted` line.
+    pub stream_aborts: AtomicU64,
 }
 
 struct RouterInner {
     cfg: RouterConfig,
-    shards: Vec<Arc<ShardState>>,
+    /// The live member list; locked briefly for snapshots and
+    /// membership changes, never across a forward.
+    members: Mutex<Vec<Arc<ShardState>>>,
     stats: RouterStats,
     shutdown: AtomicBool,
 }
@@ -134,13 +183,13 @@ impl Router {
         let listener = TcpListener::bind(&cfg.listen)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let shards: Vec<Arc<ShardState>> = cfg
+        let members: Vec<Arc<ShardState>> = cfg
             .shards
             .iter()
             .map(|a| Arc::new(ShardState::new(a.clone())))
             .collect();
         let inner = Arc::new(RouterInner {
-            shards,
+            members: Mutex::new(members),
             cfg,
             stats: RouterStats::default(),
             shutdown: AtomicBool::new(false),
@@ -151,8 +200,8 @@ impl Router {
             thread::Builder::new()
                 .name("bsched-route-health".to_owned())
                 .spawn(move || {
-                    prober_loop(
-                        &probe_inner.shards,
+                    prober_loop_dynamic(
+                        &probe_inner.members,
                         &probe_inner.cfg.health,
                         &probe_inner.shutdown,
                     );
@@ -229,73 +278,129 @@ fn serve_connection(stream: TcpStream, inner: &Arc<RouterInner>) {
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match read_line_bounded(&mut reader, MAX_CLIENT_LINE) {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+                let notice = crate::protocol::too_large_response(None, MAX_CLIENT_LINE);
+                let _ = write_line(&mut writer, &notice);
+                break;
+            }
+            Err(_) => break,
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let response = route_line(inner, &line);
-        if writer
-            .write_all(response.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
+        if route_request(inner, &line, &mut writer).is_err() {
             break;
         }
     }
 }
 
-/// Routes one raw request line and renders the response line.
-fn route_line(inner: &RouterInner, line: &str) -> String {
+fn write_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Routes one raw request line, writing the response line(s) — plural
+/// for streamed schedules — directly to the client.
+fn route_request(inner: &RouterInner, line: &str, writer: &mut TcpStream) -> std::io::Result<()> {
     inner.stats.requests.fetch_add(1, Ordering::Relaxed);
     let id = request_id(line);
+    let id = id.as_deref();
     match parse_request(line) {
         Err(reason) => {
             inner.stats.errors.fetch_add(1, Ordering::Relaxed);
-            error_response(id.as_deref(), "parse", &reason)
+            write_line(writer, &error_response(id, "parse", &reason))
         }
-        Ok(Request::Ping) => format!(
-            "{{{}\"status\":\"ok\",\"pong\":true,\"router\":true}}",
-            id_fragment(id.as_deref())
+        Ok(Request::Ping) => write_line(
+            writer,
+            &format!(
+                "{{{}\"status\":\"ok\",\"pong\":true,\"router\":true}}",
+                id_fragment(id)
+            ),
         ),
-        Ok(Request::Stats) => merged_stats(inner, id.as_deref()),
+        Ok(Request::Stats) => write_line(writer, &merged_stats(inner, id)),
         Ok(Request::Shutdown) => {
             inner.shutdown.store(true, Ordering::Relaxed);
-            format!(
-                "{{{}\"status\":\"ok\",\"draining\":true,\"router\":true}}",
-                id_fragment(id.as_deref())
+            write_line(
+                writer,
+                &format!(
+                    "{{{}\"status\":\"ok\",\"draining\":true,\"router\":true}}",
+                    id_fragment(id)
+                ),
             )
+        }
+        Ok(Request::Members) => write_line(writer, &members_response(inner, id)),
+        Ok(Request::AddShard { addr }) => write_line(writer, &add_shard(inner, id, &addr)),
+        Ok(Request::DrainShard { addr, stop }) => {
+            write_line(writer, &drain_shard(inner, id, &addr, stop))
         }
         Ok(Request::Schedule(req)) => match prepare_request(&req) {
             Err((kind, reason)) => {
                 inner.stats.errors.fetch_add(1, Ordering::Relaxed);
-                error_response(id.as_deref(), kind.id(), &reason)
+                write_line(writer, &error_response(id, kind.id(), &reason))
             }
-            Ok(prepared) => route_schedule(inner, id.as_deref(), prepared.key(), line),
+            Ok(prepared) if req.stream => route_stream(inner, id, prepared.key(), line, writer),
+            Ok(prepared) => write_line(writer, &route_schedule(inner, id, prepared.key(), line)),
         },
+    }
+}
+
+/// Snapshot of the members currently eligible to own keys.
+fn active_members(inner: &RouterInner) -> Vec<Arc<ShardState>> {
+    inner
+        .members
+        .lock()
+        .unwrap()
+        .iter()
+        .filter(|s| s.member_state() == MemberState::Active)
+        .cloned()
+        .collect()
+}
+
+/// One shard's fault-injection + liveness + fence check before a
+/// forward. Returns `false` (with failover accounting) when the shard
+/// must be skipped; on `true` the caller owns one `end_forward`.
+fn admit_forward(shard: &ShardState, index: usize, threshold: u32) -> bool {
+    let injected_down =
+        bsched_faults::with_cell_context(&format!("shard{index}|{}", shard.addr), 0, || {
+            fault_point!(Site::ShardDown)
+        })
+        .is_some();
+    if injected_down {
+        shard.record_failure(threshold);
+    }
+    if injected_down || !shard.is_up() || !shard.begin_forward() {
+        shard.failed_over.fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
+    true
+}
+
+fn count_forward_error(inner: &RouterInner, e: &std::io::Error) {
+    if matches!(
+        e.kind(),
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    ) {
+        inner.stats.forward_timeouts.fetch_add(1, Ordering::Relaxed);
     }
 }
 
 /// Forwards one schedule line to the rendezvous-ranked shards until one
 /// answers. Never drops: the worst case is a typed `unavailable` error.
 fn route_schedule(inner: &RouterInner, id: Option<&str>, key: u128, line: &str) -> String {
-    let ranked = rendezvous_rank(key, &inner.cfg.shards);
+    let members = active_members(inner);
+    let addrs: Vec<String> = members.iter().map(|s| s.addr.clone()).collect();
     let threshold = inner.cfg.health.failure_threshold;
     let mut degraded = false;
-    for (rank, &index) in ranked.iter().enumerate() {
-        let shard = &inner.shards[index];
-        let injected_down =
-            bsched_faults::with_cell_context(&format!("shard{index}|{}", shard.addr), 0, || {
-                fault_point!(Site::ShardDown)
-            })
-            .is_some();
-        if injected_down {
-            shard.record_failure(threshold);
-        }
-        if injected_down || !shard.is_up() {
-            shard.failed_over.fetch_add(1, Ordering::Relaxed);
+    for (rank, &index) in rendezvous_rank(key, &addrs).iter().enumerate() {
+        let shard = &members[index];
+        if !admit_forward(shard, index, threshold) {
             degraded = true;
             continue;
         }
@@ -305,8 +410,9 @@ fn route_schedule(inner: &RouterInner, id: Option<&str>, key: u128, line: &str) 
                 degraded = true;
                 thread::sleep(inner.cfg.backoff_base * 2u32.pow(attempt - 1));
             }
-            match forward_once(shard, line, &inner.cfg.health) {
+            match forward_once(shard, line, inner) {
                 Ok(response) => {
+                    shard.end_forward();
                     shard.record_success();
                     shard.forwarded.fetch_add(1, Ordering::Relaxed);
                     inner.stats.forwarded.fetch_add(1, Ordering::Relaxed);
@@ -320,11 +426,13 @@ fn route_schedule(inner: &RouterInner, id: Option<&str>, key: u128, line: &str) 
                     }
                     return response;
                 }
-                Err(_) => {
+                Err(e) => {
+                    count_forward_error(inner, &e);
                     shard.record_failure(threshold);
                 }
             }
         }
+        shard.end_forward();
         shard.failed_over.fetch_add(1, Ordering::Relaxed);
         degraded = true;
     }
@@ -332,28 +440,324 @@ fn route_schedule(inner: &RouterInner, id: Option<&str>, key: u128, line: &str) 
     error_response(
         id,
         "unavailable",
-        &format!("all {} shards unreachable", inner.shards.len()),
+        &format!("all {} shards unreachable", members.len()),
     )
 }
 
-/// One forward attempt: fresh connection, write the raw line, read one
-/// response line — all under the health config's deadlines.
-fn forward_once(shard: &ShardState, line: &str, health: &HealthConfig) -> std::io::Result<String> {
-    let mut stream = connect_with_deadline(&shard.addr, health.connect_timeout)?;
-    stream.set_read_timeout(Some(health.read_timeout))?;
-    stream.set_write_timeout(Some(health.read_timeout))?;
+/// Relays one streamed schedule request line-by-line. Failover/retry is
+/// legal only before the first relayed line; once a chunk has reached
+/// the client the stream can only end with its own terminal line or a
+/// typed `stream_aborted` terminator — never silent truncation, never
+/// duplicated chunks.
+fn route_stream(
+    inner: &RouterInner,
+    id: Option<&str>,
+    key: u128,
+    line: &str,
+    writer: &mut TcpStream,
+) -> std::io::Result<()> {
+    let members = active_members(inner);
+    let addrs: Vec<String> = members.iter().map(|s| s.addr.clone()).collect();
+    let threshold = inner.cfg.health.failure_threshold;
+    let mut degraded = false;
+    for (rank, &index) in rendezvous_rank(key, &addrs).iter().enumerate() {
+        let shard = &members[index];
+        if !admit_forward(shard, index, threshold) {
+            degraded = true;
+            continue;
+        }
+        // Nothing has been relayed yet, so per-shard retries are safe.
+        let mut opened = None;
+        for attempt in 0..inner.cfg.attempts_per_shard.max(1) {
+            if attempt > 0 {
+                inner.stats.retries.fetch_add(1, Ordering::Relaxed);
+                degraded = true;
+                thread::sleep(inner.cfg.backoff_base * 2u32.pow(attempt - 1));
+            }
+            let first = forward_open(shard, line, inner)
+                .and_then(|mut reader| read_shard_line(&mut reader).map(|first| (reader, first)));
+            match first {
+                Ok(pair) => {
+                    opened = Some(pair);
+                    break;
+                }
+                Err(e) => {
+                    count_forward_error(inner, &e);
+                    shard.record_failure(threshold);
+                }
+            }
+        }
+        let Some((mut reader, first)) = opened else {
+            shard.end_forward();
+            shard.failed_over.fetch_add(1, Ordering::Relaxed);
+            degraded = true;
+            continue;
+        };
+        shard.record_success();
+        shard.forwarded.fetch_add(1, Ordering::Relaxed);
+        inner.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+        if rank > 0 {
+            inner.stats.failovers.fetch_add(1, Ordering::Relaxed);
+            degraded = true;
+        }
+        if degraded {
+            inner.stats.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        if !is_chunk_line(&first) {
+            // A complete single-line answer (error, overloaded, or a
+            // blockless ok): relay it as-is.
+            shard.end_forward();
+            let out = if degraded {
+                annotate_degraded(&first)
+            } else {
+                first
+            };
+            return write_line(writer, &out);
+        }
+        inner.stats.streams.fetch_add(1, Ordering::Relaxed);
+        let mut current = first;
+        loop {
+            if is_stream_end(&current) {
+                shard.end_forward();
+                let out = if degraded {
+                    annotate_degraded(&current)
+                } else {
+                    current
+                };
+                return write_line(writer, &out);
+            }
+            if let Err(e) = write_line(writer, &current) {
+                // Client vanished mid-stream: drop the shard connection
+                // (the shard sees the close) and give up on the client.
+                shard.end_forward();
+                return Err(e);
+            }
+            match read_shard_line(&mut reader) {
+                Ok(next) => current = next,
+                Err(e) => {
+                    count_forward_error(inner, &e);
+                    shard.record_failure(threshold);
+                    shard.end_forward();
+                    inner.stats.stream_aborts.fetch_add(1, Ordering::Relaxed);
+                    let terminator = stream_aborted_response(
+                        id,
+                        &format!("shard {} died mid-stream: {e}", shard.addr),
+                    );
+                    return write_line(writer, &terminator);
+                }
+            }
+        }
+    }
+    inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+    write_line(
+        writer,
+        &error_response(
+            id,
+            "unavailable",
+            &format!("all {} shards unreachable", members.len()),
+        ),
+    )
+}
+
+/// Opens a fresh connection to a shard, sends the raw request line, and
+/// returns a reader positioned before the first response line — all
+/// under the connect deadline and the per-line forward timeout.
+fn forward_open(
+    shard: &ShardState,
+    line: &str,
+    inner: &RouterInner,
+) -> std::io::Result<BufReader<TcpStream>> {
+    let mut stream = connect_with_deadline(&shard.addr, inner.cfg.health.connect_timeout)?;
+    stream.set_read_timeout(Some(inner.cfg.forward_timeout))?;
+    stream.set_write_timeout(Some(inner.cfg.forward_timeout))?;
     stream.write_all(line.as_bytes())?;
     stream.write_all(b"\n")?;
-    let mut reader = BufReader::new(stream);
-    let mut response = String::new();
-    let n = reader.read_line(&mut response)?;
-    if n == 0 {
-        return Err(std::io::Error::new(
+    Ok(BufReader::new(stream))
+}
+
+/// One response line off a shard connection; EOF is an error (the shard
+/// closed before finishing its answer).
+fn read_shard_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
+    read_line_bounded(reader, MAX_SHARD_LINE)?.ok_or_else(|| {
+        std::io::Error::new(
             std::io::ErrorKind::UnexpectedEof,
             "shard closed before responding",
-        ));
+        )
+    })
+}
+
+/// One forward attempt: fresh connection, write the raw line, read one
+/// response line.
+fn forward_once(shard: &ShardState, line: &str, inner: &RouterInner) -> std::io::Result<String> {
+    let mut reader = forward_open(shard, line, inner)?;
+    read_shard_line(&mut reader)
+}
+
+/// Renders the `members` listing: every member's address, lifecycle
+/// state, liveness, and in-flight count.
+fn members_response(inner: &RouterInner, id: Option<&str>) -> String {
+    let members = inner.members.lock().unwrap().clone();
+    let objs: Vec<String> = members
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"addr\":{},\"state\":{},\"up\":{},\"inflight\":{},\"forwarded\":{}}}",
+                json::string(&s.addr),
+                json::string(s.member_state().as_str()),
+                s.is_up(),
+                s.inflight(),
+                s.forwarded.load(Ordering::Relaxed)
+            )
+        })
+        .collect();
+    format!(
+        "{{{}\"status\":\"ok\",\"router\":true,\"members\":[{}]}}",
+        id_fragment(id),
+        objs.join(",")
+    )
+}
+
+/// Adopts a shard into the ring at runtime. A reachable shard joins
+/// Active immediately; an unreachable one joins as Joining and owns no
+/// keys until the prober's first successful probe promotes it. The
+/// response reports the measured fraction of sampled keys whose
+/// rendezvous owner moves — with HRW placement only the new shard's
+/// ~1/N slice re-homes, and this number proves it.
+fn add_shard(inner: &RouterInner, id: Option<&str>, addr: &str) -> String {
+    if inner.members.lock().unwrap().iter().any(|s| s.addr == addr) {
+        inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+        return error_response(
+            id,
+            "exists",
+            &format!("shard {addr} is already in the ring"),
+        );
     }
-    Ok(response.trim_end().to_owned())
+    // Probe outside the lock (it can take the whole connect deadline).
+    let reachable = ping_shard(addr, &inner.cfg.health);
+    let shard = Arc::new(if reachable {
+        ShardState::new(addr.to_owned())
+    } else {
+        ShardState::new_joining(addr.to_owned())
+    });
+    let (before, after) = {
+        let mut members = inner.members.lock().unwrap();
+        if members.iter().any(|s| s.addr == addr) {
+            inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return error_response(
+                id,
+                "exists",
+                &format!("shard {addr} is already in the ring"),
+            );
+        }
+        let before: Vec<String> = members
+            .iter()
+            .filter(|s| s.member_state() == MemberState::Active)
+            .map(|s| s.addr.clone())
+            .collect();
+        members.push(Arc::clone(&shard));
+        // The steady-state ownership once the new shard is Active.
+        let mut after = before.clone();
+        after.push(addr.to_owned());
+        (before, after)
+    };
+    let rehomed = rehomed_fraction(&before, &after);
+    eprintln!(
+        "bsched-serve: shard {addr} added ({}), rehomed_fraction {rehomed:.4}",
+        shard.member_state().as_str()
+    );
+    format!(
+        "{{{}\"status\":\"ok\",\"router\":true,\"added\":{},\"state\":{},\
+         \"members\":{},\"rehomed_fraction\":{rehomed:.4}}}",
+        id_fragment(id),
+        json::string(addr),
+        json::string(shard.member_state().as_str()),
+        inner.members.lock().unwrap().len()
+    )
+}
+
+/// Walks a shard through the drain state machine: fence new forwards
+/// (Draining), wait for in-flight ones to land, optionally stop the
+/// daemon — its graceful drain flushes queued work and leaves the cache
+/// log consistent on disk — then remove it from the ring. Refuses to
+/// drain the last Active shard: a router with no owners drops every
+/// request, which is exactly what drain exists to avoid.
+fn drain_shard(inner: &RouterInner, id: Option<&str>, addr: &str, stop: bool) -> String {
+    let shard = {
+        let members = inner.members.lock().unwrap();
+        let Some(shard) = members.iter().find(|s| s.addr == addr).cloned() else {
+            inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return error_response(id, "unknown", &format!("shard {addr} is not in the ring"));
+        };
+        let actives = members
+            .iter()
+            .filter(|s| s.member_state() == MemberState::Active)
+            .count();
+        if shard.member_state() == MemberState::Active && actives <= 1 {
+            inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return error_response(id, "refused", "refusing to drain the last active shard");
+        }
+        shard.set_member_state(MemberState::Draining);
+        shard
+    };
+    // Fenced: the in-flight count can only fall. Wait (bounded) for it
+    // to hit zero so no forwarded request is ever cut off mid-answer.
+    let deadline = Instant::now() + DRAIN_INFLIGHT_GRACE;
+    while shard.inflight() > 0 && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(5));
+    }
+    let inflight_at_removal = shard.inflight();
+    let stopped = stop && send_shutdown(&shard.addr, &inner.cfg.health);
+    inner.members.lock().unwrap().retain(|s| s.addr != addr);
+    eprintln!(
+        "bsched-serve: shard {addr} drained and removed (stopped: {stopped}, \
+         inflight at removal: {inflight_at_removal})"
+    );
+    format!(
+        "{{{}\"status\":\"ok\",\"router\":true,\"drained\":{},\"stopped\":{stopped},\
+         \"inflight_at_removal\":{inflight_at_removal},\"members\":{}}}",
+        id_fragment(id),
+        json::string(addr),
+        inner.members.lock().unwrap().len()
+    )
+}
+
+/// Asks a drained daemon to shut down gracefully; returns whether it
+/// acknowledged the drain.
+fn send_shutdown(addr: &str, health: &HealthConfig) -> bool {
+    let Ok(mut stream) = connect_with_deadline(addr, health.connect_timeout) else {
+        return false;
+    };
+    let _ = stream.set_read_timeout(Some(health.read_timeout));
+    let _ = stream.set_write_timeout(Some(health.read_timeout));
+    if stream.write_all(b"{\"op\":\"shutdown\"}\n").is_err() {
+        return false;
+    }
+    let mut reader = BufReader::new(stream);
+    matches!(
+        read_line_bounded(&mut reader, MAX_SHARD_LINE),
+        Ok(Some(line)) if line.contains("\"draining\":true")
+    )
+}
+
+/// Measured fraction of sampled keys whose rendezvous owner differs
+/// between two address sets — the re-home cost of a membership change.
+fn rehomed_fraction(before: &[String], after: &[String]) -> f64 {
+    if before.is_empty() || after.is_empty() {
+        return 1.0;
+    }
+    let mut moved = 0u64;
+    for i in 0..REHOME_SAMPLES {
+        let key = u128::from(splitmix64(i)) | (u128::from(splitmix64(i ^ 0xdead_beef_f00d)) << 64);
+        let owner_before = &before[rendezvous_rank(key, before)[0]];
+        let owner_after = &after[rendezvous_rank(key, after)[0]];
+        if owner_before != owner_after {
+            moved += 1;
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    {
+        moved as f64 / REHOME_SAMPLES as f64
+    }
 }
 
 /// Splices `"degraded":true` into a response line's top-level object so
@@ -414,10 +818,11 @@ fn merged_stats(inner: &RouterInner, id: Option<&str>) -> String {
         "cache_misses",
         "cache_entries",
     ];
+    let members = inner.members.lock().unwrap().clone();
     let mut sums = [0u64; SUMMED.len()];
-    let mut shard_objs = Vec::with_capacity(inner.shards.len());
+    let mut shard_objs = Vec::with_capacity(members.len());
     let mut up = 0usize;
-    for shard in &inner.shards {
+    for shard in &members {
         let reachable = shard.is_up();
         let mut fields = String::new();
         if reachable {
@@ -432,8 +837,11 @@ fn merged_stats(inner: &RouterInner, id: Option<&str>) -> String {
             }
         }
         shard_objs.push(format!(
-            "{{\"addr\":{},\"up\":{reachable},\"forwarded\":{},\"failed_over\":{}{fields}}}",
+            "{{\"addr\":{},\"up\":{reachable},\"state\":{},\"inflight\":{},\
+             \"forwarded\":{},\"failed_over\":{}{fields}}}",
             json::string(&shard.addr),
+            json::string(shard.member_state().as_str()),
+            shard.inflight(),
             shard.forwarded.load(Ordering::Relaxed),
             shard.failed_over.load(Ordering::Relaxed),
         ));
@@ -445,17 +853,26 @@ fn merged_stats(inner: &RouterInner, id: Option<&str>) -> String {
         .collect();
     format!(
         "{{{}\"status\":\"ok\",\"router\":true,\"stats\":{{{summed}\
-         \"shards_up\":{up},\"shards_down\":{},\"failovers\":{},\"retries\":{},\
-         \"degraded\":{},\"routed\":{},\"router_requests\":{},\"router_errors\":{}}},\
+         \"shards_up\":{up},\"shards_down\":{},\"members\":{},\"failovers\":{},\"retries\":{},\
+         \"degraded\":{},\"routed\":{},\"router_requests\":{},\"router_errors\":{},\
+         \"forward_timeouts\":{},\"streams\":{},\"stream_aborts\":{},\
+         \"probe_interval_ms\":{},\"probe_timeout_ms\":{},\"forward_timeout_ms\":{}}},\
          \"shards\":[{}]}}",
         id_fragment(id),
-        inner.shards.len() - up,
+        members.len() - up,
+        members.len(),
         inner.stats.failovers.load(Ordering::Relaxed),
         inner.stats.retries.load(Ordering::Relaxed),
         inner.stats.degraded.load(Ordering::Relaxed),
         inner.stats.forwarded.load(Ordering::Relaxed),
         inner.stats.requests.load(Ordering::Relaxed),
         inner.stats.errors.load(Ordering::Relaxed),
+        inner.stats.forward_timeouts.load(Ordering::Relaxed),
+        inner.stats.streams.load(Ordering::Relaxed),
+        inner.stats.stream_aborts.load(Ordering::Relaxed),
+        inner.cfg.health.interval.as_millis(),
+        inner.cfg.health.connect_timeout.as_millis(),
+        inner.cfg.forward_timeout.as_millis(),
         shard_objs.join(",")
     )
 }
@@ -469,8 +886,9 @@ fn fetch_shard_stats(shard: &ShardState, health: &HealthConfig) -> Option<json::
     stream.set_write_timeout(Some(deadline)).ok()?;
     stream.write_all(b"{\"op\":\"stats\"}\n").ok()?;
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader.read_line(&mut line).ok().filter(|n| *n > 0)?;
+    let line = read_line_bounded(&mut reader, MAX_SHARD_LINE)
+        .ok()
+        .flatten()?;
     json::parse(&line)?.get("stats").cloned()
 }
 
@@ -518,6 +936,28 @@ mod tests {
                 "shard {i} owns {n}/600 keys — placement is skewed"
             );
         }
+    }
+
+    #[test]
+    fn rehome_fraction_is_minimal_for_single_member_changes() {
+        let three: Vec<String> = (0..3).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect();
+        let mut four = three.clone();
+        four.push("127.0.0.1:9003".to_owned());
+        let grow = rehomed_fraction(&three, &four);
+        assert!(
+            grow <= 1.5 / 4.0,
+            "adding 1 of 4 shards rehomed {grow:.4} > 1.5/N"
+        );
+        assert!(grow > 0.10, "the new shard owns a real slice: {grow:.4}");
+        let shrink = rehomed_fraction(&four, &three);
+        assert!(
+            shrink <= 1.5 / 4.0,
+            "removing 1 of 4 shards rehomed {shrink:.4} > 1.5/N"
+        );
+        assert!(
+            (rehomed_fraction(&three, &three)).abs() < f64::EPSILON,
+            "identical sets rehome nothing"
+        );
     }
 
     #[test]

@@ -66,7 +66,21 @@ pub struct ServerConfig {
     /// `None` serves from a memory-only cache that dies with the
     /// process.
     pub cache_log: Option<String>,
+    /// Inbound request-line cap in bytes. A longer line gets a typed
+    /// `too_large` error and the connection is closed — the partial-tail
+    /// buffer never grows without bound on a runaway client.
+    pub max_line_bytes: usize,
+    /// Outbound per-connection backlog cap in bytes. Reads pause
+    /// (backpressure) at half this backlog; a consumer that still lets
+    /// in-flight responses exceed it gets a typed `slow_consumer`
+    /// notice and is disconnected.
+    pub write_cap_bytes: usize,
 }
+
+/// Default inbound request-line cap (4 MiB).
+pub const DEFAULT_MAX_LINE_BYTES: usize = 4 * 1024 * 1024;
+/// Default outbound backlog cap (16 MiB).
+pub const DEFAULT_WRITE_CAP_BYTES: usize = 16 * 1024 * 1024;
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
@@ -78,6 +92,8 @@ impl Default for ServerConfig {
             cache_capacity: 256,
             default_deadline_ms: None,
             cache_log: None,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            write_cap_bytes: DEFAULT_WRITE_CAP_BYTES,
         }
     }
 }
@@ -341,6 +357,14 @@ fn handle_line(inner: &Arc<Inner>, line: &str) -> Option<Action> {
                 crate::protocol::id_fragment(id.as_deref())
             ))
         }
+        Ok(Request::AddShard { .. } | Request::DrainShard { .. } | Request::Members) => {
+            inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+            Action::Respond(error_response(
+                id.as_deref(),
+                "unsupported",
+                "membership ops need the router (bsched serve --route)",
+            ))
+        }
         Ok(Request::Schedule(req)) => {
             let capacity = inner.cfg.queue_capacity.max(1);
             let injected_reject = fault_point!(Site::ServeReject).is_some();
@@ -371,6 +395,11 @@ fn run_schedule(
 ) -> String {
     if let Some(fault) = fault_point!(Site::SlowWorker) {
         thread::sleep(Duration::from_millis(fault.arg));
+    }
+    if req.stall_us > 0 {
+        // Simulated service stall (load-testing knob): before the cache
+        // lookup, so hits and misses stall alike.
+        thread::sleep(Duration::from_micros(req.stall_us));
     }
     let response = match prepare_request(req) {
         Err((kind, reason)) => {
@@ -437,6 +466,24 @@ fn run_schedule(
         }
     };
     inner.stats.record_service(service_us(admitted_at));
+    if req.stream {
+        if let Some((chunks, terminal)) = crate::protocol::split_stream(id, &response) {
+            inner.stats.streams.fetch_add(1, Ordering::Relaxed);
+            // The transport writes one trailing newline; join the chunk
+            // lines and the terminal here so both backends stream for
+            // free. Blockless responses (errors, timeout) fall through
+            // and stay single-line.
+            let mut blob = String::with_capacity(
+                response.len() + chunks.iter().map(String::len).sum::<usize>(),
+            );
+            for chunk in &chunks {
+                blob.push_str(chunk);
+                blob.push('\n');
+            }
+            blob.push_str(&terminal);
+            return blob;
+        }
+    }
     response
 }
 
@@ -464,6 +511,7 @@ fn render_stats(inner: &Inner, id: Option<&str>) -> String {
          \"persist_bytes\":{persist_bytes},\"persist_errors\":{},\
          \"workers\":{},\"queue_capacity\":{},\"steals\":{},\"parks\":{},\
          \"pool_queued\":{},\"io_threads\":{},\"open_connections\":{},\
+         \"max_line_bytes\":{},\"write_cap_bytes\":{},\
          \"draining\":{}}}}}",
         crate::protocol::id_fragment(id),
         inner.stats.render_fields(),
@@ -475,6 +523,8 @@ fn render_stats(inner: &Inner, id: Option<&str>) -> String {
         pool.queued,
         inner.cfg.io_threads.max(1),
         inner.stats.conns_open.load(Ordering::Relaxed),
+        inner.cfg.max_line_bytes,
+        inner.cfg.write_cap_bytes,
         inner.draining()
     )
 }
@@ -531,6 +581,12 @@ mod event {
         peer_closed: bool,
         /// This connection already got its mid-line drain notice.
         drain_notified: bool,
+        /// The last read pass stopped before `WouldBlock` (inbound cap
+        /// or write backpressure). Edge-triggered epoll guarantees no
+        /// further readiness edge for bytes already in the kernel, so
+        /// the loop re-scans these connections every poll tick — the
+        /// same re-arm pattern as `accept_retry`.
+        read_pending: bool,
     }
 
     impl Conn {
@@ -543,7 +599,13 @@ mod event {
                 inflight: 0,
                 peer_closed: false,
                 drain_notified: false,
+                read_pending: false,
             }
+        }
+
+        /// Bytes accepted by `respond` but not yet by the kernel.
+        fn backlog(&self) -> usize {
+            self.write_buf.len() - self.written
         }
 
         fn flushed(&self) -> bool {
@@ -615,6 +677,7 @@ mod event {
             }
             io.adopt_incoming();
             io.apply_completions();
+            io.resume_pending_reads();
             if io.inner.draining() && io.drain_step(&mut flush_deadline) {
                 break;
             }
@@ -717,16 +780,57 @@ mod event {
             self.maybe_close(token);
         }
 
+        /// Re-scans connections whose read pass stopped early (inbound
+        /// cap or write backpressure): no future epoll edge is
+        /// guaranteed for bytes already buffered in the kernel, so the
+        /// poll tick retries them until they drain or close.
+        fn resume_pending_reads(&mut self) {
+            for token in 0..self.conns.len() {
+                let pending = self.conns[token].as_ref().is_some_and(|c| c.read_pending);
+                if pending {
+                    if let Some(conn) = self.conns[token].as_mut() {
+                        conn.read_pending = false;
+                    }
+                    if self.read_and_dispatch(token) {
+                        self.maybe_close(token);
+                    } else {
+                        self.close(token);
+                    }
+                }
+            }
+        }
+
         /// ET read discipline: drain the socket, then frame and
         /// dispatch every complete line in place. Returns `false` when
         /// the connection is broken.
         fn read_and_dispatch(&mut self, token: usize) -> bool {
+            let max_line = self.inner.cfg.max_line_bytes.max(1);
+            let mut capped = false;
             let mut scratch = [0u8; 8192];
             {
                 let Some(conn) = self.conns[token].as_mut() else {
                     return true;
                 };
+                if conn.peer_closed {
+                    return true;
+                }
+                // Write backpressure: a consumer that is not draining
+                // its responses does not get more requests read. The
+                // poll tick re-checks via `read_pending`; TCP flow
+                // control pushes back on the client in the meantime.
+                if conn.backlog() > self.inner.cfg.write_cap_bytes.max(1) / 2 {
+                    conn.read_pending = true;
+                    return true;
+                }
                 loop {
+                    // Inbound cap: stop pulling once the unframed
+                    // buffer is over the line limit; after framing,
+                    // either complete lines drained it (resume next
+                    // tick) or one line really is too large.
+                    if conn.read_buf.len() > max_line {
+                        capped = true;
+                        break;
+                    }
                     match conn.stream.read(&mut scratch) {
                         Ok(0) => {
                             conn.peer_closed = true;
@@ -764,20 +868,59 @@ mod event {
                 if line.last() == Some(&b'\r') {
                     line = &line[..line.len() - 1];
                 }
+                if line.len() > max_line {
+                    // A complete line can still blow the cap when its
+                    // newline lands inside the read chunk that tripped
+                    // it; it gets the same typed notice + close as a
+                    // newline-less flood, never a parse attempt.
+                    consumed += at + 1;
+                    self.inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    self.inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    self.inner.stats.too_large.fetch_add(1, Ordering::Relaxed);
+                    if let Some(conn) = self.conns[token].as_mut() {
+                        conn.peer_closed = true;
+                    }
+                    let notice = crate::protocol::too_large_response(None, max_line);
+                    self.respond(token, &notice);
+                    break;
+                }
                 self.dispatch_line(token, line);
                 consumed += at + 1;
             }
-            if let Some(conn) = self.conns[token].as_mut() {
+            let too_large = {
+                let Some(conn) = self.conns[token].as_mut() else {
+                    // A handler closed the connection (write failure).
+                    return false;
+                };
                 // Only the partial tail is retained (and shifted) —
                 // complete lines were consumed without leaving the
                 // buffer.
                 conn.read_buf = buf;
                 conn.read_buf.drain(..consumed);
-                true
-            } else {
-                // A handler closed the connection (write failure).
-                false
+                if conn.read_buf.len() > max_line {
+                    // One newline-less line blew the cap: drop the
+                    // junk and stop reading — the connection closes
+                    // once the typed notice (and any pipelined
+                    // responses) flush.
+                    conn.read_buf.clear();
+                    conn.read_buf.shrink_to_fit();
+                    conn.peer_closed = true;
+                    true
+                } else {
+                    if capped {
+                        conn.read_pending = true;
+                    }
+                    false
+                }
+            };
+            if too_large {
+                self.inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+                self.inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+                self.inner.stats.too_large.fetch_add(1, Ordering::Relaxed);
+                let notice = crate::protocol::too_large_response(None, max_line);
+                self.respond(token, &notice);
             }
+            self.conns[token].is_some()
         }
 
         fn dispatch_line(&mut self, token: usize, raw: &[u8]) {
@@ -822,7 +965,11 @@ mod event {
             }
         }
 
-        /// Queues a response line and opportunistically flushes.
+        /// Queues a response line, opportunistically flushes, and
+        /// enforces the outbound backlog cap: a consumer that lets
+        /// unflushed responses exceed it gets a best-effort typed
+        /// `slow_consumer` notice and is disconnected — bounded memory
+        /// beats an unbounded `Vec` growing until OOM.
         fn respond(&mut self, token: usize, line: &str) {
             let Some(conn) = self.conns[token].as_mut() else {
                 return;
@@ -830,6 +977,24 @@ mod event {
             conn.write_buf.extend_from_slice(line.as_bytes());
             conn.write_buf.push(b'\n');
             if !self.flush(token) {
+                self.close(token);
+                return;
+            }
+            let cap = self.inner.cfg.write_cap_bytes.max(1);
+            let over = self.conns[token]
+                .as_ref()
+                .is_some_and(|c| c.backlog() > cap);
+            if over {
+                self.inner
+                    .stats
+                    .slow_consumers
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Some(conn) = self.conns[token].as_mut() {
+                    let notice = crate::protocol::slow_consumer_response(cap);
+                    conn.write_buf.extend_from_slice(notice.as_bytes());
+                    conn.write_buf.push(b'\n');
+                }
+                let _ = self.flush(token);
                 self.close(token);
             }
         }
@@ -950,7 +1115,7 @@ mod fallback {
     //! protocol, admission, and drain semantics as the epoll backend.
 
     use super::{handle_line, run_schedule, Action, Inner};
-    use std::io::{BufRead, BufReader, Write};
+    use std::io::{BufReader, Write};
     use std::net::{TcpListener, TcpStream};
     use std::sync::atomic::Ordering;
     use std::sync::{Arc, Mutex};
@@ -999,9 +1164,27 @@ mod fallback {
             Err(_) => return,
         };
         inner.stats.conns_open.fetch_add(1, Ordering::Relaxed);
-        let reader = BufReader::new(stream);
-        for line in reader.lines() {
-            let Ok(line) = line else { break };
+        let max_line = inner.cfg.max_line_bytes.max(1);
+        let mut reader = BufReader::new(stream);
+        loop {
+            let line = match crate::protocol::read_line_bounded(&mut reader, max_line) {
+                Ok(Some(line)) => line,
+                Ok(None) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                    // Inbound cap: typed error, then hang up — same
+                    // semantics as the epoll backend. Blocking writes
+                    // give this backend its outbound backpressure.
+                    inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.too_large.fetch_add(1, Ordering::Relaxed);
+                    write_line(
+                        &writer,
+                        &crate::protocol::too_large_response(None, max_line),
+                    );
+                    break;
+                }
+                Err(_) => break,
+            };
             match handle_line(inner, &line) {
                 None => {}
                 Some(Action::Respond(response)) => write_line(&writer, &response),

@@ -22,6 +22,12 @@ pub struct ServerStats {
     pub overloaded: AtomicU64,
     /// Requests whose per-request deadline expired.
     pub timeouts: AtomicU64,
+    /// Request lines rejected for exceeding the inbound size cap.
+    pub too_large: AtomicU64,
+    /// Connections dropped for exceeding the outbound backlog cap.
+    pub slow_consumers: AtomicU64,
+    /// Responses emitted in streaming (chunked) form.
+    pub streams: AtomicU64,
     /// Requests queued or executing right now.
     pub queue_depth: AtomicUsize,
     /// Connections currently registered with the IO loops.
@@ -73,12 +79,16 @@ impl ServerStats {
         let (p50, p95, p99) = self.percentiles();
         format!(
             "\"requests\":{},\"ok\":{},\"errors\":{},\"overloaded\":{},\"timeouts\":{},\
+             \"too_large\":{},\"slow_consumers\":{},\"streams\":{},\
              \"queue_depth\":{},\"p50_us\":{p50},\"p95_us\":{p95},\"p99_us\":{p99}",
             self.requests.load(Ordering::Relaxed),
             self.ok.load(Ordering::Relaxed),
             self.errors.load(Ordering::Relaxed),
             self.overloaded.load(Ordering::Relaxed),
             self.timeouts.load(Ordering::Relaxed),
+            self.too_large.load(Ordering::Relaxed),
+            self.slow_consumers.load(Ordering::Relaxed),
+            self.streams.load(Ordering::Relaxed),
             self.queue_depth.load(Ordering::Relaxed),
         )
     }

@@ -288,6 +288,186 @@ fn router_with_every_shard_dead_returns_a_typed_error_not_a_drop() {
 }
 
 #[test]
+fn add_shard_rehomes_a_minimal_fraction_and_serves_through_it() {
+    let a = small_server();
+    let b = small_server();
+    let router = Router::start(RouterConfig {
+        shards: vec![a.local_addr().to_string()],
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+    let mut client = Client::connect(router.local_addr());
+
+    let v = client.round_trip(&format!(
+        r#"{{"op":"add-shard","id":"m1","addr":"{}"}}"#,
+        b.local_addr()
+    ));
+    assert_eq!(status(&v), "ok", "{v:?}");
+    assert_eq!(v.get("state").and_then(Json::as_str), Some("active"));
+    assert_eq!(v.get("members").and_then(Json::as_u64), Some(2));
+    let rehomed = v
+        .get("rehomed_fraction")
+        .and_then(Json::as_f64)
+        .expect("rehomed_fraction");
+    // Growing a 1-shard ring to 2 may move at most the new shard's
+    // slice (~1/2 of the keys, 1.5/2 with sampling slack) — and must
+    // move some, or the new shard owns nothing.
+    assert!(
+        rehomed > 0.0 && rehomed <= 0.75,
+        "rehomed_fraction {rehomed} out of (0, 0.75]"
+    );
+
+    // Requests keep landing; the ring now spans both shards.
+    assert_eq!(status(&client.round_trip(DAXPY)), "ok");
+    assert_eq!(status(&client.round_trip(DOT)), "ok");
+    let members = client.round_trip(r#"{"op":"members"}"#);
+    let listed = members
+        .get("members")
+        .and_then(Json::as_array)
+        .expect("members array");
+    assert_eq!(listed.len(), 2);
+    assert!(listed
+        .iter()
+        .all(|m| m.get("state").and_then(Json::as_str) == Some("active")));
+
+    // A duplicate add is a typed error, not a second ring entry.
+    let dup = client.round_trip(&format!(
+        r#"{{"op":"add-shard","addr":"{}"}}"#,
+        b.local_addr()
+    ));
+    assert_eq!(status(&dup), "error");
+    assert_eq!(dup.get("kind").and_then(Json::as_str), Some("exists"));
+
+    router.begin_shutdown();
+    router.join();
+    for s in [a, b] {
+        s.begin_shutdown();
+        s.join();
+    }
+}
+
+#[test]
+fn drain_shard_without_stop_fences_it_but_leaves_it_running() {
+    let a = small_server();
+    let b = small_server();
+    let router = Router::start(RouterConfig {
+        shards: vec![a.local_addr().to_string(), b.local_addr().to_string()],
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+    let mut client = Client::connect(router.local_addr());
+
+    let v = client.round_trip(&format!(
+        r#"{{"op":"drain-shard","id":"d1","addr":"{}","stop":false}}"#,
+        a.local_addr()
+    ));
+    assert_eq!(status(&v), "ok", "{v:?}");
+    assert_eq!(
+        v.get("drained").and_then(Json::as_str),
+        Some(a.local_addr().to_string().as_str())
+    );
+    assert_eq!(v.get("stopped").and_then(Json::as_bool), Some(false));
+    assert_eq!(v.get("inflight_at_removal").and_then(Json::as_u64), Some(0));
+    assert_eq!(v.get("members").and_then(Json::as_u64), Some(1));
+
+    // Every request still lands (all keys now route to b).
+    assert_eq!(status(&client.round_trip(DAXPY)), "ok");
+    assert_eq!(status(&client.round_trip(DOT)), "ok");
+
+    // The drained daemon was fenced, not stopped: it still answers
+    // directly.
+    let mut direct = Client::connect(a.local_addr());
+    let pong = direct.round_trip(r#"{"op":"ping"}"#);
+    assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+
+    router.begin_shutdown();
+    router.join();
+    for s in [a, b] {
+        s.begin_shutdown();
+        s.join();
+    }
+}
+
+#[test]
+fn drain_shard_with_stop_shuts_the_daemon_down() {
+    let a = small_server();
+    let b = small_server();
+    let router = Router::start(RouterConfig {
+        shards: vec![a.local_addr().to_string(), b.local_addr().to_string()],
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+    let mut client = Client::connect(router.local_addr());
+
+    let v = client.round_trip(&format!(
+        r#"{{"op":"drain-shard","addr":"{}"}}"#,
+        a.local_addr()
+    ));
+    assert_eq!(status(&v), "ok", "{v:?}");
+    assert_eq!(v.get("stopped").and_then(Json::as_bool), Some(true));
+
+    // The router's shutdown op drained the daemon; join must return.
+    let started = Instant::now();
+    a.join();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "drained daemon never exited"
+    );
+    // And the survivor still serves through the router.
+    assert_eq!(status(&client.round_trip(DAXPY)), "ok");
+
+    router.begin_shutdown();
+    router.join();
+    b.begin_shutdown();
+    b.join();
+}
+
+#[test]
+fn draining_the_last_active_shard_is_refused() {
+    let a = small_server();
+    let router = Router::start(RouterConfig {
+        shards: vec![a.local_addr().to_string()],
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+    let mut client = Client::connect(router.local_addr());
+
+    let v = client.round_trip(&format!(
+        r#"{{"op":"drain-shard","addr":"{}"}}"#,
+        a.local_addr()
+    ));
+    assert_eq!(status(&v), "error", "{v:?}");
+    assert_eq!(v.get("kind").and_then(Json::as_str), Some("refused"));
+    // The refusal left the ring intact.
+    assert_eq!(status(&client.round_trip(DAXPY)), "ok");
+    // Draining an address that was never a member is its own error.
+    let v = client.round_trip(r#"{"op":"drain-shard","addr":"127.0.0.1:1"}"#);
+    assert_eq!(v.get("kind").and_then(Json::as_str), Some("unknown"));
+
+    router.begin_shutdown();
+    router.join();
+    a.begin_shutdown();
+    a.join();
+}
+
+#[test]
+fn membership_ops_on_a_plain_daemon_get_a_typed_unsupported_error() {
+    let server = small_server();
+    let mut client = Client::connect(server.local_addr());
+    for op in [
+        r#"{"op":"add-shard","addr":"127.0.0.1:9"}"#,
+        r#"{"op":"drain-shard","addr":"127.0.0.1:9"}"#,
+        r#"{"op":"members"}"#,
+    ] {
+        let v = client.round_trip(op);
+        assert_eq!(status(&v), "error", "{v:?}");
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("unsupported"));
+    }
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
 fn dropping_a_router_joins_its_threads_instead_of_leaking_them() {
     let dead = {
         let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");

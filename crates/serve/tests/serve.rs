@@ -256,6 +256,11 @@ fn stats_and_ping_answer_inline() {
         "pool_queued",
         "io_threads",
         "open_connections",
+        "too_large",
+        "slow_consumers",
+        "streams",
+        "max_line_bytes",
+        "write_cap_bytes",
         "draining",
     ] {
         assert!(obj.get(key).is_some(), "/stats missing {key}");

@@ -80,30 +80,39 @@ cargo build --release -q -p bsched-serve
     --expect-hit-rate 90 --out BENCH_serve.json
 echo "wrote BENCH_serve.json (incl. sweep curve)" >&2
 
-# --- Fleet chaos pass ---------------------------------------------------
-# Restart-proofing evidence: three shard daemons (each with a persistent
-# cache log) behind the consistent-hash router, then the --kill-shard
-# scenario SIGKILLs one shard mid-mix, asserts zero failed client
-# requests, restarts it from its log, and gates on a >=90% fleet-wide
-# warm-replay hit rate. The "fleet" section of the report is merged into
-# BENCH_serve.json so one file carries both the single-daemon and the
-# fleet numbers. Exit code is the gate: any dropped request or a cold
-# restart fails the bench.
-echo "fleet chaos pass (3 shards, kill-one, warm restart)..." >&2
+# --- Fleet chaos + membership + scale-out pass --------------------------
+# Fleet evidence, all in one loadgen run: three shard daemons (each with
+# a persistent cache log) behind the consistent-hash router, then
+#   1. --kill-shard SIGKILLs one shard mid-mix (zero failed client
+#      requests), restarts it, and gates on a >=90% warm-replay hit rate;
+#   2. --add-shard-at/--drain-shard-at run a fourth shard in and drain
+#      shard 0 out while traffic flows (zero dropped requests, re-homed
+#      key fraction <= 1.5/N, drained log warm-starts, streamed == plain
+#      through the router);
+#   3. --scaleout measures the 1/2/3-shard aggregate-throughput curve on
+#      a service-time-bound mix (see EXPERIMENTS.md for why that makes
+#      the curve portable to small CI hosts).
+# The "fleet", "membership", and "scaleout" report sections are merged
+# into BENCH_serve.json so one file carries all the serving numbers.
+# Exit code is the gate: any dropped request, a cold restart, or a
+# failed membership transition fails the bench.
+echo "fleet chaos pass (kill-one, add/drain membership, scale-out curve)..." >&2
 cargo build --release -q -p balanced-scheduling
 fleet_dir=$(mktemp -d /tmp/bsched-fleet.XXXXXX)
 ./target/release/bsched-loadgen \
     --fleet 3 --kill-shard --clients 8 --passes 2 --runs $RUNS \
     --serve-bin ./target/release/bsched --cache-log-dir "$fleet_dir" \
+    --add-shard-at 8 --drain-shard-at 16 --scaleout 1,2,3 \
     --expect-hit-rate 90 --out BENCH_fleet.json
 rm -rf "$fleet_dir"
-# Splice the fleet report into BENCH_serve.json: replace the closing
-# brace with ,"fleet":{...}} pulled from the fleet run's report.
-fleet_json=$(sed -n 's/.*,"fleet":\({.*}\)}$/\1/p' BENCH_fleet.json)
+# Splice the fleet/membership/scaleout sections into BENCH_serve.json:
+# replace its closing brace with ,"fleet":{...},...} pulled from the
+# fleet run's report (everything after ,"fleet": up to the final brace).
+fleet_json=$(sed -n 's/.*,"fleet":\({.*\)}$/\1/p' BENCH_fleet.json)
 if [ -n "$fleet_json" ]; then
     sed -i "s/}\$/,\"fleet\":${fleet_json}}/" BENCH_serve.json
     rm -f BENCH_fleet.json
-    echo "merged fleet section into BENCH_serve.json" >&2
+    echo "merged fleet/membership/scaleout sections into BENCH_serve.json" >&2
 else
     echo "warning: no fleet section found in BENCH_fleet.json; kept it separate" >&2
 fi

@@ -46,9 +46,12 @@ const USAGE: &str = "usage:
   bsched analyze  --unsafe-audit [--root DIR]       # every `unsafe` needs // SAFETY:
   bsched serve    --listen HOST:PORT [--workers N] [--io-threads N]
                   [--queue-cap N] [--cache-cap N] [--deadline-ms N]
-                  [--cache-log PATH]
+                  [--cache-log PATH] [--max-line-bytes N] [--write-cap-bytes N]
   bsched serve    --listen HOST:PORT --route SHARD1,SHARD2,…
-                  [--failure-threshold K]
+                  [--failure-threshold K] [--probe-interval-ms N]
+                  [--probe-timeout-ms N] [--forward-timeout-ms N]
+  bsched serve    --control ROUTER_ADDR (--add-shard HOST:PORT |
+                  --drain-shard HOST:PORT [--no-stop] | --members)
 
   S    = balanced | balanced-approx | average | traditional=<latency>
   SYS  = L80(2,5) | N(3,5) | L80-N(30,5) | fixed(4) | …
@@ -60,7 +63,13 @@ const USAGE: &str = "usage:
   --faults \"seed=1;latency-jitter:rate=0.5\" — see DESIGN.md §9";
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 3] = ["benchmarks", "overlay", "unsafe-audit"];
+const BOOLEAN_FLAGS: [&str; 5] = [
+    "benchmarks",
+    "overlay",
+    "unsafe-audit",
+    "members",
+    "no-stop",
+];
 
 /// Minimal `--flag value` argument scanner.
 struct Args {
@@ -351,6 +360,9 @@ fn stage_failure(format: &str, file: &str, err: &PipelineError) -> String {
 /// DESIGN.md §10/§12 and `bsched-serve`'s crate docs).
 fn serve_cmd(args: &Args) -> Result<(), String> {
     use balanced_scheduling::serve::{install_signal_handlers, Server, ServerConfig};
+    if args.is_set("control") {
+        return control_cmd(args);
+    }
     if args.is_set("route") {
         return route_cmd(args);
     }
@@ -384,6 +396,8 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
             ),
         },
         cache_log: args.flag("cache-log").map(str::to_owned),
+        max_line_bytes: parse_size("max-line-bytes", defaults.max_line_bytes)?,
+        write_cap_bytes: parse_size("write-cap-bytes", defaults.write_cap_bytes)?,
     };
     install_signal_handlers();
     let server = Server::start(cfg).map_err(|e| format!("serve: {e}"))?;
@@ -423,12 +437,87 @@ fn route_cmd(args: &Args) -> Result<(), String> {
             .filter(|n| *n > 0)
             .ok_or_else(|| format!("--failure-threshold: bad count {raw:?}"))?;
     }
+    let parse_ms = |name: &str| -> Result<Option<std::time::Duration>, String> {
+        match args.flag(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<u64>()
+                .ok()
+                .filter(|n| *n > 0)
+                .map(|n| Some(std::time::Duration::from_millis(n)))
+                .ok_or_else(|| format!("--{name}: bad milliseconds {raw:?}")),
+        }
+    };
+    if let Some(d) = parse_ms("probe-interval-ms")? {
+        cfg.health.interval = d;
+    }
+    if let Some(d) = parse_ms("probe-timeout-ms")? {
+        cfg.health.connect_timeout = d;
+    }
+    if let Some(d) = parse_ms("forward-timeout-ms")? {
+        cfg.forward_timeout = d;
+    }
     install_signal_handlers();
     let router = Router::start(cfg).map_err(|e| format!("serve --route: {e}"))?;
     eprintln!("bsched serve: routing on {}", router.local_addr());
     router.join();
     eprintln!("bsched serve: router drained, exiting");
     Ok(())
+}
+
+/// `bsched serve --control ROUTER_ADDR …`: one-shot membership client.
+/// Sends a single control op to a running router, prints the response
+/// line, and exits non-zero unless the router answered `status: ok`.
+fn control_cmd(args: &Args) -> Result<(), String> {
+    use std::io::Write;
+    let router = args.flag("control").unwrap_or_default().to_owned();
+    if router.is_empty() || !router.contains(':') {
+        return Err("--control: give the router address (host:port)".to_owned());
+    }
+    let ops = [
+        args.flag("add-shard").map(|addr| {
+            format!(
+                "{{\"op\":\"add-shard\",\"addr\":{}}}",
+                balanced_scheduling::analyze::json::string(addr)
+            )
+        }),
+        args.flag("drain-shard").map(|addr| {
+            format!(
+                "{{\"op\":\"drain-shard\",\"addr\":{},\"stop\":{}}}",
+                balanced_scheduling::analyze::json::string(addr),
+                !args.is_set("no-stop")
+            )
+        }),
+        args.is_set("members")
+            .then(|| "{\"op\":\"members\"}".to_owned()),
+    ];
+    let mut picked = ops.into_iter().flatten();
+    let line = picked
+        .next()
+        .ok_or("--control: give one of --add-shard ADDR, --drain-shard ADDR, --members")?;
+    if picked.next().is_some() {
+        return Err("--control: give exactly one membership op".to_owned());
+    }
+    let mut stream = std::net::TcpStream::connect(&router)
+        .map_err(|e| format!("--control: connect {router}: {e}"))?;
+    // Draining waits for in-flight work (up to ~10s server-side), so
+    // give the response read generous headroom.
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .map_err(|e| format!("--control: {e}"))?;
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .map_err(|e| format!("--control: send to {router}: {e}"))?;
+    let mut reader = std::io::BufReader::new(stream);
+    let response = balanced_scheduling::serve::read_line_bounded(&mut reader, 64 * 1024 * 1024)
+        .map_err(|e| format!("--control: read from {router}: {e}"))?
+        .ok_or_else(|| format!("--control: {router} closed without responding"))?;
+    println!("{response}");
+    if response.contains("\"status\":\"ok\"") {
+        Ok(())
+    } else {
+        Err("router refused the membership op".to_owned())
+    }
 }
 
 fn alias_of(args: &Args) -> Result<AliasModel, String> {
