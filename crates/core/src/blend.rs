@@ -1,0 +1,141 @@
+//! Blended weights: an exact convex combination of balanced and
+//! traditional per-load weights.
+//!
+//! The balanced assigner spends a block's measured parallelism on its
+//! loads; the traditional assigner spends a fixed optimistic latency.
+//! Between the two endpoints lies a one-parameter family — weight
+//! `share·balanced + (1−share)·traditional` per load — that the
+//! autotuner searches over. `share = 1` reproduces balanced weights
+//! exactly and `share = 0` reproduces the traditional baseline, so the
+//! family strictly contains both paper schedulers. All arithmetic is
+//! exact [`Ratio`] arithmetic: blending never introduces float
+//! tie-break instability.
+
+use bsched_dag::{ChancesMethod, CodeDag};
+
+use crate::balanced::BalancedWeights;
+use crate::ratio::Ratio;
+use crate::traditional::TraditionalWeights;
+use crate::weights::{WeightAssigner, Weights};
+
+/// Convex combination of [`BalancedWeights`] and [`TraditionalWeights`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlendedWeights {
+    latency: Ratio,
+    share: Ratio,
+    method: ChancesMethod,
+}
+
+impl BlendedWeights {
+    /// Blends balanced weights (weighted `share`) with traditional
+    /// weights at `latency` (weighted `1 − share`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `share` is outside `[0, 1]` or `latency` is not
+    /// positive (the traditional assigner's own invariant).
+    #[must_use]
+    pub fn new(latency: Ratio, share: Ratio) -> Self {
+        assert!(
+            share >= Ratio::ZERO && share <= Ratio::ONE,
+            "balanced share must lie in [0, 1]"
+        );
+        assert!(latency > Ratio::ZERO, "load latency must be positive");
+        Self {
+            latency,
+            share,
+            method: ChancesMethod::Exact,
+        }
+    }
+
+    /// Switches the balanced half to the given `Chances` method.
+    #[must_use]
+    pub fn with_method(mut self, method: ChancesMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// The traditional half's optimistic load latency.
+    #[must_use]
+    pub fn latency(&self) -> Ratio {
+        self.latency
+    }
+
+    /// The balanced half's weight in the combination.
+    #[must_use]
+    pub fn share(&self) -> Ratio {
+        self.share
+    }
+}
+
+impl WeightAssigner for BlendedWeights {
+    fn name(&self) -> &'static str {
+        "blended"
+    }
+
+    fn assign(&self, dag: &CodeDag) -> Weights {
+        let balanced = BalancedWeights::new().with_method(self.method).assign(dag);
+        let traditional = TraditionalWeights::new(self.latency).assign(dag);
+        let inverse = Ratio::ONE - self.share;
+        let mut out = Weights::unit(dag.len());
+        for id in dag.node_ids() {
+            *out.weight_mut(id) =
+                self.share * balanced.weight(id) + inverse * traditional.weight(id);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_dag::{build_dag, AliasModel};
+    use bsched_ir::BlockBuilder;
+
+    fn sample_dag() -> CodeDag {
+        let mut b = BlockBuilder::new("blend");
+        let region = b.fresh_region();
+        let base = b.def_int("base");
+        let x = b.load_region("x", region, base, Some(0));
+        let y = b.load_region("y", region, base, Some(8));
+        let s = b.fadd("s", x, y);
+        b.store_region(region, s, base, Some(16));
+        build_dag(&b.finish(), AliasModel::Fortran)
+    }
+
+    #[test]
+    fn endpoints_reproduce_the_paper_assigners() {
+        let dag = sample_dag();
+        let latency = Ratio::from_int(30);
+        let pure_balanced = BlendedWeights::new(latency, Ratio::ONE).assign(&dag);
+        assert_eq!(pure_balanced, BalancedWeights::new().assign(&dag));
+        let pure_traditional = BlendedWeights::new(latency, Ratio::ZERO).assign(&dag);
+        assert_eq!(
+            pure_traditional,
+            TraditionalWeights::new(latency).assign(&dag)
+        );
+    }
+
+    #[test]
+    fn midpoint_lies_between_the_endpoints() {
+        let dag = sample_dag();
+        let latency = Ratio::from_int(30);
+        let bal = BalancedWeights::new().assign(&dag);
+        let trad = TraditionalWeights::new(latency).assign(&dag);
+        let mid = BlendedWeights::new(latency, Ratio::new(1, 2)).assign(&dag);
+        for id in dag.node_ids() {
+            let (lo, hi) = if bal.weight(id) <= trad.weight(id) {
+                (bal.weight(id), trad.weight(id))
+            } else {
+                (trad.weight(id), bal.weight(id))
+            };
+            assert!(mid.weight(id) >= lo && mid.weight(id) <= hi, "{id:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn rejects_out_of_range_share() {
+        let _ = BlendedWeights::new(Ratio::from_int(2), Ratio::from_int(2));
+    }
+}

@@ -48,15 +48,19 @@
 #![warn(missing_docs)]
 
 pub mod balanced;
+pub mod blend;
 pub mod list;
 pub mod ratio;
 pub mod schedule;
+pub mod ties;
 pub mod traditional;
 pub mod weights;
 
 pub use balanced::BalancedWeights;
+pub use blend::BlendedWeights;
 pub use list::{compute_priorities, Direction, ListScheduler};
 pub use ratio::{ParseRatioError, Ratio};
 pub use schedule::{Schedule, ScheduleError};
+pub use ties::{TieBreak, TieBreakChain, TieChainError, TiePrefer, MAX_TIE_KEYS};
 pub use traditional::{AverageParallelismWeights, TraditionalWeights};
 pub use weights::{Rounding, WeightAssigner, Weights};

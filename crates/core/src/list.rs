@@ -22,6 +22,7 @@ use bsched_ir::{BasicBlock, InstId};
 
 use crate::ratio::Ratio;
 use crate::schedule::Schedule;
+use crate::ties::{TieBreak, TieBreakChain, TiePrefer};
 use crate::weights::{Rounding, WeightAssigner, Weights};
 
 /// Scheduling direction.
@@ -58,6 +59,7 @@ pub enum Direction {
 pub struct ListScheduler {
     direction: Direction,
     rounding: Rounding,
+    ties: TieBreakChain,
 }
 
 impl ListScheduler {
@@ -78,6 +80,16 @@ impl ListScheduler {
     #[must_use]
     pub fn with_rounding(mut self, rounding: Rounding) -> Self {
         self.rounding = rounding;
+        self
+    }
+
+    /// Sets the ready-list tie-break chain. The default chain is the
+    /// paper's order and schedules bit-identically to the unparameterized
+    /// implementation; generation order always remains the final
+    /// fallback, so every chain selects deterministically.
+    #[must_use]
+    pub fn with_tie_breaks(mut self, ties: TieBreakChain) -> Self {
+        self.ties = ties;
         self
     }
 
@@ -105,6 +117,10 @@ impl ListScheduler {
             .map(|i| u64::from(weights.latency(i, self.rounding)))
             .collect();
         let priority = compute_priorities(dag, weights);
+        // Slack and load density are whole-DAG analyses; compute them
+        // only when the configured chain actually consults them, so the
+        // default (paper) chain does no extra work.
+        let aux = TieAux::for_chain(dag, &self.ties);
 
         // Direction-neutral terminology: we schedule against the *ahead*
         // relation — successors for bottom-up (they sit later in the block
@@ -150,7 +166,7 @@ impl ListScheduler {
                 .iter()
                 .copied()
                 .filter(|&i| ready_time[i.index()] <= slot)
-                .max_by(|&a, &b| self.compare(dag, &priority, &remaining, a, b));
+                .max_by(|&a, &b| self.compare(dag, &priority, &remaining, &aux, a, b));
             match choice {
                 Some(best) => {
                     pending.retain(|&i| i != best);
@@ -202,30 +218,62 @@ impl ListScheduler {
         Schedule::new(order, slots, vnops)
     }
 
-    /// The paper's selection order: priority, then the three tie-breaks.
+    /// Selection order: priority, then the configured tie-break chain
+    /// (the paper's three-key order by default), then — always —
+    /// earliest generated, so selection is total and deterministic.
     fn compare(
         &self,
         dag: &CodeDag,
         priority: &[Ratio],
         remaining: &[usize],
+        aux: &TieAux,
         a: InstId,
         b: InstId,
     ) -> std::cmp::Ordering {
-        priority[a.index()]
-            .cmp(&priority[b.index()])
-            // (1) largest consumed-minus-defined register difference.
-            .then_with(|| dag.pressure_delta(a).cmp(&dag.pressure_delta(b)))
-            // (2) most newly exposed instructions.
-            .then_with(|| {
-                exposed_count(dag, remaining, a, self.direction).cmp(&exposed_count(
-                    dag,
-                    remaining,
-                    b,
-                    self.direction,
-                ))
-            })
-            // (3) earliest generated.
-            .then_with(|| b.cmp(&a))
+        let mut ord = priority[a.index()].cmp(&priority[b.index()]);
+        for &(key, prefer) in self.ties.keys() {
+            if ord != std::cmp::Ordering::Equal {
+                break;
+            }
+            let ascending = match key {
+                TieBreak::PressureDelta => dag.pressure_delta(a).cmp(&dag.pressure_delta(b)),
+                TieBreak::ExposedCount => exposed_count(dag, remaining, a, self.direction)
+                    .cmp(&exposed_count(dag, remaining, b, self.direction)),
+                TieBreak::Slack => aux.slack[a.index()].cmp(&aux.slack[b.index()]),
+                TieBreak::LoadDensity => aux.loads[a.index()].cmp(&aux.loads[b.index()]),
+                TieBreak::SourceOrder => a.cmp(&b),
+            };
+            ord = match prefer {
+                TiePrefer::High => ascending,
+                TiePrefer::Low => ascending.reverse(),
+            };
+        }
+        // Earliest generated, unconditionally, as the final fallback.
+        ord.then_with(|| b.cmp(&a))
+    }
+}
+
+/// Per-node key values for the tie-break chain, computed once per run
+/// and only for the keys the chain names.
+struct TieAux {
+    slack: Vec<u32>,
+    loads: Vec<u32>,
+}
+
+impl TieAux {
+    fn for_chain(dag: &CodeDag, ties: &TieBreakChain) -> Self {
+        Self {
+            slack: if ties.uses(TieBreak::Slack) {
+                bsched_dag::slack(dag)
+            } else {
+                Vec::new()
+            },
+            loads: if ties.uses(TieBreak::LoadDensity) {
+                bsched_dag::load_levels(dag)
+            } else {
+                Vec::new()
+            },
+        }
     }
 }
 
@@ -479,6 +527,74 @@ mod tests {
         assert_eq!(sched.vnop_count(), 0);
         assert_eq!(sched.slot_count(), 2);
         assert_eq!(sched.order(), &[id(0), id(1)]);
+    }
+
+    #[test]
+    fn explicit_default_chain_is_bit_identical_to_implicit() {
+        use crate::ties::TieBreakChain;
+        for seed in 0..6u32 {
+            let mut b = BlockBuilder::new("chain-parity");
+            let region = b.fresh_region();
+            let base = b.def_int("base");
+            let mut vals = Vec::new();
+            for k in 0..10 {
+                vals.push(b.load_region("l", region, base, Some(8 * (k + i64::from(seed)))));
+            }
+            let mut acc = vals[0];
+            for &v in &vals[1..] {
+                acc = b.fadd("a", acc, v);
+            }
+            b.store_region(region, acc, base, Some(900));
+            let dag = build_dag(&b.finish(), AliasModel::Fortran);
+            for direction in [Direction::BottomUp, Direction::TopDown] {
+                let implicit = ListScheduler::new()
+                    .with_direction(direction)
+                    .run(&dag, &BalancedWeights::new());
+                let explicit = ListScheduler::new()
+                    .with_direction(direction)
+                    .with_tie_breaks(TieBreakChain::default())
+                    .run(&dag, &BalancedWeights::new());
+                assert_eq!(implicit.order(), explicit.order(), "seed {seed}");
+                assert_eq!(implicit.slots(), explicit.slots(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_tie_break_chain_schedules_validly() {
+        use crate::ties::TieBreakChain;
+        let mut b = BlockBuilder::new("chains");
+        let region = b.fresh_region();
+        let base = b.def_int("base");
+        let mut vals = Vec::new();
+        for k in 0..8 {
+            vals.push(b.load_region("l", region, base, Some(8 * k)));
+        }
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.fadd("a", acc, v);
+        }
+        b.store_region(region, acc, base, Some(640));
+        let dag = build_dag(&b.finish(), AliasModel::Fortran);
+        for spec in [
+            "",
+            "slack-",
+            "slack+,pressure+",
+            "density+,exposed+",
+            "source-",
+            "pressure+,exposed+,slack-,density+,source-",
+        ] {
+            let chain = TieBreakChain::parse(spec).expect(spec);
+            let sched = ListScheduler::new()
+                .with_tie_breaks(chain)
+                .run(&dag, &BalancedWeights::new());
+            assert!(sched.verify(&dag).is_ok(), "chain {spec:?}");
+            // Determinism: the same chain picks the same schedule again.
+            let again = ListScheduler::new()
+                .with_tie_breaks(chain)
+                .run(&dag, &BalancedWeights::new());
+            assert_eq!(sched.order(), again.order(), "chain {spec:?}");
+        }
     }
 
     #[test]

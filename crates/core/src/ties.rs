@@ -1,0 +1,274 @@
+//! Parameterized ready-list tie-breaking.
+//!
+//! The paper fixes one tie-break order (§4.1): register-pressure delta,
+//! then newly exposed instructions, then generation order. The autotuner
+//! treats that order as a *search dimension*: a [`TieBreakChain`] names
+//! which keys are consulted, in which order, and which end of each key's
+//! range wins. The default chain reproduces the paper's behaviour
+//! bit-for-bit, so a scheduler built without an explicit chain is
+//! byte-identical to the pre-tuning implementation.
+//!
+//! Every chain is total: after the configured keys, the scheduler always
+//! falls back to earliest-generated order, so selection is deterministic
+//! no matter how short (or empty) the configured chain is.
+
+use std::fmt;
+
+/// One orderable property of a ready instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TieBreak {
+    /// `uses − defs`: how much register pressure picking it relieves.
+    PressureDelta,
+    /// How many neighbours become schedulable once it is picked.
+    ExposedCount,
+    /// ALAP − ASAP freedom on the DAG (0 = critical path).
+    Slack,
+    /// Maximum loads on any path from the node toward the leaves
+    /// (the paper's load-level labelling).
+    LoadDensity,
+    /// Position in generation order.
+    SourceOrder,
+}
+
+impl TieBreak {
+    /// Every key, in the canonical-spelling order used by the tuner's
+    /// candidate space.
+    pub const ALL: [TieBreak; 5] = [
+        TieBreak::PressureDelta,
+        TieBreak::ExposedCount,
+        TieBreak::Slack,
+        TieBreak::LoadDensity,
+        TieBreak::SourceOrder,
+    ];
+
+    /// Stable spelling used in canonical policy strings.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            TieBreak::PressureDelta => "pressure",
+            TieBreak::ExposedCount => "exposed",
+            TieBreak::Slack => "slack",
+            TieBreak::LoadDensity => "density",
+            TieBreak::SourceOrder => "source",
+        }
+    }
+
+    /// Inverse of [`TieBreak::id`].
+    #[must_use]
+    pub fn from_id(id: &str) -> Option<TieBreak> {
+        TieBreak::ALL.into_iter().find(|k| k.id() == id)
+    }
+}
+
+/// Which end of a key's range wins the tie.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TiePrefer {
+    /// The larger value is scheduled first.
+    High,
+    /// The smaller value is scheduled first.
+    Low,
+}
+
+impl TiePrefer {
+    /// Canonical one-character suffix (`+` high, `-` low).
+    #[must_use]
+    pub fn suffix(self) -> char {
+        match self {
+            TiePrefer::High => '+',
+            TiePrefer::Low => '-',
+        }
+    }
+}
+
+/// Maximum number of keys a chain can carry — one slot per distinct key.
+pub const MAX_TIE_KEYS: usize = 5;
+
+/// An ordered tie-break chain, `Copy` so the scheduler stays `Copy`.
+///
+/// Construct with [`TieBreakChain::try_from_keys`] (or rely on
+/// [`TieBreakChain::default`] for the paper's chain) and render/parse
+/// the canonical `pressure+,exposed+` spelling with [`fmt::Display`]
+/// and [`TieBreakChain::parse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TieBreakChain {
+    keys: [(TieBreak, TiePrefer); MAX_TIE_KEYS],
+    len: u8,
+}
+
+impl Default for TieBreakChain {
+    /// The paper's §4.1 order: largest pressure delta, then most newly
+    /// exposed instructions (generation order is the built-in fallback).
+    fn default() -> Self {
+        Self::try_from_keys(&[
+            (TieBreak::PressureDelta, TiePrefer::High),
+            (TieBreak::ExposedCount, TiePrefer::High),
+        ])
+        .expect("default chain fits")
+    }
+}
+
+/// Why a key list does not form a valid chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TieChainError {
+    /// More than [`MAX_TIE_KEYS`] keys.
+    TooLong(usize),
+    /// The same key appears twice (a repeat can never break a tie the
+    /// first occurrence left unbroken).
+    Duplicate(TieBreak),
+    /// Unparseable canonical spelling.
+    Parse(String),
+}
+
+impl fmt::Display for TieChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TieChainError::TooLong(n) => {
+                write!(f, "tie-break chain has {n} keys (max {MAX_TIE_KEYS})")
+            }
+            TieChainError::Duplicate(k) => write!(f, "duplicate tie-break key {:?}", k.id()),
+            TieChainError::Parse(s) => write!(f, "bad tie-break spec {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TieChainError {}
+
+impl TieBreakChain {
+    /// Builds a chain from an ordered key list.
+    ///
+    /// # Errors
+    ///
+    /// [`TieChainError::TooLong`] past [`MAX_TIE_KEYS`] keys,
+    /// [`TieChainError::Duplicate`] when a key repeats.
+    pub fn try_from_keys(keys: &[(TieBreak, TiePrefer)]) -> Result<Self, TieChainError> {
+        if keys.len() > MAX_TIE_KEYS {
+            return Err(TieChainError::TooLong(keys.len()));
+        }
+        let mut chain = [(TieBreak::SourceOrder, TiePrefer::Low); MAX_TIE_KEYS];
+        for (i, &(key, prefer)) in keys.iter().enumerate() {
+            if keys[..i].iter().any(|&(k, _)| k == key) {
+                return Err(TieChainError::Duplicate(key));
+            }
+            chain[i] = (key, prefer);
+        }
+        Ok(Self {
+            keys: chain,
+            len: u8::try_from(keys.len()).expect("checked above"),
+        })
+    }
+
+    /// The configured keys, in consultation order.
+    #[must_use]
+    pub fn keys(&self) -> &[(TieBreak, TiePrefer)] {
+        &self.keys[..usize::from(self.len)]
+    }
+
+    /// Whether `key` appears anywhere in the chain.
+    #[must_use]
+    pub fn uses(&self, key: TieBreak) -> bool {
+        self.keys().iter().any(|&(k, _)| k == key)
+    }
+
+    /// Parses the canonical `key±,key±` spelling (e.g.
+    /// `slack-,pressure+`). The empty string is the empty chain.
+    ///
+    /// # Errors
+    ///
+    /// [`TieChainError::Parse`] on an unknown key or missing suffix, and
+    /// the length/duplicate errors of [`TieBreakChain::try_from_keys`].
+    pub fn parse(spec: &str) -> Result<Self, TieChainError> {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Self::try_from_keys(&[]);
+        }
+        let mut keys = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            let (name, prefer) = if let Some(name) = part.strip_suffix('+') {
+                (name, TiePrefer::High)
+            } else if let Some(name) = part.strip_suffix('-') {
+                (name, TiePrefer::Low)
+            } else {
+                return Err(TieChainError::Parse(part.to_owned()));
+            };
+            let key =
+                TieBreak::from_id(name).ok_or_else(|| TieChainError::Parse(part.to_owned()))?;
+            keys.push((key, prefer));
+        }
+        Self::try_from_keys(&keys)
+    }
+}
+
+impl fmt::Display for TieBreakChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, &(key, prefer)) in self.keys().iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{}{}", key.id(), prefer.suffix())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_chain_is_the_papers_order() {
+        let chain = TieBreakChain::default();
+        assert_eq!(
+            chain.keys(),
+            &[
+                (TieBreak::PressureDelta, TiePrefer::High),
+                (TieBreak::ExposedCount, TiePrefer::High),
+            ]
+        );
+        assert_eq!(chain.to_string(), "pressure+,exposed+");
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for spec in [
+            "",
+            "slack-",
+            "density+,slack-,source+",
+            "pressure+,exposed+",
+        ] {
+            let chain = TieBreakChain::parse(spec).expect(spec);
+            assert_eq!(chain.to_string(), spec);
+            assert_eq!(TieBreakChain::parse(&chain.to_string()), Ok(chain));
+        }
+    }
+
+    #[test]
+    fn rejects_duplicates_overflow_and_junk() {
+        assert_eq!(
+            TieBreakChain::parse("slack-,slack+"),
+            Err(TieChainError::Duplicate(TieBreak::Slack))
+        );
+        let all = "pressure+,exposed+,slack-,density+,source-";
+        assert!(TieBreakChain::parse(all).is_ok());
+        assert!(matches!(
+            TieBreakChain::try_from_keys(&[(TieBreak::Slack, TiePrefer::Low); 6]),
+            Err(TieChainError::TooLong(6))
+        ));
+        assert!(matches!(
+            TieBreakChain::parse("slack"),
+            Err(TieChainError::Parse(_))
+        ));
+        assert!(matches!(
+            TieBreakChain::parse("bogus+"),
+            Err(TieChainError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn key_ids_roundtrip() {
+        for key in TieBreak::ALL {
+            assert_eq!(TieBreak::from_id(key.id()), Some(key));
+        }
+        assert_eq!(TieBreak::from_id("nope"), None);
+    }
+}

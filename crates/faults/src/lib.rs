@@ -131,8 +131,9 @@ pub fn default_arg(site: Site) -> u64 {
         // Stall cycles — large enough to trip any sane cycle budget,
         // small enough that saturating arithmetic never overflows.
         Site::SimStall => 1 << 40,
-        // Sleep milliseconds for a slow cell / slow server worker.
-        Site::SlowCell | Site::SlowWorker => 50,
+        // Sleep milliseconds for a slow cell / slow server worker / slow
+        // tuner candidate.
+        Site::SlowCell | Site::SlowWorker | Site::TuneStall => 50,
         Site::Parse
         | Site::Alloc
         | Site::EvalPanic

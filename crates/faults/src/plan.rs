@@ -40,11 +40,15 @@ pub enum Site {
     /// The router treats a shard as unreachable without touching the
     /// socket, forcing the retry/failover path (`bsched-serve` router).
     ShardDown,
+    /// A candidate evaluation in the autotuner sleeps, tripping the
+    /// per-candidate wall-clock timeout (`bsched-tune`). The search must
+    /// quarantine the candidate and continue, never abort.
+    TuneStall,
 }
 
 impl Site {
     /// Every site, in a fixed order.
-    pub const ALL: [Site; 10] = [
+    pub const ALL: [Site; 11] = [
         Site::Parse,
         Site::Alloc,
         Site::LatencyJitter,
@@ -55,6 +59,7 @@ impl Site {
         Site::SlowWorker,
         Site::PersistCorrupt,
         Site::ShardDown,
+        Site::TuneStall,
     ];
 
     /// The stable kebab-case site name.
@@ -71,6 +76,7 @@ impl Site {
             Site::SlowWorker => "slow-worker",
             Site::PersistCorrupt => "persist-corrupt",
             Site::ShardDown => "shard-down",
+            Site::TuneStall => "tune-stall",
         }
     }
 

@@ -51,6 +51,7 @@
 pub mod error;
 pub mod eval;
 pub mod pipeline;
+pub mod policy;
 
 pub use error::{AnalyzeError, PipelineError};
 pub use eval::{
@@ -60,3 +61,4 @@ pub use eval::{
 pub use pipeline::{
     AllocationStrategy, AnalysisGate, CompiledBlock, CompiledProgram, Pipeline, SchedulerChoice,
 };
+pub use policy::{PolicyParseError, PolicySpec, WeightFamily, POLICY_ARTIFACT_VERSION};

@@ -2,8 +2,8 @@
 
 use bsched_analyze::{Analyzer, Severity};
 use bsched_core::{
-    AverageParallelismWeights, BalancedWeights, Direction, ListScheduler, Ratio, Rounding,
-    TraditionalWeights, WeightAssigner,
+    AverageParallelismWeights, BalancedWeights, BlendedWeights, Direction, ListScheduler, Ratio,
+    Rounding, TraditionalWeights, WeightAssigner,
 };
 use bsched_dag::{build_dag, AliasModel, ChancesMethod};
 use bsched_ir::{BasicBlock, Function};
@@ -11,6 +11,7 @@ use bsched_regalloc::{allocate, allocate_usage_count, rename_registers, Allocato
 use bsched_verify::{verify_allocation, verify_schedule, ValidationLevel};
 
 use crate::error::{AnalyzeError, PipelineError};
+use crate::policy::{PolicySpec, WeightFamily};
 
 /// Whether the static analyzer gates compilation (`bsched-analyze`).
 ///
@@ -84,6 +85,9 @@ pub enum SchedulerChoice {
     },
     /// The §3 block-average alternative (ablation).
     Average,
+    /// A tuned policy discovered by `bsched-tune`: the policy's own
+    /// rounding mode and tie-break chain override the pipeline defaults.
+    Tuned(PolicySpec),
 }
 
 impl SchedulerChoice {
@@ -113,6 +117,30 @@ impl SchedulerChoice {
             } => "balanced-approx".to_owned(),
             SchedulerChoice::Traditional { latency } => format!("traditional({latency})"),
             SchedulerChoice::Average => "average".to_owned(),
+            SchedulerChoice::Tuned(spec) => format!("tuned({})", spec.canonical()),
+        }
+    }
+
+    /// The canonical serialization that feeds content-addressed cache
+    /// keys: every parameter of every variant is spelled out, so two
+    /// choices compare equal if and only if they render the same string.
+    /// (Contrast [`SchedulerChoice::name`], which is display-oriented:
+    /// `traditional(2 3/5)` prints a mixed fraction, and a raw wire spec
+    /// such as `traditional=13/5` would alias it differently.)
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        match self {
+            SchedulerChoice::Balanced {
+                method: ChancesMethod::Exact,
+            } => "balanced".to_owned(),
+            SchedulerChoice::Balanced {
+                method: ChancesMethod::LevelApprox,
+            } => "balanced-approx".to_owned(),
+            SchedulerChoice::Traditional { latency } => {
+                format!("traditional:{}/{}", latency.numer(), latency.denom())
+            }
+            SchedulerChoice::Average => "average".to_owned(),
+            SchedulerChoice::Tuned(spec) => format!("policy:{}", spec.canonical()),
         }
     }
 
@@ -123,6 +151,31 @@ impl SchedulerChoice {
             }
             SchedulerChoice::Traditional { latency } => Box::new(TraditionalWeights::new(*latency)),
             SchedulerChoice::Average => Box::new(AverageParallelismWeights::new()),
+            SchedulerChoice::Tuned(spec) => match spec.family {
+                WeightFamily::Balanced { method } => {
+                    Box::new(BalancedWeights::new().with_method(method))
+                }
+                WeightFamily::Traditional { latency } => Box::new(TraditionalWeights::new(latency)),
+                WeightFamily::Average => Box::new(AverageParallelismWeights::new()),
+                WeightFamily::Blend { latency, share } => {
+                    Box::new(BlendedWeights::new(latency, share))
+                }
+            },
+        }
+    }
+
+    /// The scheduler a choice runs under a pipeline's defaults: a tuned
+    /// policy carries its own rounding and tie-break chain; every other
+    /// variant takes the pipeline's.
+    fn scheduler(&self, direction: Direction, rounding: Rounding) -> ListScheduler {
+        match self {
+            SchedulerChoice::Tuned(spec) => ListScheduler::new()
+                .with_direction(direction)
+                .with_rounding(spec.rounding)
+                .with_tie_breaks(spec.ties),
+            _ => ListScheduler::new()
+                .with_direction(direction)
+                .with_rounding(rounding),
         }
     }
 }
@@ -263,9 +316,7 @@ impl Pipeline {
         }
 
         let assigner = choice.assigner();
-        let scheduler = ListScheduler::new()
-            .with_direction(self.direction)
-            .with_rounding(self.rounding);
+        let scheduler = choice.scheduler(self.direction, self.rounding);
 
         // Pass 1: virtual registers, maximal freedom.
         let dag1 = build_dag(block, self.alias);

@@ -141,22 +141,30 @@ fn resolve_source(source: &KernelSource) -> Result<ResolvedKernel, RequestError>
 #[must_use]
 pub fn request_key(req: &ScheduleRequest, identity: &str) -> u128 {
     let alias = format!("{:?}", req.alias);
+    // The key hashes the *canonical* scheduler rendering, not the raw
+    // request spelling: every `SchedulerChoice` variant — including the
+    // full parameter vector of a tuned `PolicySpec` — feeds the hash, so
+    // two distinct policies can never collide and two spellings of the
+    // same policy (`traditional=2` / `traditional=2/1`) always do.
+    let scheduler = req.scheduler.canonical();
     let system = req.system.name();
     let optimistic = req.optimistic.map_or_else(String::new, |r| r.to_string());
     let processor = req.processor.to_string();
     let runs = req.runs.to_string();
     let seed = req.seed.to_string();
     let analyze = req.analyze.to_string();
+    let tune = req.tune.to_string();
     stable_key(&[
         ("source", identity),
         ("alias", &alias),
-        ("scheduler", &req.scheduler_spec),
+        ("scheduler", &scheduler),
         ("system", &system),
         ("optimistic", &optimistic),
         ("processor", &processor),
         ("runs", &runs),
         ("seed", &seed),
         ("analyze", &analyze),
+        ("tune", &tune),
     ])
 }
 
@@ -373,6 +381,71 @@ mod tests {
         assert_eq!(key_a, evaluate_request(&req_b).expect("b").key);
         assert_eq!(key_a, evaluate_request(&inline).expect("inline").key);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Golden-pinned cache keys, one per `SchedulerChoice` variant plus
+    /// the `tune` flag. These pin the canonical request serialization:
+    /// a key change here silently invalidates every fleet cache entry
+    /// (and cache log) in the field — change them knowingly.
+    #[test]
+    fn request_keys_are_golden_stable_per_scheduler_variant() {
+        for (spec, golden) in [
+            ("balanced", "752d01def57cc93efcbe575b069f6738"),
+            ("balanced-approx", "33cb6af1fb417930f7d784da649a22e1"),
+            ("average", "bd9e2c3c9e391c43979eabf2f1e2fb78"),
+            ("traditional=2", "7eacf36d3b36abefbafbacd0d97a99ef"),
+            (
+                "policy:family=blend:30/1:1/2;rounding=ceil;ties=slack-,pressure+",
+                "4f27860488d8c4c9c1ec5df12fc00c2c",
+            ),
+        ] {
+            let req = schedule(&format!(
+                r#"{{"kernel":"k","system":"N(3,5)","scheduler":{}}}"#,
+                json::string(spec)
+            ));
+            assert_eq!(
+                format!("{:032x}", request_key(&req, "identity")),
+                golden,
+                "{spec}"
+            );
+        }
+        let req = schedule(r#"{"kernel":"k","system":"N(3,5)","tune":true}"#);
+        assert_eq!(
+            format!("{:032x}", request_key(&req, "identity")),
+            "820bc7a96600d55f7f2fe2323a09d9aa",
+            "tune"
+        );
+    }
+
+    /// Equivalent spellings share a key (the canonical form is hashed,
+    /// not the raw spec), and a tuned policy identical to a named
+    /// scheduler still gets that scheduler's key.
+    #[test]
+    fn equivalent_scheduler_spellings_share_a_key() {
+        let a = schedule(r#"{"kernel":"k","system":"N(3,5)","scheduler":"traditional=2"}"#);
+        let b = schedule(r#"{"kernel":"k","system":"N(3,5)","scheduler":"traditional=2/1"}"#);
+        assert_eq!(request_key(&a, "i"), request_key(&b, "i"));
+    }
+
+    /// Every policy the tuner's candidate space can generate must map to
+    /// a distinct cache key — two distinct policies colliding would let
+    /// one policy's schedule be served for another.
+    #[test]
+    fn distinct_tuned_policies_never_collide() {
+        use std::collections::HashMap;
+        let space = bsched_tune::CandidateSpace::for_optimistic_latency(30.0);
+        let mut seen: HashMap<u128, String> = HashMap::new();
+        for spec in space.enumerate() {
+            let req = schedule(&format!(
+                r#"{{"kernel":"k","system":"N(30,5)","scheduler":{}}}"#,
+                json::string(&format!("policy:{}", spec.canonical()))
+            ));
+            let key = request_key(&req, "identity");
+            if let Some(other) = seen.insert(key, spec.canonical()) {
+                panic!("key collision: {} vs {}", other, spec.canonical());
+            }
+        }
+        assert_eq!(seen.len(), space.len());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! ```json
 //! {"op":"schedule","id":"r1","kernel":"k d { ... }","system":"L80(2,5)",
 //!  "scheduler":"balanced","alias":"fortran","processor":"unlimited",
-//!  "runs":10,"seed":7,"deadline_ms":5000,"analyze":true}
+//!  "runs":10,"seed":7,"deadline_ms":5000,"analyze":true,"tune":false}
 //! {"op":"schedule","kernel_path":"kernels/daxpy.bsk","system":"N(3,5)"}
 //! {"op":"schedule","benchmark":"MDG","system":"L80(2,5)","optimistic":"2"}
 //! {"op":"stats"}     — also accepted as the bare line "/stats"
@@ -46,7 +46,7 @@ use bsched_core::Ratio;
 use bsched_cpusim::ProcessorModel;
 use bsched_dag::{AliasModel, ChancesMethod};
 use bsched_memsim::MemorySystem;
-use bsched_pipeline::SchedulerChoice;
+use bsched_pipeline::{PolicySpec, SchedulerChoice};
 
 /// Where the kernel to schedule comes from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,7 +70,8 @@ pub struct ScheduleRequest {
     pub alias: AliasModel,
     /// Scheduler choice.
     pub scheduler: SchedulerChoice,
-    /// Raw scheduler spec string, canonical for the cache key.
+    /// Raw scheduler spec string as the client spelled it (display
+    /// only — the cache key hashes `scheduler.canonical()` instead).
     pub scheduler_spec: String,
     /// Memory system to simulate.
     pub system: MemorySystem,
@@ -91,6 +92,13 @@ pub struct ScheduleRequest {
     /// summary line. Deliberately **not** part of the cache key —
     /// streamed and plain requests share cache entries.
     pub stream: bool,
+    /// Whether a cache miss should also enqueue a background policy
+    /// search (`bsched-tune`) for this request's key; the winning
+    /// schedule is installed into the cache so subsequent identical
+    /// requests are served tuned. Part of the cache key — tuned and
+    /// untuned requests must never share an entry, because the tuner
+    /// overwrites the tuned entry's payload in place.
+    pub tune: bool,
     /// Simulated per-request service stall in microseconds (0..=1s),
     /// slept on the worker before the cache is even consulted. A
     /// load-testing knob: it models IO- or memory-stall-dominated
@@ -156,6 +164,12 @@ fn parse_scheduler(spec: &str) -> Result<SchedulerChoice, String> {
                     .parse()
                     .map_err(|e| format!("bad latency {lat:?}: {e}"))?;
                 Ok(SchedulerChoice::traditional(latency))
+            } else if let Some(canonical) = other.strip_prefix("policy:") {
+                // A tuned policy travels inline as its canonical string
+                // (the `bsched tune` artifact's "canonical" field) — the
+                // server never reads client-side files.
+                let spec = PolicySpec::parse_canonical(canonical).map_err(|e| format!("{e}"))?;
+                Ok(SchedulerChoice::Tuned(spec))
             } else {
                 Err(format!("unknown scheduler {other:?}"))
             }
@@ -280,6 +294,10 @@ fn parse_schedule(v: &Json) -> Result<ScheduleRequest, String> {
         None => false,
         Some(b) => b.as_bool().ok_or("\"stream\" must be a boolean")?,
     };
+    let tune = match v.get("tune") {
+        None => false,
+        Some(b) => b.as_bool().ok_or("\"tune\" must be a boolean")?,
+    };
     let stall_us = match v.get("stall_us") {
         None => 0,
         Some(n) => n
@@ -300,6 +318,7 @@ fn parse_schedule(v: &Json) -> Result<ScheduleRequest, String> {
         deadline_ms,
         analyze,
         stream,
+        tune,
         stall_us,
     })
 }

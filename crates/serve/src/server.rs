@@ -168,6 +168,12 @@ struct Inner {
     /// Append/compaction failures downgraded to this counter — a full
     /// disk degrades durability, never serving.
     persist_errors: std::sync::atomic::AtomicU64,
+    /// Cache keys with a background policy search in flight — the
+    /// dedup guard that keeps a hot `"tune":true` key from spawning one
+    /// search per miss.
+    tuning: Mutex<std::collections::HashSet<u128>>,
+    /// Tuned schedules installed into the cache by background searches.
+    tuned_installs: std::sync::atomic::AtomicU64,
     stats: ServerStats,
     shutdown: AtomicBool,
     #[cfg(target_os = "linux")]
@@ -217,6 +223,8 @@ impl Server {
                 cache: Mutex::new(cache),
                 log,
                 persist_errors: std::sync::atomic::AtomicU64::new(0),
+                tuning: Mutex::new(std::collections::HashSet::new()),
+                tuned_installs: std::sync::atomic::AtomicU64::new(0),
                 cfg,
                 stats: ServerStats::default(),
                 shutdown: AtomicBool::new(false),
@@ -247,6 +255,8 @@ impl Server {
                 cache: Mutex::new(cache),
                 log,
                 persist_errors: std::sync::atomic::AtomicU64::new(0),
+                tuning: Mutex::new(std::collections::HashSet::new()),
+                tuned_installs: std::sync::atomic::AtomicU64::new(0),
                 cfg,
                 stats: ServerStats::default(),
                 shutdown: AtomicBool::new(false),
@@ -450,6 +460,9 @@ fn run_schedule(
                                 }
                             }
                             inner.stats.ok.fetch_add(1, Ordering::Relaxed);
+                            if req.tune {
+                                maybe_spawn_tune(inner, key, req);
+                            }
                             ok_response(id, false, &payload, service_us(admitted_at))
                         }
                         Ok(Err((kind, reason))) => {
@@ -487,6 +500,69 @@ fn run_schedule(
     response
 }
 
+/// Enqueues a background policy search for a cache-missed `"tune":true`
+/// request, unless one is already in flight for the same key. The
+/// search runs on the worker pool behind live requests; the winning
+/// policy's schedule is evaluated through the normal service path and
+/// installed under the **original** request key (and appended to the
+/// cache log), so the next identical request is served tuned.
+fn maybe_spawn_tune(inner: &Arc<Inner>, key: u128, req: &ScheduleRequest) {
+    if inner.draining() || !inner.tuning.lock().unwrap().insert(key) {
+        return;
+    }
+    let job_inner = Arc::clone(inner);
+    let req = req.clone();
+    inner.pool.spawn(move || {
+        background_tune(&job_inner, key, &req);
+        job_inner.tuning.lock().unwrap().remove(&key);
+    });
+}
+
+/// The background search itself. Failures are silent by design — tuning
+/// is an optimization, never a correctness dependency of serving.
+fn background_tune(inner: &Arc<Inner>, key: u128, req: &ScheduleRequest) -> Option<()> {
+    if inner.draining() {
+        return None;
+    }
+    let function = prepare_request(req).ok()?.resolved.function;
+    // Deterministic per-key seed: the same kernel + configuration tunes
+    // identically on every shard of the fleet, so cached policies are
+    // interchangeable across daemons.
+    #[allow(clippy::cast_possible_truncation)]
+    let seed = req.seed ^ (key as u64) ^ ((key >> 64) as u64);
+    let cfg = bsched_tune::TuneConfig {
+        seed,
+        runs: req.runs,
+        // One worker thread: the search yields to live requests rather
+        // than saturating the pool.
+        threads: 1,
+        beam_width: 2,
+        processor: req.processor,
+        alias: req.alias,
+        candidate_timeout: Some(Duration::from_secs(5)),
+        ..bsched_tune::TuneConfig::default()
+    };
+    let report = bsched_tune::tune(&function, &req.system, &cfg).ok()?;
+    let mut tuned = req.clone();
+    tuned.scheduler_spec = format!("policy:{}", report.best.canonical());
+    tuned.scheduler = bsched_pipeline::SchedulerChoice::Tuned(report.best);
+    let done = crate::evaluate_request(&tuned).ok()?;
+    let payload: Arc<str> = Arc::from(done.payload);
+    {
+        let mut cache = inner.cache.lock().unwrap();
+        cache.put(key, Arc::clone(&payload));
+        if let Some(log) = &inner.log {
+            let mut log = log.lock().unwrap();
+            if let Err(e) = log.append(key, &payload) {
+                inner.persist_errors.fetch_add(1, Ordering::Relaxed);
+                eprintln!("bsched-serve: cache-log append failed: {e}");
+            }
+        }
+    }
+    inner.tuned_installs.fetch_add(1, Ordering::Relaxed);
+    Some(())
+}
+
 fn service_us(admitted_at: Instant) -> u64 {
     u64::try_from(admitted_at.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
@@ -509,6 +585,7 @@ fn render_stats(inner: &Inner, id: Option<&str>) -> String {
          \"cache_misses\":{cache_misses},\"cache_entries\":{cache_entries},\
          \"persist_appends\":{persist_appends},\"persist_compactions\":{persist_compactions},\
          \"persist_bytes\":{persist_bytes},\"persist_errors\":{},\
+         \"tuned_installs\":{},\"tuning_in_flight\":{},\
          \"workers\":{},\"queue_capacity\":{},\"steals\":{},\"parks\":{},\
          \"pool_queued\":{},\"io_threads\":{},\"open_connections\":{},\
          \"max_line_bytes\":{},\"write_cap_bytes\":{},\
@@ -516,6 +593,8 @@ fn render_stats(inner: &Inner, id: Option<&str>) -> String {
         crate::protocol::id_fragment(id),
         inner.stats.render_fields(),
         inner.persist_errors.load(Ordering::Relaxed),
+        inner.tuned_installs.load(Ordering::Relaxed),
+        inner.tuning.lock().unwrap().len(),
         inner.cfg.workers.max(1),
         inner.cfg.queue_capacity.max(1),
         pool.steals,

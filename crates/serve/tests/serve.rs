@@ -121,6 +121,77 @@ fn identical_request_is_served_from_cache() {
 }
 
 #[test]
+fn tune_flag_installs_a_background_tuned_schedule() {
+    let server = small_server();
+    let mut client = Client::connect(&server);
+    // High-variance system on a small kernel: the policy search is fast
+    // and reliably finds a non-default winner.
+    let req = r#"{"op":"schedule","id":"t1","kernel":"kernel daxpy { arrays x, y; y[0] = 3.0 * x[0] + y[0]; }","system":"N(3,2)","runs":3,"analyze":false,"tune":true}"#;
+    let first = client.round_trip(req);
+    assert_eq!(status(&first), "ok", "{first:?}");
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+    let first_sched = first
+        .get("schedule")
+        .and_then(|s| s.get("scheduler"))
+        .and_then(Json::as_str)
+        .expect("scheduler name")
+        .to_owned();
+
+    // The search runs behind live requests; poll /stats until the
+    // winner lands in the cache.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = client.round_trip("/stats");
+        let installs = stats
+            .get("stats")
+            .and_then(|s| s.get("tuned_installs"))
+            .and_then(Json::as_u64)
+            .expect("tuned_installs counter");
+        if installs >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "background tune never installed: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // The identical request now hits the cache — and the payload it gets
+    // is the *tuned* schedule installed under the original key.
+    let second = client.round_trip(req);
+    assert_eq!(status(&second), "ok", "{second:?}");
+    assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+    let second_sched = second
+        .get("schedule")
+        .and_then(|s| s.get("scheduler"))
+        .and_then(Json::as_str)
+        .expect("scheduler name");
+    assert_ne!(
+        second_sched, first_sched,
+        "cached payload should carry the tuned policy, not the original scheduler"
+    );
+    assert!(
+        second_sched.contains("family="),
+        "tuned scheduler name carries the policy: {second_sched}"
+    );
+
+    // A request *without* the tune flag keeps its own key and is still
+    // served the untuned schedule — the entries never mix.
+    let plain = r#"{"op":"schedule","id":"t2","kernel":"kernel daxpy { arrays x, y; y[0] = 3.0 * x[0] + y[0]; }","system":"N(3,2)","runs":3,"analyze":false}"#;
+    let v = client.round_trip(plain);
+    assert_eq!(status(&v), "ok");
+    assert_eq!(
+        v.get("schedule")
+            .and_then(|s| s.get("scheduler"))
+            .and_then(Json::as_str),
+        Some(first_sched.as_str())
+    );
+    server.begin_shutdown();
+    server.join();
+}
+
+#[test]
 fn over_capacity_burst_gets_typed_overloaded_responses() {
     let _guard = fault_lock();
     // One worker, one slot, and every evaluation sleeping 200ms: a

@@ -1,0 +1,75 @@
+//! The performance model: admissible lower bounds that let the drivers
+//! prune candidates without simulating them.
+//!
+//! A compiled block's simulated runtime can never drop below either of
+//! two static quantities: the issue-slot bound (`⌈len / issue_width⌉` —
+//! every instruction occupies a slot) or the critical-path bound (the
+//! ASAP level count of a freshly built DAG — every operation takes at
+//! least one cycle, so a dependence chain of *k* instructions takes at
+//! least *k* cycles). Program runtime is the frequency-weighted sum of
+//! block runtimes, so the weighted sum of block bounds is an admissible
+//! lower bound on [`mean_runtime`](bsched_pipeline::ProgramEval).
+//!
+//! Because spills *add* instructions, a candidate that schedules into
+//! heavy spilling often has a static bound already above the incumbent's
+//! measured score; the drivers skip its 30-run simulation entirely.
+//! Pruning is sound: it can only discard candidates that provably
+//! cannot beat the incumbent, so the search result is unchanged.
+
+use bsched_dag::{build_dag, critical_path_length, AliasModel};
+use bsched_ir::BasicBlock;
+use bsched_pipeline::CompiledProgram;
+
+/// Admissible lower bound on one compiled block's per-run cycle count.
+#[must_use]
+pub fn block_lower_bound(block: &BasicBlock, issue_width: u32, alias: AliasModel) -> f64 {
+    let width = u64::from(issue_width.max(1));
+    let issue_slots = (block.len() as u64).div_ceil(width);
+    let chain = u64::from(critical_path_length(&build_dag(block, alias)));
+    #[allow(clippy::cast_precision_loss)]
+    let bound = issue_slots.max(chain) as f64;
+    bound
+}
+
+/// Admissible lower bound on a compiled program's mean runtime:
+/// frequency-weighted sum of per-block bounds, mirroring the §4.3
+/// aggregation [`evaluate`](bsched_pipeline::evaluate) performs.
+#[must_use]
+pub fn schedule_lower_bound(program: &CompiledProgram, issue_width: u32, alias: AliasModel) -> f64 {
+    program
+        .blocks
+        .iter()
+        .map(|cb| cb.block.frequency() * block_lower_bound(&cb.block, issue_width, alias))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsched_memsim::MemorySystem;
+    use bsched_pipeline::{evaluate, EvalConfig, Pipeline, SchedulerChoice};
+    use bsched_workload::perfect_club;
+
+    #[test]
+    fn bound_never_exceeds_the_measured_runtime() {
+        let pipeline = Pipeline::default();
+        let system: MemorySystem = "N(30,5)".parse().unwrap();
+        let cfg = EvalConfig {
+            runs: 4,
+            ..EvalConfig::default()
+        };
+        for bench in perfect_club().iter().take(2) {
+            let compiled = pipeline
+                .compile(bench.function(), &SchedulerChoice::balanced())
+                .unwrap();
+            let bound = schedule_lower_bound(&compiled, cfg.issue_width, pipeline.alias);
+            let eval = evaluate(&compiled, &system, &cfg);
+            assert!(
+                bound <= eval.mean_runtime,
+                "{}: bound {bound} > measured {}",
+                bench.name(),
+                eval.mean_runtime
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The `tune-stall` fault site: a candidate whose evaluation hangs must
+//! be quarantined by the per-candidate watchdog without aborting the
+//! search. Lives in its own integration binary because the fault plan is
+//! process-global.
+
+use bsched_faults::{FaultPlan, FaultSpec, Site};
+use bsched_ir::Function;
+use bsched_memsim::MemorySystem;
+use bsched_tune::{tune, Driver, TuneConfig};
+use bsched_workload::kernels::daxpy;
+use bsched_workload::lower_kernel;
+
+#[test]
+fn stalled_candidate_is_quarantined_not_fatal() {
+    // Target exactly the average-parallelism candidate by its canonical
+    // cell context; every other candidate evaluates normally.
+    let plan = FaultPlan::seeded(1).with(
+        FaultSpec::always(Site::TuneStall)
+            .with_key("family=average")
+            .with_arg(5_000),
+    );
+    bsched_faults::install(plan);
+
+    let func = Function::new("stall", vec![lower_kernel(&daxpy(), 1.0)]);
+    let system: MemorySystem = "N(3,2)".parse().unwrap();
+    let cfg = TuneConfig {
+        driver: Driver::Beam,
+        seed: 7,
+        beam_width: 2,
+        runs: 2,
+        threads: 2,
+        candidate_timeout: Some(std::time::Duration::from_millis(500)),
+        ..TuneConfig::default()
+    };
+    let report = tune(&func, &system, &cfg).unwrap();
+    bsched_faults::clear();
+
+    assert!(
+        report.skipped >= 1,
+        "the stalled candidate must be quarantined"
+    );
+    assert!(report.best_score <= report.baseline_score);
+    assert!(
+        !report.best.canonical().contains("family=average"),
+        "a quarantined candidate must not win"
+    );
+}

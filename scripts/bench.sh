@@ -117,6 +117,26 @@ else
     echo "warning: no fleet section found in BENCH_fleet.json; kept it separate" >&2
 fi
 
+# --- Autotuner pass -----------------------------------------------------
+# Search-based policy tuning over all eight stand-ins under the paper's
+# N(30,5) network. The tool writes BENCH_tune.json atomically
+# (temp+rename), and each stand-in's search runs under its own
+# crash-safe journal, so an interrupted pass resumes instead of
+# restarting. A compact "tune" section is then spliced into
+# BENCH_serve.json with the same last-line sed idiom as "fleet", so one
+# file still carries every serving-adjacent number.
+echo "tune pass (beam search over all stand-ins)..." >&2
+./target/release/bsched tune --benchmarks --seed 42 --runs $RUNS \
+    --journal results/.tune-journal --bench-out BENCH_tune.json
+rm -f results/.tune-journal*.jsonl
+tune_json=$(tr -s ' \n' ' ' < BENCH_tune.json | sed 's/^ //; s/ $//')
+if [ -n "$tune_json" ]; then
+    sed -i "\$ s|}\$|,\"tune\":${tune_json}}|" BENCH_serve.json
+    echo "merged tune section into BENCH_serve.json" >&2
+else
+    echo "warning: BENCH_tune.json is empty; skipped the serve-report splice" >&2
+fi
+
 # Shallow clones and fresh checkouts may not carry the baseline commit;
 # fail with a clear message instead of a cryptic worktree error.
 if ! git cat-file -e "$BASELINE_COMMIT^{commit}" 2>/dev/null; then

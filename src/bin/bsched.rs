@@ -52,8 +52,13 @@ const USAGE: &str = "usage:
                   [--probe-timeout-ms N] [--forward-timeout-ms N]
   bsched serve    --control ROUTER_ADDR (--add-shard HOST:PORT |
                   --drain-shard HOST:PORT [--no-stop] | --members)
+  bsched tune     <kernel.bsk> [--system SYS] [--driver beam|mcts] [--seed N]
+                  [--beam N] [--iterations N] [--runs N] [--threads N]
+                  [--timeout-ms N] [--journal PATH] [--out POLICY.json]
+  bsched tune     --benchmarks [--bench-out BENCH_tune.json] [--system SYS] [...]
 
   S    = balanced | balanced-approx | average | traditional=<latency>
+       | policy:<file.json>  (artifact written by `bsched tune --out`)
   SYS  = L80(2,5) | N(3,5) | L80-N(30,5) | fixed(4) | …
   P    = unlimited | max8 | len8
   LAT  = 2 | 2.6 | 13/5 | …
@@ -141,6 +146,11 @@ fn run() -> Result<(), String> {
         // `serve` takes no kernel file either: kernels arrive over the
         // socket, one request per line.
         return serve_cmd(&args);
+    }
+    if command == "tune" {
+        // `tune --benchmarks` works on the built-in stand-ins, so it
+        // shares `analyze`'s special-cased file handling.
+        return tune_cmd(&args);
     }
     let file = args
         .positional
@@ -520,6 +530,192 @@ fn control_cmd(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Shared `tune` parameter parsing (`--driver`, `--beam`, …).
+fn tune_config_of(args: &Args) -> Result<balanced_scheduling::tune::TuneConfig, String> {
+    use balanced_scheduling::tune::{Driver, TuneConfig};
+    let mut cfg = TuneConfig {
+        seed: seed_of(args)?,
+        processor: processor_of(args)?,
+        alias: alias_of(args)?,
+        ..TuneConfig::default()
+    };
+    if let Some(raw) = args.flag("driver") {
+        cfg.driver =
+            Driver::from_id(raw).ok_or_else(|| format!("unknown driver {raw:?} (beam|mcts)"))?;
+    }
+    let parse_count = |name: &str, fallback: usize| -> Result<usize, String> {
+        match args.flag(name) {
+            None => Ok(fallback),
+            Some(raw) => raw
+                .parse::<usize>()
+                .ok()
+                .filter(|n| *n > 0)
+                .ok_or_else(|| format!("--{name}: bad count {raw:?}")),
+        }
+    };
+    cfg.beam_width = parse_count("beam", cfg.beam_width)?;
+    cfg.iterations = parse_count("iterations", cfg.iterations)?;
+    cfg.threads = parse_count("threads", cfg.threads)?;
+    if let Some(raw) = args.flag("runs") {
+        cfg.runs = raw
+            .parse::<u32>()
+            .ok()
+            .filter(|n| *n > 0)
+            .ok_or_else(|| format!("--runs: bad count {raw:?}"))?;
+    }
+    if let Some(raw) = args.flag("timeout-ms") {
+        let ms = raw
+            .parse::<u64>()
+            .ok()
+            .filter(|n| *n > 0)
+            .ok_or_else(|| format!("--timeout-ms: bad milliseconds {raw:?}"))?;
+        cfg.candidate_timeout = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(path) = args.flag("journal") {
+        cfg.journal = Some(std::path::PathBuf::from(path));
+    }
+    Ok(cfg)
+}
+
+/// Writes `text` to `path` atomically (temp + rename), the same
+/// discipline the crash-safe journals use.
+fn write_atomic(path: &str, text: &str) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, text).map_err(|e| format!("{tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Renders the policy artifact JSON for a finished search.
+fn policy_artifact(
+    report: &balanced_scheduling::tune::TuneReport,
+    kernel: &str,
+    system: &MemorySystem,
+    cfg: &balanced_scheduling::tune::TuneConfig,
+) -> String {
+    use balanced_scheduling::analyze::json;
+    // Meta values must arrive as already-rendered JSON.
+    report.best.to_artifact_json(&[
+        ("kernel", json::string(kernel)),
+        ("system", json::string(&system.name())),
+        ("driver", json::string(cfg.driver.id())),
+        ("seed", cfg.seed.to_string()),
+        ("score", format!("{:.6}", report.best_score)),
+        ("balanced", format!("{:.6}", report.baseline_score)),
+    ])
+}
+
+/// `bsched tune`: search the policy space for one kernel file, or with
+/// `--benchmarks` for every Perfect Club stand-in (writing the
+/// `BENCH_tune.json` table the CI gate checks).
+fn tune_cmd(args: &Args) -> Result<(), String> {
+    use balanced_scheduling::tune::tune;
+    let system: MemorySystem = match args.flag("system") {
+        Some(spec) => spec.parse().map_err(|e| format!("{e}"))?,
+        // The paper's pathological model: always-slow, uncertain
+        // latency, where scheduling policy matters most.
+        None => "N(30,5)".parse().expect("default system parses"),
+    };
+    let cfg = tune_config_of(args)?;
+    if args.is_set("benchmarks") {
+        return tune_benchmarks_cmd(args, &system, &cfg);
+    }
+    let file = args
+        .positional
+        .first()
+        .ok_or_else(|| format!("missing kernel file (or --benchmarks)\n{USAGE}"))?;
+    let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let kernels = parse_program(&src).map_err(|e| format!("{file}:{e}"))?;
+    let blocks: Vec<BasicBlock> = kernels
+        .iter()
+        .map(|k| lower_kernel(&k.kernel, k.frequency))
+        .collect();
+    let name = blocks
+        .first()
+        .map_or_else(|| "program".to_owned(), |b| b.name().to_owned());
+    let func = Function::new(name.clone(), blocks);
+    let report = tune(&func, &system, &cfg).map_err(|e| format!("tune: {e}"))?;
+    println!("system            {}", system.name());
+    println!("driver            {} (seed {})", cfg.driver, cfg.seed);
+    println!(
+        "space             {} candidates: {} measured, {} pruned, {} quarantined, {} resumed",
+        report.space_size, report.evaluated, report.pruned, report.skipped, report.resumed
+    );
+    println!("balanced          {:.1} cycles", report.baseline_score);
+    println!(
+        "tuned             {:.1} cycles  ({:+.2}%)",
+        report.best_score,
+        -report.improvement_percent()
+    );
+    println!("policy            {}", report.best.canonical());
+    if let Some(out) = args.flag("out") {
+        write_atomic(out, &policy_artifact(&report, &name, &system, &cfg))?;
+        println!("artifact          {out}");
+    }
+    Ok(())
+}
+
+/// `bsched tune --benchmarks`: tune each stand-in and emit the
+/// `BENCH_tune.json` table (tuned vs balanced mean cycles per program).
+fn tune_benchmarks_cmd(
+    args: &Args,
+    system: &MemorySystem,
+    base_cfg: &balanced_scheduling::tune::TuneConfig,
+) -> Result<(), String> {
+    use balanced_scheduling::analyze::json;
+    use balanced_scheduling::tune::tune;
+    let mut rows = Vec::new();
+    let mut wins = 0usize;
+    for bench in perfect_club() {
+        let mut cfg = base_cfg.clone();
+        // One crash-safe journal per stand-in, so a killed sweep resumes
+        // mid-suite.
+        if let Some(path) = &base_cfg.journal {
+            cfg.journal = Some(path.with_extension(format!("{}.jsonl", bench.name())));
+        }
+        let report =
+            tune(bench.function(), system, &cfg).map_err(|e| format!("{}: {e}", bench.name()))?;
+        let beat = report.best_score < report.baseline_score;
+        wins += usize::from(beat);
+        println!(
+            "{:8} balanced {:9.1}  tuned {:9.1}  ({:+.2}%)  {}",
+            bench.name(),
+            report.baseline_score,
+            report.best_score,
+            -report.improvement_percent(),
+            report.best.canonical()
+        );
+        rows.push(format!(
+            "    {{\"name\":{},\"balanced\":{:.6},\"tuned\":{:.6},\"improvement_percent\":{:.4},\
+             \"beats_balanced\":{},\"policy\":{},\"evaluated\":{},\"pruned\":{},\"skipped\":{}}}",
+            json::string(bench.name()),
+            report.baseline_score,
+            report.best_score,
+            report.improvement_percent(),
+            beat,
+            json::string(&report.best.canonical()),
+            report.evaluated,
+            report.pruned,
+            report.skipped
+        ));
+    }
+    println!("tuned wins        {wins}/8 stand-ins");
+    let out = args.flag("bench-out").unwrap_or("BENCH_tune.json");
+    let text = format!(
+        "{{\n  \"bench\": \"bsched-tune-v1\",\n  \"system\": {},\n  \"driver\": {},\n  \
+         \"seed\": {},\n  \"runs\": {},\n  \"beam_width\": {},\n  \"tuned_wins\": {wins},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        json::string(&system.name()),
+        json::string(base_cfg.driver.id()),
+        base_cfg.seed,
+        base_cfg.runs,
+        base_cfg.beam_width,
+        rows.join(",\n")
+    );
+    write_atomic(out, &text)?;
+    println!("table             {out}");
+    Ok(())
+}
+
 fn alias_of(args: &Args) -> Result<AliasModel, String> {
     match args.flag("alias").unwrap_or("fortran") {
         "fortran" => Ok(AliasModel::Fortran),
@@ -542,6 +738,12 @@ fn scheduler_of(args: &Args) -> Result<SchedulerChoice, String> {
                     .parse()
                     .map_err(|e| format!("bad latency {lat:?}: {e}"))?;
                 Ok(SchedulerChoice::traditional(latency))
+            } else if let Some(path) = other.strip_prefix("policy:") {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("policy file {path}: {e}"))?;
+                let spec = PolicySpec::from_artifact_json(&text)
+                    .map_err(|e| format!("policy file {path}: {e}"))?;
+                Ok(SchedulerChoice::Tuned(spec))
             } else {
                 Err(format!("unknown scheduler {other:?}"))
             }
@@ -705,6 +907,75 @@ mod tests {
         );
         assert!(scheduler_of(&args_of(&["--scheduler", "bogus"])).is_err());
         assert!(scheduler_of(&args_of(&["--scheduler", "traditional=zero"])).is_err());
+    }
+
+    #[test]
+    fn scheduler_policy_file_roundtrip() {
+        let spec = PolicySpec::balanced_default();
+        let mut path = std::env::temp_dir();
+        path.push(format!("bsched-bin-policy-{}.json", std::process::id()));
+        std::fs::write(&path, spec.to_artifact_json(&[])).unwrap();
+        let arg = format!("policy:{}", path.display());
+        let choice = scheduler_of(&args_of(&["--scheduler", &arg])).unwrap();
+        assert_eq!(choice, SchedulerChoice::Tuned(spec));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scheduler_policy_file_errors_are_typed() {
+        let missing = scheduler_of(&args_of(&["--scheduler", "policy:/no/such/file.json"]));
+        assert!(missing
+            .unwrap_err()
+            .contains("policy file /no/such/file.json"));
+
+        let mut path = std::env::temp_dir();
+        path.push(format!("bsched-bin-bad-policy-{}.json", std::process::id()));
+        std::fs::write(&path, "{\"policy\":\"wrong-version\"}").unwrap();
+        let arg = format!("policy:{}", path.display());
+        let err = scheduler_of(&args_of(&["--scheduler", &arg])).unwrap_err();
+        assert!(err.contains("unsupported policy version"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tune_config_flags() {
+        let cfg = tune_config_of(&args_of(&[
+            "--driver",
+            "mcts",
+            "--seed",
+            "11",
+            "--beam",
+            "4",
+            "--iterations",
+            "50",
+            "--runs",
+            "6",
+            "--threads",
+            "2",
+            "--timeout-ms",
+            "250",
+            "--journal",
+            "j.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.driver, balanced_scheduling::tune::Driver::Mcts);
+        assert_eq!(cfg.seed, 11);
+        assert_eq!(cfg.beam_width, 4);
+        assert_eq!(cfg.iterations, 50);
+        assert_eq!(cfg.runs, 6);
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(
+            cfg.candidate_timeout,
+            Some(std::time::Duration::from_millis(250))
+        );
+        assert_eq!(
+            cfg.journal.as_deref(),
+            Some(std::path::Path::new("j.jsonl"))
+        );
+
+        assert!(tune_config_of(&args_of(&["--driver", "anneal"])).is_err());
+        assert!(tune_config_of(&args_of(&["--beam", "0"])).is_err());
+        assert!(tune_config_of(&args_of(&["--timeout-ms", "soon"])).is_err());
     }
 
     #[test]

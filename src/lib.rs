@@ -60,6 +60,7 @@ pub use bsched_pipeline as pipeline;
 pub use bsched_regalloc as regalloc;
 pub use bsched_serve as serve;
 pub use bsched_stats as stats;
+pub use bsched_tune as tune;
 pub use bsched_verify as verify;
 pub use bsched_workload as workload;
 
@@ -78,7 +79,7 @@ pub mod prelude {
     };
     pub use bsched_pipeline::{
         compare, evaluate, AnalysisGate, CompiledProgram, EvalConfig, Pipeline, PipelineError,
-        SchedulerChoice,
+        PolicySpec, SchedulerChoice, WeightFamily,
     };
     pub use bsched_regalloc::{allocate, AllocatorConfig, PoolPolicy};
     pub use bsched_stats::{Improvement, Pcg32};
